@@ -1,0 +1,175 @@
+//! Criterion micro-benchmarks for every substrate of the reproduction,
+//! plus the ablation benches DESIGN.md calls out (enhanced-schema
+//! constraints on/off, discriminative phase on/off, k ∈ {1,2}).
+//!
+//! ```sh
+//! cargo bench -p sb-bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sb_core::{Pipeline, PipelineConfig};
+use sb_data::{Domain, SizeClass};
+use sb_embed::{embed, select_top_k};
+use sb_gen::Generator;
+use sb_nl::{LlmProfile, Realizer, Style};
+use sb_nl2sql::{DbCatalog, NlToSql, Pair, SmBopSim, T5Sim, ValueNetSim};
+
+const PARSE_CASES: [&str; 3] = [
+    "SELECT s.specobjid FROM specobj AS s WHERE s.subclass = 'STARBURST'",
+    "SELECT s.bestobjid, s.ra, s.dec, s.z FROM specobj AS s \
+     WHERE s.class = 'GALAXY' AND s.z > 0.5 AND s.z < 1",
+    "SELECT p.objid, s.specobjid FROM photoobj AS p \
+     JOIN specobj AS s ON s.bestobjid = p.objid \
+     WHERE s.class = 'GALAXY' AND p.u - p.r < 2.22 AND p.u - p.r > 1",
+];
+
+fn bench_parser(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sql_parser");
+    for (label, sql) in ["q1_easy", "q2_medium", "q3_extra"].iter().zip(PARSE_CASES) {
+        g.bench_function(*label, |b| b.iter(|| sb_sql::parse(std::hint::black_box(sql))));
+    }
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let d = Domain::Sdss.build(SizeClass::Small);
+    let mut g = c.benchmark_group("engine_execution");
+    g.sample_size(20);
+    for (label, sql) in ["q1_easy", "q2_medium", "q3_extra"].iter().zip(PARSE_CASES) {
+        let q = sb_sql::parse(sql).unwrap();
+        g.bench_function(*label, |b| b.iter(|| d.db.run_query(std::hint::black_box(&q))));
+    }
+    let agg = sb_sql::parse("SELECT s.class, COUNT(*), AVG(s.z) FROM specobj AS s GROUP BY s.class").unwrap();
+    g.bench_function("grouped_aggregation", |b| {
+        b.iter(|| d.db.run_query(std::hint::black_box(&agg)))
+    });
+    g.finish();
+}
+
+fn bench_templates_and_generation(c: &mut Criterion) {
+    let d = Domain::Sdss.build(SizeClass::Tiny);
+    let q = sb_sql::parse(PARSE_CASES[2]).unwrap();
+    let mut g = c.benchmark_group("phase1_phase2");
+    g.bench_function("template_extract_q3", |b| {
+        b.iter(|| sb_semql::extract(std::hint::black_box(&q), &d.db.schema))
+    });
+    let template = sb_semql::extract(&q, &d.db.schema).unwrap();
+    g.bench_function("algorithm1_fill", |b| {
+        b.iter_batched(
+            || Generator::new(&d.db, &d.enhanced, 7),
+            |mut gen| {
+                let _ = gen.fill(std::hint::black_box(&template));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_nl_and_embedding(c: &mut Criterion) {
+    let d = Domain::Sdss.build(SizeClass::Tiny);
+    let q = sb_sql::parse(PARSE_CASES[1]).unwrap();
+    let realizer = Realizer::new(&d.enhanced);
+    let mut g = c.benchmark_group("phase3_phase4");
+    g.bench_function("realize_q2", |b| {
+        b.iter(|| realizer.realize(std::hint::black_box(&q), Style::reference()))
+    });
+    g.bench_function("llm_translate_q2", |b| {
+        b.iter_batched(
+            || {
+                let mut m = LlmProfile::gpt3_finetuned(3);
+                m.fine_tune("sdss", 468);
+                m
+            },
+            |mut m| m.translate(std::hint::black_box(&q), &d.enhanced),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("embed_sentence", |b| {
+        b.iter(|| embed(std::hint::black_box("find the redshift of spectroscopically observed galaxies")))
+    });
+    let candidates: Vec<String> = (0..8)
+        .map(|i| format!("find galaxies with redshift over 0.{i}"))
+        .collect();
+    g.bench_function("discriminator_select_8", |b| {
+        b.iter(|| select_top_k(std::hint::black_box(&candidates), 2))
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let d = Domain::Sdss.build(SizeClass::Tiny);
+    let seeds = d.seed_patterns.clone();
+    let mut g = c.benchmark_group("pipeline_end_to_end");
+    g.sample_size(10);
+    // Ablations: constraints on/off, discrimination on/off, k ∈ {1,2}.
+    let configs = [
+        ("full_k2", true, true, 2usize),
+        ("no_enhanced_constraints", false, true, 2),
+        ("no_discrimination", true, false, 2),
+        ("keep_k1", true, true, 1),
+    ];
+    for (label, use_enhanced, discriminate, k) in configs {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut pipeline = Pipeline::new(
+                    &d,
+                    PipelineConfig {
+                        target_pairs: 12,
+                        use_enhanced_constraints: use_enhanced,
+                        discriminate,
+                        keep_k: k,
+                        ..Default::default()
+                    },
+                );
+                pipeline.run(std::hint::black_box(&seeds))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_nl2sql_predict(c: &mut Criterion) {
+    let d = Domain::Sdss.build(SizeClass::Tiny);
+    let catalog = DbCatalog::new([&d.db]);
+    let pairs: Vec<Pair> = d
+        .seed_patterns
+        .iter()
+        .map(|sql| {
+            let q = sb_sql::parse(sql).unwrap();
+            let realizer = Realizer::new(&d.enhanced);
+            Pair::new(realizer.realize(&q, Style::reference()), sql.clone(), "sdss")
+        })
+        .collect();
+    let question = "Find the spectroscopic objects whose class is GALAXY";
+    let mut g = c.benchmark_group("nl2sql_predict");
+    g.sample_size(10);
+
+    let mut vn = ValueNetSim::new();
+    vn.train(&pairs, &catalog);
+    g.bench_function("valuenet", |b| {
+        b.iter(|| vn.predict(std::hint::black_box(question), &d.db))
+    });
+    let mut t5 = T5Sim::new();
+    t5.train(&pairs, &catalog);
+    g.bench_function("t5", |b| {
+        b.iter(|| t5.predict(std::hint::black_box(question), &d.db))
+    });
+    let mut sb = SmBopSim::new();
+    sb.train(&pairs, &catalog);
+    g.bench_function("smbop", |b| {
+        b.iter(|| sb.predict(std::hint::black_box(question), &d.db))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_engine,
+    bench_templates_and_generation,
+    bench_nl_and_embedding,
+    bench_pipeline,
+    bench_nl2sql_predict
+);
+criterion_main!(benches);

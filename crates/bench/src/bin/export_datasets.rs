@@ -1,0 +1,63 @@
+//! Export the ScienceBenchmark datasets as JSON — the release format of
+//! the paper's artifact (Seed / Dev / Synth per domain, plus the
+//! Spider-like train/dev sets).
+//!
+//! ```sh
+//! cargo run --release -p sb-bench --bin export_datasets -- [--quick] [--out DIR]
+//! ```
+
+use sb_bench::quick_mode;
+use sb_core::experiments::{build_domain_bundle, ExperimentConfig};
+use sb_core::spider::{SpiderPairs, SpiderSetConfig};
+use sb_data::Domain;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let out: PathBuf = std::env::args()
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .unwrap_or_else(|| "datasets".to_string())
+        .into();
+    fs::create_dir_all(&out).expect("create output directory");
+
+    let cfg = if quick_mode() {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
+
+    for domain in Domain::ALL {
+        eprintln!("building {} ...", domain.name());
+        let bundle = build_domain_bundle(domain, &cfg);
+        let path = out.join(format!("{}.json", domain.name()));
+        fs::write(&path, bundle.dataset.to_json()).expect("write dataset");
+        println!(
+            "{}: seed {} / dev {} / synth {} → {}",
+            domain.name(),
+            bundle.dataset.seed.len(),
+            bundle.dataset.dev.len(),
+            bundle.dataset.synth.len(),
+            path.display()
+        );
+    }
+
+    eprintln!("building spider-like pair sets ...");
+    let spider_cfg = if quick_mode() {
+        SpiderSetConfig::small()
+    } else {
+        SpiderSetConfig::default()
+    };
+    let spider = SpiderPairs::build(&spider_cfg);
+    let train_json =
+        serde_json::to_string_pretty(&spider.train).expect("spider train serializes");
+    let dev_json = serde_json::to_string_pretty(&spider.dev).expect("spider dev serializes");
+    fs::write(out.join("spider_like_train.json"), train_json).expect("write train");
+    fs::write(out.join("spider_like_dev.json"), dev_json).expect("write dev");
+    println!(
+        "spider-like: train {} / dev {} → {}",
+        spider.train.len(),
+        spider.dev.len(),
+        out.display()
+    );
+}

@@ -1,0 +1,111 @@
+//! # sb-bench — the table/figure regeneration harness
+//!
+//! One binary per table and figure of the paper's evaluation:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — database complexity |
+//! | `table2` | Table 2 — dataset sizes and hardness distributions |
+//! | `table3` | Table 3 — SQL-to-NL model comparison (+ §4.1.2 `--domains`) |
+//! | `table4` | Table 4 — silver-standard semantic equivalence |
+//! | `table5` | Table 5 — NL-to-SQL execution accuracy grid |
+//! | `figure1` | Figure 1 — pipeline walkthrough on the `neighbors` example |
+//! | `figure2` | Figure 2 — template extraction and leaf quadruples |
+//!
+//! Every binary accepts `--quick` for a scaled-down run; absolute numbers
+//! are produced by the simulated substrate (see DESIGN.md §1), so the
+//! claims to check are *relative*: orderings, gaps and trends.
+//!
+//! Criterion micro-benchmarks for every substrate live in
+//! `benches/microbench.rs`.
+
+use std::fmt::Write as _;
+
+/// A plain-text table printer with fixed-width columns.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given header cells.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:w$} ", c, w = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        write_row(&mut out, &self.header);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{:-<w$}", "", w = w + 2);
+            if i == widths.len() - 1 {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render and print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Whether `--quick` was passed on the command line.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Whether a specific flag was passed.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["alpha".to_string(), "1".to_string()]);
+        t.row(&["b".to_string(), "1234567".to_string()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_enforced() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only one".to_string()]);
+    }
+}

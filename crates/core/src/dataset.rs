@@ -1,0 +1,159 @@
+//! Dataset types: NL/SQL pairs, splits, hardness statistics and JSON
+//! persistence.
+
+use sb_metrics::hardness::{classify_sql, Hardness};
+use serde::{Deserialize, Serialize};
+
+/// One NL/SQL pair as released in the benchmark files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NlSqlPair {
+    /// The natural-language question.
+    pub question: String,
+    /// The SQL query.
+    pub sql: String,
+    /// The database the pair belongs to.
+    pub db: String,
+}
+
+impl NlSqlPair {
+    /// Construct a pair.
+    pub fn new(
+        question: impl Into<String>,
+        sql: impl Into<String>,
+        db: impl Into<String>,
+    ) -> Self {
+        NlSqlPair {
+            question: question.into(),
+            sql: sql.into(),
+            db: db.into(),
+        }
+    }
+}
+
+/// Hardness statistics of one split — a row of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitStats {
+    /// Counts per class, aligned with [`Hardness::ALL`]
+    /// (Easy, Medium, Hard, Extra Hard).
+    pub counts: [usize; 4],
+    /// Total pairs.
+    pub total: usize,
+}
+
+impl SplitStats {
+    /// Compute statistics for a set of pairs.
+    pub fn of(pairs: &[NlSqlPair]) -> SplitStats {
+        let mut counts = [0usize; 4];
+        for p in pairs {
+            let h = classify_sql(&p.sql);
+            let idx = Hardness::ALL.iter().position(|x| *x == h).expect("in ALL");
+            counts[idx] += 1;
+        }
+        SplitStats {
+            counts,
+            total: pairs.len(),
+        }
+    }
+
+    /// Percentage of one class.
+    pub fn pct(&self, idx: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.counts[idx] as f64 / self.total as f64
+        }
+    }
+
+    /// Format like the paper's Table 2 cells: `count (pct%)`.
+    pub fn cell(&self, idx: usize) -> String {
+        format!("{} ({:.1}%)", self.counts[idx], self.pct(idx))
+    }
+}
+
+/// A domain's full benchmark dataset: the three splits of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkDataset {
+    /// Domain/database name.
+    pub domain: String,
+    /// Expert-written seed pairs (input to the pipeline).
+    pub seed: Vec<NlSqlPair>,
+    /// Expert-written evaluation pairs.
+    pub dev: Vec<NlSqlPair>,
+    /// Automatically generated (silver standard) pairs.
+    pub synth: Vec<NlSqlPair>,
+}
+
+impl BenchmarkDataset {
+    /// Statistics for all three splits.
+    pub fn stats(&self) -> [(&'static str, SplitStats); 3] {
+        [
+            ("Seed", SplitStats::of(&self.seed)),
+            ("Dev", SplitStats::of(&self.dev)),
+            ("Synth", SplitStats::of(&self.synth)),
+        ]
+    }
+
+    /// Serialize to pretty JSON (the release format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("dataset serializes")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs() -> Vec<NlSqlPair> {
+        vec![
+            NlSqlPair::new("q1", "SELECT a FROM t", "d"),
+            NlSqlPair::new("q2", "SELECT a FROM t WHERE b = 1 AND c = 2", "d"),
+            NlSqlPair::new(
+                "q3",
+                "SELECT a FROM t WHERE b IN (SELECT b FROM u)",
+                "d",
+            ),
+        ]
+    }
+
+    #[test]
+    fn stats_count_hardness_classes() {
+        let s = SplitStats::of(&pairs());
+        assert_eq!(s.total, 3);
+        assert_eq!(s.counts.iter().sum::<usize>(), 3);
+        assert_eq!(s.counts[0], 1, "one easy");
+        assert_eq!(s.counts[2], 1, "one hard (single subquery)");
+    }
+
+    #[test]
+    fn cell_format_matches_table2() {
+        let s = SplitStats {
+            counts: [726, 494, 66, 20],
+            total: 1306,
+        };
+        assert_eq!(s.cell(0), "726 (55.6%)");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ds = BenchmarkDataset {
+            domain: "sdss".into(),
+            seed: pairs(),
+            dev: vec![],
+            synth: pairs(),
+        };
+        let json = ds.to_json();
+        let back = BenchmarkDataset::from_json(&json).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn empty_split_pct_is_zero() {
+        let s = SplitStats::of(&[]);
+        assert_eq!(s.pct(0), 0.0);
+    }
+}

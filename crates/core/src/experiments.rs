@@ -1,0 +1,396 @@
+//! The Table 5 experiment runner.
+//!
+//! For each scientific domain, four training regimes are evaluated on the
+//! domain's Dev set with execution accuracy, for each of the three
+//! NL-to-SQL systems; three control rows evaluate on the Spider-like dev
+//! set. Regimes follow §5.2:
+//!
+//! 1. Spider Train (zero-shot);
+//! 2. Spider Train + domain Seed;
+//! 3. Spider Train + domain Synth;
+//! 4. Spider Train + domain Seed + Synth.
+
+use crate::assemble::{assemble_expert_set, assemble_expert_set_styled, Quotas};
+use crate::dataset::{BenchmarkDataset, NlSqlPair};
+use crate::pipeline::{Pipeline, PipelineConfig};
+use crate::spider::{SpiderPairs, SpiderSetConfig};
+use sb_data::{Domain, DomainData, SizeClass};
+use sb_engine::Database;
+use sb_metrics::execution_match;
+use sb_nl2sql::{DbCatalog, NlToSql, Pair, SmBopSim, T5Sim, ValueNetSim};
+use std::collections::HashSet;
+
+/// The four §5.2 training regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainRegime {
+    /// Spider Train only (zero-shot transfer).
+    ZeroShot,
+    /// Spider Train + the domain's expert Seed pairs.
+    PlusSeed,
+    /// Spider Train + the domain's synthetic pairs.
+    PlusSynth,
+    /// Spider Train + Seed + Synth.
+    PlusSeedSynth,
+}
+
+impl TrainRegime {
+    /// All four regimes, in Table 5 row order.
+    pub const ALL: [TrainRegime; 4] = [
+        TrainRegime::ZeroShot,
+        TrainRegime::PlusSeed,
+        TrainRegime::PlusSynth,
+        TrainRegime::PlusSeedSynth,
+    ];
+
+    /// The row label used in Table 5.
+    pub fn label(&self, domain: &str) -> String {
+        match self {
+            TrainRegime::ZeroShot => "Spider Train (Zero-Shot)".to_string(),
+            TrainRegime::PlusSeed => format!("Spider Train + Seed {domain}"),
+            TrainRegime::PlusSynth => format!("Spider Train + Synth {domain}"),
+            TrainRegime::PlusSeedSynth => {
+                format!("Spider Train + Seed {domain} + Synth {domain}")
+            }
+        }
+    }
+}
+
+/// One cell of Table 5.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Domain name (or "spider" for the control rows).
+    pub domain: String,
+    /// Row label.
+    pub regime: String,
+    /// System name.
+    pub system: String,
+    /// Execution accuracy on the dev set.
+    pub accuracy: f64,
+    /// Dev-set size.
+    pub n_dev: usize,
+}
+
+/// Experiment sizing. `scale` < 1 shrinks every split proportionally for
+/// fast runs; 1.0 reproduces the paper's dataset sizes.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Database content size.
+    pub size: SizeClass,
+    /// Split-size multiplier relative to the paper's Table 2 sizes.
+    pub scale: f64,
+    /// Spider-like corpus sizing.
+    pub spider: SpiderSetConfig,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            size: SizeClass::Small,
+            scale: 1.0,
+            spider: SpiderSetConfig::default(),
+            seed: 99,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A configuration sized for minutes-scale runs: quarter-size splits
+    /// over a reduced Spider corpus.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            size: SizeClass::Small,
+            scale: 0.25,
+            spider: SpiderSetConfig::small(),
+            seed: 99,
+        }
+    }
+}
+
+/// The paper's Table 2 quotas for a domain: (seed, dev, synth-total).
+pub fn paper_quotas(domain: Domain) -> (Quotas, Quotas, usize) {
+    match domain {
+        Domain::Cordis => (Quotas([4, 15, 38, 43]), Quotas([25, 35, 19, 21]), 1306),
+        Domain::Sdss => (Quotas([20, 54, 2, 24]), Quotas([12, 28, 20, 40]), 2061),
+        Domain::OncoMx => (Quotas([21, 20, 7, 2]), Quotas([39, 49, 11, 4]), 1065),
+    }
+}
+
+fn scaled_quota(q: Quotas, scale: f64) -> Quotas {
+    let mut out = [0usize; 4];
+    for i in 0..4 {
+        if q.0[i] > 0 {
+            out[i] = ((q.0[i] as f64 * scale).round() as usize).max(1);
+        }
+    }
+    Quotas(out)
+}
+
+/// A fully prepared domain: content plus the three dataset splits.
+pub struct DomainBundle {
+    /// The domain's database, enhanced schema and patterns.
+    pub data: DomainData,
+    /// The assembled Seed/Dev/Synth dataset.
+    pub dataset: BenchmarkDataset,
+}
+
+/// Build a domain's dataset with (scaled) paper quotas: Seed and Dev by
+/// expert assembly, Synth by the Figure 1 pipeline seeded with the Seed
+/// split's SQL.
+pub fn build_domain_bundle(domain: Domain, cfg: &ExperimentConfig) -> DomainBundle {
+    let data = domain.build(cfg.size);
+    let (seed_q, dev_q, synth_n) = paper_quotas(domain);
+    let mut exclude = HashSet::new();
+    let seed = assemble_expert_set(
+        &data.db,
+        &data.enhanced,
+        &data.seed_patterns,
+        scaled_quota(seed_q, cfg.scale),
+        cfg.seed,
+        &mut exclude,
+    );
+    let dev = assemble_expert_set_styled(
+        &data.db,
+        &data.enhanced,
+        &data.seed_patterns,
+        scaled_quota(dev_q, cfg.scale),
+        cfg.seed ^ 0xDE,
+        &mut exclude,
+        3,
+    );
+    let seed_sql: Vec<String> = seed.iter().map(|p| p.sql.clone()).collect();
+    let mut pipeline = Pipeline::new(
+        &data,
+        PipelineConfig {
+            target_pairs: ((synth_n as f64 * cfg.scale).round() as usize).max(8),
+            gen_seed: cfg.seed ^ 0x51,
+            llm_seed: cfg.seed ^ 0x52,
+            ..Default::default()
+        },
+    );
+    let report = pipeline.run(&seed_sql);
+    let dataset = BenchmarkDataset {
+        domain: domain.name().to_string(),
+        seed,
+        dev,
+        synth: report.pairs,
+    };
+    DomainBundle { data, dataset }
+}
+
+fn to_train_pairs(pairs: &[NlSqlPair]) -> Vec<Pair> {
+    pairs
+        .iter()
+        .map(|p| Pair::new(p.question.clone(), p.sql.clone(), p.db.clone()))
+        .collect()
+}
+
+/// Fresh instances of the three systems.
+pub fn fresh_systems() -> Vec<Box<dyn NlToSql>> {
+    vec![
+        Box::new(ValueNetSim::new()),
+        Box::new(T5Sim::new()),
+        Box::new(SmBopSim::new()),
+    ]
+}
+
+/// Evaluate one system on dev pairs; `lookup` resolves each pair's
+/// database.
+pub fn evaluate<'a>(
+    system: &dyn NlToSql,
+    dev: &[NlSqlPair],
+    lookup: impl Fn(&str) -> Option<&'a Database>,
+) -> f64 {
+    if dev.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for pair in dev {
+        let Some(db) = lookup(&pair.db) else {
+            continue;
+        };
+        let predicted = system.predict(&pair.question, db);
+        if execution_match(db, &pair.sql, &predicted) {
+            hits += 1;
+        }
+    }
+    hits as f64 / dev.len() as f64
+}
+
+/// Run the full Table 5 domain grid. Returns one [`ExperimentResult`] per
+/// (domain × regime × system) cell.
+pub fn run_domain_grid(
+    cfg: &ExperimentConfig,
+    spider: &SpiderPairs,
+    domains: &[Domain],
+) -> Vec<ExperimentResult> {
+    let spider_train = to_train_pairs(&spider.train);
+    let mut results = Vec::new();
+    for &domain in domains {
+        let bundle = build_domain_bundle(domain, cfg);
+        let seed_pairs = to_train_pairs(&bundle.dataset.seed);
+        let synth_pairs = to_train_pairs(&bundle.dataset.synth);
+        for regime in TrainRegime::ALL {
+            let mut training = spider_train.clone();
+            match regime {
+                TrainRegime::ZeroShot => {}
+                TrainRegime::PlusSeed => training.extend(seed_pairs.clone()),
+                TrainRegime::PlusSynth => training.extend(synth_pairs.clone()),
+                TrainRegime::PlusSeedSynth => {
+                    training.extend(seed_pairs.clone());
+                    training.extend(synth_pairs.clone());
+                }
+            }
+            let mut catalog_dbs: Vec<&Database> =
+                spider.corpus.databases.iter().map(|d| &d.db).collect();
+            catalog_dbs.push(&bundle.data.db);
+            let catalog = DbCatalog::new(catalog_dbs);
+            for mut system in fresh_systems() {
+                system.train(&training, &catalog);
+                let acc = evaluate(system.as_ref(), &bundle.dataset.dev, |name| {
+                    if name.eq_ignore_ascii_case(domain.name()) {
+                        Some(&bundle.data.db)
+                    } else {
+                        None
+                    }
+                });
+                results.push(ExperimentResult {
+                    domain: domain.name().to_string(),
+                    regime: regime.label(domain.name()),
+                    system: system.name().to_string(),
+                    accuracy: acc,
+                    n_dev: bundle.dataset.dev.len(),
+                });
+            }
+        }
+    }
+    results
+}
+
+/// Run the three Spider-dev control rows of Table 5: Spider Train,
+/// Spider Train + Synth Spider, and Synth Spider alone.
+pub fn run_spider_rows(cfg: &ExperimentConfig, spider: &SpiderPairs) -> Vec<ExperimentResult> {
+    // Synth Spider: run the pipeline over every corpus database.
+    let mut synth = Vec::new();
+    let per_db = ((spider.train.len() as f64 * 0.25 / spider.corpus.databases.len() as f64)
+        .round() as usize)
+        .max(6);
+    for (i, d) in spider.corpus.databases.iter().enumerate() {
+        let domain_data = sb_data::DomainData {
+            db: d.db.clone(),
+            enhanced: d.enhanced.clone(),
+            real_rows: d.db.total_rows() as f64,
+            real_bytes: d.db.approx_bytes() as f64,
+            seed_patterns: d.seed_patterns.clone(),
+        };
+        let mut pipeline = Pipeline::new(
+            &domain_data,
+            PipelineConfig {
+                target_pairs: per_db,
+                gen_seed: cfg.seed ^ (0x600 + i as u64),
+                llm_seed: cfg.seed ^ (0x700 + i as u64),
+                ..Default::default()
+            },
+        );
+        let report = pipeline.run(&d.seed_patterns);
+        synth.extend(report.pairs);
+    }
+
+    let spider_train = to_train_pairs(&spider.train);
+    let synth_train = to_train_pairs(&synth);
+    let regimes: [(&str, Vec<Pair>); 3] = [
+        ("Spider Train (Zero-Shot)", spider_train.clone()),
+        ("Spider Train + Synth Spider", {
+            let mut t = spider_train.clone();
+            t.extend(synth_train.clone());
+            t
+        }),
+        ("Synth Spider", synth_train),
+    ];
+
+    let catalog = DbCatalog::new(spider.corpus.databases.iter().map(|d| &d.db));
+    let mut results = Vec::new();
+    for (label, training) in regimes {
+        for mut system in fresh_systems() {
+            system.train(&training, &catalog);
+            let acc = evaluate(system.as_ref(), &spider.dev, |name| {
+                spider
+                    .corpus
+                    .databases
+                    .iter()
+                    .find(|d| d.db.schema.name.eq_ignore_ascii_case(name))
+                    .map(|d| &d.db)
+            });
+            results.push(ExperimentResult {
+                domain: "spider".to_string(),
+                regime: label.to_string(),
+                system: system.name().to_string(),
+                accuracy: acc,
+                n_dev: spider.dev.len(),
+            });
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature end-to-end run asserting the paper's *shape*: training
+    /// with domain data beats zero-shot for every system.
+    #[test]
+    fn domain_training_beats_zero_shot() {
+        let cfg = ExperimentConfig {
+            size: SizeClass::Tiny,
+            scale: 0.12,
+            spider: SpiderSetConfig {
+                train_total: 120,
+                dev_total: 40,
+                databases: 3,
+                seed: 5,
+            },
+            seed: 5,
+        };
+        let spider = SpiderPairs::build(&cfg.spider);
+        let results = run_domain_grid(&cfg, &spider, &[Domain::Sdss]);
+        assert_eq!(results.len(), 12, "4 regimes × 3 systems");
+        for system in ["ValueNet", "T5-Large w/o PICARD", "SmBoP+GraPPa"] {
+            let acc = |needle: &str| {
+                results
+                    .iter()
+                    .find(|r| r.system == system && r.regime.contains(needle))
+                    .map(|r| r.accuracy)
+                    .unwrap()
+            };
+            let zero = acc("Zero-Shot");
+            let full = acc("+ Synth");
+            assert!(
+                full >= zero,
+                "{system}: zero-shot {zero} should not beat domain-trained {full}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_quota_totals_match_table2() {
+        let (seed, dev, synth) = paper_quotas(Domain::Cordis);
+        assert_eq!(seed.total(), 100);
+        assert_eq!(dev.total(), 100);
+        assert_eq!(synth, 1306);
+        let (seed, dev, synth) = paper_quotas(Domain::OncoMx);
+        assert_eq!(seed.total(), 50);
+        assert_eq!(dev.total(), 103);
+        assert_eq!(synth, 1065);
+        let (_, _, synth) = paper_quotas(Domain::Sdss);
+        assert_eq!(synth, 2061);
+    }
+
+    #[test]
+    fn scaled_quota_keeps_nonzero_classes() {
+        let q = scaled_quota(Quotas([20, 54, 2, 24]), 0.1);
+        assert_eq!(q.0, [2, 5, 1, 2]);
+        assert_eq!(scaled_quota(Quotas([0, 10, 0, 0]), 0.1).0, [0, 1, 0, 0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # sb-core — ScienceBenchmark orchestration
+//!
+//! Ties the substrates together into the paper's artifacts:
+//!
+//! - [`dataset`]: NL/SQL pair sets (Seed / Dev / Synth) with hardness
+//!   statistics (Table 2) and JSON persistence (the paper releases its
+//!   benchmark as JSON files);
+//! - [`assemble`]: expert-set assembly — builds Seed and Dev sets with
+//!   exactly the hardness quotas of Table 2 from the hand-authored domain
+//!   patterns;
+//! - [`pipeline`]: the four-phase automatic training-data generation
+//!   pipeline of Figure 1 (seeding → SQL generation → SQL-to-NL →
+//!   discriminative selection);
+//! - [`spider`]: the Spider-like train/dev pair corpus with Spider's
+//!   published hardness distribution;
+//! - [`experiments`]: the Table 5 grid — four training regimes × three
+//!   NL-to-SQL systems × three domains, plus the Spider-dev control rows.
+
+pub mod assemble;
+pub mod dataset;
+pub mod experiments;
+pub mod pipeline;
+pub mod spider;
+
+pub use assemble::{assemble_expert_set, assemble_expert_set_styled, Quotas};
+pub use dataset::{BenchmarkDataset, NlSqlPair, SplitStats};
+pub use experiments::{ExperimentConfig, ExperimentResult, TrainRegime};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+pub use spider::{SpiderPairs, SpiderSetConfig};

@@ -1,0 +1,149 @@
+//! The Spider-like train/dev pair corpus.
+//!
+//! Builds NL/SQL pairs over the 24-database Spider-like corpus with the
+//! hardness distribution of the real Spider release (Table 2, bottom
+//! rows: Train 22.45 / 32.7 / 20.3 / 24.55 %, Dev 24.22 / 42.64 / 16.86 /
+//! 16.28 %).
+
+use crate::assemble::{assemble_expert_set, assemble_expert_set_styled, Quotas};
+use crate::dataset::NlSqlPair;
+use sb_data::SpiderCorpus;
+use std::collections::HashSet;
+
+/// Sizing of the Spider-like pair sets.
+#[derive(Debug, Clone)]
+pub struct SpiderSetConfig {
+    /// Total training pairs (the real Spider train set has 8659).
+    pub train_total: usize,
+    /// Total dev pairs (the real Spider dev set has 1032).
+    pub dev_total: usize,
+    /// How many of the 24 corpus databases to use.
+    pub databases: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpiderSetConfig {
+    fn default() -> Self {
+        SpiderSetConfig {
+            train_total: 8659,
+            dev_total: 1032,
+            databases: 24,
+            seed: 2024,
+        }
+    }
+}
+
+impl SpiderSetConfig {
+    /// A reduced configuration for fast evaluation runs and tests.
+    pub fn small() -> Self {
+        SpiderSetConfig {
+            train_total: 960,
+            dev_total: 240,
+            databases: 8,
+            seed: 2024,
+        }
+    }
+}
+
+/// The built corpus: databases plus pair splits.
+pub struct SpiderPairs {
+    /// The underlying databases.
+    pub corpus: SpiderCorpus,
+    /// Training pairs (hardness-matched to Spider Train).
+    pub train: Vec<NlSqlPair>,
+    /// Dev pairs (hardness-matched to Spider Dev).
+    pub dev: Vec<NlSqlPair>,
+}
+
+/// Spider Train hardness fractions (Table 2).
+pub const TRAIN_DIST: [f64; 4] = [0.2245, 0.327, 0.203, 0.2455];
+/// Spider Dev hardness fractions (Table 2).
+pub const DEV_DIST: [f64; 4] = [0.2422, 0.4264, 0.1686, 0.1628];
+
+fn per_db_quota(total: usize, dist: [f64; 4], dbs: usize) -> Quotas {
+    let mut q = [0usize; 4];
+    for i in 0..4 {
+        q[i] = ((total as f64 * dist[i]) / dbs as f64).round().max(1.0) as usize;
+    }
+    Quotas(q)
+}
+
+impl SpiderPairs {
+    /// Build the corpus and both splits.
+    pub fn build(config: &SpiderSetConfig) -> SpiderPairs {
+        let corpus = SpiderCorpus::build_n(config.databases.clamp(1, 24));
+        let n = corpus.databases.len();
+        let train_quota = per_db_quota(config.train_total, TRAIN_DIST, n);
+        let dev_quota = per_db_quota(config.dev_total, DEV_DIST, n);
+        let mut train = Vec::new();
+        let mut dev = Vec::new();
+        for (i, d) in corpus.databases.iter().enumerate() {
+            let mut exclude = HashSet::new();
+            train.extend(assemble_expert_set(
+                &d.db,
+                &d.enhanced,
+                &d.seed_patterns,
+                train_quota,
+                config.seed ^ (i as u64),
+                &mut exclude,
+            ));
+            dev.extend(assemble_expert_set_styled(
+                &d.db,
+                &d.enhanced,
+                &d.seed_patterns,
+                dev_quota,
+                config.seed ^ (i as u64) ^ 0xD5,
+                &mut exclude,
+                3,
+            ));
+        }
+        SpiderPairs { corpus, train, dev }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SplitStats;
+
+    #[test]
+    fn builds_hardness_matched_splits() {
+        let cfg = SpiderSetConfig {
+            train_total: 240,
+            dev_total: 120,
+            databases: 3,
+            seed: 7,
+        };
+        let sp = SpiderPairs::build(&cfg);
+        assert!(sp.train.len() >= 200, "{}", sp.train.len());
+        assert!(sp.dev.len() >= 100, "{}", sp.dev.len());
+        let stats = SplitStats::of(&sp.train);
+        // The medium class dominates the easy-only tail classes roughly
+        // as in Spider.
+        assert!(stats.counts[1] > 0 && stats.counts[3] > 0);
+        // Train and dev are disjoint.
+        let train_sqls: HashSet<&str> = sp.train.iter().map(|p| p.sql.as_str()).collect();
+        assert!(sp.dev.iter().all(|p| !train_sqls.contains(p.sql.as_str())));
+    }
+
+    #[test]
+    fn pairs_reference_their_database() {
+        let cfg = SpiderSetConfig {
+            train_total: 60,
+            dev_total: 30,
+            databases: 2,
+            seed: 7,
+        };
+        let sp = SpiderPairs::build(&cfg);
+        let names: HashSet<String> = sp
+            .corpus
+            .databases
+            .iter()
+            .map(|d| d.db.schema.name.clone())
+            .collect();
+        for p in sp.train.iter().chain(&sp.dev) {
+            assert!(names.contains(&p.db), "{}", p.db);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Phase 4: the discriminative (candidate-selection) phase.
+//!
+//! Given the candidate NL questions generated for one SQL query, select the
+//! `k ∈ {1, 2}` candidates whose embeddings are closest to the *geometric
+//! median* of all candidates (Equation 1 of the paper, after the
+//! centroid-based summarization method of Rossiello et al.).
+
+use crate::{embed, Embedding};
+
+/// The discriminative-phase selector.
+#[derive(Debug, Clone)]
+pub struct Discriminator {
+    /// How many candidates to keep (the paper uses 1 or 2).
+    pub k: usize,
+}
+
+impl Default for Discriminator {
+    fn default() -> Self {
+        Discriminator { k: 2 }
+    }
+}
+
+impl Discriminator {
+    /// Create a selector keeping `k` candidates.
+    pub fn new(k: usize) -> Self {
+        Discriminator { k }
+    }
+
+    /// Select the best candidates, returned in selection order (best
+    /// first). Ties break toward the earlier candidate for determinism.
+    pub fn select<'a>(&self, candidates: &'a [String]) -> Vec<&'a String> {
+        select_top_k(candidates, self.k)
+    }
+}
+
+/// Geometric median of a set of embeddings via Weiszfeld's algorithm
+/// (a handful of iterations is plenty at this dimensionality and set
+/// size).
+pub fn geometric_median(points: &[Embedding]) -> Embedding {
+    if points.is_empty() {
+        return Embedding::zero();
+    }
+    // Initialize at the centroid.
+    let mut m = [0.0f32; crate::DIM];
+    for p in points {
+        for i in 0..crate::DIM {
+            m[i] += p.0[i];
+        }
+    }
+    for x in &mut m {
+        *x /= points.len() as f32;
+    }
+    for _ in 0..16 {
+        let mut num = [0.0f32; crate::DIM];
+        let mut denom = 0.0f32;
+        let mut coincident = false;
+        for p in points {
+            let mut d2 = 0.0f32;
+            for i in 0..crate::DIM {
+                let diff = p.0[i] - m[i];
+                d2 += diff * diff;
+            }
+            let d = d2.sqrt();
+            if d < 1e-9 {
+                coincident = true;
+                continue;
+            }
+            let w = 1.0 / d;
+            for i in 0..crate::DIM {
+                num[i] += w * p.0[i];
+            }
+            denom += w;
+        }
+        if denom == 0.0 || coincident && denom < 1e-9 {
+            break;
+        }
+        for i in 0..crate::DIM {
+            m[i] = num[i] / denom;
+        }
+    }
+    Embedding(m)
+}
+
+/// Equation 1: keep the `k` candidates whose embeddings have the highest
+/// cosine similarity to the geometric median of all candidate embeddings.
+/// The selection is iterative — after taking the best candidate, the next
+/// is chosen from the remainder — matching the paper's
+/// "perform this process k times on X \ {y}" description.
+pub fn select_top_k(candidates: &[String], k: usize) -> Vec<&String> {
+    if candidates.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let embeddings: Vec<Embedding> = candidates.iter().map(|c| embed(c)).collect();
+    let mut remaining: Vec<usize> = (0..candidates.len()).collect();
+    let mut picked = Vec::new();
+    for _ in 0..k.min(candidates.len()) {
+        let pts: Vec<Embedding> = remaining.iter().map(|&i| embeddings[i].clone()).collect();
+        let median = geometric_median(&pts);
+        let best_pos = remaining
+            .iter()
+            .enumerate()
+            .max_by(|(_, &a), (_, &b)| {
+                embeddings[a]
+                    .cosine(&median)
+                    .partial_cmp(&embeddings[b].cosine(&median))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    // Stable tie-break: prefer the earlier candidate.
+                    .then_with(|| b.cmp(&a))
+            })
+            .map(|(pos, _)| pos)
+            .expect("remaining is non-empty");
+        picked.push(remaining.remove(best_pos));
+    }
+    picked.into_iter().map(|i| &candidates[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_the_consensus_candidate() {
+        // Four near-paraphrases and one outlier: the consensus phrasing
+        // must win, the outlier must lose.
+        let candidates = vec![
+            "find the center object with neighbor mode 2".to_string(),
+            "find the center objects which have neighbor mode 2".to_string(),
+            "show the center object with neighbor mode 2".to_string(),
+            "find center objects whose neighbor mode is 2".to_string(),
+            "what is the weather in zurich today".to_string(),
+        ];
+        let top = select_top_k(&candidates, 2);
+        assert_eq!(top.len(), 2);
+        assert!(!top.contains(&&candidates[4]), "outlier must not be selected");
+    }
+
+    #[test]
+    fn k_larger_than_set_is_clamped() {
+        let candidates = vec!["only one".to_string()];
+        let top = select_top_k(&candidates, 2);
+        assert_eq!(top, vec![&candidates[0]]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(select_top_k(&[], 2).is_empty());
+        let c = vec!["a".to_string()];
+        assert!(select_top_k(&c, 0).is_empty());
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let candidates: Vec<String> = (0..6)
+            .map(|i| format!("list all galaxies with redshift over {i}"))
+            .collect();
+        let a: Vec<String> = select_top_k(&candidates, 2)
+            .into_iter()
+            .cloned()
+            .collect();
+        let b: Vec<String> = select_top_k(&candidates, 2)
+            .into_iter()
+            .cloned()
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn geometric_median_of_identical_points() {
+        let p = embed("same");
+        let m = geometric_median(&[p.clone(), p.clone(), p.clone()]);
+        assert!(m.cosine(&p) > 0.999);
+    }
+
+    #[test]
+    fn discriminator_defaults_to_two() {
+        let d = Discriminator::default();
+        assert_eq!(d.k, 2);
+        let candidates = vec![
+            "alpha beta gamma".to_string(),
+            "alpha beta gamma".to_string(),
+            "delta epsilon".to_string(),
+        ];
+        assert_eq!(d.select(&candidates).len(), 2);
+    }
+}

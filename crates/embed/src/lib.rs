@@ -1,0 +1,204 @@
+//! # sb-embed — sentence embeddings and the discriminative phase
+//!
+//! The paper uses SentenceBERT embeddings twice: as an automatic metric
+//! (Table 3's "SentenceBERT" row) and inside the discriminative phase
+//! (Phase 4), which keeps the candidate NL questions closest to the
+//! geometric median of all candidates (Equation 1).
+//!
+//! This crate substitutes a deterministic, dependency-free embedding: each
+//! sentence is mapped to a 256-dimensional vector by signed feature hashing
+//! of its lower-cased word unigrams, word bigrams, and character trigrams,
+//! then L2-normalized. Paraphrases share most n-grams and land close in
+//! cosine space, which is the only property the pipeline relies on.
+
+pub mod discriminate;
+
+pub use discriminate::{select_top_k, Discriminator};
+
+/// Embedding dimensionality.
+pub const DIM: usize = 256;
+
+/// A dense sentence embedding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding(pub [f32; DIM]);
+
+impl Embedding {
+    /// The zero vector (embedding of an empty sentence).
+    pub fn zero() -> Self {
+        Embedding([0.0; DIM])
+    }
+
+    /// Cosine similarity in `[-1, 1]`; 0 when either vector is zero.
+    pub fn cosine(&self, other: &Embedding) -> f32 {
+        let mut dot = 0.0f32;
+        let mut na = 0.0f32;
+        let mut nb = 0.0f32;
+        for i in 0..DIM {
+            dot += self.0[i] * other.0[i];
+            na += self.0[i] * self.0[i];
+            nb += other.0[i] * other.0[i];
+        }
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            // Clamp away float rounding that can push a self-similarity
+            // infinitesimally past 1.
+            (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0)
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash — stable across platforms and runs, which keeps the
+/// whole benchmark build deterministic.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn add_feature(v: &mut [f32; DIM], feature: &str, weight: f32) {
+    let h = fnv1a(feature.as_bytes());
+    let idx = (h % DIM as u64) as usize;
+    // The next bit decides the sign: signed hashing keeps the expectation
+    // of collisions at zero.
+    let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+    v[idx] += sign * weight;
+}
+
+/// Lower-case word tokens (alphanumeric runs).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Embed a sentence: signed-hash word unigrams (weight 1.0), word bigrams
+/// (0.7) and character trigrams (0.3), then L2-normalize.
+pub fn embed(text: &str) -> Embedding {
+    let tokens = tokenize(text);
+    let mut v = [0.0f32; DIM];
+    for t in &tokens {
+        add_feature(&mut v, &format!("w:{t}"), 1.0);
+    }
+    for pair in tokens.windows(2) {
+        add_feature(&mut v, &format!("b:{} {}", pair[0], pair[1]), 0.7);
+    }
+    let joined = tokens.join(" ");
+    let chars: Vec<char> = joined.chars().collect();
+    for tri in chars.windows(3) {
+        let g: String = tri.iter().collect();
+        add_feature(&mut v, &format!("c:{g}"), 0.3);
+    }
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    Embedding(v)
+}
+
+/// Mean cosine similarity of aligned sentence pairs — the corpus-level
+/// "SentenceBERT score" used in Table 3.
+pub fn corpus_similarity(pairs: &[(String, String)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = pairs
+        .iter()
+        .map(|(a, b)| embed(a).cosine(&embed(b)) as f64)
+        .sum();
+    total / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_lowercases_and_splits() {
+        assert_eq!(
+            tokenize("Find all Starburst-galaxies!"),
+            vec!["find", "all", "starburst", "galaxies"]
+        );
+        assert!(tokenize("  ").is_empty());
+    }
+
+    #[test]
+    fn identical_sentences_have_cosine_one() {
+        let a = embed("find all starburst galaxies");
+        let b = embed("find all starburst galaxies");
+        assert!((a.cosine(&b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paraphrases_are_closer_than_unrelated() {
+        let q = embed("Find all the starburst galaxies");
+        let para = embed("Return every galaxy in the starburst class");
+        let unrelated = embed("How many EU projects started in 2020?");
+        assert!(q.cosine(&para) > q.cosine(&unrelated));
+    }
+
+    #[test]
+    fn embeddings_are_normalized() {
+        let e = embed("some sentence with several words");
+        let norm: f32 = e.0.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_sentence_is_zero() {
+        assert_eq!(embed(""), Embedding::zero());
+        assert_eq!(embed("").cosine(&embed("hello")), 0.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = embed("right ascension and declination");
+        let b = embed("right ascension and declination");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corpus_similarity_averages() {
+        let pairs = vec![
+            ("same text".to_string(), "same text".to_string()),
+            ("".to_string(), "anything".to_string()),
+        ];
+        let s = corpus_similarity(&pairs);
+        assert!((s - 0.5).abs() < 1e-6);
+        assert_eq!(corpus_similarity(&[]), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_symmetric_and_bounded() {
+        let texts = [
+            "show the count of spectroscopic objects",
+            "what is the redshift of galaxies",
+            "list projects funded by the EU",
+        ];
+        for a in &texts {
+            for b in &texts {
+                let ea = embed(a);
+                let eb = embed(b);
+                let s1 = ea.cosine(&eb);
+                let s2 = eb.cosine(&ea);
+                assert!((s1 - s2).abs() < 1e-6);
+                assert!((-1.0..=1.0).contains(&s1));
+            }
+        }
+    }
+}

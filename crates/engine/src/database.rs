@@ -1,0 +1,203 @@
+//! In-memory tables and databases.
+
+use crate::error::{EngineError, Result};
+use crate::result::ResultSet;
+use crate::value::Value;
+use sb_schema::{ColumnType, Schema, TableDef};
+
+/// A row-oriented in-memory table.
+///
+/// Row-major storage keeps the executor simple; the engine's workloads
+/// (tens of thousands of rows per table at the benchmark's scale factor)
+/// do not need columnar layouts, and the benchmark harness measures the
+/// same relative behaviour either way.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The table's definition (name + typed columns).
+    pub def: TableDef,
+    /// Row data; every row has exactly `def.columns.len()` values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Create an empty table for a definition.
+    pub fn new(def: TableDef) -> Self {
+        Table {
+            def,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row, validating arity and (loosely) types: NULL fits any
+    /// column, ints are accepted by float columns.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.def.columns.len() {
+            return Err(EngineError::TypeMismatch(format!(
+                "table `{}` expects {} values, got {}",
+                self.def.name,
+                self.def.columns.len(),
+                row.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.def.columns) {
+            let ok = match (v.column_type(), c.ty) {
+                (None, _) => true,
+                (Some(ColumnType::Int), ColumnType::Float) => true,
+                (Some(t), expected) => t == expected,
+            };
+            if !ok {
+                return Err(EngineError::TypeMismatch(format!(
+                    "value {v} does not fit column `{}.{}` of type {}",
+                    self.def.name, c.name, c.ty
+                )));
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append many rows, panicking on arity/type errors — intended for the
+    /// deterministic generators, whose output is well-formed by
+    /// construction.
+    pub fn push_rows(&mut self, rows: Vec<Vec<Value>>) {
+        for row in rows {
+            self.push_row(row).expect("generated row must be valid");
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Values of one column by index.
+    pub fn column_values(&self, idx: usize) -> impl Iterator<Item = &Value> {
+        self.rows.iter().map(move |r| &r[idx])
+    }
+
+    /// Approximate byte footprint of the stored data (used by Table 1).
+    pub fn approx_bytes(&self) -> usize {
+        let mut total = 0;
+        for row in &self.rows {
+            for v in row {
+                total += match v {
+                    Value::Null => 1,
+                    Value::Int(_) => 8,
+                    Value::Float(_) => 8,
+                    Value::Bool(_) => 1,
+                    Value::Text(s) => s.len() + 8,
+                };
+            }
+        }
+        total
+    }
+}
+
+/// A database: a schema plus one [`Table`] of content per schema table.
+#[derive(Debug, Clone)]
+pub struct Database {
+    /// The schema (shape + foreign keys).
+    pub schema: Schema,
+    tables: Vec<Table>,
+}
+
+impl Database {
+    /// Create a database with empty tables for every table in the schema.
+    pub fn new(schema: Schema) -> Self {
+        let tables = schema.tables.iter().cloned().map(Table::new).collect();
+        Database { schema, tables }
+    }
+
+    /// Look up a table's content by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables
+            .iter()
+            .find(|t| t.def.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables
+            .iter_mut()
+            .find(|t| t.def.name.eq_ignore_ascii_case(name))
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Total row count across tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::len).sum()
+    }
+
+    /// Approximate byte footprint across tables.
+    pub fn approx_bytes(&self) -> usize {
+        self.tables.iter().map(Table::approx_bytes).sum()
+    }
+
+    /// Parse and execute a SQL string against this database.
+    pub fn run(&self, sql: &str) -> Result<ResultSet> {
+        let query = sb_sql::parse(sql)?;
+        crate::exec::execute(self, &query)
+    }
+
+    /// Execute an already-parsed query.
+    pub fn run_query(&self, query: &sb_sql::Query) -> Result<ResultSet> {
+        crate::exec::execute(self, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_schema::Column;
+
+    fn db() -> Database {
+        let schema = Schema::new("t").with_table(TableDef::new(
+            "x",
+            vec![
+                Column::pk("id", ColumnType::Int),
+                Column::new("v", ColumnType::Float),
+            ],
+        ));
+        Database::new(schema)
+    }
+
+    #[test]
+    fn push_row_validates_arity() {
+        let mut d = db();
+        let t = d.table_mut("x").unwrap();
+        assert!(t.push_row(vec![Value::Int(1)]).is_err());
+        assert!(t.push_row(vec![Value::Int(1), Value::Float(0.5)]).is_ok());
+    }
+
+    #[test]
+    fn push_row_validates_types_with_coercions() {
+        let mut d = db();
+        let t = d.table_mut("x").unwrap();
+        // Int into Float column is fine; Text into Int is not.
+        assert!(t.push_row(vec![Value::Int(1), Value::Int(2)]).is_ok());
+        assert!(t
+            .push_row(vec![Value::Text("a".into()), Value::Float(0.0)])
+            .is_err());
+        // NULL fits anywhere.
+        assert!(t.push_row(vec![Value::Null, Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn bytes_and_rows_accumulate() {
+        let mut d = db();
+        d.table_mut("x")
+            .unwrap()
+            .push_rows(vec![vec![Value::Int(1), Value::Float(0.5)]]);
+        assert_eq!(d.total_rows(), 1);
+        assert!(d.approx_bytes() >= 16);
+    }
+}

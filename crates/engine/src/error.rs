@@ -1,0 +1,72 @@
+//! Engine error taxonomy.
+
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors raised while binding or executing a query.
+///
+/// The variants matter to callers: the generator's executability filter
+/// rejects a candidate query on *any* error, while the NL-to-SQL evaluation
+/// counts a prediction that fails to parse or bind as simply wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The SQL text failed to parse.
+    Parse(String),
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A referenced column does not exist in scope.
+    UnknownColumn(String),
+    /// An unqualified column name matched more than one table in scope.
+    AmbiguousColumn(String),
+    /// A value had the wrong type for an operation.
+    TypeMismatch(String),
+    /// The query used a feature the engine does not support
+    /// (e.g. correlated subqueries).
+    Unsupported(String),
+    /// A scalar subquery returned more than one row/column.
+    CardinalityViolation(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(m) => write!(f, "parse error: {m}"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            EngineError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            EngineError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::CardinalityViolation(m) => write!(f, "cardinality violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<sb_sql::ParseError> for EngineError {
+    fn from(e: sb_sql::ParseError) -> Self {
+        EngineError::Parse(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(
+            EngineError::UnknownColumn("s.zz".into()).to_string(),
+            "unknown column `s.zz`"
+        );
+    }
+
+    #[test]
+    fn parse_error_converts() {
+        let pe = sb_sql::ParseError::new("bad", 3);
+        let ee: EngineError = pe.into();
+        assert!(matches!(ee, EngineError::Parse(_)));
+    }
+}

@@ -1,0 +1,494 @@
+//! Scalar expression evaluation with SQL NULL semantics.
+
+use crate::database::Database;
+use crate::error::{EngineError, Result};
+use crate::result::ResultSet;
+use crate::value::Value;
+use sb_sql::{BinaryOp, ColumnRef, Expr, Literal, Query, UnaryOp};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One named relation visible in a `SELECT` scope.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Binding name (alias or table name), lower-cased.
+    pub name: String,
+    /// Column names of the relation, in order.
+    pub columns: Vec<String>,
+    /// Offset of this relation's first column in the concatenated row.
+    pub offset: usize,
+}
+
+/// The set of relations visible to expressions of one `SELECT`.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    /// Visible bindings in `FROM`/`JOIN` order.
+    pub bindings: Vec<Binding>,
+    /// Total width of the concatenated row.
+    pub width: usize,
+}
+
+impl Scope {
+    /// Append a relation to the scope; returns its offset.
+    pub fn push(&mut self, name: &str, columns: Vec<String>) -> usize {
+        let offset = self.width;
+        self.width += columns.len();
+        self.bindings.push(Binding {
+            name: name.to_ascii_lowercase(),
+            columns,
+            offset,
+        });
+        offset
+    }
+
+    /// Resolve a column reference to an index into the concatenated row.
+    pub fn resolve(&self, col: &ColumnRef) -> Result<usize> {
+        match &col.table {
+            Some(qualifier) => {
+                let q = qualifier.to_ascii_lowercase();
+                let binding = self
+                    .bindings
+                    .iter()
+                    .find(|b| b.name == q)
+                    .ok_or_else(|| EngineError::UnknownTable(qualifier.clone()))?;
+                let idx = binding
+                    .columns
+                    .iter()
+                    .position(|c| c.eq_ignore_ascii_case(&col.column))
+                    .ok_or_else(|| EngineError::UnknownColumn(col.to_string()))?;
+                Ok(binding.offset + idx)
+            }
+            None => {
+                let mut found = None;
+                for b in &self.bindings {
+                    if let Some(idx) = b
+                        .columns
+                        .iter()
+                        .position(|c| c.eq_ignore_ascii_case(&col.column))
+                    {
+                        if found.is_some() {
+                            return Err(EngineError::AmbiguousColumn(col.column.clone()));
+                        }
+                        found = Some(b.offset + idx);
+                    }
+                }
+                found.ok_or_else(|| EngineError::UnknownColumn(col.column.clone()))
+            }
+        }
+    }
+
+    /// All visible column names, in row order (used to expand `*`).
+    pub fn all_columns(&self) -> Vec<String> {
+        self.bindings
+            .iter()
+            .flat_map(|b| b.columns.iter().cloned())
+            .collect()
+    }
+}
+
+/// Evaluation context: the database for subqueries plus a memo so a
+/// non-correlated subquery is executed once per statement, not once per
+/// candidate row.
+pub struct EvalContext<'a> {
+    /// The database subqueries run against.
+    pub db: &'a Database,
+    memo: RefCell<HashMap<String, Rc<ResultSet>>>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Create a context over a database.
+    pub fn new(db: &'a Database) -> Self {
+        EvalContext {
+            db,
+            memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Execute a subquery, memoized on its canonical SQL text.
+    pub fn subquery(&self, q: &Query) -> Result<Rc<ResultSet>> {
+        let key = q.to_string();
+        if let Some(hit) = self.memo.borrow().get(&key) {
+            return Ok(Rc::clone(hit));
+        }
+        let rs = Rc::new(crate::exec::execute(self.db, q)?);
+        self.memo.borrow_mut().insert(key, Rc::clone(&rs));
+        Ok(rs)
+    }
+}
+
+/// Evaluate `expr` against one row. Aggregates are rejected here; grouped
+/// evaluation lives in the executor.
+pub fn eval(expr: &Expr, row: &[Value], scope: &Scope, ctx: &EvalContext) -> Result<Value> {
+    match expr {
+        Expr::Column(c) => Ok(row[scope.resolve(c)?].clone()),
+        Expr::Literal(l) => Ok(literal_value(l)),
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, row, scope, ctx)?;
+            match op {
+                UnaryOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(EngineError::TypeMismatch(format!("cannot negate {other}"))),
+                },
+                UnaryOp::Not => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Bool(b) => Ok(Value::Bool(!b)),
+                    other => Err(EngineError::TypeMismatch(format!("NOT applied to {other}"))),
+                },
+            }
+        }
+        Expr::Binary { left, op, right } => {
+            if matches!(op, BinaryOp::And | BinaryOp::Or) {
+                return eval_logical(*op, left, right, row, scope, ctx);
+            }
+            let l = eval(left, row, scope, ctx)?;
+            let r = eval(right, row, scope, ctx)?;
+            if op.is_arithmetic() {
+                arith(*op, &l, &r)
+            } else {
+                // Comparison.
+                match l.compare(&r) {
+                    None if l.is_null() || r.is_null() => Ok(Value::Null),
+                    None => Err(EngineError::TypeMismatch(format!(
+                        "cannot compare {l} with {r}"
+                    ))),
+                    Some(ord) => {
+                        let b = match op {
+                            BinaryOp::Eq => ord.is_eq(),
+                            BinaryOp::NotEq => !ord.is_eq(),
+                            BinaryOp::Lt => ord.is_lt(),
+                            BinaryOp::LtEq => ord.is_le(),
+                            BinaryOp::Gt => ord.is_gt(),
+                            BinaryOp::GtEq => ord.is_ge(),
+                            _ => unreachable!("arithmetic handled above"),
+                        };
+                        Ok(Value::Bool(b))
+                    }
+                }
+            }
+        }
+        Expr::Agg { .. } => Err(EngineError::Unsupported(
+            "aggregate function outside GROUP BY context".into(),
+        )),
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => {
+            let v = eval(expr, row, scope, ctx)?;
+            let lo = eval(low, row, scope, ctx)?;
+            let hi = eval(high, row, scope, ctx)?;
+            let ge = v.compare(&lo).map(|o| o.is_ge());
+            let le = v.compare(&hi).map(|o| o.is_le());
+            let within = match (ge, le) {
+                (Some(a), Some(b)) => Some(a && b),
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                _ => None,
+            };
+            Ok(match within {
+                Some(b) => Value::Bool(b != *negated),
+                None => Value::Null,
+            })
+        }
+        Expr::InList {
+            expr,
+            negated,
+            list,
+        } => {
+            let v = eval(expr, row, scope, ctx)?;
+            let mut saw_null = v.is_null();
+            let mut found = false;
+            for item in list {
+                let iv = eval(item, row, scope, ctx)?;
+                match v.sql_eq(&iv) {
+                    Some(true) => {
+                        found = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            Ok(if found {
+                Value::Bool(!*negated)
+            } else if saw_null {
+                Value::Null
+            } else {
+                Value::Bool(*negated)
+            })
+        }
+        Expr::InSubquery {
+            expr,
+            negated,
+            subquery,
+        } => {
+            let v = eval(expr, row, scope, ctx)?;
+            let rs = ctx.subquery(subquery)?;
+            if rs.columns.len() != 1 {
+                return Err(EngineError::CardinalityViolation(format!(
+                    "IN subquery returns {} columns",
+                    rs.columns.len()
+                )));
+            }
+            let mut saw_null = v.is_null();
+            let mut found = false;
+            for r in &rs.rows {
+                match v.sql_eq(&r[0]) {
+                    Some(true) => {
+                        found = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            Ok(if found {
+                Value::Bool(!*negated)
+            } else if saw_null {
+                Value::Null
+            } else {
+                Value::Bool(*negated)
+            })
+        }
+        Expr::Like {
+            expr,
+            negated,
+            pattern,
+        } => {
+            let v = eval(expr, row, scope, ctx)?;
+            let p = eval(pattern, row, scope, ctx)?;
+            match (v, p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Text(s), Value::Text(pat)) => {
+                    Ok(Value::Bool(like_match(&s, &pat) != *negated))
+                }
+                (a, b) => Err(EngineError::TypeMismatch(format!(
+                    "LIKE requires text operands, got {a} and {b}"
+                ))),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, row, scope, ctx)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Subquery(q) => {
+            let rs = ctx.subquery(q)?;
+            if rs.columns.len() != 1 {
+                return Err(EngineError::CardinalityViolation(format!(
+                    "scalar subquery returns {} columns",
+                    rs.columns.len()
+                )));
+            }
+            match rs.rows.len() {
+                0 => Ok(Value::Null),
+                1 => Ok(rs.rows[0][0].clone()),
+                n => Err(EngineError::CardinalityViolation(format!(
+                    "scalar subquery returns {n} rows"
+                ))),
+            }
+        }
+        Expr::Exists { negated, subquery } => {
+            let rs = ctx.subquery(subquery)?;
+            Ok(Value::Bool(rs.rows.is_empty() == *negated))
+        }
+    }
+}
+
+fn eval_logical(
+    op: BinaryOp,
+    left: &Expr,
+    right: &Expr,
+    row: &[Value],
+    scope: &Scope,
+    ctx: &EvalContext,
+) -> Result<Value> {
+    let l = truth(eval(left, row, scope, ctx)?)?;
+    // Short-circuit where three-valued logic allows it.
+    match (op, l) {
+        (BinaryOp::And, Some(false)) => return Ok(Value::Bool(false)),
+        (BinaryOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+        _ => {}
+    }
+    let r = truth(eval(right, row, scope, ctx)?)?;
+    let out = match op {
+        BinaryOp::And => match (l, r) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        BinaryOp::Or => match (l, r) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        _ => unreachable!(),
+    };
+    Ok(match out {
+        Some(b) => Value::Bool(b),
+        None => Value::Null,
+    })
+}
+
+/// Convert a value to a three-valued truth: `Some(bool)` or `None` for
+/// NULL. Non-boolean values are a type error.
+pub fn truth(v: Value) -> Result<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(b)),
+        other => Err(EngineError::TypeMismatch(format!(
+            "expected boolean predicate, got {other}"
+        ))),
+    }
+}
+
+/// Evaluate a predicate for filtering: NULL counts as not-true.
+pub fn eval_filter(expr: &Expr, row: &[Value], scope: &Scope, ctx: &EvalContext) -> Result<bool> {
+    Ok(truth(eval(expr, row, scope, ctx)?)?.unwrap_or(false))
+}
+
+fn literal_value(l: &Literal) -> Value {
+    match l {
+        Literal::Null => Value::Null,
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Float(v) => Value::Float(*v),
+        Literal::Str(s) => Value::Text(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+    }
+}
+
+fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(match op {
+            BinaryOp::Add => Value::Int(a.wrapping_add(*b)),
+            BinaryOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            BinaryOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            BinaryOp::Div => {
+                // Integer division truncates; division by zero yields NULL
+                // (Postgres errors here, but NULL keeps generated query
+                // filtering total — documented divergence).
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a / b)
+                }
+            }
+            _ => unreachable!(),
+        }),
+        _ => {
+            let a = l
+                .as_f64()
+                .ok_or_else(|| EngineError::TypeMismatch(format!("non-numeric operand {l}")))?;
+            let b = r
+                .as_f64()
+                .ok_or_else(|| EngineError::TypeMismatch(format!("non-numeric operand {r}")))?;
+            Ok(match op {
+                BinaryOp::Add => Value::Float(a + b),
+                BinaryOp::Sub => Value::Float(a - b),
+                BinaryOp::Mul => Value::Float(a * b),
+                BinaryOp::Div => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Float(a / b)
+                    }
+                }
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+/// SQL `LIKE` matching: `%` matches any run (including empty), `_` matches
+/// exactly one character. Case-sensitive, like Postgres.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[u8], p: &[u8]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some(b'%') => {
+                // Collapse consecutive %.
+                let p = &p[1..];
+                if p.is_empty() {
+                    return true;
+                }
+                (0..=s.len()).any(|i| rec(&s[i..], p))
+            }
+            Some(b'_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    rec(s.as_bytes(), pattern.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_semantics() {
+        assert!(like_match("starburst", "star%"));
+        assert!(like_match("starburst", "%burst"));
+        assert!(like_match("starburst", "%arb%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "%%c"));
+        assert!(!like_match("ABC", "abc"), "case-sensitive");
+    }
+
+    #[test]
+    fn scope_resolution() {
+        let mut scope = Scope::default();
+        scope.push("s", vec!["id".into(), "z".into()]);
+        scope.push("p", vec!["id".into(), "u".into()]);
+        assert_eq!(scope.resolve(&ColumnRef::qualified("p", "u")).unwrap(), 3);
+        assert_eq!(scope.resolve(&ColumnRef::bare("z")).unwrap(), 1);
+        assert!(matches!(
+            scope.resolve(&ColumnRef::bare("id")),
+            Err(EngineError::AmbiguousColumn(_))
+        ));
+        assert!(matches!(
+            scope.resolve(&ColumnRef::bare("nope")),
+            Err(EngineError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            scope.resolve(&ColumnRef::qualified("x", "id")),
+            Err(EngineError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn arithmetic_type_rules() {
+        assert_eq!(
+            arith(BinaryOp::Div, &Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Int(3),
+            "integer division truncates"
+        );
+        assert_eq!(
+            arith(BinaryOp::Div, &Value::Int(7), &Value::Int(0)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            arith(BinaryOp::Sub, &Value::Float(18.0), &Value::Float(16.5)).unwrap(),
+            Value::Float(1.5)
+        );
+        assert_eq!(
+            arith(BinaryOp::Add, &Value::Null, &Value::Int(1)).unwrap(),
+            Value::Null
+        );
+        assert!(arith(BinaryOp::Add, &Value::Text("a".into()), &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn truth_conversion() {
+        assert_eq!(truth(Value::Bool(true)).unwrap(), Some(true));
+        assert_eq!(truth(Value::Null).unwrap(), None);
+        assert!(truth(Value::Int(1)).is_err());
+    }
+}

@@ -1,0 +1,985 @@
+//! The query executor.
+//!
+//! A straightforward pull-everything-into-vectors executor: build the
+//! joined row stream, filter, optionally group, project, sort, limit. Joins
+//! use a hash join when the `ON` constraint is a simple column equality and
+//! fall back to a nested loop otherwise.
+
+use crate::database::Database;
+use crate::error::{EngineError, Result};
+use crate::eval::{eval, eval_filter, truth, EvalContext, Scope};
+use crate::result::ResultSet;
+use crate::value::Value;
+use sb_sql::{
+    AggArg, AggFunc, BinaryOp, Expr, Join, OrderItem, Query, Select, SelectItem, SetExpr, SetOp,
+    TableFactor, TableRef,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Execute a parsed query against a database.
+pub fn execute(db: &Database, query: &Query) -> Result<ResultSet> {
+    match &query.body {
+        SetExpr::Select(select) => {
+            execute_select(db, select, &query.order_by, query.limit)
+        }
+        SetExpr::SetOp { .. } => {
+            let mut rs = execute_set_expr(db, &query.body)?;
+            apply_output_order(&mut rs, &query.order_by)?;
+            if let Some(n) = query.limit {
+                rs.rows.truncate(n as usize);
+            }
+            rs.ordered = !query.order_by.is_empty();
+            Ok(rs)
+        }
+    }
+}
+
+fn execute_set_expr(db: &Database, body: &SetExpr) -> Result<ResultSet> {
+    match body {
+        SetExpr::Select(s) => execute_select(db, s, &[], None),
+        SetExpr::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
+            let l = execute_set_expr(db, left)?;
+            let r = execute_set_expr(db, right)?;
+            if l.columns.len() != r.columns.len() {
+                return Err(EngineError::TypeMismatch(format!(
+                    "set operands have {} vs {} columns",
+                    l.columns.len(),
+                    r.columns.len()
+                )));
+            }
+            let key = |row: &Vec<Value>| {
+                row.iter()
+                    .map(Value::canonical_key)
+                    .collect::<Vec<_>>()
+                    .join("\u{1}")
+            };
+            let rows = match op {
+                SetOp::Union => {
+                    let mut rows = l.rows;
+                    rows.extend(r.rows);
+                    if !*all {
+                        dedup_rows(&mut rows);
+                    }
+                    rows
+                }
+                SetOp::Intersect => {
+                    let right_keys: HashSet<String> = r.rows.iter().map(key).collect();
+                    let mut rows: Vec<Vec<Value>> = l
+                        .rows
+                        .into_iter()
+                        .filter(|row| right_keys.contains(&key(row)))
+                        .collect();
+                    // INTERSECT / EXCEPT have set semantics in SQL.
+                    dedup_rows(&mut rows);
+                    rows
+                }
+                SetOp::Except => {
+                    let right_keys: HashSet<String> = r.rows.iter().map(key).collect();
+                    let mut rows: Vec<Vec<Value>> = l
+                        .rows
+                        .into_iter()
+                        .filter(|row| !right_keys.contains(&key(row)))
+                        .collect();
+                    dedup_rows(&mut rows);
+                    rows
+                }
+            };
+            Ok(ResultSet {
+                columns: l.columns,
+                rows,
+                ordered: false,
+            })
+        }
+    }
+}
+
+fn dedup_rows(rows: &mut Vec<Vec<Value>>) {
+    let mut seen = HashSet::new();
+    rows.retain(|row| {
+        let k = row
+            .iter()
+            .map(Value::canonical_key)
+            .collect::<Vec<_>>()
+            .join("\u{1}");
+        seen.insert(k)
+    });
+}
+
+/// Resolve a table reference to `(binding name, column names, rows)`.
+fn resolve_table_ref(
+    db: &Database,
+    tr: &TableRef,
+) -> Result<(String, Vec<String>, Vec<Vec<Value>>)> {
+    match &tr.factor {
+        TableFactor::Table(name) => {
+            let table = db
+                .table(name)
+                .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
+            let binding = tr.binding().expect("named table always binds").to_string();
+            let columns = table.def.columns.iter().map(|c| c.name.clone()).collect();
+            Ok((binding, columns, table.rows.clone()))
+        }
+        TableFactor::Derived(q) => {
+            let alias = tr.alias.clone().ok_or_else(|| {
+                EngineError::Unsupported("derived table requires an alias".into())
+            })?;
+            let rs = execute(db, q)?;
+            Ok((alias, rs.columns, rs.rows))
+        }
+    }
+}
+
+/// Try to use a hash join: the constraint must be `left_col = right_col`
+/// with one side resolving in the already-built scope and the other in the
+/// newly joined relation.
+fn equi_join_keys(
+    constraint: &Expr,
+    left_scope: &Scope,
+    right_cols: &[String],
+    right_binding: &str,
+) -> Option<(usize, usize)> {
+    let Expr::Binary {
+        left,
+        op: BinaryOp::Eq,
+        right,
+    } = constraint
+    else {
+        return None;
+    };
+    let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) else {
+        return None;
+    };
+    let resolve_right = |c: &sb_sql::ColumnRef| -> Option<usize> {
+        match &c.table {
+            Some(t) if t.eq_ignore_ascii_case(right_binding) => right_cols
+                .iter()
+                .position(|col| col.eq_ignore_ascii_case(&c.column)),
+            Some(_) => None,
+            None => right_cols
+                .iter()
+                .position(|col| col.eq_ignore_ascii_case(&c.column)),
+        }
+    };
+    // Either (a in left, b in right) or (b in left, a in right).
+    if let (Ok(li), Some(ri)) = (left_scope.resolve(a), resolve_right(b)) {
+        return Some((li, ri));
+    }
+    if let (Ok(li), Some(ri)) = (left_scope.resolve(b), resolve_right(a)) {
+        return Some((li, ri));
+    }
+    None
+}
+
+/// Build the joined rows for `FROM ... JOIN ...`.
+fn build_from(
+    db: &Database,
+    from: &TableRef,
+    joins: &[Join],
+    ctx: &EvalContext,
+) -> Result<(Scope, Vec<Vec<Value>>)> {
+    let mut scope = Scope::default();
+    let (binding, columns, mut rows) = resolve_table_ref(db, from)?;
+    scope.push(&binding, columns);
+
+    for join in joins {
+        let (jbinding, jcolumns, jrows) = resolve_table_ref(db, &join.table)?;
+        let right_width = jcolumns.len();
+
+        // Attempt hash join on a column equality before extending the
+        // scope (so "left side" means the scope built so far).
+        let hash_keys = join
+            .constraint
+            .as_ref()
+            .and_then(|c| equi_join_keys(c, &scope, &jcolumns, &jbinding));
+
+        scope.push(&jbinding, jcolumns);
+
+        let mut out = Vec::new();
+        match hash_keys {
+            Some((li, ri)) => {
+                let mut index: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
+                for r in &jrows {
+                    if !r[ri].is_null() {
+                        index.entry(r[ri].canonical_key()).or_default().push(r);
+                    }
+                }
+                for l in &rows {
+                    let mut matched = false;
+                    if !l[li].is_null() {
+                        if let Some(bucket) = index.get(&l[li].canonical_key()) {
+                            for r in bucket {
+                                let mut row = l.clone();
+                                row.extend((*r).iter().cloned());
+                                out.push(row);
+                                matched = true;
+                            }
+                        }
+                    }
+                    if join.left && !matched {
+                        let mut row = l.clone();
+                        row.extend(std::iter::repeat_n(Value::Null, right_width));
+                        out.push(row);
+                    }
+                }
+            }
+            None => {
+                // Nested loop with the full predicate (or cross join).
+                for l in &rows {
+                    let mut matched = false;
+                    for r in &jrows {
+                        let mut row = l.clone();
+                        row.extend(r.iter().cloned());
+                        let keep = match &join.constraint {
+                            Some(c) => eval_filter(c, &row, &scope, ctx)?,
+                            None => true,
+                        };
+                        if keep {
+                            out.push(row);
+                            matched = true;
+                        }
+                    }
+                    if join.left && !matched {
+                        let mut row = l.clone();
+                        row.extend(std::iter::repeat_n(Value::Null, right_width));
+                        out.push(row);
+                    }
+                }
+            }
+        }
+        rows = out;
+    }
+    Ok((scope, rows))
+}
+
+/// Whether the select needs grouped (aggregate) evaluation.
+fn is_aggregate_query(select: &Select, order_by: &[OrderItem]) -> bool {
+    if !select.group_by.is_empty() || select.having.is_some() {
+        return true;
+    }
+    let proj_agg = select.projections.iter().any(|p| match p {
+        SelectItem::Wildcard => false,
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+    });
+    proj_agg || order_by.iter().any(|o| o.expr.contains_aggregate())
+}
+
+/// Output column name for a projection item.
+fn projection_name(item: &SelectItem) -> String {
+    match item {
+        SelectItem::Wildcard => "*".to_string(),
+        SelectItem::Expr { expr, alias } => match alias {
+            Some(a) => a.clone(),
+            None => expr.to_string(),
+        },
+    }
+}
+
+fn execute_select(
+    db: &Database,
+    select: &Select,
+    order_by: &[OrderItem],
+    limit: Option<u64>,
+) -> Result<ResultSet> {
+    let ctx = EvalContext::new(db);
+    let (scope, mut rows) = build_from(db, &select.from, &select.joins, &ctx)?;
+
+    if let Some(pred) = &select.selection {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            if eval_filter(pred, &row, &scope, &ctx)? {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    let (columns, mut out_rows, mut keys) = if is_aggregate_query(select, order_by) {
+        execute_grouped(select, order_by, &scope, rows, &ctx)?
+    } else {
+        execute_plain(select, order_by, &scope, rows, &ctx)?
+    };
+
+    if select.distinct {
+        // Dedup rows, keeping sort keys aligned.
+        let mut seen = HashSet::new();
+        let mut rows2 = Vec::new();
+        let mut keys2 = Vec::new();
+        for (row, key) in out_rows.into_iter().zip(keys) {
+            let k = row
+                .iter()
+                .map(Value::canonical_key)
+                .collect::<Vec<_>>()
+                .join("\u{1}");
+            if seen.insert(k) {
+                rows2.push(row);
+                keys2.push(key);
+            }
+        }
+        out_rows = rows2;
+        keys = keys2;
+    }
+
+    if !order_by.is_empty() {
+        let mut idx: Vec<usize> = (0..out_rows.len()).collect();
+        idx.sort_by(|&a, &b| {
+            for (item, (ka, kb)) in order_by.iter().zip(keys[a].iter().zip(keys[b].iter())) {
+                let ord = ka.total_cmp(kb);
+                let ord = if item.desc { ord.reverse() } else { ord };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        out_rows = idx.into_iter().map(|i| out_rows[i].clone()).collect();
+    }
+
+    if let Some(n) = limit {
+        out_rows.truncate(n as usize);
+    }
+
+    Ok(ResultSet {
+        columns,
+        rows: out_rows,
+        ordered: !order_by.is_empty(),
+    })
+}
+
+type Projected = (Vec<String>, Vec<Vec<Value>>, Vec<Vec<Value>>);
+
+/// Non-aggregate path: project each row, computing sort keys in-scope.
+fn execute_plain(
+    select: &Select,
+    order_by: &[OrderItem],
+    scope: &Scope,
+    rows: Vec<Vec<Value>>,
+    ctx: &EvalContext,
+) -> Result<Projected> {
+    let mut columns = Vec::new();
+    for item in &select.projections {
+        match item {
+            SelectItem::Wildcard => columns.extend(scope.all_columns()),
+            other => columns.push(projection_name(other)),
+        }
+    }
+    let mut out_rows = Vec::with_capacity(rows.len());
+    let mut keys = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let mut out = Vec::with_capacity(columns.len());
+        for item in &select.projections {
+            match item {
+                SelectItem::Wildcard => out.extend(row.iter().cloned()),
+                SelectItem::Expr { expr, .. } => out.push(eval(expr, row, scope, ctx)?),
+            }
+        }
+        let mut key = Vec::with_capacity(order_by.len());
+        for item in order_by {
+            key.push(eval_order_key(&item.expr, row, scope, ctx, select, &out)?);
+        }
+        out_rows.push(out);
+        keys.push(key);
+    }
+    Ok((columns, out_rows, keys))
+}
+
+/// Evaluate an ORDER BY key: prefer in-scope evaluation; fall back to a
+/// projection alias or output-column name.
+fn eval_order_key(
+    expr: &Expr,
+    row: &[Value],
+    scope: &Scope,
+    ctx: &EvalContext,
+    select: &Select,
+    projected: &[Value],
+) -> Result<Value> {
+    match eval(expr, row, scope, ctx) {
+        Ok(v) => Ok(v),
+        Err(EngineError::UnknownColumn(_)) => {
+            // Maybe it names a projection alias.
+            if let Expr::Column(c) = expr {
+                if c.table.is_none() {
+                    for (i, item) in select.projections.iter().enumerate() {
+                        if let SelectItem::Expr { alias: Some(a), .. } = item {
+                            if a.eq_ignore_ascii_case(&c.column) {
+                                return Ok(projected[i].clone());
+                            }
+                        }
+                    }
+                }
+            }
+            Err(EngineError::UnknownColumn(expr.to_string()))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Aggregate path: group, filter with HAVING, project per group.
+fn execute_grouped(
+    select: &Select,
+    order_by: &[OrderItem],
+    scope: &Scope,
+    rows: Vec<Vec<Value>>,
+    ctx: &EvalContext,
+) -> Result<Projected> {
+    // Group rows by evaluated GROUP BY key.
+    let mut groups: Vec<Vec<Vec<Value>>> = Vec::new();
+    if select.group_by.is_empty() {
+        // Single implicit group — even over zero rows (COUNT(*) = 0).
+        groups.push(rows);
+    } else {
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for row in rows {
+            let mut key = String::new();
+            for ge in &select.group_by {
+                key.push_str(&eval(ge, &row, scope, ctx)?.canonical_key());
+                key.push('\u{1}');
+            }
+            let slot = *index.entry(key).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[slot].push(row);
+        }
+    }
+
+    let mut columns = Vec::new();
+    for item in &select.projections {
+        match item {
+            SelectItem::Wildcard => {
+                return Err(EngineError::Unsupported(
+                    "SELECT * with GROUP BY / aggregates".into(),
+                ))
+            }
+            other => columns.push(projection_name(other)),
+        }
+    }
+
+    let mut out_rows = Vec::new();
+    let mut keys = Vec::new();
+    for group in &groups {
+        if let Some(h) = &select.having {
+            let v = eval_grouped(h, group, scope, ctx)?;
+            if !truth(v)?.unwrap_or(false) {
+                continue;
+            }
+        }
+        let mut out = Vec::with_capacity(columns.len());
+        for item in &select.projections {
+            if let SelectItem::Expr { expr, .. } = item {
+                out.push(eval_grouped(expr, group, scope, ctx)?);
+            }
+        }
+        let mut key = Vec::with_capacity(order_by.len());
+        for item in order_by {
+            key.push(eval_grouped(&item.expr, group, scope, ctx)?);
+        }
+        out_rows.push(out);
+        keys.push(key);
+    }
+    Ok((columns, out_rows, keys))
+}
+
+/// Evaluate an expression in group context: aggregate nodes consume the
+/// whole group; everything else is evaluated on the group's first row
+/// (valid for GROUP BY keys, which are constant within a group).
+fn eval_grouped(
+    expr: &Expr,
+    group: &[Vec<Value>],
+    scope: &Scope,
+    ctx: &EvalContext,
+) -> Result<Value> {
+    match expr {
+        Expr::Agg {
+            func,
+            distinct,
+            arg,
+        } => eval_aggregate(*func, *distinct, arg, group, scope, ctx),
+        Expr::Binary { left, op, right } => {
+            let l = eval_grouped(left, group, scope, ctx)?;
+            let r = eval_grouped(right, group, scope, ctx)?;
+            // Reuse scalar machinery by treating computed values as
+            // literals.
+            let le = value_to_literal_expr(l);
+            let re = value_to_literal_expr(r);
+            let combined = Expr::Binary {
+                left: Box::new(le),
+                op: *op,
+                right: Box::new(re),
+            };
+            eval(&combined, &[], &Scope::default(), ctx)
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_grouped(expr, group, scope, ctx)?;
+            let inner = value_to_literal_expr(v);
+            eval(
+                &Expr::Unary {
+                    op: *op,
+                    expr: Box::new(inner),
+                },
+                &[],
+                &Scope::default(),
+                ctx,
+            )
+        }
+        other => match group.first() {
+            Some(row) => eval(other, row, scope, ctx),
+            // Empty implicit group: non-aggregate expressions are NULL.
+            None => Ok(Value::Null),
+        },
+    }
+}
+
+fn value_to_literal_expr(v: Value) -> Expr {
+    use sb_sql::Literal;
+    Expr::Literal(match v {
+        Value::Null => Literal::Null,
+        Value::Int(i) => Literal::Int(i),
+        Value::Float(f) => Literal::Float(f),
+        Value::Text(s) => Literal::Str(s),
+        Value::Bool(b) => Literal::Bool(b),
+    })
+}
+
+fn eval_aggregate(
+    func: AggFunc,
+    distinct: bool,
+    arg: &AggArg,
+    group: &[Vec<Value>],
+    scope: &Scope,
+    ctx: &EvalContext,
+) -> Result<Value> {
+    // COUNT(*) counts rows including NULLs.
+    if matches!((func, arg), (AggFunc::Count, AggArg::Star)) {
+        return Ok(Value::Int(group.len() as i64));
+    }
+    let AggArg::Expr(e) = arg else {
+        return Err(EngineError::Unsupported(format!(
+            "{}(*) is only valid for COUNT",
+            func.as_str()
+        )));
+    };
+    let mut values = Vec::with_capacity(group.len());
+    for row in group {
+        let v = eval(e, row, scope, ctx)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    if distinct {
+        let mut seen = HashSet::new();
+        values.retain(|v| seen.insert(v.canonical_key()));
+    }
+    match func {
+        AggFunc::Count => Ok(Value::Int(values.len() as i64)),
+        AggFunc::Sum => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
+            if all_int {
+                let mut sum = 0i64;
+                for v in &values {
+                    if let Value::Int(i) = v {
+                        sum = sum.wrapping_add(*i);
+                    }
+                }
+                Ok(Value::Int(sum))
+            } else {
+                let mut sum = 0.0;
+                for v in &values {
+                    sum += v.as_f64().ok_or_else(|| {
+                        EngineError::TypeMismatch(format!("SUM over non-numeric value {v}"))
+                    })?;
+                }
+                Ok(Value::Float(sum))
+            }
+        }
+        AggFunc::Avg => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut sum = 0.0;
+            for v in &values {
+                sum += v.as_f64().ok_or_else(|| {
+                    EngineError::TypeMismatch(format!("AVG over non-numeric value {v}"))
+                })?;
+            }
+            Ok(Value::Float(sum / values.len() as f64))
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let take_new = match v.compare(&b) {
+                            Some(ord) => {
+                                (func == AggFunc::Min && ord.is_lt())
+                                    || (func == AggFunc::Max && ord.is_gt())
+                            }
+                            None => {
+                                return Err(EngineError::TypeMismatch(
+                                    "MIN/MAX over mixed types".into(),
+                                ))
+                            }
+                        };
+                        if take_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+    }
+}
+
+/// Order a set-operation result by output column names or 1-based
+/// ordinals.
+fn apply_output_order(rs: &mut ResultSet, order_by: &[OrderItem]) -> Result<()> {
+    if order_by.is_empty() {
+        return Ok(());
+    }
+    let mut key_idx = Vec::with_capacity(order_by.len());
+    for item in order_by {
+        let idx = match &item.expr {
+            Expr::Column(c) if c.table.is_none() => rs
+                .columns
+                .iter()
+                .position(|name| name.eq_ignore_ascii_case(&c.column))
+                .ok_or_else(|| EngineError::UnknownColumn(c.column.clone()))?,
+            Expr::Literal(sb_sql::Literal::Int(n)) if *n >= 1 => (*n as usize) - 1,
+            other => {
+                return Err(EngineError::Unsupported(format!(
+                    "ORDER BY `{other}` after a set operation (use an output column)"
+                )))
+            }
+        };
+        key_idx.push((idx, item.desc));
+    }
+    rs.rows.sort_by(|a, b| {
+        for (idx, desc) in &key_idx {
+            let ord = a[*idx].total_cmp(&b[*idx]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_schema::{Column, ColumnType, Schema, TableDef};
+
+    fn galaxy_db() -> Database {
+        let schema = Schema::new("t")
+            .with_table(TableDef::new(
+                "specobj",
+                vec![
+                    Column::pk("specobjid", ColumnType::Int),
+                    Column::new("class", ColumnType::Text),
+                    Column::new("z", ColumnType::Float),
+                    Column::new("bestobjid", ColumnType::Int),
+                ],
+            ))
+            .with_table(TableDef::new(
+                "photoobj",
+                vec![
+                    Column::pk("objid", ColumnType::Int),
+                    Column::new("u", ColumnType::Float),
+                    Column::new("r", ColumnType::Float),
+                ],
+            ));
+        let mut db = Database::new(schema);
+        db.table_mut("specobj").unwrap().push_rows(vec![
+            vec![1.into(), "GALAXY".into(), 0.7.into(), 10.into()],
+            vec![2.into(), "GALAXY".into(), 1.5.into(), 20.into()],
+            vec![3.into(), "STAR".into(), 0.0.into(), 30.into()],
+            vec![4.into(), "QSO".into(), 2.5.into(), Value::Null],
+            vec![5.into(), "GALAXY".into(), Value::Null, 10.into()],
+        ]);
+        db.table_mut("photoobj").unwrap().push_rows(vec![
+            vec![10.into(), 18.0.into(), 16.5.into()],
+            vec![20.into(), 19.0.into(), 15.0.into()],
+            vec![40.into(), 21.0.into(), 20.5.into()],
+        ]);
+        db
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let db = galaxy_db();
+        let r = db
+            .run("SELECT specobjid FROM specobj WHERE class = 'GALAXY' AND z > 0.5")
+            .unwrap();
+        let ids: Vec<_> = r.rows.iter().map(|r| r[0].clone()).collect();
+        assert_eq!(ids, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn wildcard_expansion() {
+        let db = galaxy_db();
+        let r = db.run("SELECT * FROM photoobj").unwrap();
+        assert_eq!(r.columns, vec!["objid", "u", "r"]);
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let db = galaxy_db();
+        let r = db.run("SELECT DISTINCT class FROM specobj").unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn group_by_count_and_having() {
+        let db = galaxy_db();
+        let r = db
+            .run("SELECT class, COUNT(*) FROM specobj GROUP BY class HAVING COUNT(*) >= 2")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec!["GALAXY".into(), Value::Int(3)]]);
+    }
+
+    #[test]
+    fn aggregates_skip_nulls() {
+        let db = galaxy_db();
+        let r = db.run("SELECT COUNT(z), COUNT(*), AVG(z) FROM specobj").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(4));
+        assert_eq!(r.rows[0][1], Value::Int(5));
+        let avg = r.rows[0][2].as_f64().unwrap();
+        assert!((avg - (0.7 + 1.5 + 0.0 + 2.5) / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_group_count_is_zero_sum_is_null() {
+        let db = galaxy_db();
+        let r = db
+            .run("SELECT COUNT(*), SUM(z) FROM specobj WHERE class = 'NOPE'")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn inner_join_hash_path() {
+        let db = galaxy_db();
+        let r = db
+            .run(
+                "SELECT s.specobjid, p.objid FROM specobj AS s \
+                 JOIN photoobj AS p ON s.bestobjid = p.objid",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 3); // ids 1,2,5 match; 3 has no photo 30; 4 is NULL
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let db = galaxy_db();
+        let r = db
+            .run(
+                "SELECT s.specobjid, p.objid FROM specobj AS s \
+                 LEFT JOIN photoobj AS p ON s.bestobjid = p.objid",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 5);
+        let unmatched: Vec<_> = r.rows.iter().filter(|r| r[1].is_null()).collect();
+        assert_eq!(unmatched.len(), 2);
+    }
+
+    #[test]
+    fn join_nested_loop_with_inequality() {
+        let db = galaxy_db();
+        let r = db
+            .run(
+                "SELECT s.specobjid FROM specobj AS s \
+                 JOIN photoobj AS p ON s.bestobjid < p.objid WHERE s.specobjid = 3",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1); // 30 < 40 only
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let db = galaxy_db();
+        let r = db
+            .run("SELECT specobjid, z FROM specobj WHERE z IS NOT NULL ORDER BY z DESC LIMIT 2")
+            .unwrap();
+        assert!(r.ordered);
+        assert_eq!(r.rows[0][0], Value::Int(4));
+        assert_eq!(r.rows[1][0], Value::Int(2));
+    }
+
+    #[test]
+    fn order_by_aggregate() {
+        let db = galaxy_db();
+        let r = db
+            .run("SELECT class FROM specobj GROUP BY class ORDER BY COUNT(*) DESC LIMIT 1")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec!["GALAXY".into()]]);
+    }
+
+    #[test]
+    fn order_by_alias() {
+        let db = galaxy_db();
+        let r = db
+            .run("SELECT z AS redshift FROM specobj WHERE z IS NOT NULL ORDER BY redshift")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Float(0.0));
+    }
+
+    #[test]
+    fn scalar_subquery_average() {
+        let db = galaxy_db();
+        let r = db
+            .run("SELECT specobjid FROM specobj WHERE z > (SELECT AVG(z) FROM specobj)")
+            .unwrap();
+        // avg = 1.175; z>avg: 1.5 (id 2), 2.5 (id 4)
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn in_subquery() {
+        let db = galaxy_db();
+        let r = db
+            .run(
+                "SELECT specobjid FROM specobj WHERE bestobjid IN \
+                 (SELECT objid FROM photoobj WHERE u - r > 3)",
+            )
+            .unwrap();
+        // u-r: 1.5, 4.0, 0.5 → objid 20; specobj with bestobjid 20 = id 2
+        assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn not_in_subquery_with_null_probe() {
+        let db = galaxy_db();
+        // Row 4 has NULL bestobjid: NULL NOT IN (...) is NULL → filtered.
+        let r = db
+            .run(
+                "SELECT specobjid FROM specobj WHERE bestobjid NOT IN \
+                 (SELECT objid FROM photoobj)",
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn exists_subquery() {
+        let db = galaxy_db();
+        let r = db
+            .run("SELECT COUNT(*) FROM specobj WHERE EXISTS (SELECT * FROM photoobj)")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(5));
+    }
+
+    #[test]
+    fn union_and_intersect() {
+        let db = galaxy_db();
+        let r = db
+            .run("SELECT class FROM specobj UNION SELECT class FROM specobj")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3, "UNION dedupes");
+        let r = db
+            .run("SELECT class FROM specobj UNION ALL SELECT class FROM specobj")
+            .unwrap();
+        assert_eq!(r.rows.len(), 10, "UNION ALL keeps duplicates");
+        let r = db
+            .run(
+                "SELECT class FROM specobj WHERE z > 1 \
+                 INTERSECT SELECT class FROM specobj WHERE z < 1",
+            )
+            .unwrap();
+        // GALAXY occurs on both sides (z=1.5 and z=0.7); QSO and STAR only
+        // on one side each.
+        assert_eq!(r.rows, vec![vec![Value::Text("GALAXY".into())]]);
+        let r = db
+            .run("SELECT class FROM specobj EXCEPT SELECT class FROM specobj WHERE class = 'STAR'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn set_op_order_by_column_name() {
+        let db = galaxy_db();
+        let r = db
+            .run(
+                "SELECT class FROM specobj UNION SELECT class FROM specobj \
+                 ORDER BY class DESC LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![vec!["STAR".into()]]);
+    }
+
+    #[test]
+    fn derived_table() {
+        let db = galaxy_db();
+        let r = db
+            .run(
+                "SELECT g.class, g.n FROM \
+                 (SELECT class, COUNT(*) AS n FROM specobj GROUP BY class) AS g \
+                 WHERE g.n >= 2",
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![vec!["GALAXY".into(), Value::Int(3)]]);
+    }
+
+    #[test]
+    fn between_and_in_list() {
+        let db = galaxy_db();
+        let r = db
+            .run("SELECT specobjid FROM specobj WHERE z BETWEEN 0.5 AND 2 AND class IN ('GALAXY', 'QSO')")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let db = galaxy_db();
+        assert!(matches!(
+            db.run("SELECT * FROM nope"),
+            Err(EngineError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            db.run("SELECT nope FROM specobj"),
+            Err(EngineError::UnknownColumn(_))
+        ));
+        assert!(db.run("SELECT objid FROM specobj AS a JOIN photoobj AS b ON a.bestobjid = b.objid JOIN photoobj AS c ON a.bestobjid = c.objid").is_err());
+    }
+
+    #[test]
+    fn aggregate_with_math_argument() {
+        let db = galaxy_db();
+        let r = db.run("SELECT AVG(u - r) FROM photoobj").unwrap();
+        let avg = r.rows[0][0].as_f64().unwrap();
+        assert!((avg - (1.5 + 4.0 + 0.5) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let db = galaxy_db();
+        let r = db.run("SELECT COUNT(DISTINCT class) FROM specobj").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn group_expression_in_projection() {
+        let db = galaxy_db();
+        let r = db
+            .run("SELECT class, MAX(z) - MIN(z) FROM specobj GROUP BY class ORDER BY class")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        let galaxy = &r.rows[0];
+        assert_eq!(galaxy[0], Value::Text("GALAXY".into()));
+        assert!((galaxy[1].as_f64().unwrap() - 0.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,122 @@
+//! Data profiling: extract a [`DataProfile`] from database content for
+//! automatic enhanced-schema inference.
+
+use crate::database::Database;
+use crate::value::Value;
+use sb_schema::{ColumnProfile, DataProfile};
+use std::collections::HashMap;
+
+/// How many frequent values to retain per column. Value samplers and schema
+/// linkers only need a handful of representative literals.
+const FREQUENT_VALUES: usize = 24;
+
+/// Profile every column of every table in `db`.
+pub fn profile_database(db: &Database) -> DataProfile {
+    let mut profile = DataProfile::new();
+    for table in db.tables() {
+        profile.set_row_count(&table.def.name, table.len());
+        for (idx, col) in table.def.columns.iter().enumerate() {
+            let mut count = 0usize;
+            let mut freq: HashMap<String, usize> = HashMap::new();
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut saw_numeric = false;
+            for v in table.column_values(idx) {
+                if v.is_null() {
+                    continue;
+                }
+                count += 1;
+                *freq.entry(sql_literal(v)).or_insert(0) += 1;
+                if let Some(x) = v.as_f64() {
+                    saw_numeric = true;
+                    min = min.min(x);
+                    max = max.max(x);
+                }
+            }
+            let distinct = freq.len();
+            let mut by_freq: Vec<(String, usize)> = freq.into_iter().collect();
+            // Most frequent first; ties broken by value for determinism.
+            by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            by_freq.truncate(FREQUENT_VALUES);
+            profile.insert(
+                &table.def.name,
+                &col.name,
+                ColumnProfile {
+                    count,
+                    distinct,
+                    min: saw_numeric.then_some(min),
+                    max: saw_numeric.then_some(max),
+                    frequent_values: by_freq.into_iter().map(|(v, _)| v).collect(),
+                },
+            );
+        }
+    }
+    profile
+}
+
+/// Render a value as a SQL literal (the form the value sampler splices into
+/// generated queries).
+pub fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                format!("{f:.1}")
+            } else {
+                format!("{f}")
+            }
+        }
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_schema::{Column, ColumnType, Schema, TableDef};
+
+    #[test]
+    fn profiles_counts_distinct_and_ranges() {
+        let schema = Schema::new("t").with_table(TableDef::new(
+            "x",
+            vec![
+                Column::new("class", ColumnType::Text),
+                Column::new("z", ColumnType::Float),
+            ],
+        ));
+        let mut db = Database::new(schema);
+        db.table_mut("x").unwrap().push_rows(vec![
+            vec!["GALAXY".into(), 0.5.into()],
+            vec!["GALAXY".into(), 1.5.into()],
+            vec!["STAR".into(), Value::Null],
+        ]);
+        let p = profile_database(&db);
+        let class = p.column("x", "class").unwrap();
+        assert_eq!(class.count, 3);
+        assert_eq!(class.distinct, 2);
+        assert_eq!(class.frequent_values[0], "'GALAXY'");
+        let z = p.column("x", "z").unwrap();
+        assert_eq!(z.count, 2);
+        assert_eq!(z.min, Some(0.5));
+        assert_eq!(z.max, Some(1.5));
+        assert_eq!(p.row_count("x"), Some(3));
+    }
+
+    #[test]
+    fn literals_round_trip_through_parser() {
+        for v in [
+            Value::Int(42),
+            Value::Float(2.22),
+            Value::Float(3.0),
+            Value::Text("it's".into()),
+            Value::Bool(true),
+            Value::Null,
+        ] {
+            let lit = sql_literal(&v);
+            let sql = format!("SELECT a FROM t WHERE a = {lit}");
+            assert!(sb_sql::parse(&sql).is_ok(), "literal `{lit}` must re-parse");
+        }
+    }
+}

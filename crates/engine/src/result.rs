@@ -1,0 +1,149 @@
+//! Query results and the result-set comparison behind execution accuracy.
+
+use crate::value::Value;
+use std::fmt;
+
+/// The materialized result of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names (aliases when given, otherwise rendered
+    /// expressions).
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Whether the query specified `ORDER BY`, i.e. row order is
+    /// semantically meaningful.
+    pub ordered: bool,
+}
+
+impl ResultSet {
+    /// An empty, unordered result with the given columns.
+    pub fn empty(columns: Vec<String>) -> Self {
+        ResultSet {
+            columns,
+            rows: Vec::new(),
+            ordered: false,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Canonical per-row keys (float-tolerant, see
+    /// [`Value::canonical_key`]).
+    fn row_keys(&self) -> Vec<String> {
+        self.rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(Value::canonical_key)
+                    .collect::<Vec<_>>()
+                    .join("\u{1}")
+            })
+            .collect()
+    }
+
+    /// Execution-accuracy equivalence: same rows as a multiset, or as an
+    /// ordered list when **both** sides are ordered. Column *names* are
+    /// ignored (systems alias differently); column count must match.
+    ///
+    /// This mirrors the Spider benchmark's execution-match definition that
+    /// the paper adopts for Table 5.
+    pub fn same_result(&self, other: &ResultSet) -> bool {
+        if self.columns.len() != other.columns.len() || self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let mut a = self.row_keys();
+        let mut b = other.row_keys();
+        if self.ordered && other.ordered {
+            a == b
+        } else {
+            a.sort_unstable();
+            b.sort_unstable();
+            a == b
+        }
+    }
+}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(rows: Vec<Vec<Value>>, ordered: bool) -> ResultSet {
+        let cols = (0..rows.first().map(|r| r.len()).unwrap_or(1))
+            .map(|i| format!("c{i}"))
+            .collect();
+        ResultSet {
+            columns: cols,
+            rows,
+            ordered,
+        }
+    }
+
+    #[test]
+    fn multiset_comparison_ignores_order_when_unordered() {
+        let a = rs(vec![vec![Value::Int(1)], vec![Value::Int(2)]], false);
+        let b = rs(vec![vec![Value::Int(2)], vec![Value::Int(1)]], false);
+        assert!(a.same_result(&b));
+    }
+
+    #[test]
+    fn ordered_comparison_respects_order() {
+        let a = rs(vec![vec![Value::Int(1)], vec![Value::Int(2)]], true);
+        let b = rs(vec![vec![Value::Int(2)], vec![Value::Int(1)]], true);
+        assert!(!a.same_result(&b));
+    }
+
+    #[test]
+    fn multiset_counts_duplicates() {
+        let a = rs(vec![vec![Value::Int(1)], vec![Value::Int(1)]], false);
+        let b = rs(vec![vec![Value::Int(1)]], false);
+        assert!(!a.same_result(&b));
+    }
+
+    #[test]
+    fn int_float_equivalence() {
+        let a = rs(vec![vec![Value::Int(3)]], false);
+        let b = rs(vec![vec![Value::Float(3.0)]], false);
+        assert!(a.same_result(&b));
+    }
+
+    #[test]
+    fn column_names_ignored_but_count_matters() {
+        let a = ResultSet {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Int(1)]],
+            ordered: false,
+        };
+        let b = ResultSet {
+            columns: vec!["y".into()],
+            rows: vec![vec![Value::Int(1)]],
+            ordered: false,
+        };
+        assert!(a.same_result(&b));
+        let c = ResultSet {
+            columns: vec!["y".into(), "z".into()],
+            rows: vec![vec![Value::Int(1), Value::Int(2)]],
+            ordered: false,
+        };
+        assert!(!a.same_result(&c));
+    }
+}

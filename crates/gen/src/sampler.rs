@@ -1,0 +1,219 @@
+//! Value sampling (Algorithm 1, `SampleValue`) and SQL-literal parsing.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sb_schema::DataProfile;
+use sb_semql::ValueKind;
+use sb_sql::{Lexer, Literal, Token};
+
+/// Parse a single SQL literal string (as stored in
+/// [`sb_schema::ColumnProfile::frequent_values`]) into a [`Literal`].
+pub fn parse_literal(text: &str) -> Option<Literal> {
+    let tokens = Lexer::new(text).tokenize().ok()?;
+    match tokens.as_slice() {
+        [(t, _), (Token::Eof, _)] => match t {
+            Token::Int(v) => Some(Literal::Int(*v)),
+            Token::Float(v) => Some(Literal::Float(*v)),
+            Token::Str(s) => Some(Literal::Str(s.clone())),
+            Token::Keyword(sb_sql::Keyword::Null) => Some(Literal::Null),
+            Token::Keyword(sb_sql::Keyword::True) => Some(Literal::Bool(true)),
+            Token::Keyword(sb_sql::Keyword::False) => Some(Literal::Bool(false)),
+            _ => None,
+        },
+        // Negative numbers lex as two tokens.
+        [(Token::Minus, _), (t, _), (Token::Eof, _)] => match t {
+            Token::Int(v) => Some(Literal::Int(-v)),
+            Token::Float(v) => Some(Literal::Float(-v)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Sample a literal for a value slot bound to `table.column`.
+pub fn sample_value(
+    rng: &mut StdRng,
+    profile: &DataProfile,
+    table: &str,
+    column: &str,
+    kind: ValueKind,
+) -> Option<Literal> {
+    let col = profile.column(table, column)?;
+    match kind {
+        ValueKind::Eq => {
+            let lit = col.frequent_values.choose(rng)?;
+            parse_literal(lit)
+        }
+        ValueKind::Cmp => {
+            match (col.min, col.max) {
+                (Some(min), Some(max)) if min.is_finite() && max.is_finite() => {
+                    let v = if (max - min).abs() < f64::EPSILON {
+                        min
+                    } else {
+                        rng.gen_range(min..=max)
+                    };
+                    // Integer-looking ranges sample integer literals.
+                    let int_like = col
+                        .frequent_values
+                        .first()
+                        .is_some_and(|f| !f.contains('.') && !f.contains('\''));
+                    if int_like {
+                        Some(Literal::Int(v.round() as i64))
+                    } else {
+                        // Two decimals keeps generated SQL readable, like
+                        // the paper's `2.22`.
+                        Some(Literal::Float((v * 100.0).round() / 100.0))
+                    }
+                }
+                // Non-numeric column compared with an inequality: fall
+                // back to an existing value (lexicographic comparison).
+                _ => {
+                    let lit = col.frequent_values.choose(rng)?;
+                    parse_literal(lit)
+                }
+            }
+        }
+        ValueKind::Like => {
+            // Derive a contains-pattern from a real value: pick a word or
+            // a 3+-character infix.
+            let raw = col
+                .frequent_values
+                .iter()
+                .filter(|v| v.starts_with('\''))
+                .collect::<Vec<_>>();
+            let pick = raw.choose(rng)?;
+            let inner = pick.trim_matches('\'');
+            if inner.is_empty() {
+                return Some(Literal::Str("%%".into()));
+            }
+            let words: Vec<&str> = inner.split_whitespace().collect();
+            let fragment = if words.len() > 1 && rng.gen_bool(0.5) {
+                (*words.choose(rng).expect("non-empty words")).to_string()
+            } else {
+                let chars: Vec<char> = inner.chars().collect();
+                let len = chars.len().min(3 + rng.gen_range(0..3));
+                let start = rng.gen_range(0..=chars.len() - len);
+                chars[start..start + len].iter().collect()
+            };
+            Some(Literal::Str(format!("%{}%", fragment.replace('%', ""))))
+        }
+        ValueKind::AggCmp => Some(sample_agg_value(rng)),
+    }
+}
+
+/// Sample a small count-like value for aggregate comparisons
+/// (`HAVING COUNT(*) > v`).
+pub fn sample_agg_value(rng: &mut StdRng) -> Literal {
+    Literal::Int(rng.gen_range(1..=10))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sb_schema::ColumnProfile;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    fn profile_with(
+        values: &[&str],
+        min: Option<f64>,
+        max: Option<f64>,
+    ) -> DataProfile {
+        let mut p = DataProfile::new();
+        p.insert(
+            "t",
+            "c",
+            ColumnProfile {
+                count: 100,
+                distinct: values.len(),
+                min,
+                max,
+                frequent_values: values.iter().map(|s| s.to_string()).collect(),
+            },
+        );
+        p
+    }
+
+    #[test]
+    fn parse_literal_covers_all_forms() {
+        assert_eq!(parse_literal("42"), Some(Literal::Int(42)));
+        assert_eq!(parse_literal("-7"), Some(Literal::Int(-7)));
+        assert_eq!(parse_literal("2.22"), Some(Literal::Float(2.22)));
+        assert_eq!(parse_literal("-0.5"), Some(Literal::Float(-0.5)));
+        assert_eq!(
+            parse_literal("'GALAXY'"),
+            Some(Literal::Str("GALAXY".into()))
+        );
+        assert_eq!(parse_literal("NULL"), Some(Literal::Null));
+        assert_eq!(parse_literal("TRUE"), Some(Literal::Bool(true)));
+        assert_eq!(parse_literal("1 2"), None);
+        assert_eq!(parse_literal(""), None);
+    }
+
+    #[test]
+    fn eq_samples_existing_value() {
+        let p = profile_with(&["'GALAXY'", "'STAR'"], None, None);
+        let mut r = rng();
+        for _ in 0..10 {
+            let lit = sample_value(&mut r, &p, "t", "c", ValueKind::Eq).unwrap();
+            match lit {
+                Literal::Str(s) => assert!(s == "GALAXY" || s == "STAR"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_samples_within_range() {
+        let p = profile_with(&["0.5", "1.5"], Some(0.0), Some(2.0));
+        let mut r = rng();
+        for _ in 0..20 {
+            let lit = sample_value(&mut r, &p, "t", "c", ValueKind::Cmp).unwrap();
+            let v = match lit {
+                Literal::Float(v) => v,
+                Literal::Int(v) => v as f64,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert!((0.0..=2.0).contains(&v), "{v} out of range");
+        }
+    }
+
+    #[test]
+    fn cmp_on_integer_column_yields_int() {
+        let p = profile_with(&["3", "9"], Some(1.0), Some(10.0));
+        let mut r = rng();
+        let lit = sample_value(&mut r, &p, "t", "c", ValueKind::Cmp).unwrap();
+        assert!(matches!(lit, Literal::Int(_)), "{lit:?}");
+    }
+
+    #[test]
+    fn like_builds_contains_pattern() {
+        let p = profile_with(&["'Information and Media'"], None, None);
+        let mut r = rng();
+        for _ in 0..10 {
+            let lit = sample_value(&mut r, &p, "t", "c", ValueKind::Like).unwrap();
+            let Literal::Str(s) = lit else { panic!() };
+            assert!(s.starts_with('%') && s.ends_with('%'), "{s}");
+            assert!(s.len() > 2, "{s}");
+        }
+    }
+
+    #[test]
+    fn missing_column_yields_none() {
+        let p = DataProfile::new();
+        let mut r = rng();
+        assert_eq!(sample_value(&mut r, &p, "t", "c", ValueKind::Eq), None);
+    }
+
+    #[test]
+    fn degenerate_range_is_handled() {
+        let p = profile_with(&["5"], Some(5.0), Some(5.0));
+        let mut r = rng();
+        let lit = sample_value(&mut r, &p, "t", "c", ValueKind::Cmp).unwrap();
+        assert_eq!(lit, Literal::Int(5));
+    }
+}

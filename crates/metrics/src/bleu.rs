@@ -1,0 +1,182 @@
+//! Corpus-level BLEU-4 in the SacreBLEU style.
+//!
+//! Implements the standard corpus BLEU computation (Papineni et al. 2002)
+//! with the `13a`-like tokenization and exponential smoothing of zero
+//! higher-order precisions that SacreBLEU (Post 2018) applies by default.
+//! Scores are reported on the 0–100 scale of Table 3.
+
+use std::collections::HashMap;
+
+/// SacreBLEU-style tokenizer: lower-case, split punctuation from words.
+pub fn bleu_tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() || ch == '\'' {
+            cur.extend(ch.to_lowercase());
+        } else {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            if !ch.is_whitespace() {
+                out.push(ch.to_string());
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn ngram_counts(tokens: &[String], n: usize) -> HashMap<&[String], usize> {
+    let mut map: HashMap<&[String], usize> = HashMap::new();
+    if tokens.len() >= n {
+        for w in tokens.windows(n) {
+            *map.entry(w).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+/// Corpus BLEU-4 over `(hypothesis, reference)` pairs, on the 0–100
+/// scale. Returns 0 for an empty corpus.
+pub fn corpus_bleu(pairs: &[(String, String)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let tokenized: Vec<(Vec<String>, Vec<String>)> = pairs
+        .iter()
+        .map(|(h, r)| (bleu_tokenize(h), bleu_tokenize(r)))
+        .collect();
+
+    let mut hyp_len = 0usize;
+    let mut ref_len = 0usize;
+    let mut matches = [0usize; 4];
+    let mut totals = [0usize; 4];
+    for (hyp, reference) in &tokenized {
+        hyp_len += hyp.len();
+        ref_len += reference.len();
+        for n in 1..=4 {
+            let h = ngram_counts(hyp, n);
+            let r = ngram_counts(reference, n);
+            let mut m = 0usize;
+            let mut t = 0usize;
+            for (gram, hc) in &h {
+                t += hc;
+                if let Some(rc) = r.get(gram) {
+                    m += (*hc).min(*rc);
+                }
+            }
+            matches[n - 1] += m;
+            totals[n - 1] += t;
+        }
+    }
+
+    // Exponential smoothing (SacreBLEU `exp`): each zero numerator at
+    // order n>1 is replaced by 1/(2^k) on an increasing k.
+    let mut smooth = 1.0f64;
+    let mut log_sum = 0.0f64;
+    for n in 0..4 {
+        if totals[n] == 0 {
+            return 0.0;
+        }
+        let p = if matches[n] == 0 {
+            if n == 0 {
+                return 0.0;
+            }
+            smooth *= 2.0;
+            1.0 / (smooth * totals[n] as f64)
+        } else {
+            matches[n] as f64 / totals[n] as f64
+        };
+        log_sum += p.ln();
+    }
+    let geo_mean = (log_sum / 4.0).exp();
+    let bp = if hyp_len >= ref_len || hyp_len == 0 {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / hyp_len as f64).exp()
+    };
+    100.0 * bp * geo_mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_corpus_scores_100() {
+        let pairs = vec![(
+            "find all starburst galaxies in the survey".to_string(),
+            "find all starburst galaxies in the survey".to_string(),
+        )];
+        let b = corpus_bleu(&pairs);
+        assert!((b - 100.0).abs() < 1e-6, "{b}");
+    }
+
+    #[test]
+    fn disjoint_corpus_scores_zero() {
+        let pairs = vec![(
+            "alpha beta gamma delta".to_string(),
+            "epsilon zeta eta theta".to_string(),
+        )];
+        assert_eq!(corpus_bleu(&pairs), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_intermediate() {
+        let pairs = vec![(
+            "find all the starburst galaxies".to_string(),
+            "return all the starburst galaxies".to_string(),
+        )];
+        let b = corpus_bleu(&pairs);
+        assert!(b > 20.0 && b < 90.0, "{b}");
+    }
+
+    #[test]
+    fn paraphrase_scores_lower_than_near_copy() {
+        let near = vec![(
+            "find all starburst galaxies".to_string(),
+            "find all the starburst galaxies".to_string(),
+        )];
+        let para = vec![(
+            "return every galaxy in the starburst class".to_string(),
+            "find all the starburst galaxies".to_string(),
+        )];
+        assert!(corpus_bleu(&near) > corpus_bleu(&para));
+    }
+
+    #[test]
+    fn brevity_penalty_punishes_short_hypotheses() {
+        let long_ref = "find all the spectroscopically observed starburst galaxies".to_string();
+        let full = vec![(long_ref.clone(), long_ref.clone())];
+        let short = vec![("find all the".to_string(), long_ref)];
+        assert!(corpus_bleu(&full) > corpus_bleu(&short));
+    }
+
+    #[test]
+    fn tokenizer_splits_punctuation() {
+        assert_eq!(
+            bleu_tokenize("What is z, really?"),
+            vec!["what", "is", "z", ",", "really", "?"]
+        );
+    }
+
+    #[test]
+    fn empty_corpus_is_zero() {
+        assert_eq!(corpus_bleu(&[]), 0.0);
+    }
+
+    #[test]
+    fn corpus_level_aggregation_differs_from_single_pairs() {
+        // Two pairs where one is perfect and one is empty overlap: the
+        // corpus score pools n-gram counts rather than averaging.
+        let pairs = vec![
+            ("a b c d e".to_string(), "a b c d e".to_string()),
+            ("x y".to_string(), "p q".to_string()),
+        ];
+        let b = corpus_bleu(&pairs);
+        assert!(b > 0.0 && b < 100.0, "{b}");
+    }
+}

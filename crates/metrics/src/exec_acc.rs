@@ -1,0 +1,123 @@
+//! Execution accuracy — the Table 5 metric, identical in spirit to the
+//! Spider benchmark's execution match: run the gold and the predicted SQL
+//! against the database and compare the result sets.
+
+use sb_engine::Database;
+
+/// Whether one predicted SQL string execution-matches the gold SQL.
+///
+/// A prediction that fails to parse or execute counts as a miss (never an
+/// error): NL-to-SQL systems routinely emit broken SQL, especially the
+/// unconstrained T5 decoder the paper runs "w/o PICARD".
+pub fn execution_match(db: &Database, gold_sql: &str, predicted_sql: &str) -> bool {
+    let Ok(gold) = db.run(gold_sql) else {
+        // A broken gold query is a benchmark bug, not a system miss; count
+        // conservatively as a miss but do not panic in release pipelines.
+        debug_assert!(false, "gold query must execute: {gold_sql}");
+        return false;
+    };
+    match db.run(predicted_sql) {
+        Ok(pred) => gold.same_result(&pred),
+        Err(_) => false,
+    }
+}
+
+/// Execution accuracy over a set of `(gold, predicted)` SQL pairs.
+pub fn execution_accuracy(db: &Database, pairs: &[(String, String)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let hits = pairs
+        .iter()
+        .filter(|(gold, pred)| execution_match(db, gold, pred))
+        .count();
+    hits as f64 / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use sb_schema::{Column, ColumnType, Schema, TableDef};
+
+    fn db() -> Database {
+        let schema = Schema::new("t").with_table(TableDef::new(
+            "specobj",
+            vec![
+                Column::pk("specobjid", ColumnType::Int),
+                Column::new("class", ColumnType::Text),
+                Column::new("z", ColumnType::Float),
+            ],
+        ));
+        let mut db = Database::new(schema);
+        db.table_mut("specobj").unwrap().push_rows(vec![
+            vec![1.into(), "GALAXY".into(), 0.7.into()],
+            vec![2.into(), "STAR".into(), 0.0.into()],
+            vec![3.into(), "GALAXY".into(), 1.4.into()],
+        ]);
+        db
+    }
+
+    #[test]
+    fn identical_queries_match() {
+        let db = db();
+        assert!(execution_match(
+            &db,
+            "SELECT specobjid FROM specobj WHERE class = 'GALAXY'",
+            "SELECT specobjid FROM specobj WHERE class = 'GALAXY'"
+        ));
+    }
+
+    #[test]
+    fn semantically_equivalent_queries_match() {
+        let db = db();
+        // Different syntax, same result set.
+        assert!(execution_match(
+            &db,
+            "SELECT specobjid FROM specobj WHERE class = 'GALAXY'",
+            "SELECT s.specobjid FROM specobj AS s WHERE s.z > 0.5"
+        ));
+    }
+
+    #[test]
+    fn different_results_do_not_match() {
+        let db = db();
+        assert!(!execution_match(
+            &db,
+            "SELECT specobjid FROM specobj WHERE class = 'GALAXY'",
+            "SELECT specobjid FROM specobj WHERE class = 'STAR'"
+        ));
+    }
+
+    #[test]
+    fn broken_prediction_is_a_miss() {
+        let db = db();
+        assert!(!execution_match(
+            &db,
+            "SELECT specobjid FROM specobj",
+            "SELEC specobjid FRM specobj"
+        ));
+        assert!(!execution_match(
+            &db,
+            "SELECT specobjid FROM specobj",
+            "SELECT nonexistent FROM specobj"
+        ));
+    }
+
+    #[test]
+    fn accuracy_aggregates() {
+        let db = db();
+        let pairs = vec![
+            (
+                "SELECT COUNT(*) FROM specobj".to_string(),
+                "SELECT COUNT(*) FROM specobj".to_string(),
+            ),
+            (
+                "SELECT COUNT(*) FROM specobj".to_string(),
+                "broken".to_string(),
+            ),
+        ];
+        assert!((execution_accuracy(&db, &pairs) - 0.5).abs() < 1e-9);
+        assert_eq!(execution_accuracy(&db, &[]), 0.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! The Spider hardness classifier (Yu et al. 2018), ported from the
+//! official `evaluation.py`. Table 2 of the paper reports every dataset's
+//! distribution over these four classes.
+
+use sb_sql::{visitor, BinaryOp, Expr, Query, Select, SetExpr};
+use std::fmt;
+
+/// Spider's four query-complexity classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Hardness {
+    /// At most one simple component, nothing else.
+    Easy,
+    /// A couple of components or extras.
+    Medium,
+    /// Several components/extras or a single nested query.
+    Hard,
+    /// Everything beyond.
+    ExtraHard,
+}
+
+impl Hardness {
+    /// All classes in ascending order.
+    pub const ALL: [Hardness; 4] = [
+        Hardness::Easy,
+        Hardness::Medium,
+        Hardness::Hard,
+        Hardness::ExtraHard,
+    ];
+
+    /// Display label as used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Hardness::Easy => "Easy",
+            Hardness::Medium => "Medium",
+            Hardness::Hard => "Hard",
+            Hardness::ExtraHard => "Extra Hard",
+        }
+    }
+}
+
+impl fmt::Display for Hardness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Count "component 1" features of the *outer* query: WHERE, GROUP BY,
+/// ORDER BY, LIMIT, JOINs, ORs, LIKEs — Spider's `count_component1`.
+fn count_component1(q: &Query) -> usize {
+    let mut count = 0;
+    for s in outer_selects(q) {
+        if s.selection.is_some() {
+            count += 1;
+        }
+        if !s.group_by.is_empty() {
+            count += 1;
+        }
+        count += s.joins.len();
+        count += count_or_like(s);
+    }
+    if !q.order_by.is_empty() {
+        count += 1;
+    }
+    if q.limit.is_some() {
+        count += 1;
+    }
+    count
+}
+
+/// Outer selects of the body: the sides of set operations, but not
+/// subqueries.
+fn outer_selects(q: &Query) -> Vec<&Select> {
+    q.selects()
+}
+
+fn count_or_like(s: &Select) -> usize {
+    fn walk(e: &Expr, ors: &mut usize, likes: &mut usize) {
+        match e {
+            Expr::Binary {
+                left,
+                op: BinaryOp::Or,
+                right,
+            } => {
+                *ors += 1;
+                walk(left, ors, likes);
+                walk(right, ors, likes);
+            }
+            Expr::Binary { left, right, .. } => {
+                walk(left, ors, likes);
+                walk(right, ors, likes);
+            }
+            Expr::Like { .. } => *likes += 1,
+            Expr::Unary { expr, .. } => walk(expr, ors, likes),
+            _ => {}
+        }
+    }
+    let mut ors = 0;
+    let mut likes = 0;
+    for pred in s
+        .selection
+        .iter()
+        .chain(s.having.iter())
+        .chain(s.joins.iter().filter_map(|j| j.constraint.as_ref()))
+    {
+        walk(pred, &mut ors, &mut likes);
+    }
+    ors + likes
+}
+
+/// Count "component 2": nested subqueries and set operations — Spider's
+/// `count_component2` (`get_nestedSQL`).
+fn count_component2(q: &Query) -> usize {
+    let mut count = visitor::count_subqueries(q);
+    fn set_ops(body: &SetExpr) -> usize {
+        match body {
+            SetExpr::Select(_) => 0,
+            SetExpr::SetOp { left, right, .. } => 1 + set_ops(left) + set_ops(right),
+        }
+    }
+    count += set_ops(&q.body);
+    count
+}
+
+/// Count "others": >1 aggregate, >1 select column, >1 where condition,
+/// >1 group-by key — Spider's `count_others`.
+fn count_others(q: &Query) -> usize {
+    let mut count = 0;
+    let agg_count = visitor::count_aggregates(q);
+    if agg_count > 1 {
+        count += 1;
+    }
+    for s in outer_selects(q) {
+        if s.projections.len() > 1 {
+            count += 1;
+            break;
+        }
+    }
+    for s in outer_selects(q) {
+        let conds = s
+            .selection
+            .as_ref()
+            .map(count_condition_units)
+            .unwrap_or(0);
+        if conds > 1 {
+            count += 1;
+            break;
+        }
+    }
+    for s in outer_selects(q) {
+        if s.group_by.len() > 1 {
+            count += 1;
+            break;
+        }
+    }
+    count
+}
+
+/// Number of atomic condition units in a predicate (AND/OR leaves).
+fn count_condition_units(e: &Expr) -> usize {
+    match e {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And | BinaryOp::Or,
+            right,
+        } => count_condition_units(left) + count_condition_units(right),
+        _ => 1,
+    }
+}
+
+/// Classify a query into Spider's hardness taxonomy.
+pub fn classify(q: &Query) -> Hardness {
+    let c1 = count_component1(q);
+    let c2 = count_component2(q);
+    let others = count_others(q);
+
+    if c1 <= 1 && others == 0 && c2 == 0 {
+        Hardness::Easy
+    } else if (others <= 2 && c1 <= 1 && c2 == 0) || (c1 <= 2 && others < 2 && c2 == 0) {
+        Hardness::Medium
+    } else if (others > 2 && c1 <= 2 && c2 == 0)
+        || (c1 > 2 && c1 <= 3 && others <= 2 && c2 == 0)
+        || (c1 <= 1 && others == 0 && c2 <= 1)
+    {
+        Hardness::Hard
+    } else {
+        Hardness::ExtraHard
+    }
+}
+
+/// Classify SQL text; parse failures default to `ExtraHard` (the paper's
+/// convention — an unparseable query is certainly not easy).
+pub fn classify_sql(sql: &str) -> Hardness {
+    match sb_sql::parse(sql) {
+        Ok(q) => classify(&q),
+        Err(_) => Hardness::ExtraHard,
+    }
+}
+
+/// Distribution of hardness classes over a set of queries; aligned with
+/// [`Hardness::ALL`].
+pub fn distribution(queries: &[Query]) -> [usize; 4] {
+    let mut out = [0usize; 4];
+    for q in queries {
+        let h = classify(q);
+        let idx = Hardness::ALL.iter().position(|x| *x == h).expect("in ALL");
+        out[idx] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(sql: &str) -> Hardness {
+        classify(&sb_sql::parse(sql).unwrap())
+    }
+
+    #[test]
+    fn paper_q1_is_easy() {
+        // The paper labels Q1 "Spider hardness: Easy".
+        assert_eq!(
+            h("SELECT s.specobjid FROM specobj AS s WHERE s.subclass = 'STARBURST'"),
+            Hardness::Easy
+        );
+    }
+
+    #[test]
+    fn paper_q2_is_medium() {
+        // Q2: "Spider hardness: Medium" — one WHERE with 3 conditions.
+        assert_eq!(
+            h("SELECT s.bestobjid, s.ra, s.dec, s.z FROM specobj AS s \
+               WHERE s.class = 'GALAXY' AND s.z > 0.5 AND s.z < 1"),
+            Hardness::Medium
+        );
+    }
+
+    #[test]
+    fn paper_q3_is_extra_hard() {
+        // Q3: "Spider hardness: Extra hard" — join + multi-condition where
+        // + multiple projections.
+        assert_eq!(
+            h("SELECT p.objid, s.specobjid FROM photoobj AS p \
+               JOIN specobj AS s ON s.bestobjid = p.objid \
+               WHERE s.class = 'GALAXY' AND p.u - p.r < 2.22 AND p.u - p.r > 1"),
+            Hardness::ExtraHard
+        );
+    }
+
+    #[test]
+    fn bare_select_is_easy() {
+        assert_eq!(h("SELECT name FROM singer"), Hardness::Easy);
+        assert_eq!(h("SELECT COUNT(*) FROM singer"), Hardness::Easy);
+    }
+
+    #[test]
+    fn single_join_is_easy_join_plus_where_is_medium() {
+        // Spider's rule: one component-1 feature with nothing else is
+        // still "easy"; a second component pushes it to "medium".
+        assert_eq!(
+            h("SELECT a.name FROM a JOIN b ON a.id = b.a_id"),
+            Hardness::Easy
+        );
+        assert_eq!(
+            h("SELECT a.name FROM a JOIN b ON a.id = b.a_id WHERE b.x = 1"),
+            Hardness::Medium
+        );
+    }
+
+    #[test]
+    fn group_and_order_is_harder() {
+        let q = "SELECT class, COUNT(*) FROM specobj WHERE z > 1 \
+                 GROUP BY class ORDER BY COUNT(*) DESC LIMIT 3";
+        // where + group + order + limit = c1 = 4 → extra hard.
+        assert_eq!(h(q), Hardness::ExtraHard);
+    }
+
+    #[test]
+    fn single_subquery_is_hard() {
+        assert_eq!(
+            h("SELECT name FROM t WHERE z > (SELECT AVG(z) FROM t)"),
+            Hardness::Hard
+        );
+    }
+
+    #[test]
+    fn subquery_plus_components_is_extra() {
+        assert_eq!(
+            h("SELECT name, z FROM t WHERE z > (SELECT AVG(z) FROM t) AND class = 'GALAXY' \
+               ORDER BY z DESC LIMIT 5"),
+            Hardness::ExtraHard
+        );
+    }
+
+    #[test]
+    fn unparseable_defaults_to_extra_hard() {
+        assert_eq!(classify_sql("SELEC nonsense FROM"), Hardness::ExtraHard);
+    }
+
+    #[test]
+    fn distribution_sums_to_total() {
+        let queries: Vec<_> = [
+            "SELECT a FROM t",
+            "SELECT a FROM t WHERE b = 1",
+            "SELECT a, b FROM t WHERE c = 1 AND d = 2",
+            "SELECT a FROM t WHERE b IN (SELECT b FROM u)",
+        ]
+        .iter()
+        .map(|s| sb_sql::parse(s).unwrap())
+        .collect();
+        let d = distribution(&queries);
+        assert_eq!(d.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn ordering_of_classes() {
+        assert!(Hardness::Easy < Hardness::Medium);
+        assert!(Hardness::Hard < Hardness::ExtraHard);
+        assert_eq!(Hardness::ExtraHard.label(), "Extra Hard");
+    }
+}

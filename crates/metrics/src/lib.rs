@@ -1,0 +1,24 @@
+//! # sb-metrics — the benchmark's evaluation metrics
+//!
+//! Everything the paper's evaluation sections need:
+//!
+//! - [`bleu`]: corpus-level SacreBLEU-style BLEU-4 (Table 3, row 1);
+//! - the embedding-similarity metric is re-exported from `sb-embed`
+//!   (Table 3, row 2);
+//! - [`expert`]: the simulated human-expert judge — a semantic checker
+//!   that verifies an NL question against its SQL query (Table 3 row 3,
+//!   §4.1.2, Table 4);
+//! - [`hardness`]: the Spider hardness classifier (Easy / Medium / Hard /
+//!   Extra Hard) used throughout Table 2;
+//! - [`exec_acc`]: execution accuracy — the Table 5 metric.
+
+pub mod bleu;
+pub mod exec_acc;
+pub mod expert;
+pub mod hardness;
+
+pub use bleu::corpus_bleu;
+pub use exec_acc::{execution_accuracy, execution_match};
+pub use expert::ExpertJudge;
+pub use hardness::{classify, Hardness};
+pub use sb_embed::corpus_similarity;

@@ -1,0 +1,30 @@
+//! # sb-nl — SQL-to-NL translation (Phase 3 of the pipeline)
+//!
+//! The paper back-translates generated SQL queries to natural-language
+//! questions with GPT-3, after evaluating GPT-2, zero-shot GPT-3,
+//! fine-tuned GPT-3 and T5 (Table 3). GPU language models are not available
+//! in this reproduction, so this crate substitutes:
+//!
+//! - [`Realizer`]: a compositional rule-based SQL→English generator that
+//!   verbalizes every clause of the dialect using the enhanced schema's
+//!   human-readable aliases, with paraphrase banks for linguistic
+//!   diversity. Its *reference style* output serves as the gold question
+//!   wherever the paper had human-written questions.
+//! - [`LlmProfile`]: a simulated language model wrapping the realizer with
+//!   a calibrated error model (clause drops, wrong values, flipped
+//!   comparisons, robotic phrasing, hallucinated entities) and a
+//!   `fine_tune` operation that absorbs domain vocabulary from NL/SQL
+//!   pairs. Four named profiles ([`LlmProfile::gpt2`],
+//!   [`LlmProfile::gpt3_zero`], [`LlmProfile::gpt3_finetuned`],
+//!   [`LlmProfile::t5`]) are calibrated so the quality *ordering* of the
+//!   paper's Table 3 reproduces; per-clause error application makes more
+//!   complex queries fail more often, which reproduces the §4.1.2 domain
+//!   drop (SDSS ≪ CORDIS).
+//!
+//! See DESIGN.md §1 for the substitution argument.
+
+pub mod llm;
+pub mod realize;
+
+pub use llm::LlmProfile;
+pub use realize::{Realizer, Style};

@@ -1,0 +1,574 @@
+//! Simulated large language models for SQL-to-NL translation.
+//!
+//! Each [`LlmProfile`] wraps the rule-based [`Realizer`] with a calibrated
+//! error model. Errors are applied *per semantic unit* (filter conjunct,
+//! aggregate, ordering), so complex queries are mistranslated more often —
+//! this is what reproduces the paper's observation that SDSS (whose dev
+//! set is 40% extra-hard) gets markedly worse SQL-to-NL quality than
+//! CORDIS (§4.1.2: 53% vs 82%).
+//!
+//! Fine-tuning ([`LlmProfile::fine_tune`]) registers a schema as known:
+//! the model then uses the enhanced schema's human-readable aliases and
+//! suffers a much smaller domain penalty. Without fine-tuning, cryptic
+//! schemas (many aliased short column names, like SDSS's `ra`/`z`) inflate
+//! the error rate — the "unseen domain" failure mode of §2.
+
+use crate::realize::{Realizer, Style};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sb_schema::EnhancedSchema;
+use sb_sql::{BinaryOp, Expr, Literal, Query, SetExpr};
+use std::collections::HashMap;
+
+/// A simulated SQL-to-NL language model.
+#[derive(Debug, Clone)]
+pub struct LlmProfile {
+    /// Model name as it appears in Table 3.
+    pub name: &'static str,
+    /// Per-semantic-unit corruption probability on a fully known,
+    /// non-cryptic schema.
+    pub base_error_rate: f64,
+    /// Paraphrase diversity: styles are sampled from `0..=style_range`.
+    /// 0 keeps the canonical reference phrasing (high BLEU).
+    pub style_range: usize,
+    /// Probability of stilted, "robotic" post-processing per question
+    /// (hurts fluency/BLEU, not semantics).
+    pub robotic_rate: f64,
+    /// Error-rate multiplier slope per unit of schema crypticity when the
+    /// schema was *not* fine-tuned on.
+    pub zero_shot_penalty: f64,
+    /// Residual slope when the schema *was* fine-tuned on.
+    pub fine_tuned_penalty: f64,
+    /// Fine-tuned schema name → tuning strength in `[0, 1]`.
+    fine_tuned: HashMap<String, f64>,
+    rng: StdRng,
+}
+
+impl LlmProfile {
+    /// Fine-tuned GPT-2-large: weakest generator — most per-unit errors,
+    /// noticeable robotic phrasing.
+    pub fn gpt2(seed: u64) -> Self {
+        LlmProfile {
+            name: "GPT-2",
+            base_error_rate: 0.26,
+            style_range: 2,
+            robotic_rate: 0.35,
+            zero_shot_penalty: 3.0,
+            fine_tuned_penalty: 0.9,
+            fine_tuned: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0x6770_7432),
+        }
+    }
+
+    /// Zero-shot GPT-3 Davinci: excellent fluency and semantics but
+    /// paraphrases freely — low word overlap with references (low BLEU,
+    /// high human score).
+    pub fn gpt3_zero(seed: u64) -> Self {
+        LlmProfile {
+            name: "GPT-3-zero",
+            base_error_rate: 0.10,
+            style_range: 5,
+            robotic_rate: 0.02,
+            zero_shot_penalty: 2.2,
+            fine_tuned_penalty: 0.6,
+            fine_tuned: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0x6770_7433),
+        }
+    }
+
+    /// Fine-tuned GPT-3 Davinci: the model the paper selects — highest
+    /// BLEU (phrasing matches the training distribution) and near-best
+    /// semantics.
+    pub fn gpt3_finetuned(seed: u64) -> Self {
+        LlmProfile {
+            name: "GPT-3",
+            base_error_rate: 0.135,
+            style_range: 1,
+            robotic_rate: 0.02,
+            zero_shot_penalty: 2.2,
+            fine_tuned_penalty: 0.6,
+            fine_tuned: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0x6770_7434),
+        }
+    }
+
+    /// Fine-tuned T5-base: decent but below GPT-3 on both axes.
+    pub fn t5(seed: u64) -> Self {
+        LlmProfile {
+            name: "T5",
+            base_error_rate: 0.225,
+            style_range: 3,
+            robotic_rate: 0.18,
+            zero_shot_penalty: 2.8,
+            fine_tuned_penalty: 0.85,
+            fine_tuned: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0x6770_7435),
+        }
+    }
+
+    /// All four Table 3 profiles.
+    pub fn all(seed: u64) -> Vec<LlmProfile> {
+        vec![
+            Self::gpt2(seed),
+            Self::gpt3_zero(seed),
+            Self::gpt3_finetuned(seed),
+            Self::t5(seed),
+        ]
+    }
+
+    /// Fine-tune on `n_pairs` NL/SQL pairs from `schema_name`. Strength
+    /// saturates with the pair count (the paper fine-tunes GPT-3 on 468
+    /// Spider pairs plus 50–100 domain pairs).
+    pub fn fine_tune(&mut self, schema_name: &str, n_pairs: usize) {
+        let strength = n_pairs as f64 / (n_pairs as f64 + 50.0);
+        let entry = self
+            .fine_tuned
+            .entry(schema_name.to_ascii_lowercase())
+            .or_insert(0.0);
+        *entry = entry.max(strength);
+    }
+
+    /// Whether this model has been fine-tuned on a schema.
+    pub fn is_fine_tuned(&self, schema_name: &str) -> bool {
+        self.fine_tuned
+            .contains_key(&schema_name.to_ascii_lowercase())
+    }
+
+    /// The effective per-unit error probability for a schema.
+    pub fn effective_error_rate(&self, enhanced: &EnhancedSchema) -> f64 {
+        let crypt = crypticity(enhanced);
+        let name = enhanced.schema.name.to_ascii_lowercase();
+        let rate = match self.fine_tuned.get(&name) {
+            Some(strength) => {
+                // Interpolate between the zero-shot and fully-tuned slopes
+                // by tuning strength.
+                let slope = self.zero_shot_penalty
+                    - (self.zero_shot_penalty - self.fine_tuned_penalty) * strength;
+                self.base_error_rate * (1.0 + slope * crypt)
+            }
+            None => self.base_error_rate * (1.0 + self.zero_shot_penalty * crypt),
+        };
+        rate.min(0.9)
+    }
+
+    /// Translate one SQL query to a natural-language question.
+    pub fn translate(&mut self, q: &Query, enhanced: &EnhancedSchema) -> String {
+        let p = self.effective_error_rate(enhanced);
+        let corrupted = corrupt_query(q, p, &mut self.rng);
+        let style = Style::numbered(self.rng.gen_range(0..=self.style_range));
+        // Zero-shot models have not seen the domain's alias vocabulary:
+        // realize with the raw schema (cryptic column names leak through).
+        let stripped;
+        let schema_for_realization = if self.is_fine_tuned(&enhanced.schema.name) {
+            enhanced
+        } else {
+            stripped = EnhancedSchema::new(enhanced.schema.clone());
+            &stripped
+        };
+        let realizer = Realizer::new(schema_for_realization);
+        let mut text = realizer.realize(&corrupted, style);
+        if self.rng.gen_bool(self.robotic_rate) {
+            text = roboticize(&text, &mut self.rng);
+        }
+        text
+    }
+
+    /// Generate `n` candidate questions for one SQL query (the paper asks
+    /// GPT-3 for 8 candidates per query to increase linguistic diversity).
+    ///
+    /// Errors split into a *systematic* component — the model misreads the
+    /// SQL once and all candidates share the mistake, so downstream
+    /// consensus filtering cannot remove it — and a smaller *sampling*
+    /// component that varies per candidate (and which Phase 4's
+    /// discriminator is good at filtering). The 75/35 split calibrates the
+    /// post-discrimination silver-standard quality to Table 4's 75–83%
+    /// band.
+    pub fn candidates(
+        &mut self,
+        q: &Query,
+        enhanced: &EnhancedSchema,
+        n: usize,
+    ) -> Vec<String> {
+        let p = self.effective_error_rate(enhanced);
+        let shared = corrupt_query(q, (p * 0.75).min(0.9), &mut self.rng);
+        (0..n)
+            .map(|i| {
+                // Cycle the full paraphrase space: the whole point of
+                // sampling several candidates is linguistic diversity
+                // (§3.3.3), beyond the model's default phrasing band.
+                let style = Style::numbered(i % 6);
+                self.translate_with_rate_styled(&shared, enhanced, (p * 0.35).min(0.9), style)
+            })
+            .collect()
+    }
+
+    /// Realize one candidate with an explicit residual corruption rate
+    /// and style.
+    fn translate_with_rate_styled(
+        &mut self,
+        q: &Query,
+        enhanced: &EnhancedSchema,
+        rate: f64,
+        style: Style,
+    ) -> String {
+        let corrupted = corrupt_query(q, rate, &mut self.rng);
+        let stripped;
+        let schema_for_realization = if self.is_fine_tuned(&enhanced.schema.name) {
+            enhanced
+        } else {
+            stripped = EnhancedSchema::new(enhanced.schema.clone());
+            &stripped
+        };
+        let realizer = Realizer::new(schema_for_realization);
+        let mut text = realizer.realize(&corrupted, style);
+        if self.rng.gen_bool(self.robotic_rate) {
+            text = roboticize(&text, &mut self.rng);
+        }
+        text
+    }
+}
+
+/// How cryptic a schema's vocabulary is: the fraction of columns whose
+/// human-readable alias differs from the raw name, blended with the
+/// fraction of very short column names. SDSS (`ra`, `z`, `u`, `g`…) scores
+/// high; Spider-like schemas with spelled-out names score near zero.
+pub fn crypticity(enhanced: &EnhancedSchema) -> f64 {
+    let mut total = 0usize;
+    let mut cryptic = 0usize;
+    for t in &enhanced.schema.tables {
+        for c in &t.columns {
+            total += 1;
+            let readable = enhanced.readable_column(&t.name, &c.name);
+            let raw_spaced = c.name.replace('_', " ");
+            if !readable.eq_ignore_ascii_case(&raw_spaced) || c.name.len() <= 2 {
+                cryptic += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        cryptic as f64 / total as f64
+    }
+}
+
+/// Count the semantic units of a query (used by tests and calibration):
+/// filter conjuncts, aggregates, group keys, having conjuncts, order
+/// items.
+pub fn semantic_units(q: &Query) -> usize {
+    let mut n = 0;
+    for s in q.selects() {
+        if let Some(sel) = &s.selection {
+            n += sel.conjuncts().len();
+        }
+        n += s.group_by.len();
+        if let Some(h) = &s.having {
+            n += h.conjuncts().len();
+        }
+        n += s
+            .projections
+            .iter()
+            .filter(|p| match p {
+                sb_sql::SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                _ => false,
+            })
+            .count();
+    }
+    n += q.order_by.len();
+    n.max(1)
+}
+
+/// Apply per-unit corruption to a query: each WHERE conjunct, aggregate,
+/// and order item is independently mistranslated with probability `p`.
+fn corrupt_query(q: &Query, p: f64, rng: &mut StdRng) -> Query {
+    let mut out = q.clone();
+    corrupt_set_expr(&mut out.body, p, rng);
+    for item in &mut out.order_by {
+        if rng.gen_bool(p) {
+            // Mistranslate the direction.
+            item.desc = !item.desc;
+        }
+    }
+    out
+}
+
+fn corrupt_set_expr(body: &mut SetExpr, p: f64, rng: &mut StdRng) {
+    match body {
+        SetExpr::Select(s) => {
+            if let Some(sel) = s.selection.take() {
+                s.selection = corrupt_predicate(sel, p, rng);
+            }
+            if let Some(h) = s.having.take() {
+                s.having = corrupt_predicate(h, p, rng);
+            }
+            for proj in &mut s.projections {
+                if let sb_sql::SelectItem::Expr { expr, .. } = proj {
+                    if expr.contains_aggregate() && rng.gen_bool(p) {
+                        swap_aggregate(expr);
+                    }
+                }
+            }
+        }
+        SetExpr::SetOp { left, right, .. } => {
+            corrupt_set_expr(left, p, rng);
+            corrupt_set_expr(right, p, rng);
+        }
+    }
+}
+
+/// Corrupt one conjunct at a time; dropping a conjunct entirely models the
+/// most common LLM failure (omitted filter). Only corruption kinds that
+/// actually change the conjunct's meaning are eligible per shape (flipping
+/// `=` or a `BETWEEN` is not an observable mistranslation, so those
+/// shapes get dropped or value-perturbed instead).
+fn corrupt_predicate(pred: Expr, p: f64, rng: &mut StdRng) -> Option<Expr> {
+    let conjuncts: Vec<Expr> = pred.conjuncts().into_iter().cloned().collect();
+    let mut kept: Vec<Expr> = Vec::new();
+    for mut c in conjuncts {
+        if rng.gen_bool(p) {
+            let flippable = matches!(
+                &c,
+                Expr::Binary {
+                    op: BinaryOp::Lt | BinaryOp::Gt | BinaryOp::LtEq | BinaryOp::GtEq,
+                    ..
+                }
+            );
+            let has_literal = contains_literal(&c);
+            let mut kinds: Vec<u8> = vec![0]; // drop
+            if flippable {
+                kinds.push(1);
+            }
+            if has_literal {
+                kinds.push(2);
+            }
+            match kinds[rng.gen_range(0..kinds.len())] {
+                0 => continue, // drop the filter
+                1 => flip_comparison(&mut c),
+                _ => perturb_value(&mut c, rng),
+            }
+        }
+        kept.push(c);
+    }
+    kept.into_iter().reduce(|a, b| Expr::binary(a, BinaryOp::And, b))
+}
+
+fn contains_literal(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(l) => !matches!(l, Literal::Null | Literal::Bool(_)),
+        Expr::Binary { left, right, .. } => contains_literal(left) || contains_literal(right),
+        Expr::Between { low, high, .. } => contains_literal(low) || contains_literal(high),
+        Expr::InList { list, .. } => list.iter().any(contains_literal),
+        Expr::Like { pattern, .. } => contains_literal(pattern),
+        Expr::Unary { expr, .. } => contains_literal(expr),
+        _ => false,
+    }
+}
+
+fn flip_comparison(e: &mut Expr) {
+    if let Expr::Binary { op, .. } = e {
+        *op = match *op {
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::LtEq => BinaryOp::GtEq,
+            BinaryOp::GtEq => BinaryOp::LtEq,
+            BinaryOp::Eq => BinaryOp::NotEq,
+            other => other,
+        };
+    }
+}
+
+fn perturb_value(e: &mut Expr, rng: &mut StdRng) {
+    match e {
+        Expr::Binary { right, .. } => perturb_value(right, rng),
+        Expr::Literal(l) => {
+            *l = match &*l {
+                Literal::Int(v) => Literal::Int(*v + rng.gen_range(1..=9)),
+                Literal::Float(v) => Literal::Float(*v * 1.5 + 0.1),
+                Literal::Str(s) => {
+                    // Hallucinate a different entity (drop a character and
+                    // reverse), so the original value is absent from the NL.
+                    let scrambled: String = s.chars().rev().skip(1).collect();
+                    Literal::Str(if scrambled.is_empty() {
+                        "something else".to_string()
+                    } else {
+                        scrambled
+                    })
+                }
+                other => (*other).clone(),
+            };
+        }
+        Expr::Between { low, .. } => perturb_value(low, rng),
+        Expr::InList { list, .. } => {
+            if let Some(first) = list.first_mut() {
+                perturb_value(first, rng);
+            }
+        }
+        Expr::Like { pattern, .. } => perturb_value(pattern, rng),
+        _ => {}
+    }
+}
+
+fn swap_aggregate(e: &mut Expr) {
+    use sb_sql::AggFunc;
+    match e {
+        Expr::Agg { func, .. } => {
+            *func = match func {
+                AggFunc::Avg => AggFunc::Sum,
+                AggFunc::Sum => AggFunc::Avg,
+                AggFunc::Min => AggFunc::Max,
+                AggFunc::Max => AggFunc::Min,
+                AggFunc::Count => AggFunc::Count,
+            };
+        }
+        Expr::Binary { left, right, .. } => {
+            swap_aggregate(left);
+            swap_aggregate(right);
+        }
+        _ => {}
+    }
+}
+
+/// Stilted post-processing: the "robotic NLQ" failure DBPal-style template
+/// systems exhibit (§6.1) and weaker LLMs approximate.
+fn roboticize(text: &str, rng: &mut StdRng) -> String {
+    let prefixes = ["Query:", "Please output:", "Database request:"];
+    let p = prefixes.choose(rng).expect("non-empty");
+    format!("{p} {}", text.to_ascii_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_schema::{Column, ColumnType, Schema, TableDef};
+
+    fn cryptic_schema() -> EnhancedSchema {
+        let schema = Schema::new("sdss").with_table(TableDef::new(
+            "specobj",
+            vec![
+                Column::pk("specobjid", ColumnType::Int),
+                Column::new("z", ColumnType::Float),
+                Column::new("ra", ColumnType::Float),
+                Column::new("class", ColumnType::Text),
+            ],
+        ));
+        let mut e = EnhancedSchema::new(schema);
+        e.set_column_alias("specobj", "z", "redshift");
+        e.set_column_alias("specobj", "ra", "right ascension");
+        e
+    }
+
+    fn plain_schema() -> EnhancedSchema {
+        let schema = Schema::new("pets").with_table(TableDef::new(
+            "owners",
+            vec![
+                Column::pk("owner_name", ColumnType::Text),
+                Column::new("city", ColumnType::Text),
+                Column::new("age", ColumnType::Int),
+            ],
+        ));
+        EnhancedSchema::new(schema)
+    }
+
+    #[test]
+    fn crypticity_separates_domains() {
+        assert!(crypticity(&cryptic_schema()) >= 0.5);
+        assert!(crypticity(&plain_schema()) < 0.1);
+    }
+
+    #[test]
+    fn fine_tuning_lowers_error_rate() {
+        let e = cryptic_schema();
+        let mut m = LlmProfile::gpt3_finetuned(1);
+        let zero_shot = m.effective_error_rate(&e);
+        m.fine_tune("sdss", 100);
+        let tuned = m.effective_error_rate(&e);
+        assert!(tuned < zero_shot, "{tuned} !< {zero_shot}");
+    }
+
+    #[test]
+    fn profile_ordering_on_plain_schemas() {
+        // On Spider-like schemas the per-unit error ordering must be
+        // GPT-3-zero ≲ GPT-3 < T5 < GPT-2 (Table 3's human column).
+        let e = plain_schema();
+        let rates: Vec<f64> = LlmProfile::all(1)
+            .iter()
+            .map(|m| m.effective_error_rate(&e))
+            .collect();
+        let (gpt2, gpt3zero, gpt3, t5) = (rates[0], rates[1], rates[2], rates[3]);
+        assert!(gpt3zero < gpt3);
+        assert!(gpt3 < t5);
+        assert!(t5 < gpt2);
+    }
+
+    #[test]
+    fn translation_is_deterministic_per_seed() {
+        let e = cryptic_schema();
+        let q = sb_sql::parse("SELECT s.z FROM specobj AS s WHERE s.class = 'GALAXY'").unwrap();
+        let mut a = LlmProfile::gpt3_finetuned(7);
+        let mut b = LlmProfile::gpt3_finetuned(7);
+        assert_eq!(a.translate(&q, &e), b.translate(&q, &e));
+    }
+
+    #[test]
+    fn candidates_have_diversity() {
+        let e = plain_schema();
+        let q =
+            sb_sql::parse("SELECT o.city FROM owners AS o WHERE o.age > 30").unwrap();
+        let mut m = LlmProfile::gpt3_zero(3);
+        let cands = m.candidates(&q, &e, 8);
+        assert_eq!(cands.len(), 8);
+        let distinct: std::collections::HashSet<&String> = cands.iter().collect();
+        assert!(distinct.len() >= 2, "8 candidates should vary: {cands:?}");
+    }
+
+    #[test]
+    fn fine_tuned_model_uses_aliases_zero_shot_does_not() {
+        let e = cryptic_schema();
+        let q = sb_sql::parse("SELECT s.specobjid FROM specobj AS s WHERE s.z > 0.5").unwrap();
+        let mut tuned = LlmProfile::gpt3_finetuned(5);
+        tuned.fine_tune("sdss", 468);
+        // Sample several translations; fine-tuned ones should mention the
+        // alias at least once, zero-shot ones never (it has never seen the
+        // ontology).
+        let mut zero = LlmProfile::gpt3_zero(5);
+        let tuned_mentions = (0..10).any(|_| tuned.translate(&q, &e).contains("redshift"));
+        let zero_mentions = (0..10).any(|_| zero.translate(&q, &e).contains("redshift"));
+        assert!(tuned_mentions);
+        assert!(!zero_mentions);
+    }
+
+    #[test]
+    fn semantic_units_counts_clauses() {
+        let q = sb_sql::parse(
+            "SELECT class, COUNT(*) FROM specobj WHERE z > 1 AND ra < 100 \
+             GROUP BY class HAVING COUNT(*) > 5 ORDER BY COUNT(*) DESC LIMIT 3",
+        )
+        .unwrap();
+        // 2 filters + 1 group + 1 having + 1 aggregate projection + 1 order
+        assert_eq!(semantic_units(&q), 6);
+        let simple = sb_sql::parse("SELECT a FROM t").unwrap();
+        assert_eq!(semantic_units(&simple), 1);
+    }
+
+    #[test]
+    fn corruption_rate_zero_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let q = sb_sql::parse("SELECT a FROM t WHERE b = 1 AND c > 2").unwrap();
+        let out = corrupt_query(&q, 0.0, &mut rng);
+        assert_eq!(out, q);
+    }
+
+    #[test]
+    fn corruption_rate_one_always_alters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let q = sb_sql::parse("SELECT a FROM t WHERE b = 1").unwrap();
+        let mut changed = 0;
+        for _ in 0..20 {
+            if corrupt_query(&q, 1.0, &mut rng) != q {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 19, "p=1 must essentially always corrupt");
+    }
+}

@@ -1,0 +1,667 @@
+//! Compositional SQL→English realization.
+//!
+//! The realizer walks the query AST and verbalizes each clause using the
+//! enhanced schema's human-readable table/column aliases. It is *total*:
+//! expression shapes without a bespoke phrasing fall back to a readable
+//! gloss, so every query in the dialect gets a semantically complete
+//! question.
+
+use sb_schema::EnhancedSchema;
+use sb_sql::{
+    AggArg, AggFunc, BinaryOp, ColumnRef, Expr, Literal, Query, Select, SelectItem, SetExpr,
+    SetOp, TableFactor, UnaryOp,
+};
+use std::collections::HashMap;
+
+/// A phrasing style: indexes into the paraphrase banks. Style 0 is the
+/// canonical *reference* style used for gold questions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Style {
+    /// Question opener variant.
+    pub opener: usize,
+    /// Clause-phrasing variant.
+    pub variant: usize,
+}
+
+impl Style {
+    /// The canonical reference style.
+    pub fn reference() -> Style {
+        Style::default()
+    }
+
+    /// A numbered style; different indexes give different but equivalent
+    /// phrasings.
+    pub fn numbered(n: usize) -> Style {
+        Style {
+            opener: n,
+            variant: n / 2,
+        }
+    }
+}
+
+/// Openers for plain retrieval questions.
+const OPENERS: [&str; 6] = ["Find", "Show", "List", "Return", "Give me", "Retrieve"];
+/// Openers for counting questions.
+const COUNT_OPENERS: [&str; 4] = [
+    "How many",
+    "Count the number of",
+    "Find the number of",
+    "What is the count of",
+];
+
+fn pick<'a>(bank: &'a [&'a str], idx: usize) -> &'a str {
+    bank[idx % bank.len()]
+}
+
+/// The rule-based SQL→English generator.
+pub struct Realizer<'a> {
+    enhanced: &'a EnhancedSchema,
+    style: Style,
+}
+
+impl<'a> Realizer<'a> {
+    /// Create a realizer over an enhanced schema.
+    pub fn new(enhanced: &'a EnhancedSchema) -> Self {
+        Realizer {
+            enhanced,
+            style: Style::reference(),
+        }
+    }
+
+    /// Verbalize a query in the given style.
+    pub fn realize(&self, q: &Query, style: Style) -> String {
+        let bound = Realizer {
+            enhanced: self.enhanced,
+            style,
+        };
+        bound.realize_inner(q, style)
+    }
+
+    fn realize_inner(&self, q: &Query, style: Style) -> String {
+        let mut text = self.realize_body(&q.body, style);
+        // ORDER BY / LIMIT.
+        match (&q.order_by.first(), q.limit) {
+            (Some(item), Some(n)) => {
+                let key = self.expr_phrase(&item.expr, &self.binding_map(q));
+                let dir = if item.desc { "highest" } else { "lowest" };
+                let lead = pick(&["with the", "having the", "showing only the"], style.variant);
+                if n == 1 {
+                    text.push_str(&format!(" {lead} {dir} {key}"));
+                } else {
+                    text.push_str(&format!(" {lead} {n} {dir} {key}"));
+                }
+            }
+            (Some(item), None) => {
+                let key = self.expr_phrase(&item.expr, &self.binding_map(q));
+                let dir = if item.desc { "descending" } else { "ascending" };
+                text.push_str(&format!(", ordered by {key} {dir}"));
+            }
+            (None, Some(n)) => text.push_str(&format!(", limited to {n} results")),
+            (None, None) => {}
+        }
+        let mut out = text.trim().to_string();
+        if !out.ends_with('?') && !out.ends_with('.') {
+            out.push('?');
+        }
+        // Capitalize the first letter.
+        let mut chars = out.chars();
+        match chars.next() {
+            Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+            None => out,
+        }
+    }
+
+    /// Map binding names (aliases) of the outermost selects to table
+    /// names, for resolving qualified column references.
+    fn binding_map(&self, q: &Query) -> HashMap<String, String> {
+        let mut map = HashMap::new();
+        for sel in q.selects() {
+            for tr in sel.table_refs() {
+                if let TableFactor::Table(name) = &tr.factor {
+                    if let Some(b) = tr.binding() {
+                        map.insert(b.to_ascii_lowercase(), name.clone());
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    fn realize_body(&self, body: &SetExpr, style: Style) -> String {
+        match body {
+            SetExpr::Select(s) => self.realize_select(s, style),
+            SetExpr::SetOp {
+                op, left, right, ..
+            } => {
+                let l = self.realize_body(left, style);
+                let r = self.realize_body(right, style);
+                let connective = match op {
+                    SetOp::Union => "; also include",
+                    SetOp::Intersect => "; keep only those that also match:",
+                    SetOp::Except => "; exclude those that match:",
+                };
+                format!("{l}{connective} {r}")
+            }
+        }
+    }
+
+    fn realize_select(&self, s: &Select, style: Style) -> String {
+        let mut bindings = HashMap::new();
+        for tr in s.table_refs() {
+            if let TableFactor::Table(name) = &tr.factor {
+                if let Some(b) = tr.binding() {
+                    bindings.insert(b.to_ascii_lowercase(), name.clone());
+                }
+            }
+        }
+        let main_table = match &s.from.factor {
+            TableFactor::Table(name) => self.enhanced.readable_table(name),
+            TableFactor::Derived(_) => "the intermediate results".to_string(),
+        };
+
+        // Projection phrase, choosing the opener by shape.
+        let mut parts: Vec<String> = Vec::new();
+        let is_pure_count = s.projections.len() == 1
+            && matches!(
+                &s.projections[0],
+                SelectItem::Expr {
+                    expr: Expr::Agg {
+                        func: AggFunc::Count,
+                        arg: AggArg::Star,
+                        ..
+                    },
+                    ..
+                }
+            );
+        if is_pure_count && s.group_by.is_empty() {
+            parts.push(format!(
+                "{} {} records",
+                pick(&COUNT_OPENERS, style.opener),
+                main_table
+            ));
+        } else {
+            let items: Vec<String> = s
+                .projections
+                .iter()
+                .map(|p| self.projection_phrase(p, &main_table, &bindings))
+                .collect();
+            let distinct = if s.distinct { "distinct " } else { "" };
+            parts.push(format!(
+                "{} the {distinct}{} of {} records",
+                pick(&OPENERS, style.opener),
+                join_and(&items),
+                main_table
+            ));
+        }
+
+        // Joined tables.
+        for join in &s.joins {
+            if let TableFactor::Table(name) = &join.table.factor {
+                parts.push(format!(
+                    "together with their related {}",
+                    self.enhanced.readable_table(name)
+                ));
+            }
+        }
+
+        // WHERE.
+        if let Some(sel) = &s.selection {
+            let conds: Vec<String> = sel
+                .conjuncts()
+                .iter()
+                .map(|c| self.condition_phrase(c, &bindings))
+                .collect();
+            let connector = pick(&["where", "for which", "such that"], style.variant);
+            parts.push(format!("{connector} {}", join_and(&conds)));
+        }
+
+        // GROUP BY.
+        if !s.group_by.is_empty() {
+            let keys: Vec<String> = s
+                .group_by
+                .iter()
+                .map(|g| self.expr_phrase(g, &bindings))
+                .collect();
+            let conn = pick(&["for each", "per", "grouped by every"], style.variant);
+            parts.push(format!("{conn} {}", join_and(&keys)));
+        }
+
+        // HAVING.
+        if let Some(h) = &s.having {
+            let conds: Vec<String> = h
+                .conjuncts()
+                .iter()
+                .map(|c| self.condition_phrase(c, &bindings))
+                .collect();
+            parts.push(format!("keeping only groups where {}", join_and(&conds)));
+        }
+
+        parts.join(" ")
+    }
+
+    fn projection_phrase(
+        &self,
+        item: &SelectItem,
+        main_table: &str,
+        bindings: &HashMap<String, String>,
+    ) -> String {
+        match item {
+            SelectItem::Wildcard => "full details".to_string(),
+            SelectItem::Expr { expr, .. } => self.expr_phrase_with_table(expr, main_table, bindings),
+        }
+    }
+
+    fn expr_phrase_with_table(
+        &self,
+        e: &Expr,
+        main_table: &str,
+        bindings: &HashMap<String, String>,
+    ) -> String {
+        match e {
+            Expr::Agg {
+                func,
+                distinct,
+                arg,
+            } => {
+                let d = if *distinct { "distinct " } else { "" };
+                match (func, arg) {
+                    (AggFunc::Count, AggArg::Star) => format!("number of {main_table} records"),
+                    (AggFunc::Count, AggArg::Expr(inner)) => {
+                        format!("number of {d}{}", self.expr_phrase(inner, bindings))
+                    }
+                    (f, AggArg::Expr(inner)) => {
+                        let w = match f {
+                            AggFunc::Sum => "total",
+                            AggFunc::Avg => "average",
+                            AggFunc::Min => "minimum",
+                            AggFunc::Max => "maximum",
+                            AggFunc::Count => unreachable!(),
+                        };
+                        format!("{w} {}", self.expr_phrase(inner, bindings))
+                    }
+                    (f, AggArg::Star) => format!("{} of all records", f.as_str()),
+                }
+            }
+            other => self.expr_phrase(other, bindings),
+        }
+    }
+
+    /// The readable phrase for a value expression.
+    pub fn expr_phrase(&self, e: &Expr, bindings: &HashMap<String, String>) -> String {
+        match e {
+            Expr::Column(c) => self.column_phrase(c, bindings),
+            Expr::Literal(l) => literal_phrase(l),
+            Expr::Binary { left, op, right } if op.is_arithmetic() => {
+                let l = self.expr_phrase(left, bindings);
+                let r = self.expr_phrase(right, bindings);
+                match op {
+                    BinaryOp::Sub => format!("difference of {l} and {r}"),
+                    BinaryOp::Add => format!("sum of {l} and {r}"),
+                    BinaryOp::Mul => format!("product of {l} and {r}"),
+                    BinaryOp::Div => format!("ratio of {l} to {r}"),
+                    _ => unreachable!(),
+                }
+            }
+            Expr::Agg { .. } => self.expr_phrase_with_table(e, "matching", bindings),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => format!("negative {}", self.expr_phrase(expr, bindings)),
+            other => format!("the value {other}"),
+        }
+    }
+
+    fn column_phrase(&self, c: &ColumnRef, bindings: &HashMap<String, String>) -> String {
+        let table = c
+            .table
+            .as_ref()
+            .and_then(|q| bindings.get(&q.to_ascii_lowercase()))
+            .cloned();
+        match table {
+            Some(t) => self.enhanced.readable_column(&t, &c.column),
+            None => {
+                // Unqualified: search the bound tables.
+                for t in bindings.values() {
+                    if self
+                        .enhanced
+                        .schema
+                        .table(t)
+                        .is_some_and(|d| d.column(&c.column).is_some())
+                    {
+                        return self.enhanced.readable_column(t, &c.column);
+                    }
+                }
+                c.column.replace('_', " ")
+            }
+        }
+    }
+
+    /// Verbalize one WHERE/HAVING conjunct.
+    pub fn condition_phrase(&self, e: &Expr, bindings: &HashMap<String, String>) -> String {
+        match e {
+            Expr::Binary { left, op, right } if op.is_comparison() => {
+                let subject = self.expr_phrase(left, bindings);
+                let object = self.expr_phrase(right, bindings);
+                let v = self.style.variant;
+                let verb = match op {
+                    BinaryOp::Eq => pick(&["is", "equals", "is exactly"], v),
+                    BinaryOp::NotEq => pick(&["is not", "is different from"], v),
+                    BinaryOp::Lt => pick(
+                        &["is less than", "is below", "is smaller than", "is under"],
+                        v,
+                    ),
+                    BinaryOp::LtEq => pick(&["is at most", "is no more than"], v),
+                    BinaryOp::Gt => pick(
+                        &["is greater than", "is above", "exceeds", "is more than"],
+                        v,
+                    ),
+                    BinaryOp::GtEq => pick(&["is at least", "is no less than"], v),
+                    _ => unreachable!(),
+                };
+                format!("the {subject} {verb} {object}")
+            }
+            Expr::Binary {
+                left,
+                op: BinaryOp::Or,
+                right,
+            } => format!(
+                "{} or {}",
+                self.condition_phrase(left, bindings),
+                self.condition_phrase(right, bindings)
+            ),
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => format!(
+                "{} and {}",
+                self.condition_phrase(left, bindings),
+                self.condition_phrase(right, bindings)
+            ),
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => {
+                let subject = self.expr_phrase(expr, bindings);
+                let lo = self.expr_phrase(low, bindings);
+                let hi = self.expr_phrase(high, bindings);
+                if *negated {
+                    format!("the {subject} is not between {lo} and {hi}")
+                } else {
+                    format!("the {subject} is between {lo} and {hi}")
+                }
+            }
+            Expr::InList {
+                expr,
+                negated,
+                list,
+            } => {
+                let subject = self.expr_phrase(expr, bindings);
+                let items: Vec<String> =
+                    list.iter().map(|i| self.expr_phrase(i, bindings)).collect();
+                let neg = if *negated { "none of" } else { "one of" };
+                format!("the {subject} is {neg} {}", join_or(&items))
+            }
+            Expr::InSubquery {
+                expr,
+                negated,
+                subquery,
+            } => {
+                let subject = self.expr_phrase(expr, bindings);
+                let sub = self.realize_body(&subquery.body, Style::reference());
+                let sub = lowercase_first(&sub);
+                let neg = if *negated { "not " } else { "" };
+                format!("the {subject} is {neg}among the results of: {sub}")
+            }
+            Expr::Like {
+                expr,
+                negated,
+                pattern,
+            } => {
+                let subject = self.expr_phrase(expr, bindings);
+                let fragment = match pattern.as_ref() {
+                    Expr::Literal(Literal::Str(p)) => p.trim_matches('%').replace('%', " "),
+                    other => self.expr_phrase(other, bindings),
+                };
+                if *negated {
+                    format!("the {subject} does not contain '{fragment}'")
+                } else {
+                    format!("the {subject} contains '{fragment}'")
+                }
+            }
+            Expr::IsNull { expr, negated } => {
+                let subject = self.expr_phrase(expr, bindings);
+                if *negated {
+                    format!("the {subject} is known")
+                } else {
+                    format!("the {subject} is missing")
+                }
+            }
+            Expr::Exists { negated, subquery } => {
+                let sub = self.realize_body(&subquery.body, Style::reference());
+                let sub = lowercase_first(&sub);
+                if *negated {
+                    format!("there are no results for: {sub}")
+                } else {
+                    format!("there is at least one result for: {sub}")
+                }
+            }
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => format!("it is not the case that {}", self.condition_phrase(expr, bindings)),
+            other => format!("the condition {other} holds"),
+        }
+    }
+}
+
+fn literal_phrase(l: &Literal) -> String {
+    match l {
+        Literal::Null => "unknown".to_string(),
+        Literal::Int(v) => v.to_string(),
+        Literal::Float(v) => {
+            if v.fract() == 0.0 {
+                format!("{v:.0}")
+            } else {
+                format!("{v}")
+            }
+        }
+        Literal::Str(s) => format!("'{s}'"),
+        Literal::Bool(b) => if *b { "true" } else { "false" }.to_string(),
+    }
+}
+
+fn join_and(items: &[String]) -> String {
+    join_with(items, "and")
+}
+
+fn join_or(items: &[String]) -> String {
+    join_with(items, "or")
+}
+
+fn join_with(items: &[String], conj: &str) -> String {
+    match items.len() {
+        0 => String::new(),
+        1 => items[0].clone(),
+        2 => format!("{} {conj} {}", items[0], items[1]),
+        _ => {
+            let head = items[..items.len() - 1].join(", ");
+            format!("{head} {conj} {}", items[items.len() - 1])
+        }
+    }
+}
+
+fn lowercase_first(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_lowercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_schema::{Column, ColumnType, ForeignKey, Schema, TableDef};
+
+    fn enhanced() -> EnhancedSchema {
+        let schema = Schema::new("sdss")
+            .with_table(TableDef::new(
+                "specobj",
+                vec![
+                    Column::pk("specobjid", ColumnType::Int),
+                    Column::new("bestobjid", ColumnType::Int),
+                    Column::new("class", ColumnType::Text),
+                    Column::new("subclass", ColumnType::Text),
+                    Column::new("z", ColumnType::Float),
+                    Column::new("ra", ColumnType::Float),
+                ],
+            ))
+            .with_table(TableDef::new(
+                "photoobj",
+                vec![
+                    Column::pk("objid", ColumnType::Int),
+                    Column::new("u", ColumnType::Float),
+                    Column::new("r", ColumnType::Float),
+                ],
+            ))
+            .with_fk(ForeignKey::new("specobj", "bestobjid", "photoobj", "objid"));
+        let mut e = EnhancedSchema::new(schema);
+        e.set_table_alias("specobj", "spectroscopic object");
+        e.set_table_alias("photoobj", "photometric object");
+        e.set_column_alias("specobj", "z", "redshift");
+        e.set_column_alias("specobj", "ra", "right ascension");
+        e.set_column_alias("photoobj", "u", "ultraviolet magnitude");
+        e.set_column_alias("photoobj", "r", "infrared magnitude");
+        e
+    }
+
+    fn realize(sql: &str) -> String {
+        let e = enhanced();
+        let r = Realizer::new(&e);
+        r.realize(&sb_sql::parse(sql).unwrap(), Style::reference())
+    }
+
+    #[test]
+    fn realizes_simple_filter() {
+        let nl = realize("SELECT s.specobjid FROM specobj AS s WHERE s.subclass = 'STARBURST'");
+        assert!(nl.contains("spectroscopic object"), "{nl}");
+        assert!(nl.contains("subclass"), "{nl}");
+        assert!(nl.contains("STARBURST"), "{nl}");
+    }
+
+    #[test]
+    fn uses_readable_aliases() {
+        let nl = realize("SELECT s.z FROM specobj AS s WHERE s.z > 0.5");
+        assert!(nl.contains("redshift"), "{nl}");
+        assert!(nl.contains("greater than 0.5"), "{nl}");
+        assert!(!nl.contains(" z "), "raw column name should not leak: {nl}");
+    }
+
+    #[test]
+    fn realizes_math_difference() {
+        let nl = realize("SELECT p.objid FROM photoobj AS p WHERE p.u - p.r < 2.22");
+        assert!(
+            nl.contains("difference of ultraviolet magnitude and infrared magnitude"),
+            "{nl}"
+        );
+        assert!(nl.contains("less than 2.22"), "{nl}");
+    }
+
+    #[test]
+    fn realizes_count_star() {
+        let nl = realize("SELECT COUNT(*) FROM specobj");
+        assert!(nl.starts_with("How many"), "{nl}");
+        assert!(nl.contains("spectroscopic object"), "{nl}");
+    }
+
+    #[test]
+    fn realizes_group_by_and_having() {
+        let nl = realize(
+            "SELECT s.class, COUNT(*) FROM specobj AS s GROUP BY s.class HAVING COUNT(*) > 10",
+        );
+        assert!(nl.contains("for each class"), "{nl}");
+        assert!(nl.contains("greater than 10"), "{nl}");
+    }
+
+    #[test]
+    fn realizes_order_limit_as_superlative() {
+        let nl = realize("SELECT s.specobjid FROM specobj AS s ORDER BY s.z DESC LIMIT 1");
+        assert!(nl.contains("highest redshift"), "{nl}");
+        let nl = realize("SELECT s.specobjid FROM specobj AS s ORDER BY s.z LIMIT 3");
+        assert!(nl.contains("3 lowest redshift"), "{nl}");
+    }
+
+    #[test]
+    fn realizes_join() {
+        let nl = realize(
+            "SELECT p.objid FROM photoobj AS p JOIN specobj AS s ON s.bestobjid = p.objid",
+        );
+        assert!(nl.contains("photometric object"), "{nl}");
+        assert!(nl.contains("spectroscopic object"), "{nl}");
+    }
+
+    #[test]
+    fn realizes_between_in_like() {
+        let nl = realize(
+            "SELECT s.specobjid FROM specobj AS s WHERE s.z BETWEEN 0.5 AND 1 \
+             AND s.class IN ('GALAXY', 'QSO') AND s.subclass LIKE '%BURST%'",
+        );
+        assert!(nl.contains("between 0.5 and 1"), "{nl}");
+        assert!(nl.contains("one of 'GALAXY' or 'QSO'"), "{nl}");
+        assert!(nl.contains("contains 'BURST'"), "{nl}");
+    }
+
+    #[test]
+    fn realizes_subquery() {
+        let nl = realize(
+            "SELECT s.specobjid FROM specobj AS s WHERE s.bestobjid IN \
+             (SELECT p.objid FROM photoobj AS p WHERE p.u > 19)",
+        );
+        assert!(nl.contains("among the results of"), "{nl}");
+        assert!(nl.contains("ultraviolet magnitude"), "{nl}");
+    }
+
+    #[test]
+    fn styles_differ_but_share_content() {
+        let e = enhanced();
+        let r = Realizer::new(&e);
+        let q = sb_sql::parse("SELECT s.z FROM specobj AS s WHERE s.class = 'GALAXY'").unwrap();
+        let a = r.realize(&q, Style::numbered(0));
+        let b = r.realize(&q, Style::numbered(1));
+        assert_ne!(a, b);
+        for nl in [&a, &b] {
+            assert!(nl.contains("GALAXY"), "{nl}");
+            assert!(nl.contains("redshift"), "{nl}");
+        }
+    }
+
+    #[test]
+    fn every_style_ends_as_question_or_sentence() {
+        let e = enhanced();
+        let r = Realizer::new(&e);
+        let q = sb_sql::parse("SELECT COUNT(*) FROM specobj").unwrap();
+        for i in 0..8 {
+            let nl = r.realize(&q, Style::numbered(i));
+            assert!(nl.ends_with('?') || nl.ends_with('.'), "{nl}");
+            let first = nl.chars().next().unwrap();
+            assert!(first.is_uppercase(), "{nl}");
+        }
+    }
+
+    #[test]
+    fn realizes_set_operation() {
+        let nl = realize("SELECT s.z FROM specobj AS s EXCEPT SELECT s.z FROM specobj AS s WHERE s.class = 'STAR'");
+        assert!(nl.contains("exclude"), "{nl}");
+    }
+
+    #[test]
+    fn is_null_phrasing() {
+        let nl = realize("SELECT s.specobjid FROM specobj AS s WHERE s.z IS NULL");
+        assert!(nl.contains("redshift is missing"), "{nl}");
+        let nl = realize("SELECT s.specobjid FROM specobj AS s WHERE s.z IS NOT NULL");
+        assert!(nl.contains("redshift is known"), "{nl}");
+    }
+}

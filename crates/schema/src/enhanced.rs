@@ -1,0 +1,343 @@
+//! The paper's *enhanced schema* (§3.3.2).
+//!
+//! Wraps a [`Schema`] with per-column metadata that (a) constrains the
+//! synthetic SQL generator (non-aggregatable / categorical / math-group
+//! flags) and (b) supplies human-readable aliases for the SQL-to-NL
+//! realizer and the schema linker.
+
+use crate::profile::DataProfile;
+use crate::{ColumnType, Schema};
+use std::collections::HashMap;
+
+/// Metadata attached to one column in the enhanced schema.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnMeta {
+    /// Human-readable alias, e.g. `"right ascension"` for `ra`. Empty means
+    /// "use the spelled-out column name".
+    pub alias: String,
+    /// Must never appear under `SUM`/`AVG`/`MIN`/`MAX` (e.g. IDs — the
+    /// paper's `AVG(s.specobjid)` counter-example).
+    pub non_aggregatable: bool,
+    /// Low-cardinality column appropriate for `GROUP BY` (the paper's
+    /// `specobj.class` example; the anti-example is `specobj.ra`).
+    pub categorical: bool,
+    /// Unit group for arithmetic: columns sharing a group may be combined
+    /// with math operators (e.g. SDSS magnitudes `u g r i z` share
+    /// `"magnitude"`). `None` means no arithmetic on this column.
+    pub math_group: Option<String>,
+}
+
+/// A schema enriched with per-table and per-column metadata.
+#[derive(Debug, Clone, Default)]
+pub struct EnhancedSchema {
+    /// The underlying relational schema.
+    pub schema: Schema,
+    table_aliases: HashMap<String, String>,
+    column_meta: HashMap<(String, String), ColumnMeta>,
+}
+
+impl EnhancedSchema {
+    /// Wrap a schema with no metadata.
+    pub fn new(schema: Schema) -> Self {
+        EnhancedSchema {
+            schema,
+            table_aliases: HashMap::new(),
+            column_meta: HashMap::new(),
+        }
+    }
+
+    /// Infer metadata automatically from a data profile, mirroring the
+    /// paper's automatic enhanced-schema creation (manual refinement can
+    /// follow via the setters):
+    ///
+    /// - primary keys, foreign keys, and `*id`/`*_id` columns become
+    ///   non-aggregatable;
+    /// - low-cardinality columns become categorical;
+    /// - float columns in the same table that are not keys are placed in a
+    ///   per-table `"measure"` math group (refine manually for precise unit
+    ///   groups).
+    pub fn infer(schema: Schema, profile: &DataProfile) -> Self {
+        let mut enhanced = EnhancedSchema::new(schema);
+        let fk_cols: Vec<(String, String)> = enhanced
+            .schema
+            .foreign_keys
+            .iter()
+            .flat_map(|fk| {
+                [
+                    (
+                        fk.from_table.to_ascii_lowercase(),
+                        fk.from_column.to_ascii_lowercase(),
+                    ),
+                    (
+                        fk.to_table.to_ascii_lowercase(),
+                        fk.to_column.to_ascii_lowercase(),
+                    ),
+                ]
+            })
+            .collect();
+        let tables: Vec<_> = enhanced.schema.tables.clone();
+        for t in &tables {
+            for c in &t.columns {
+                let key = (t.name.to_ascii_lowercase(), c.name.to_ascii_lowercase());
+                let mut meta = ColumnMeta::default();
+                let lower = c.name.to_ascii_lowercase();
+                let id_like = lower == "id" || lower.ends_with("id") || lower.ends_with("_id");
+                meta.non_aggregatable =
+                    c.primary_key || id_like || fk_cols.contains(&key) || !c.ty.is_numeric();
+                if let Some(p) = profile.column(&t.name, &c.name) {
+                    meta.categorical = p.looks_categorical() && !c.primary_key;
+                }
+                if c.ty == ColumnType::Float && !meta.non_aggregatable {
+                    meta.math_group = Some(format!("{}:measure", t.name.to_ascii_lowercase()));
+                }
+                enhanced.column_meta.insert(key, meta);
+            }
+        }
+        enhanced
+    }
+
+    /// Set a human-readable alias for a table.
+    pub fn set_table_alias(&mut self, table: &str, alias: &str) {
+        self.table_aliases
+            .insert(table.to_ascii_lowercase(), alias.to_string());
+    }
+
+    /// Set (replace) the metadata for a column.
+    pub fn set_column_meta(&mut self, table: &str, column: &str, meta: ColumnMeta) {
+        self.column_meta.insert(
+            (table.to_ascii_lowercase(), column.to_ascii_lowercase()),
+            meta,
+        );
+    }
+
+    /// Set just the alias of a column, preserving the other flags.
+    pub fn set_column_alias(&mut self, table: &str, column: &str, alias: &str) {
+        self.column_meta
+            .entry((table.to_ascii_lowercase(), column.to_ascii_lowercase()))
+            .or_default()
+            .alias = alias.to_string();
+    }
+
+    /// Mark a column non-aggregatable (or not), preserving other flags.
+    pub fn set_non_aggregatable(&mut self, table: &str, column: &str, flag: bool) {
+        self.column_meta
+            .entry((table.to_ascii_lowercase(), column.to_ascii_lowercase()))
+            .or_default()
+            .non_aggregatable = flag;
+    }
+
+    /// Mark a column categorical (or not), preserving other flags.
+    pub fn set_categorical(&mut self, table: &str, column: &str, flag: bool) {
+        self.column_meta
+            .entry((table.to_ascii_lowercase(), column.to_ascii_lowercase()))
+            .or_default()
+            .categorical = flag;
+    }
+
+    /// Remove a column from any math-operator unit group.
+    pub fn clear_math_group(&mut self, table: &str, column: &str) {
+        self.column_meta
+            .entry((table.to_ascii_lowercase(), column.to_ascii_lowercase()))
+            .or_default()
+            .math_group = None;
+    }
+
+    /// Put a column into a math-operator unit group, preserving other flags.
+    pub fn set_math_group(&mut self, table: &str, column: &str, group: &str) {
+        self.column_meta
+            .entry((table.to_ascii_lowercase(), column.to_ascii_lowercase()))
+            .or_default()
+            .math_group = Some(group.to_string());
+    }
+
+    /// Metadata for a column, when recorded.
+    pub fn column_meta(&self, table: &str, column: &str) -> Option<&ColumnMeta> {
+        self.column_meta
+            .get(&(table.to_ascii_lowercase(), column.to_ascii_lowercase()))
+    }
+
+    /// Human-readable name of a table: its alias when set, otherwise the
+    /// table name with underscores spelled as spaces.
+    pub fn readable_table(&self, table: &str) -> String {
+        self.table_aliases
+            .get(&table.to_ascii_lowercase())
+            .cloned()
+            .unwrap_or_else(|| table.replace('_', " "))
+    }
+
+    /// Human-readable name of a column: its alias when set, otherwise the
+    /// column name with underscores spelled as spaces.
+    pub fn readable_column(&self, table: &str, column: &str) -> String {
+        match self.column_meta(table, column) {
+            Some(m) if !m.alias.is_empty() => m.alias.clone(),
+            _ => column.replace('_', " "),
+        }
+    }
+
+    /// Whether an aggregation other than `COUNT` may be applied to this
+    /// column.
+    pub fn aggregatable(&self, table: &str, column: &str) -> bool {
+        match self.column_meta(table, column) {
+            Some(m) => !m.non_aggregatable,
+            // Unknown columns default to the conservative choice.
+            None => false,
+        }
+    }
+
+    /// Whether the column is flagged categorical.
+    pub fn categorical(&self, table: &str, column: &str) -> bool {
+        self.column_meta(table, column)
+            .map(|m| m.categorical)
+            .unwrap_or(false)
+    }
+
+    /// Categorical column names of a table, in declaration order.
+    pub fn categorical_columns(&self, table: &str) -> Vec<String> {
+        match self.schema.table(table) {
+            Some(t) => t
+                .columns
+                .iter()
+                .filter(|c| self.categorical(table, &c.name))
+                .map(|c| c.name.clone())
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Aggregatable (numeric, non-id) column names of a table.
+    pub fn aggregatable_columns(&self, table: &str) -> Vec<String> {
+        match self.schema.table(table) {
+            Some(t) => t
+                .columns
+                .iter()
+                .filter(|c| c.ty.is_numeric() && self.aggregatable(table, &c.name))
+                .map(|c| c.name.clone())
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Columns of `table` sharing a math group, keyed by group name. Only
+    /// groups with at least two members are returned, because a single
+    /// column cannot form a binary math expression.
+    pub fn math_groups(&self, table: &str) -> HashMap<String, Vec<String>> {
+        let mut groups: HashMap<String, Vec<String>> = HashMap::new();
+        if let Some(t) = self.schema.table(table) {
+            for c in &t.columns {
+                if let Some(meta) = self.column_meta(table, &c.name) {
+                    if let Some(g) = &meta.math_group {
+                        groups.entry(g.clone()).or_default().push(c.name.clone());
+                    }
+                }
+            }
+        }
+        groups.retain(|_, v| v.len() >= 2);
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ColumnProfile, DataProfile};
+    use crate::{Column, ColumnType, ForeignKey, Schema, TableDef};
+
+    fn sdss_like() -> (Schema, DataProfile) {
+        let schema = Schema::new("sdss")
+            .with_table(TableDef::new(
+                "specobj",
+                vec![
+                    Column::pk("specobjid", ColumnType::Int),
+                    Column::new("class", ColumnType::Text),
+                    Column::new("z", ColumnType::Float),
+                    Column::new("ra", ColumnType::Float),
+                    Column::new("bestobjid", ColumnType::Int),
+                ],
+            ))
+            .with_table(TableDef::new(
+                "photoobj",
+                vec![
+                    Column::pk("objid", ColumnType::Int),
+                    Column::new("u", ColumnType::Float),
+                    Column::new("r", ColumnType::Float),
+                ],
+            ))
+            .with_fk(ForeignKey::new("specobj", "bestobjid", "photoobj", "objid"));
+        let mut profile = DataProfile::new();
+        profile.insert(
+            "specobj",
+            "class",
+            ColumnProfile {
+                count: 10_000,
+                distinct: 3,
+                ..Default::default()
+            },
+        );
+        profile.insert(
+            "specobj",
+            "ra",
+            ColumnProfile {
+                count: 10_000,
+                distinct: 9_999,
+                ..Default::default()
+            },
+        );
+        (schema, profile)
+    }
+
+    #[test]
+    fn infer_flags_ids_non_aggregatable() {
+        let (schema, profile) = sdss_like();
+        let e = EnhancedSchema::infer(schema, &profile);
+        assert!(!e.aggregatable("specobj", "specobjid"), "pk");
+        assert!(!e.aggregatable("specobj", "bestobjid"), "fk / id suffix");
+        assert!(e.aggregatable("specobj", "z"), "measure column");
+        assert!(!e.aggregatable("specobj", "class"), "text");
+    }
+
+    #[test]
+    fn infer_flags_categorical_from_profile() {
+        let (schema, profile) = sdss_like();
+        let e = EnhancedSchema::infer(schema, &profile);
+        assert!(e.categorical("specobj", "class"));
+        assert!(!e.categorical("specobj", "ra"), "high cardinality");
+        assert_eq!(e.categorical_columns("specobj"), vec!["class".to_string()]);
+    }
+
+    #[test]
+    fn math_groups_need_two_members() {
+        let (schema, profile) = sdss_like();
+        let mut e = EnhancedSchema::infer(schema, &profile);
+        // Manual refinement: u and r are magnitudes (like the paper's
+        // u - r < 2.22); z alone is a redshift.
+        e.set_math_group("photoobj", "u", "magnitude");
+        e.set_math_group("photoobj", "r", "magnitude");
+        e.set_math_group("specobj", "z", "redshift");
+        let photo = e.math_groups("photoobj");
+        assert_eq!(photo["magnitude"].len(), 2);
+        assert!(
+            !e.math_groups("specobj").contains_key("redshift"),
+            "singleton groups are dropped"
+        );
+    }
+
+    #[test]
+    fn readable_names_fall_back_to_spelling_out() {
+        let (schema, profile) = sdss_like();
+        let mut e = EnhancedSchema::infer(schema, &profile);
+        e.set_column_alias("specobj", "ra", "right ascension");
+        e.set_column_alias("specobj", "z", "redshift");
+        e.set_table_alias("specobj", "spectroscopic object");
+        assert_eq!(e.readable_column("specobj", "ra"), "right ascension");
+        assert_eq!(e.readable_column("specobj", "class"), "class");
+        assert_eq!(e.readable_table("specobj"), "spectroscopic object");
+        assert_eq!(e.readable_table("photoobj"), "photoobj");
+    }
+
+    #[test]
+    fn unknown_column_is_conservatively_non_aggregatable() {
+        let (schema, profile) = sdss_like();
+        let e = EnhancedSchema::infer(schema, &profile);
+        assert!(!e.aggregatable("specobj", "nonexistent"));
+    }
+}

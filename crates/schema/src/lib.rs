@@ -1,0 +1,362 @@
+//! # sb-schema — schemas and enhanced schemas
+//!
+//! Relational schema metadata plus the paper's *enhanced schema* (§3.3.2):
+//! per-column flags that steer the synthetic SQL generator away from
+//! meaningless queries —
+//!
+//! - **non-aggregatable** columns (IDs and codes that must never appear
+//!   inside `SUM`/`AVG`/`MIN`/`MAX`),
+//! - **categorical** columns (low-cardinality, good `GROUP BY` keys),
+//! - **math-operator groups** (columns of a common unit that may be
+//!   combined arithmetically, e.g. SDSS magnitudes `u, g, r, i, z`),
+//! - **human-readable aliases** that spell out cryptic scientific names
+//!   (`ra` → "right ascension", `z` → "redshift").
+//!
+//! The enhanced schema can be inferred automatically from a data profile
+//! ([`EnhancedSchema::infer`]) and then refined manually, mirroring the
+//! paper's "one-shot manual refinement" workflow.
+
+pub mod enhanced;
+pub mod profile;
+pub mod stats;
+
+pub use enhanced::{ColumnMeta, EnhancedSchema};
+pub use profile::{ColumnProfile, DataProfile};
+pub use stats::SchemaStats;
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Logical column types. The dialect is deliberately small: everything the
+/// three scientific databases and the Spider-like corpus need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl ColumnType {
+    /// Whether values of this type are numeric.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, ColumnType::Int | ColumnType::Float)
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Int => "INT",
+            ColumnType::Float => "FLOAT",
+            ColumnType::Text => "TEXT",
+            ColumnType::Bool => "BOOL",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Column name as it appears in SQL.
+    pub name: String,
+    /// Logical type.
+    pub ty: ColumnType,
+    /// Whether the column is (part of) the primary key.
+    pub primary_key: bool,
+}
+
+impl Column {
+    /// Construct a non-key column.
+    pub fn new(name: &str, ty: ColumnType) -> Self {
+        Column {
+            name: name.to_string(),
+            ty,
+            primary_key: false,
+        }
+    }
+
+    /// Construct a primary-key column.
+    pub fn pk(name: &str, ty: ColumnType) -> Self {
+        Column {
+            name: name.to_string(),
+            ty,
+            primary_key: true,
+        }
+    }
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDef {
+    /// Table name.
+    pub name: String,
+    /// Column definitions in declaration order.
+    pub columns: Vec<Column>,
+}
+
+impl TableDef {
+    /// Construct a table from a name and columns.
+    pub fn new(name: &str, columns: Vec<Column>) -> Self {
+        TableDef {
+            name: name.to_string(),
+            columns,
+        }
+    }
+
+    /// Look up a column by (case-insensitive) name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The primary-key column, if the table declares exactly one.
+    pub fn primary_key(&self) -> Option<&Column> {
+        let mut keys = self.columns.iter().filter(|c| c.primary_key);
+        let first = keys.next()?;
+        if keys.next().is_some() {
+            None
+        } else {
+            Some(first)
+        }
+    }
+}
+
+/// A foreign-key edge between two table columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ForeignKey {
+    /// Referencing table.
+    pub from_table: String,
+    /// Referencing column.
+    pub from_column: String,
+    /// Referenced table.
+    pub to_table: String,
+    /// Referenced column.
+    pub to_column: String,
+}
+
+impl ForeignKey {
+    /// Construct a foreign key `from_table.from_column → to_table.to_column`.
+    pub fn new(from_table: &str, from_column: &str, to_table: &str, to_column: &str) -> Self {
+        ForeignKey {
+            from_table: from_table.to_string(),
+            from_column: from_column.to_string(),
+            to_table: to_table.to_string(),
+            to_column: to_column.to_string(),
+        }
+    }
+}
+
+/// A database schema: tables plus the foreign-key graph.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    /// Schema (database) name, e.g. `"sdss"`.
+    pub name: String,
+    /// Table definitions.
+    pub tables: Vec<TableDef>,
+    /// Foreign-key edges.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl Schema {
+    /// Construct an empty schema with a name.
+    pub fn new(name: &str) -> Self {
+        Schema {
+            name: name.to_string(),
+            tables: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Add a table; builder-style.
+    pub fn with_table(mut self, table: TableDef) -> Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Add a foreign key; builder-style.
+    pub fn with_fk(mut self, fk: ForeignKey) -> Self {
+        self.foreign_keys.push(fk);
+        self
+    }
+
+    /// Look up a table by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Option<&TableDef> {
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Total number of columns across all tables.
+    pub fn column_count(&self) -> usize {
+        self.tables.iter().map(|t| t.columns.len()).sum()
+    }
+
+    /// Foreign keys that leave `table`.
+    pub fn fks_from<'a>(&'a self, table: &'a str) -> impl Iterator<Item = &'a ForeignKey> + 'a {
+        self.foreign_keys
+            .iter()
+            .filter(move |fk| fk.from_table.eq_ignore_ascii_case(table))
+    }
+
+    /// Join edges incident to `table`, in both directions. Each edge is
+    /// returned as `(this_column, other_table, other_column)`.
+    pub fn join_edges(&self, table: &str) -> Vec<(String, String, String)> {
+        let mut out = Vec::new();
+        for fk in &self.foreign_keys {
+            if fk.from_table.eq_ignore_ascii_case(table) {
+                out.push((
+                    fk.from_column.clone(),
+                    fk.to_table.clone(),
+                    fk.to_column.clone(),
+                ));
+            }
+            if fk.to_table.eq_ignore_ascii_case(table) {
+                out.push((
+                    fk.to_column.clone(),
+                    fk.from_table.clone(),
+                    fk.from_column.clone(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Validate referential integrity of the metadata itself: every foreign
+    /// key must reference existing tables and columns, and table names must
+    /// be unique. Returns a list of problems (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut seen = HashMap::new();
+        for t in &self.tables {
+            if seen.insert(t.name.to_ascii_lowercase(), ()).is_some() {
+                problems.push(format!("duplicate table `{}`", t.name));
+            }
+            let mut cols = HashMap::new();
+            for c in &t.columns {
+                if cols.insert(c.name.to_ascii_lowercase(), ()).is_some() {
+                    problems.push(format!("duplicate column `{}.{}`", t.name, c.name));
+                }
+            }
+        }
+        for fk in &self.foreign_keys {
+            match self.table(&fk.from_table) {
+                None => problems.push(format!("fk from unknown table `{}`", fk.from_table)),
+                Some(t) if t.column(&fk.from_column).is_none() => problems.push(format!(
+                    "fk from unknown column `{}.{}`",
+                    fk.from_table, fk.from_column
+                )),
+                _ => {}
+            }
+            match self.table(&fk.to_table) {
+                None => problems.push(format!("fk to unknown table `{}`", fk.to_table)),
+                Some(t) if t.column(&fk.to_column).is_none() => problems.push(format!(
+                    "fk to unknown column `{}.{}`",
+                    fk.to_table, fk.to_column
+                )),
+                _ => {}
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Schema {
+        Schema::new("toy")
+            .with_table(TableDef::new(
+                "specobj",
+                vec![
+                    Column::pk("specobjid", ColumnType::Int),
+                    Column::new("class", ColumnType::Text),
+                    Column::new("z", ColumnType::Float),
+                    Column::new("bestobjid", ColumnType::Int),
+                ],
+            ))
+            .with_table(TableDef::new(
+                "photoobj",
+                vec![
+                    Column::pk("objid", ColumnType::Int),
+                    Column::new("u", ColumnType::Float),
+                    Column::new("r", ColumnType::Float),
+                ],
+            ))
+            .with_fk(ForeignKey::new("specobj", "bestobjid", "photoobj", "objid"))
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = toy();
+        assert!(s.table("SPECOBJ").is_some());
+        assert!(s.table("specobj").unwrap().column("Z").is_some());
+    }
+
+    #[test]
+    fn column_count_sums_tables() {
+        assert_eq!(toy().column_count(), 7);
+    }
+
+    #[test]
+    fn join_edges_are_bidirectional() {
+        let s = toy();
+        let from_spec = s.join_edges("specobj");
+        assert_eq!(
+            from_spec,
+            vec![(
+                "bestobjid".to_string(),
+                "photoobj".to_string(),
+                "objid".to_string()
+            )]
+        );
+        let from_photo = s.join_edges("photoobj");
+        assert_eq!(from_photo.len(), 1);
+        assert_eq!(from_photo[0].1, "specobj");
+    }
+
+    #[test]
+    fn validate_catches_bad_fk() {
+        let s = toy().with_fk(ForeignKey::new("specobj", "nope", "photoobj", "objid"));
+        let problems = s.validate();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("nope"));
+    }
+
+    #[test]
+    fn validate_catches_duplicate_table() {
+        let s = toy().with_table(TableDef::new("specobj", vec![]));
+        assert!(!s.validate().is_empty());
+    }
+
+    #[test]
+    fn primary_key_single_only() {
+        let s = toy();
+        assert_eq!(
+            s.table("specobj").unwrap().primary_key().unwrap().name,
+            "specobjid"
+        );
+        let multi = TableDef::new(
+            "m",
+            vec![
+                Column::pk("a", ColumnType::Int),
+                Column::pk("b", ColumnType::Int),
+            ],
+        );
+        assert!(multi.primary_key().is_none());
+    }
+}

@@ -1,0 +1,114 @@
+//! Database complexity statistics — the quantities reported in the paper's
+//! Table 1 (databases, tables, columns, rows, average rows per table, size).
+
+use crate::Schema;
+
+/// Complexity statistics of one database, plus the scale factor that maps
+/// the synthetic content back to the real deployment the paper profiled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaStats {
+    /// Database name.
+    pub name: String,
+    /// Number of tables.
+    pub tables: usize,
+    /// Total number of columns.
+    pub columns: usize,
+    /// Total row count of the (synthetic, scaled) content.
+    pub rows: usize,
+    /// Estimated on-disk byte size of the (synthetic, scaled) content.
+    pub bytes: usize,
+    /// Scale factor relative to the real database (e.g. `1000.0` means the
+    /// real database has ~1000× the rows generated here).
+    pub scale_factor: f64,
+}
+
+impl SchemaStats {
+    /// Assemble statistics from a schema plus measured content numbers.
+    pub fn new(schema: &Schema, rows: usize, bytes: usize, scale_factor: f64) -> Self {
+        SchemaStats {
+            name: schema.name.clone(),
+            tables: schema.tables.len(),
+            columns: schema.column_count(),
+            rows,
+            bytes,
+            scale_factor,
+        }
+    }
+
+    /// Average rows per table of the scaled content.
+    pub fn avg_rows_per_table(&self) -> f64 {
+        if self.tables == 0 {
+            0.0
+        } else {
+            self.rows as f64 / self.tables as f64
+        }
+    }
+
+    /// Row count extrapolated to the real deployment.
+    pub fn extrapolated_rows(&self) -> f64 {
+        self.rows as f64 * self.scale_factor
+    }
+
+    /// Byte size extrapolated to the real deployment.
+    pub fn extrapolated_bytes(&self) -> f64 {
+        self.bytes as f64 * self.scale_factor
+    }
+}
+
+/// Render a row/byte count with the paper's unit conventions (K/M/GB).
+pub fn humanize_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.1}B", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.0}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.0}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Render a byte count in GB with one decimal, as in Table 1.
+pub fn humanize_gb(bytes: f64) -> String {
+    format!("{:.1}", bytes / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Column, ColumnType, TableDef};
+
+    #[test]
+    fn stats_aggregate_schema_shape() {
+        let s = Schema::new("sdss")
+            .with_table(TableDef::new(
+                "a",
+                vec![
+                    Column::new("x", ColumnType::Int),
+                    Column::new("y", ColumnType::Int),
+                ],
+            ))
+            .with_table(TableDef::new("b", vec![Column::new("z", ColumnType::Int)]));
+        let st = SchemaStats::new(&s, 600, 12_000, 1000.0);
+        assert_eq!(st.tables, 2);
+        assert_eq!(st.columns, 3);
+        assert!((st.avg_rows_per_table() - 300.0).abs() < 1e-9);
+        assert!((st.extrapolated_rows() - 600_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn humanize_matches_paper_conventions() {
+        assert_eq!(humanize_count(86_000_000.0), "86M");
+        assert_eq!(humanize_count(35_355.0), "35K");
+        assert_eq!(humanize_count(671_000.0), "671K");
+        assert_eq!(humanize_count(12.0), "12");
+        assert_eq!(humanize_gb(6.1e9), "6.1");
+    }
+
+    #[test]
+    fn empty_schema_avg_is_zero() {
+        let s = Schema::new("empty");
+        let st = SchemaStats::new(&s, 0, 0, 1.0);
+        assert_eq!(st.avg_rows_per_table(), 0.0);
+    }
+}

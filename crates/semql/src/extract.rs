@@ -1,0 +1,850 @@
+//! Template extraction (Phase 1 of the pipeline).
+//!
+//! Walks a parsed query, resolving every table/column/value leaf against
+//! the schema, and replaces them with positional placeholders while
+//! recording the context of each slot. Aliases are canonicalized to
+//! `T1, T2, …` exactly as the paper's figures render generated SQL.
+
+use crate::{
+    ColumnSlot, JoinEdge, Template, TemplateError, ValueKind, ValueSlot,
+};
+use sb_schema::Schema;
+use sb_sql::{
+    AggArg, AggFunc, BinaryOp, ColumnRef, Expr, Join, Literal, OrderItem, Query, Select,
+    SelectItem, SetExpr, TableFactor, TableRef,
+};
+use std::collections::HashMap;
+
+/// Extract a template from a query against a schema.
+pub fn extract(query: &Query, schema: &Schema) -> Result<Template, TemplateError> {
+    let mut ex = Extractor {
+        schema,
+        tables: Vec::new(),
+        columns: Vec::new(),
+        column_keys: HashMap::new(),
+        values: Vec::new(),
+        joins: Vec::new(),
+        scopes: Vec::new(),
+    };
+    let skeleton = ex.tx_query(query)?;
+    Ok(Template {
+        skeleton,
+        table_count: ex.tables.len(),
+        columns: ex.columns,
+        values: ex.values,
+        joins: ex.joins,
+        source: query.to_string(),
+    })
+}
+
+/// The syntactic role an expression is encountered in; drives which
+/// context flags a column slot receives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Role {
+    Projection,
+    Filter,
+    GroupBy,
+    OrderBy,
+}
+
+struct Extractor<'a> {
+    schema: &'a Schema,
+    /// Slot → concrete table name seen during extraction.
+    tables: Vec<String>,
+    columns: Vec<ColumnSlot>,
+    /// `(table_slot, lower(column))` → column slot.
+    column_keys: HashMap<(usize, String), usize>,
+    values: Vec<ValueSlot>,
+    joins: Vec<JoinEdge>,
+    /// Stack of scopes; each maps binding name (lower) → table slot.
+    scopes: Vec<Vec<(String, usize)>>,
+}
+
+impl<'a> Extractor<'a> {
+    fn tx_query(&mut self, q: &Query) -> Result<Query, TemplateError> {
+        let body = self.tx_set_expr(&q.body)?;
+        // ORDER BY belongs to the scope of the (single) top select of the
+        // body; re-enter that scope for its expressions. For simplicity we
+        // only support ORDER BY on plain selects.
+        let order_by = if q.order_by.is_empty() {
+            Vec::new()
+        } else {
+            match &q.body {
+                SetExpr::Select(inner) => {
+                    self.push_select_scope(inner)?;
+                    let items = q
+                        .order_by
+                        .iter()
+                        .map(|item| {
+                            Ok(OrderItem {
+                                expr: self.tx_expr(&item.expr, Role::OrderBy, None)?,
+                                desc: item.desc,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, TemplateError>>()?;
+                    self.scopes.pop();
+                    items
+                }
+                SetExpr::SetOp { .. } => {
+                    return Err(TemplateError::Unsupported(
+                        "ORDER BY over a set operation".into(),
+                    ))
+                }
+            }
+        };
+        Ok(Query {
+            body,
+            order_by,
+            limit: q.limit,
+        })
+    }
+
+    fn tx_set_expr(&mut self, body: &SetExpr) -> Result<SetExpr, TemplateError> {
+        match body {
+            SetExpr::Select(s) => Ok(SetExpr::Select(Box::new(self.tx_select(s)?))),
+            SetExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => Ok(SetExpr::SetOp {
+                op: *op,
+                all: *all,
+                left: Box::new(self.tx_set_expr(left)?),
+                right: Box::new(self.tx_set_expr(right)?),
+            }),
+        }
+    }
+
+    /// Register the FROM/JOIN bindings of `select` as a new scope without
+    /// allocating new slots — used to re-enter a scope for ORDER BY. Only
+    /// valid right after the select has been extracted.
+    fn push_select_scope(&mut self, select: &Select) -> Result<(), TemplateError> {
+        let mut scope = Vec::new();
+        for tr in select.table_refs() {
+            if let TableFactor::Table(name) = &tr.factor {
+                let binding = tr.binding().unwrap_or(name).to_ascii_lowercase();
+                // Find the slot by the concrete table name; bindings are
+                // unique within our supported grammar.
+                if let Some(slot) = self
+                    .tables
+                    .iter()
+                    .position(|t| t.eq_ignore_ascii_case(name))
+                {
+                    scope.push((binding, slot));
+                    // Also register the canonical alias.
+                    scope.push((format!("t{}", slot + 1), slot));
+                }
+            }
+        }
+        self.scopes.push(scope);
+        Ok(())
+    }
+
+    fn tx_select(&mut self, s: &Select) -> Result<Select, TemplateError> {
+        // 1. Allocate table slots and bindings.
+        let mut scope = Vec::new();
+        let from = self.tx_table_ref(&s.from, &mut scope)?;
+        let mut joins = Vec::new();
+        let mut pending_constraints = Vec::new();
+        for j in &s.joins {
+            let table = self.tx_table_ref(&j.table, &mut scope)?;
+            pending_constraints.push(j.constraint.clone());
+            joins.push(Join {
+                table,
+                constraint: None,
+                left: j.left,
+            });
+        }
+        self.scopes.push(scope);
+
+        // 2. Join constraints: must be column equalities.
+        for (j, constraint) in joins.iter_mut().zip(pending_constraints) {
+            if let Some(c) = constraint {
+                let skeleton = self.tx_join_constraint(&c)?;
+                j.constraint = Some(skeleton);
+            }
+        }
+
+        // 3. Everything else.
+        let projections = s
+            .projections
+            .iter()
+            .map(|p| match p {
+                SelectItem::Wildcard => Ok(SelectItem::Wildcard),
+                SelectItem::Expr { expr, alias } => Ok(SelectItem::Expr {
+                    expr: self.tx_expr(expr, Role::Projection, None)?,
+                    alias: alias.clone(),
+                }),
+            })
+            .collect::<Result<Vec<_>, TemplateError>>()?;
+        let selection = s
+            .selection
+            .as_ref()
+            .map(|e| self.tx_expr(e, Role::Filter, None))
+            .transpose()?;
+        let group_by = s
+            .group_by
+            .iter()
+            .map(|e| self.tx_expr(e, Role::GroupBy, None))
+            .collect::<Result<Vec<_>, TemplateError>>()?;
+        let having = s
+            .having
+            .as_ref()
+            .map(|e| self.tx_expr(e, Role::Filter, None))
+            .transpose()?;
+
+        self.scopes.pop();
+        Ok(Select {
+            distinct: s.distinct,
+            projections,
+            from,
+            joins,
+            selection,
+            group_by,
+            having,
+        })
+    }
+
+    fn tx_table_ref(
+        &mut self,
+        tr: &TableRef,
+        scope: &mut Vec<(String, usize)>,
+    ) -> Result<TableRef, TemplateError> {
+        match &tr.factor {
+            TableFactor::Table(name) => {
+                if self.schema.table(name).is_none() {
+                    return Err(TemplateError::Unresolved(format!("table `{name}`")));
+                }
+                let slot = self.tables.len();
+                self.tables.push(name.clone());
+                let binding = tr.binding().unwrap_or(name).to_ascii_lowercase();
+                scope.push((binding, slot));
+                let canonical = format!("T{}", slot + 1);
+                scope.push((canonical.to_ascii_lowercase(), slot));
+                Ok(TableRef {
+                    factor: TableFactor::Table(format!("__T{slot}__")),
+                    alias: Some(canonical),
+                })
+            }
+            TableFactor::Derived(_) => Err(TemplateError::Unsupported(
+                "derived tables in templates".into(),
+            )),
+        }
+    }
+
+    /// Resolve a column reference to `(table_slot, column_name)`.
+    fn resolve(&self, c: &ColumnRef) -> Result<(usize, String), TemplateError> {
+        match &c.table {
+            Some(q) => {
+                let qlow = q.to_ascii_lowercase();
+                for scope in self.scopes.iter().rev() {
+                    if let Some((_, slot)) = scope.iter().find(|(b, _)| *b == qlow) {
+                        let table = &self.tables[*slot];
+                        let def = self.schema.table(table).expect("slot tables exist");
+                        if def.column(&c.column).is_none() {
+                            return Err(TemplateError::Unresolved(format!(
+                                "column `{}` in table `{table}`",
+                                c.column
+                            )));
+                        }
+                        return Ok((*slot, c.column.to_ascii_lowercase()));
+                    }
+                }
+                Err(TemplateError::Unresolved(format!("qualifier `{q}`")))
+            }
+            None => {
+                for scope in self.scopes.iter().rev() {
+                    let mut hit = None;
+                    for (_, slot) in scope {
+                        let table = &self.tables[*slot];
+                        let def = self.schema.table(table).expect("slot tables exist");
+                        if def.column(&c.column).is_some() && hit != Some(*slot) {
+                            if hit.is_some() {
+                                return Err(TemplateError::Unresolved(format!(
+                                    "ambiguous column `{}`",
+                                    c.column
+                                )));
+                            }
+                            hit = Some(*slot);
+                        }
+                    }
+                    if let Some(slot) = hit {
+                        return Ok((slot, c.column.to_ascii_lowercase()));
+                    }
+                }
+                Err(TemplateError::Unresolved(format!("column `{}`", c.column)))
+            }
+        }
+    }
+
+    /// Allocate (or reuse) a column slot; returns the slot index and the
+    /// skeleton column reference.
+    fn column_slot(&mut self, c: &ColumnRef) -> Result<(usize, Expr), TemplateError> {
+        let (table_slot, col) = self.resolve(c)?;
+        let key = (table_slot, col);
+        let slot = match self.column_keys.get(&key) {
+            Some(s) => *s,
+            None => {
+                let s = self.columns.len();
+                self.columns.push(ColumnSlot {
+                    table_slot,
+                    contexts: Default::default(),
+                    math_peer: None,
+                });
+                self.column_keys.insert(key, s);
+                s
+            }
+        };
+        let skeleton = Expr::Column(ColumnRef {
+            table: Some(format!("T{}", table_slot + 1)),
+            column: format!("__C{slot}__"),
+        });
+        Ok((slot, skeleton))
+    }
+
+    fn value_slot(&mut self, column_slot: Option<usize>, kind: ValueKind) -> Expr {
+        let slot = self.values.len();
+        self.values.push(ValueSlot { column_slot, kind });
+        Expr::Literal(Literal::Str(format!("__V{slot}__")))
+    }
+
+    /// Join constraints must be plain column equalities so that filling
+    /// can substitute a foreign-key edge.
+    fn tx_join_constraint(&mut self, c: &Expr) -> Result<Expr, TemplateError> {
+        let Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = c
+        else {
+            return Err(TemplateError::Unsupported(format!(
+                "join constraint `{c}` is not a column equality"
+            )));
+        };
+        let (Expr::Column(lc), Expr::Column(rc)) = (left.as_ref(), right.as_ref()) else {
+            return Err(TemplateError::Unsupported(format!(
+                "join constraint `{c}` is not a column equality"
+            )));
+        };
+        let (ls, lskel) = self.column_slot(lc)?;
+        let (rs, rskel) = self.column_slot(rc)?;
+        self.columns[ls].contexts.join_key = true;
+        self.columns[rs].contexts.join_key = true;
+        self.joins.push(JoinEdge {
+            left_table: self.columns[ls].table_slot,
+            right_table: self.columns[rs].table_slot,
+            left_col: ls,
+            right_col: rs,
+        });
+        Ok(Expr::binary(lskel, BinaryOp::Eq, rskel))
+    }
+
+    /// First column reference in an expression, used to anchor a value
+    /// slot for math-expression comparisons like `u - r < 2.22`.
+    fn anchor_column(e: &Expr) -> Option<&ColumnRef> {
+        match e {
+            Expr::Column(c) => Some(c),
+            Expr::Binary { left, right, .. } => {
+                Self::anchor_column(left).or_else(|| Self::anchor_column(right))
+            }
+            Expr::Unary { expr, .. } => Self::anchor_column(expr),
+            Expr::Agg {
+                arg: AggArg::Expr(e),
+                ..
+            } => Self::anchor_column(e),
+            _ => None,
+        }
+    }
+
+    fn tx_expr(
+        &mut self,
+        e: &Expr,
+        role: Role,
+        agg: Option<AggFunc>,
+    ) -> Result<Expr, TemplateError> {
+        match e {
+            Expr::Column(c) => {
+                let (slot, skel) = self.column_slot(c)?;
+                let ctx = &mut self.columns[slot].contexts;
+                if let Some(a) = agg {
+                    ctx.agg = Some(a);
+                }
+                match role {
+                    Role::Projection => ctx.projection = true,
+                    Role::GroupBy => ctx.group_by = true,
+                    Role::OrderBy => ctx.order_by = true,
+                    Role::Filter => {}
+                }
+                Ok(skel)
+            }
+            Expr::Literal(l) => {
+                // Bare literals outside comparisons (rare) are kept as-is.
+                Ok(Expr::Literal(l.clone()))
+            }
+            Expr::Unary { op, expr } => Ok(Expr::Unary {
+                op: *op,
+                expr: Box::new(self.tx_expr(expr, role, agg)?),
+            }),
+            Expr::Binary { left, op, right } => self.tx_binary(left, *op, right, role, agg),
+            Expr::Agg {
+                func,
+                distinct,
+                arg,
+            } => {
+                let arg = match arg {
+                    AggArg::Star => AggArg::Star,
+                    AggArg::Expr(inner) => {
+                        AggArg::Expr(Box::new(self.tx_expr(inner, role, Some(*func))?))
+                    }
+                };
+                Ok(Expr::Agg {
+                    func: *func,
+                    distinct: *distinct,
+                    arg,
+                })
+            }
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => {
+                let anchor = Self::anchor_column(expr)
+                    .map(|c| self.column_slot(c).map(|(s, _)| s))
+                    .transpose()?;
+                if let Some(s) = anchor {
+                    self.columns[s].contexts.comparison = true;
+                }
+                let skel = self.tx_expr(expr, role, agg)?;
+                let low = self.tx_bound(low, anchor)?;
+                let high = self.tx_bound(high, anchor)?;
+                Ok(Expr::Between {
+                    expr: Box::new(skel),
+                    negated: *negated,
+                    low: Box::new(low),
+                    high: Box::new(high),
+                })
+            }
+            Expr::InList {
+                expr,
+                negated,
+                list,
+            } => {
+                let anchor = Self::anchor_column(expr)
+                    .map(|c| self.column_slot(c).map(|(s, _)| s))
+                    .transpose()?;
+                if let Some(s) = anchor {
+                    self.columns[s].contexts.equality = true;
+                }
+                let skel = self.tx_expr(expr, role, agg)?;
+                let list = list
+                    .iter()
+                    .map(|item| match item {
+                        Expr::Literal(Literal::Null) => Ok(item.clone()),
+                        Expr::Literal(_) => Ok(self.value_slot(anchor, ValueKind::Eq)),
+                        other => self.tx_expr(other, role, agg),
+                    })
+                    .collect::<Result<Vec<_>, TemplateError>>()?;
+                Ok(Expr::InList {
+                    expr: Box::new(skel),
+                    negated: *negated,
+                    list,
+                })
+            }
+            Expr::InSubquery {
+                expr,
+                negated,
+                subquery,
+            } => {
+                if let Some(c) = Self::anchor_column(expr) {
+                    let (s, _) = self.column_slot(c)?;
+                    self.columns[s].contexts.equality = true;
+                }
+                let skel = self.tx_expr(expr, role, agg)?;
+                let sub = self.tx_query(subquery)?;
+                Ok(Expr::InSubquery {
+                    expr: Box::new(skel),
+                    negated: *negated,
+                    subquery: Box::new(sub),
+                })
+            }
+            Expr::Like {
+                expr,
+                negated,
+                pattern,
+            } => {
+                let anchor = Self::anchor_column(expr)
+                    .map(|c| self.column_slot(c).map(|(s, _)| s))
+                    .transpose()?;
+                if let Some(s) = anchor {
+                    self.columns[s].contexts.like = true;
+                }
+                let skel = self.tx_expr(expr, role, agg)?;
+                let pattern = match pattern.as_ref() {
+                    Expr::Literal(Literal::Str(_)) => self.value_slot(anchor, ValueKind::Like),
+                    other => self.tx_expr(other, role, agg)?,
+                };
+                Ok(Expr::Like {
+                    expr: Box::new(skel),
+                    negated: *negated,
+                    pattern: Box::new(pattern),
+                })
+            }
+            Expr::IsNull { expr, negated } => Ok(Expr::IsNull {
+                expr: Box::new(self.tx_expr(expr, role, agg)?),
+                negated: *negated,
+            }),
+            Expr::Subquery(q) => Ok(Expr::Subquery(Box::new(self.tx_query(q)?))),
+            Expr::Exists { negated, subquery } => Ok(Expr::Exists {
+                negated: *negated,
+                subquery: Box::new(self.tx_query(subquery)?),
+            }),
+        }
+    }
+
+    /// A BETWEEN bound: literal becomes a Cmp value slot; anything else is
+    /// extracted normally.
+    fn tx_bound(
+        &mut self,
+        e: &Expr,
+        anchor: Option<usize>,
+    ) -> Result<Expr, TemplateError> {
+        match e {
+            Expr::Literal(Literal::Null) => Ok(e.clone()),
+            Expr::Literal(_) => Ok(self.value_slot(anchor, ValueKind::Cmp)),
+            other => self.tx_expr(other, Role::Filter, None),
+        }
+    }
+
+    fn tx_binary(
+        &mut self,
+        left: &Expr,
+        op: BinaryOp,
+        right: &Expr,
+        role: Role,
+        agg: Option<AggFunc>,
+    ) -> Result<Expr, TemplateError> {
+        // Math expression between two columns: record the peer link.
+        if op.is_arithmetic() {
+            if let (Expr::Column(lc), Expr::Column(rc)) = (left, right) {
+                let (ls, lskel) = self.column_slot(lc)?;
+                let (rs, rskel) = self.column_slot(rc)?;
+                self.columns[ls].contexts.math = true;
+                self.columns[rs].contexts.math = true;
+                self.columns[ls].math_peer = Some(rs);
+                self.columns[rs].math_peer = Some(ls);
+                return Ok(Expr::binary(lskel, op, rskel));
+            }
+            // Column op literal (e.g. z * 2): keep the literal fixed.
+            let l = self.tx_expr(left, role, agg)?;
+            let r = self.tx_expr(right, role, agg)?;
+            return Ok(Expr::Binary {
+                left: Box::new(l),
+                op,
+                right: Box::new(r),
+            });
+        }
+        if op.is_comparison() {
+            // Normalize literal-on-the-left to keep slot metadata simple.
+            let (lhs, rhs, flipped) = match (left, right) {
+                (Expr::Literal(_), r) if !matches!(r, Expr::Literal(_)) => (r, left, true),
+                _ => (left, right, false),
+            };
+            if let Expr::Literal(lit) = rhs {
+                if !matches!(lit, Literal::Null) {
+                    let lhs_has_agg = lhs.contains_aggregate();
+                    let anchor = Self::anchor_column(lhs)
+                        .map(|c| self.column_slot(c).map(|(s, _)| s))
+                        .transpose()?;
+                    let kind = if lhs_has_agg {
+                        ValueKind::AggCmp
+                    } else if op == BinaryOp::Eq || op == BinaryOp::NotEq {
+                        ValueKind::Eq
+                    } else {
+                        ValueKind::Cmp
+                    };
+                    if let Some(s) = anchor {
+                        if !lhs_has_agg {
+                            if kind == ValueKind::Eq {
+                                self.columns[s].contexts.equality = true;
+                            } else {
+                                self.columns[s].contexts.comparison = true;
+                            }
+                        }
+                    }
+                    let lskel = self.tx_expr(lhs, role, agg)?;
+                    let vslot = self.value_slot(
+                        if lhs_has_agg { None } else { anchor },
+                        kind,
+                    );
+                    let (l, r) = if flipped {
+                        (vslot, lskel)
+                    } else {
+                        (lskel, vslot)
+                    };
+                    return Ok(Expr::Binary {
+                        left: Box::new(l),
+                        op,
+                        right: Box::new(r),
+                    });
+                }
+            }
+            // Column-to-column or subquery comparisons: plain recursion,
+            // marking columns as comparison context.
+            if let Expr::Column(c) = lhs {
+                let (s, _) = self.column_slot(c)?;
+                self.columns[s].contexts.comparison = true;
+            }
+            if let Expr::Column(c) = rhs {
+                let (s, _) = self.column_slot(c)?;
+                self.columns[s].contexts.comparison = true;
+            }
+            let l = self.tx_expr(left, role, agg)?;
+            let r = self.tx_expr(right, role, agg)?;
+            return Ok(Expr::Binary {
+                left: Box::new(l),
+                op,
+                right: Box::new(r),
+            });
+        }
+        // AND / OR.
+        let l = self.tx_expr(left, role, agg)?;
+        let r = self.tx_expr(right, role, agg)?;
+        Ok(Expr::Binary {
+            left: Box::new(l),
+            op,
+            right: Box::new(r),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assignment;
+    use sb_schema::{Column, ColumnType, ForeignKey, Schema, TableDef};
+
+    fn sdss_schema() -> Schema {
+        Schema::new("sdss")
+            .with_table(TableDef::new(
+                "specobj",
+                vec![
+                    Column::pk("specobjid", ColumnType::Int),
+                    Column::new("bestobjid", ColumnType::Int),
+                    Column::new("class", ColumnType::Text),
+                    Column::new("subclass", ColumnType::Text),
+                    Column::new("z", ColumnType::Float),
+                    Column::new("survey", ColumnType::Text),
+                ],
+            ))
+            .with_table(TableDef::new(
+                "photoobj",
+                vec![
+                    Column::pk("objid", ColumnType::Int),
+                    Column::new("u", ColumnType::Float),
+                    Column::new("r", ColumnType::Float),
+                ],
+            ))
+            .with_table(TableDef::new(
+                "neighbors",
+                vec![
+                    Column::new("objid", ColumnType::Int),
+                    Column::new("neighbormode", ColumnType::Int),
+                ],
+            ))
+            .with_fk(ForeignKey::new("specobj", "bestobjid", "photoobj", "objid"))
+    }
+
+    fn tpl(sql: &str) -> Template {
+        let q = sb_sql::parse(sql).unwrap();
+        extract(&q, &sdss_schema()).unwrap_or_else(|e| panic!("extract `{sql}`: {e}"))
+    }
+
+    #[test]
+    fn extracts_figure1_example() {
+        // The paper's Figure 1 seed: filter with an exact match.
+        let t = tpl("SELECT s.specobjid FROM specobj AS s WHERE s.subclass = 'STARBURST'");
+        assert_eq!(t.table_count, 1);
+        assert_eq!(t.columns.len(), 2);
+        assert_eq!(t.values.len(), 1);
+        assert_eq!(t.values[0].kind, ValueKind::Eq);
+        assert_eq!(t.values[0].column_slot, Some(1));
+        assert!(t.columns[0].contexts.projection);
+        assert!(t.columns[1].contexts.equality);
+        let sig = t.signature();
+        assert!(sig.contains("__T0__"), "{sig}");
+        assert!(sig.contains("__C0__"), "{sig}");
+        assert!(sig.contains("'__V0__'"), "{sig}");
+    }
+
+    #[test]
+    fn instantiates_figure1_generated_sql() {
+        // Template from the seed, filled with the `neighbors` leaf values
+        // — reproducing "Generated SQL (1)" of Figure 1.
+        let t = tpl("SELECT s.specobjid FROM specobj AS s WHERE s.subclass = 'STARBURST'");
+        let q = t
+            .instantiate(&Assignment {
+                tables: vec!["neighbors".into()],
+                columns: vec!["objid".into(), "neighbormode".into()],
+                values: vec![Literal::Int(2)],
+            })
+            .unwrap();
+        assert_eq!(
+            q.to_string(),
+            "SELECT T1.objid FROM neighbors AS T1 WHERE T1.neighbormode = 2"
+        );
+    }
+
+    #[test]
+    fn join_edges_are_recorded() {
+        let t = tpl(
+            "SELECT p.objid, s.specobjid FROM photoobj AS p \
+             JOIN specobj AS s ON s.bestobjid = p.objid WHERE s.class = 'GALAXY'",
+        );
+        assert_eq!(t.table_count, 2);
+        assert_eq!(t.joins.len(), 1);
+        let j = &t.joins[0];
+        // ON s.bestobjid = p.objid: left column belongs to specobj (slot 1).
+        assert_eq!(j.left_table, 1);
+        assert_eq!(j.right_table, 0);
+        assert!(t.columns[j.left_col].contexts.join_key);
+    }
+
+    #[test]
+    fn math_peers_are_linked() {
+        let t = tpl("SELECT p.objid FROM photoobj AS p WHERE p.u - p.r < 2.22");
+        let math_cols: Vec<_> = (0..t.columns.len())
+            .filter(|i| t.columns[*i].contexts.math)
+            .collect();
+        assert_eq!(math_cols.len(), 2);
+        assert_eq!(t.columns[math_cols[0]].math_peer, Some(math_cols[1]));
+        // The comparison value anchors to the first math operand.
+        assert_eq!(t.values[0].kind, ValueKind::Cmp);
+        assert_eq!(t.values[0].column_slot, Some(math_cols[0]));
+    }
+
+    #[test]
+    fn group_by_and_having_contexts() {
+        let t = tpl(
+            "SELECT COUNT(*), s.class FROM specobj AS s \
+             GROUP BY s.class HAVING COUNT(*) > 10",
+        );
+        let class_slot = t
+            .columns
+            .iter()
+            .position(|c| c.contexts.group_by)
+            .expect("group-by slot");
+        assert!(t.columns[class_slot].contexts.projection);
+        assert_eq!(t.values[0].kind, ValueKind::AggCmp);
+        assert_eq!(t.values[0].column_slot, None);
+    }
+
+    #[test]
+    fn agg_context_recorded() {
+        let t = tpl("SELECT AVG(s.z) FROM specobj AS s");
+        assert_eq!(t.columns[0].contexts.agg, Some(AggFunc::Avg));
+    }
+
+    #[test]
+    fn between_creates_two_cmp_values() {
+        let t = tpl("SELECT s.specobjid FROM specobj AS s WHERE s.z BETWEEN 0.5 AND 1.0");
+        assert_eq!(t.values.len(), 2);
+        assert!(t.values.iter().all(|v| v.kind == ValueKind::Cmp));
+        assert!(t.columns[1].contexts.comparison);
+    }
+
+    #[test]
+    fn like_creates_like_value() {
+        let t = tpl("SELECT s.specobjid FROM specobj AS s WHERE s.subclass LIKE '%BURST%'");
+        assert_eq!(t.values[0].kind, ValueKind::Like);
+        assert!(t.columns[1].contexts.like);
+    }
+
+    #[test]
+    fn in_subquery_extracts_recursively() {
+        let t = tpl(
+            "SELECT s.specobjid FROM specobj AS s WHERE s.bestobjid IN \
+             (SELECT p.objid FROM photoobj AS p WHERE p.u > 19)",
+        );
+        assert_eq!(t.table_count, 2, "subquery table gets its own slot");
+        assert_eq!(t.values.len(), 1);
+        assert_eq!(t.values[0].kind, ValueKind::Cmp);
+    }
+
+    #[test]
+    fn order_by_context() {
+        let t = tpl("SELECT s.specobjid FROM specobj AS s ORDER BY s.z DESC LIMIT 5");
+        let z = t.columns.iter().find(|c| c.contexts.order_by).unwrap();
+        assert!(!z.contexts.projection);
+        assert_eq!(t.skeleton.limit, Some(5));
+    }
+
+    #[test]
+    fn reused_column_shares_slot() {
+        let t = tpl("SELECT s.z FROM specobj AS s WHERE s.z > 0.5");
+        assert_eq!(t.columns.len(), 1);
+        assert!(t.columns[0].contexts.projection);
+        assert!(t.columns[0].contexts.comparison);
+    }
+
+    #[test]
+    fn unknown_table_is_unresolved() {
+        let q = sb_sql::parse("SELECT a FROM nope").unwrap();
+        assert!(matches!(
+            extract(&q, &sdss_schema()),
+            Err(TemplateError::Unresolved(_))
+        ));
+    }
+
+    #[test]
+    fn literal_flipped_comparison() {
+        let t = tpl("SELECT s.specobjid FROM specobj AS s WHERE 0.5 < s.z");
+        assert_eq!(t.values.len(), 1);
+        assert_eq!(t.values[0].kind, ValueKind::Cmp);
+        // Skeleton preserves the literal-first shape.
+        assert!(t.signature().contains("'__V0__' <"));
+    }
+
+    #[test]
+    fn quadruples_match_figure2_shape() {
+        let t = tpl("SELECT s.specobjid FROM specobj AS s WHERE s.subclass = 'STARBURST'");
+        let quads = t.quadruples();
+        assert_eq!(quads.len(), 2);
+        // Projection leaf: no value; filter leaf: value 0.
+        assert_eq!(quads[0].to_string(), "A(0) T(0) C(0) V(*)");
+        assert_eq!(quads[1].to_string(), "A(0) T(0) C(1) V(0)");
+    }
+
+    #[test]
+    fn instantiation_round_trips_identity() {
+        // Filling a template with its own leaves reproduces an equivalent
+        // query (modulo canonical aliases).
+        let sql = "SELECT s.bestobjid, s.z FROM specobj AS s WHERE s.class = 'GALAXY' AND s.z > 0.5";
+        let q = sb_sql::parse(sql).unwrap();
+        let t = extract(&q, &sdss_schema()).unwrap();
+        let a = Assignment {
+            tables: vec!["specobj".into()],
+            columns: vec!["bestobjid".into(), "z".into(), "class".into()],
+            values: vec![Literal::Str("GALAXY".into()), Literal::Float(0.5)],
+        };
+        let rebuilt = t.instantiate(&a).unwrap();
+        assert_eq!(
+            rebuilt.to_string(),
+            "SELECT T1.bestobjid, T1.z FROM specobj AS T1 WHERE T1.class = 'GALAXY' AND T1.z > 0.5"
+        );
+    }
+
+    #[test]
+    fn bad_assignment_is_rejected() {
+        let t = tpl("SELECT s.z FROM specobj AS s");
+        let err = t
+            .instantiate(&Assignment {
+                tables: vec![],
+                columns: vec![],
+                values: vec![],
+            })
+            .unwrap_err();
+        assert!(matches!(err, TemplateError::BadAssignment(_)));
+    }
+}

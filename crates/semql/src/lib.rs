@@ -1,0 +1,420 @@
+//! # sb-semql — SemQL-style query templates (Phase 1: Seeding)
+//!
+//! The paper's pipeline transforms manually created SQL queries into an
+//! abstract-syntax-tree representation (SemQL, after IRNet) and replaces
+//! the leaf nodes — **t**ables, **c**olumns and **v**alues — with
+//! placeholder positions, producing *query templates* (Figure 1, Phase 1;
+//! Figure 2 shows a worked example with leaf-node *quadruples*).
+//!
+//! This crate implements:
+//!
+//! - [`Template`]: a skeleton query with positional placeholders plus slot
+//!   metadata describing the context of every leaf (aggregation, group-by,
+//!   join-key, math-operand, comparison, …). The metadata is exactly what
+//!   Algorithm 1's constrained samplers need.
+//! - [`extract`]: template extraction from a parsed query against a
+//!   schema (resolving unqualified columns and canonicalizing aliases to
+//!   `T1, T2, …` as in the paper's figures).
+//! - [`Template::instantiate`]: rebuild a concrete SQL query from a slot
+//!   [`Assignment`] — the "Generated AST created on-the-fly" of
+//!   Algorithm 1, line 21.
+//! - [`Template::quadruples`]: the Figure 2 leaf-node quadruple view
+//!   `(aggregator position, table position, column position, value
+//!   position)`.
+//!
+//! Extraction is deliberately partial: query shapes outside the supported
+//! grammar return [`TemplateError::Unsupported`], and the pipeline simply
+//! skips those seeds. This mirrors the paper's observation that overly
+//! complex templates generate semantically broken queries (§3.4).
+
+mod extract;
+
+pub use extract::extract;
+
+use sb_sql::{AggFunc, Literal, Query};
+use std::fmt;
+
+/// Errors from template extraction or instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateError {
+    /// The query uses a shape the template grammar does not cover.
+    Unsupported(String),
+    /// A column or table could not be resolved against the schema.
+    Unresolved(String),
+    /// An [`Assignment`] does not match the template's slot counts.
+    BadAssignment(String),
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::Unsupported(m) => write!(f, "unsupported query shape: {m}"),
+            TemplateError::Unresolved(m) => write!(f, "unresolved reference: {m}"),
+            TemplateError::BadAssignment(m) => write!(f, "bad assignment: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// Where a column slot occurs inside the query; a slot can play several
+/// roles at once (e.g. projected *and* filtered).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnContexts {
+    /// Appears under an aggregate function.
+    pub agg: Option<AggFunc>,
+    /// Appears in `GROUP BY`.
+    pub group_by: bool,
+    /// Appears in `ORDER BY`.
+    pub order_by: bool,
+    /// Appears in the projection list (outside aggregates).
+    pub projection: bool,
+    /// Appears as one side of a join `ON` equality.
+    pub join_key: bool,
+    /// Appears on the left of an inequality comparison (`< <= > >=`) or
+    /// `BETWEEN` — requires a numeric column.
+    pub comparison: bool,
+    /// Appears on the left of `=`/`<>`/`IN` — any type works.
+    pub equality: bool,
+    /// Appears on the left of `LIKE` — requires a text column.
+    pub like: bool,
+    /// Appears as an operand of a binary math expression.
+    pub math: bool,
+}
+
+/// One column placeholder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSlot {
+    /// Which table slot the column belongs to.
+    pub table_slot: usize,
+    /// Syntactic contexts the slot occurs in.
+    pub contexts: ColumnContexts,
+    /// The other column slot of the same binary math expression, when this
+    /// slot is a math operand (`u - r`: each is the other's peer).
+    pub math_peer: Option<usize>,
+}
+
+/// What kind of literal a value placeholder stands for; drives value
+/// sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// Compared with `=` / `<>` / member of `IN` list: sample an existing
+    /// value of the bound column.
+    Eq,
+    /// Compared with an inequality or `BETWEEN` bound: sample within the
+    /// column's numeric range.
+    Cmp,
+    /// A `LIKE` pattern: sample a substring pattern of an existing value.
+    Like,
+    /// Compared against an aggregate (e.g. `HAVING COUNT(*) > v`): sample
+    /// a small count-like number.
+    AggCmp,
+}
+
+/// One value placeholder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueSlot {
+    /// The column slot the value is compared against; `None` for
+    /// aggregate comparisons like `COUNT(*) > v`.
+    pub column_slot: Option<usize>,
+    /// What kind of literal to sample.
+    pub kind: ValueKind,
+}
+
+/// A join equality between two table slots, extracted from `ON` clauses.
+/// Filling must pick a foreign-key edge between the sampled tables and
+/// write its columns into `left_col` / `right_col`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// Table slot on the left of the equality.
+    pub left_table: usize,
+    /// Table slot on the right of the equality.
+    pub right_table: usize,
+    /// Column slot on the left side.
+    pub left_col: usize,
+    /// Column slot on the right side.
+    pub right_col: usize,
+}
+
+/// A query template: placeholder skeleton plus slot metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Template {
+    /// The skeleton query. Table names are `__T{i}__`, column names
+    /// `__C{j}__`, values `'__V{k}__'`; table aliases are canonicalized to
+    /// `T{i+1}`.
+    pub skeleton: Query,
+    /// Number of table slots.
+    pub table_count: usize,
+    /// Column slots in first-occurrence order.
+    pub columns: Vec<ColumnSlot>,
+    /// Value slots in first-occurrence order.
+    pub values: Vec<ValueSlot>,
+    /// Join equalities between table slots.
+    pub joins: Vec<JoinEdge>,
+    /// The SQL the template was extracted from (provenance).
+    pub source: String,
+}
+
+/// The Figure 2 quadruple: positions of (aggregator, table, column, value)
+/// for one leaf attribute. `None` marks an absent component (e.g. a
+/// projection has no value; `COUNT(*)` has no column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafQuadruple {
+    /// Aggregate position: index into [`AggFunc::ALL`] + 1, or 0 for "no
+    /// aggregation" — matching the paper's `A(0)` notation.
+    pub agg: usize,
+    /// Table slot.
+    pub table: Option<usize>,
+    /// Column slot.
+    pub column: Option<usize>,
+    /// Value slot.
+    pub value: Option<usize>,
+}
+
+impl fmt::Display for LeafQuadruple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn opt(v: Option<usize>) -> String {
+            v.map(|x| x.to_string()).unwrap_or_else(|| "*".to_string())
+        }
+        write!(
+            f,
+            "A({}) T({}) C({}) V({})",
+            self.agg,
+            opt(self.table),
+            opt(self.column),
+            opt(self.value)
+        )
+    }
+}
+
+/// A concrete filling of a template's slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Table name per table slot.
+    pub tables: Vec<String>,
+    /// Column name per column slot.
+    pub columns: Vec<String>,
+    /// Literal per value slot.
+    pub values: Vec<Literal>,
+}
+
+impl Template {
+    /// A canonical signature for de-duplicating templates: the printed
+    /// skeleton (placeholders included).
+    pub fn signature(&self) -> String {
+        self.skeleton.to_string()
+    }
+
+    /// The Figure 2 leaf-quadruple view: one quadruple per value slot
+    /// (filter leaves) and one per column slot that is not value-bound
+    /// (projection/group/order leaves).
+    pub fn quadruples(&self) -> Vec<LeafQuadruple> {
+        let agg_pos = |agg: Option<AggFunc>| -> usize {
+            match agg {
+                None => 0,
+                Some(a) => AggFunc::ALL.iter().position(|x| *x == a).unwrap_or(0) + 1,
+            }
+        };
+        let mut out = Vec::new();
+        let value_bound: Vec<Option<usize>> =
+            self.values.iter().map(|v| v.column_slot).collect();
+        for (ci, col) in self.columns.iter().enumerate() {
+            let value = value_bound
+                .iter()
+                .position(|b| *b == Some(ci))
+                .map(|vi| vi);
+            out.push(LeafQuadruple {
+                agg: agg_pos(col.contexts.agg),
+                table: Some(col.table_slot),
+                column: Some(ci),
+                value,
+            });
+        }
+        // Aggregate-only value slots (COUNT(*) > v) have no column.
+        for (vi, v) in self.values.iter().enumerate() {
+            if v.column_slot.is_none() {
+                out.push(LeafQuadruple {
+                    agg: 0,
+                    table: None,
+                    column: None,
+                    value: Some(vi),
+                });
+            }
+        }
+        out
+    }
+
+    /// Rebuild a concrete query from an assignment (Algorithm 1 line 21,
+    /// "Generated AST created on-the-fly").
+    pub fn instantiate(&self, a: &Assignment) -> Result<Query, TemplateError> {
+        if a.tables.len() != self.table_count {
+            return Err(TemplateError::BadAssignment(format!(
+                "expected {} tables, got {}",
+                self.table_count,
+                a.tables.len()
+            )));
+        }
+        if a.columns.len() != self.columns.len() {
+            return Err(TemplateError::BadAssignment(format!(
+                "expected {} columns, got {}",
+                self.columns.len(),
+                a.columns.len()
+            )));
+        }
+        if a.values.len() != self.values.len() {
+            return Err(TemplateError::BadAssignment(format!(
+                "expected {} values, got {}",
+                self.values.len(),
+                a.values.len()
+            )));
+        }
+        let mut q = self.skeleton.clone();
+        substitute_query(&mut q, a)?;
+        Ok(q)
+    }
+}
+
+/// Parse a `__T{i}__` / `__C{i}__` / `__V{i}__` placeholder.
+pub(crate) fn placeholder_index(s: &str, kind: char) -> Option<usize> {
+    let inner = s.strip_prefix("__")?.strip_suffix("__")?;
+    let rest = inner.strip_prefix(kind)?;
+    rest.parse().ok()
+}
+
+fn substitute_query(q: &mut Query, a: &Assignment) -> Result<(), TemplateError> {
+    substitute_set_expr(&mut q.body, a)?;
+    for item in &mut q.order_by {
+        substitute_expr(&mut item.expr, a)?;
+    }
+    Ok(())
+}
+
+fn substitute_set_expr(
+    body: &mut sb_sql::SetExpr,
+    a: &Assignment,
+) -> Result<(), TemplateError> {
+    match body {
+        sb_sql::SetExpr::Select(s) => substitute_select(s, a),
+        sb_sql::SetExpr::SetOp { left, right, .. } => {
+            substitute_set_expr(left, a)?;
+            substitute_set_expr(right, a)
+        }
+    }
+}
+
+fn substitute_select(s: &mut sb_sql::Select, a: &Assignment) -> Result<(), TemplateError> {
+    substitute_table_ref(&mut s.from, a)?;
+    for j in &mut s.joins {
+        substitute_table_ref(&mut j.table, a)?;
+        if let Some(c) = &mut j.constraint {
+            substitute_expr(c, a)?;
+        }
+    }
+    for p in &mut s.projections {
+        if let sb_sql::SelectItem::Expr { expr, .. } = p {
+            substitute_expr(expr, a)?;
+        }
+    }
+    if let Some(sel) = &mut s.selection {
+        substitute_expr(sel, a)?;
+    }
+    for g in &mut s.group_by {
+        substitute_expr(g, a)?;
+    }
+    if let Some(h) = &mut s.having {
+        substitute_expr(h, a)?;
+    }
+    Ok(())
+}
+
+fn substitute_table_ref(
+    tr: &mut sb_sql::TableRef,
+    a: &Assignment,
+) -> Result<(), TemplateError> {
+    match &mut tr.factor {
+        sb_sql::TableFactor::Table(name) => {
+            if let Some(i) = placeholder_index(name, 'T') {
+                let t = a.tables.get(i).ok_or_else(|| {
+                    TemplateError::BadAssignment(format!("missing table slot {i}"))
+                })?;
+                *name = t.clone();
+            }
+            Ok(())
+        }
+        sb_sql::TableFactor::Derived(q) => substitute_query(q, a),
+    }
+}
+
+fn substitute_expr(e: &mut sb_sql::Expr, a: &Assignment) -> Result<(), TemplateError> {
+    use sb_sql::Expr;
+    match e {
+        Expr::Column(c) => {
+            if let Some(i) = placeholder_index(&c.column, 'C') {
+                let col = a.columns.get(i).ok_or_else(|| {
+                    TemplateError::BadAssignment(format!("missing column slot {i}"))
+                })?;
+                c.column = col.clone();
+            }
+            Ok(())
+        }
+        Expr::Literal(l) => {
+            if let Literal::Str(s) = l {
+                if let Some(i) = placeholder_index(s, 'V') {
+                    let v = a.values.get(i).ok_or_else(|| {
+                        TemplateError::BadAssignment(format!("missing value slot {i}"))
+                    })?;
+                    *l = v.clone();
+                }
+            }
+            Ok(())
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => substitute_expr(expr, a),
+        Expr::Binary { left, right, .. } => {
+            substitute_expr(left, a)?;
+            substitute_expr(right, a)
+        }
+        Expr::Agg { arg, .. } => match arg {
+            sb_sql::AggArg::Star => Ok(()),
+            sb_sql::AggArg::Expr(inner) => substitute_expr(inner, a),
+        },
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            substitute_expr(expr, a)?;
+            substitute_expr(low, a)?;
+            substitute_expr(high, a)
+        }
+        Expr::InList { expr, list, .. } => {
+            substitute_expr(expr, a)?;
+            for item in list {
+                substitute_expr(item, a)?;
+            }
+            Ok(())
+        }
+        Expr::InSubquery { expr, subquery, .. } => {
+            substitute_expr(expr, a)?;
+            substitute_query(subquery, a)
+        }
+        Expr::Like { expr, pattern, .. } => {
+            substitute_expr(expr, a)?;
+            substitute_expr(pattern, a)
+        }
+        Expr::Subquery(q) => substitute_query(q, a),
+        Expr::Exists { subquery, .. } => substitute_query(subquery, a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placeholder_parsing() {
+        assert_eq!(placeholder_index("__T0__", 'T'), Some(0));
+        assert_eq!(placeholder_index("__C12__", 'C'), Some(12));
+        assert_eq!(placeholder_index("__V3__", 'V'), Some(3));
+        assert_eq!(placeholder_index("__T0__", 'C'), None);
+        assert_eq!(placeholder_index("plain", 'T'), None);
+        assert_eq!(placeholder_index("__Tx__", 'T'), None);
+    }
+}

@@ -1,0 +1,616 @@
+//! Abstract syntax tree for the supported SQL dialect.
+//!
+//! The tree is deliberately close to the textual structure of SQL (rather
+//! than to a logical plan) because the ScienceBenchmark pipeline reasons
+//! about queries syntactically: the template extractor replaces leaf nodes,
+//! the hardness classifier counts clause components, and the NL realizer
+//! verbalizes clauses.
+
+use std::fmt;
+
+/// A full query: a set-expression body plus `ORDER BY` / `LIMIT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The body: a plain `SELECT` or a set operation over two bodies.
+    pub body: SetExpr,
+    /// `ORDER BY` items, empty when absent.
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT n`, when present.
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// Wrap a bare [`Select`] into a query with no ordering or limit.
+    pub fn from_select(select: Select) -> Self {
+        Query {
+            body: SetExpr::Select(Box::new(select)),
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// All `SELECT` blocks in the body (left-to-right for set operations),
+    /// not descending into subqueries.
+    pub fn selects(&self) -> Vec<&Select> {
+        fn walk<'a>(e: &'a SetExpr, out: &mut Vec<&'a Select>) {
+            match e {
+                SetExpr::Select(s) => out.push(s),
+                SetExpr::SetOp { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.body, &mut out);
+        out
+    }
+}
+
+/// The body of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    /// A single `SELECT ... FROM ...` block.
+    Select(Box<Select>),
+    /// `left op right` where `op` is `UNION`/`INTERSECT`/`EXCEPT`.
+    SetOp {
+        /// Which set operator combines the two sides.
+        op: SetOp,
+        /// Whether `ALL` was specified (bag rather than set semantics).
+        all: bool,
+        /// Left operand.
+        left: Box<SetExpr>,
+        /// Right operand.
+        right: Box<SetExpr>,
+    },
+}
+
+impl SetExpr {
+    /// Return the inner [`Select`] if the body is a plain select.
+    pub fn as_select(&self) -> Option<&Select> {
+        match self {
+            SetExpr::Select(s) => Some(s),
+            SetExpr::SetOp { .. } => None,
+        }
+    }
+}
+
+/// Set operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+impl SetOp {
+    /// SQL spelling of the operator.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SetOp::Union => "UNION",
+            SetOp::Intersect => "INTERSECT",
+            SetOp::Except => "EXCEPT",
+        }
+    }
+}
+
+/// A single `SELECT` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Whether `DISTINCT` was specified.
+    pub distinct: bool,
+    /// Projection list.
+    pub projections: Vec<SelectItem>,
+    /// The leading `FROM` table.
+    pub from: TableRef,
+    /// `JOIN` clauses in source order.
+    pub joins: Vec<Join>,
+    /// `WHERE` predicate.
+    pub selection: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+}
+
+impl Select {
+    /// A minimal `SELECT * FROM table` block, useful in tests.
+    pub fn star_from(table: &str) -> Self {
+        Select {
+            distinct: false,
+            projections: vec![SelectItem::Wildcard],
+            from: TableRef::named(table),
+            joins: Vec::new(),
+            selection: None,
+            group_by: Vec::new(),
+            having: None,
+        }
+    }
+
+    /// All table references in `FROM`/`JOIN` (not descending into derived
+    /// tables or subqueries).
+    pub fn table_refs(&self) -> impl Iterator<Item = &TableRef> {
+        std::iter::once(&self.from).chain(self.joins.iter().map(|j| &j.table))
+    }
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression with an optional `AS` alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Output-column alias.
+        alias: Option<String>,
+    },
+}
+
+impl SelectItem {
+    /// Convenience constructor for an unaliased expression item.
+    pub fn expr(expr: Expr) -> Self {
+        SelectItem::Expr { expr, alias: None }
+    }
+}
+
+/// A table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// The underlying table or derived subquery.
+    pub factor: TableFactor,
+    /// Binding alias (`AS a`).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// A plain named table without alias.
+    pub fn named(name: &str) -> Self {
+        TableRef {
+            factor: TableFactor::Table(name.to_string()),
+            alias: None,
+        }
+    }
+
+    /// A named table bound to an alias.
+    pub fn aliased(name: &str, alias: &str) -> Self {
+        TableRef {
+            factor: TableFactor::Table(name.to_string()),
+            alias: Some(alias.to_string()),
+        }
+    }
+
+    /// The name this reference binds in scope: the alias when present,
+    /// otherwise the table name (derived tables must be aliased).
+    pub fn binding(&self) -> Option<&str> {
+        match (&self.alias, &self.factor) {
+            (Some(a), _) => Some(a),
+            (None, TableFactor::Table(name)) => Some(name),
+            (None, TableFactor::Derived(_)) => None,
+        }
+    }
+}
+
+/// What a [`TableRef`] refers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableFactor {
+    /// A base table by name.
+    Table(String),
+    /// A parenthesized derived table (`FROM (SELECT ...)`).
+    Derived(Box<Query>),
+}
+
+/// One `JOIN` clause. Only inner joins carry semantics in the dialect; a
+/// `LEFT JOIN` keyword is accepted and recorded for fidelity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// The joined table.
+    pub table: TableRef,
+    /// `ON` predicate; `None` means a cross join (rare but accepted).
+    pub constraint: Option<Expr>,
+    /// Whether the join was written as `LEFT JOIN`.
+    pub left: bool,
+}
+
+/// Ordering item in `ORDER BY`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// The ordering key expression.
+    pub expr: Expr,
+    /// `true` for `DESC`.
+    pub desc: bool,
+}
+
+/// A possibly-qualified column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Table qualifier (alias or table name), when written.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified column.
+    pub fn bare(column: &str) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.to_string(),
+        }
+    }
+
+    /// Qualified column (`table.column`).
+    pub fn qualified(table: &str, column: &str) -> Self {
+        ColumnRef {
+            table: Some(table.to_string()),
+            column: column.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// All aggregate functions, in a stable order.
+    pub const ALL: [AggFunc; 5] = [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+    ];
+}
+
+/// Argument of an aggregate call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggArg {
+    /// `COUNT(*)`
+    Star,
+    /// An expression argument.
+    Expr(Box<Expr>),
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// `NULL`
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical `NOT`.
+    Not,
+}
+
+/// Binary operators, both arithmetic and logical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl BinaryOp {
+    /// SQL spelling of the operator.
+    pub fn as_str(&self) -> &'static str {
+        use BinaryOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Eq => "=",
+            NotEq => "<>",
+            Lt => "<",
+            LtEq => "<=",
+            Gt => ">",
+            GtEq => ">=",
+            And => "AND",
+            Or => "OR",
+        }
+    }
+
+    /// Binding strength used by the parser and printer. Larger binds
+    /// tighter.
+    pub fn precedence(&self) -> u8 {
+        use BinaryOp::*;
+        match self {
+            Or => 1,
+            And => 2,
+            Eq | NotEq | Lt | LtEq | Gt | GtEq => 4,
+            Add | Sub => 5,
+            Mul | Div => 6,
+        }
+    }
+
+    /// Whether this is a comparison operator.
+    pub fn is_comparison(&self) -> bool {
+        use BinaryOp::*;
+        matches!(self, Eq | NotEq | Lt | LtEq | Gt | GtEq)
+    }
+
+    /// Whether this is an arithmetic operator (`+ - * /`). These are the
+    /// "math operators" the paper's SDSS extension is about.
+    pub fn is_arithmetic(&self) -> bool {
+        use BinaryOp::*;
+        matches!(self, Add | Sub | Mul | Div)
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Literal value.
+    Literal(Literal),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Aggregate call.
+    Agg {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Whether `DISTINCT` was specified inside the call.
+        distinct: bool,
+        /// Argument (`*` or an expression).
+        arg: AggArg,
+    },
+    /// `expr [NOT] BETWEEN low AND high`
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Whether `NOT` was specified.
+        negated: bool,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+    },
+    /// `expr [NOT] IN (e1, e2, ...)`
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Whether `NOT` was specified.
+        negated: bool,
+        /// Candidate list.
+        list: Vec<Expr>,
+    },
+    /// `expr [NOT] IN (SELECT ...)`
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Whether `NOT` was specified.
+        negated: bool,
+        /// The subquery producing candidates.
+        subquery: Box<Query>,
+    },
+    /// `expr [NOT] LIKE pattern`
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Whether `NOT` was specified.
+        negated: bool,
+        /// The pattern (usually a string literal with `%`/`_`).
+        pattern: Box<Expr>,
+    },
+    /// `expr IS [NOT] NULL`
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Whether `NOT` was specified.
+        negated: bool,
+    },
+    /// A parenthesized scalar subquery.
+    Subquery(Box<Query>),
+    /// `[NOT] EXISTS (SELECT ...)`
+    Exists {
+        /// Whether `NOT` was specified.
+        negated: bool,
+        /// The probed subquery.
+        subquery: Box<Query>,
+    },
+}
+
+impl Expr {
+    /// Convenience: `left op right`.
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    /// Convenience: an unqualified or qualified column.
+    pub fn col(table: Option<&str>, column: &str) -> Expr {
+        Expr::Column(ColumnRef {
+            table: table.map(str::to_string),
+            column: column.to_string(),
+        })
+    }
+
+    /// Convenience: integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Literal::Int(v))
+    }
+
+    /// Convenience: float literal.
+    pub fn float(v: f64) -> Expr {
+        Expr::Literal(Literal::Float(v))
+    }
+
+    /// Convenience: string literal.
+    pub fn str(v: &str) -> Expr {
+        Expr::Literal(Literal::Str(v.to_string()))
+    }
+
+    /// Whether the expression contains an aggregate call anywhere.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Column(_) | Expr::Literal(_) | Expr::Subquery(_) | Expr::Exists { .. } => false,
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::InSubquery { expr, .. } => expr.contains_aggregate(),
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+        }
+    }
+
+    /// Split a conjunctive predicate into its `AND`-ed conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
+                let mut out = left.conjuncts();
+                out.extend(right.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let e = Expr::binary(
+            Expr::binary(Expr::col(None, "a"), BinaryOp::Eq, Expr::int(1)),
+            BinaryOp::And,
+            Expr::binary(
+                Expr::binary(Expr::col(None, "b"), BinaryOp::Gt, Expr::int(2)),
+                BinaryOp::And,
+                Expr::binary(Expr::col(None, "c"), BinaryOp::Lt, Expr::int(3)),
+            ),
+        );
+        assert_eq!(e.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn contains_aggregate_descends() {
+        let e = Expr::binary(
+            Expr::Agg {
+                func: AggFunc::Count,
+                distinct: false,
+                arg: AggArg::Star,
+            },
+            BinaryOp::Gt,
+            Expr::int(5),
+        );
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col(None, "x").contains_aggregate());
+    }
+
+    #[test]
+    fn binding_prefers_alias() {
+        assert_eq!(TableRef::aliased("specobj", "s").binding(), Some("s"));
+        assert_eq!(TableRef::named("specobj").binding(), Some("specobj"));
+    }
+
+    #[test]
+    fn operator_precedence_ordering() {
+        assert!(BinaryOp::Mul.precedence() > BinaryOp::Add.precedence());
+        assert!(BinaryOp::Add.precedence() > BinaryOp::Eq.precedence());
+        assert!(BinaryOp::Eq.precedence() > BinaryOp::And.precedence());
+        assert!(BinaryOp::And.precedence() > BinaryOp::Or.precedence());
+    }
+
+    #[test]
+    fn selects_collects_set_op_sides() {
+        let q = Query {
+            body: SetExpr::SetOp {
+                op: SetOp::Union,
+                all: false,
+                left: Box::new(SetExpr::Select(Box::new(Select::star_from("a")))),
+                right: Box::new(SetExpr::Select(Box::new(Select::star_from("b")))),
+            },
+            order_by: vec![],
+            limit: None,
+        };
+        assert_eq!(q.selects().len(), 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! Parse-error type for the SQL front end.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// An error produced while lexing or parsing SQL text.
+///
+/// Carries the byte offset into the original input at which the problem was
+/// detected, which callers (e.g. the synthetic-data generator's
+/// executability filter) use to report which generated query failed and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Create a new parse error at the given byte offset.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_message() {
+        let e = ParseError::new("unexpected token", 7);
+        assert_eq!(e.to_string(), "parse error at byte 7: unexpected token");
+    }
+}

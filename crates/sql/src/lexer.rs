@@ -1,0 +1,334 @@
+//! Hand-written SQL lexer.
+//!
+//! Converts SQL text into a vector of [`Token`]s with byte offsets. The
+//! lexer is whitespace- and comment-tolerant (`-- line comments` are
+//! skipped) and keyword matching is case-insensitive.
+
+use crate::error::{ParseError, Result};
+use crate::token::{Keyword, Token};
+
+/// A streaming lexer over SQL source text.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the entire input, appending a trailing [`Token::Eof`].
+    ///
+    /// Returns each token paired with the byte offset of its first
+    /// character.
+    pub fn tokenize(mut self) -> Result<Vec<(Token, usize)>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let Some(b) = self.peek() else {
+                out.push((Token::Eof, start));
+                return Ok(out);
+            };
+            let token = match b {
+                b'\'' => self.lex_string()?,
+                b'"' => self.lex_quoted_ident()?,
+                b'0'..=b'9' => self.lex_number()?,
+                b'.' if self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) => self.lex_number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_word(),
+                _ => self.lex_symbol()?,
+            };
+            out.push((token, start));
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'-') if self.peek_at(1) == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        self.pos += 1;
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<Token> {
+        let start = self.pos;
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    // `''` escapes a single quote inside the literal.
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        value.push('\'');
+                    } else {
+                        return Ok(Token::Str(value));
+                    }
+                }
+                Some(b) => value.push(b as char),
+                None => return Err(ParseError::new("unterminated string literal", start)),
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self) -> Result<Token> {
+        let start = self.pos;
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(Token::Ident(value)),
+                Some(b) => value.push(b as char),
+                None => return Err(ParseError::new("unterminated quoted identifier", start)),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Token> {
+        let start = self.pos;
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    self.pos += 1;
+                }
+                b'.' if !saw_dot && !saw_exp => {
+                    // A dot not followed by a digit terminates the number
+                    // (it is a qualifier dot, e.g. `t1.col` — though a
+                    // number cannot be a qualifier, be conservative).
+                    if self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                        saw_dot = true;
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                b'e' | b'E' if !saw_exp => {
+                    let next = self.peek_at(1);
+                    let next2 = self.peek_at(2);
+                    let exp_ok = next.is_some_and(|c| c.is_ascii_digit())
+                        || (matches!(next, Some(b'+') | Some(b'-'))
+                            && next2.is_some_and(|c| c.is_ascii_digit()));
+                    if exp_ok {
+                        saw_exp = true;
+                        self.pos += 1; // e
+                        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                            self.pos += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if saw_dot || saw_exp {
+            text.parse::<f64>()
+                .map(Token::Float)
+                .map_err(|_| ParseError::new(format!("invalid float literal `{text}`"), start))
+        } else {
+            text.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|_| ParseError::new(format!("invalid integer literal `{text}`"), start))
+        }
+    }
+
+    fn lex_word(&mut self) -> Token {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let word = &self.src[start..self.pos];
+        match Keyword::from_word(word) {
+            Some(k) => Token::Keyword(k),
+            None => Token::Ident(word.to_string()),
+        }
+    }
+
+    fn lex_symbol(&mut self) -> Result<Token> {
+        let start = self.pos;
+        let b = self.bump().expect("caller checked non-empty");
+        Ok(match b {
+            b'=' => Token::Eq,
+            b'<' => match self.peek() {
+                Some(b'=') => {
+                    self.bump();
+                    Token::LtEq
+                }
+                Some(b'>') => {
+                    self.bump();
+                    Token::NotEq
+                }
+                _ => Token::Lt,
+            },
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Token::GtEq
+                } else {
+                    Token::Gt
+                }
+            }
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Token::NotEq
+                } else {
+                    return Err(ParseError::new("expected `=` after `!`", start));
+                }
+            }
+            b'+' => Token::Plus,
+            b'-' => Token::Minus,
+            b'*' => Token::Star,
+            b'/' => Token::Slash,
+            b'(' => Token::LParen,
+            b')' => Token::RParen,
+            b',' => Token::Comma,
+            b'.' => Token::Dot,
+            b';' => Token::Semicolon,
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{}`", other as char),
+                    start,
+                ))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let t = toks("SELECT a FROM t");
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Ident("a".into()),
+                Token::Keyword(Keyword::From),
+                Token::Ident("t".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("42")[0], Token::Int(42));
+        assert_eq!(toks("2.22")[0], Token::Float(2.22));
+        assert_eq!(toks("1e3")[0], Token::Float(1000.0));
+        assert_eq!(toks("1.5e-2")[0], Token::Float(0.015));
+    }
+
+    #[test]
+    fn dot_after_ident_is_qualifier_not_float() {
+        let t = toks("p.u - p.r < 2.22");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("p".into()),
+                Token::Dot,
+                Token::Ident("u".into()),
+                Token::Minus,
+                Token::Ident("p".into()),
+                Token::Dot,
+                Token::Ident("r".into()),
+                Token::Lt,
+                Token::Float(2.22),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_with_escape() {
+        assert_eq!(toks("'it''s'")[0], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let t = toks("<= >= <> != =");
+        assert_eq!(
+            t,
+            vec![
+                Token::LtEq,
+                Token::GtEq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Eq,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        let t = toks("SELECT -- the projection\n a");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(Lexer::new("'oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        assert_eq!(toks("\"Order\"")[0], Token::Ident("Order".into()));
+    }
+
+    #[test]
+    fn bare_bang_is_error() {
+        assert!(Lexer::new("a ! b").tokenize().is_err());
+    }
+}

@@ -1,0 +1,755 @@
+//! Recursive-descent parser with precedence climbing for expressions.
+
+use crate::ast::*;
+use crate::error::{ParseError, Result};
+use crate::lexer::Lexer;
+use crate::token::{Keyword, Token};
+
+/// Parse a single SQL query (an optional trailing `;` is accepted).
+pub fn parse(src: &str) -> Result<Query> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser::new(tokens);
+    let q = p.parse_query()?;
+    p.eat(&Token::Semicolon);
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// The parser state: a token stream with one-token lookahead helpers.
+pub struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Create a parser over a pre-lexed token stream (must end in `Eof`).
+    pub fn new(tokens: Vec<(Token, usize)>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].0
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].0
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].1
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].0.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume `t` if it is next; report whether it was consumed.
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: Keyword) -> bool {
+        self.eat(&Token::Keyword(k))
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{t}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, k: Keyword) -> Result<()> {
+        self.expect(&Token::Keyword(k))
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing input starting at `{}`", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError::new(message, self.offset())
+    }
+
+    /// Parse a query: set-expression body, then `ORDER BY` / `LIMIT`.
+    pub fn parse_query(&mut self) -> Result<Query> {
+        let body = self.parse_set_expr()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw(Keyword::Desc) {
+                    true
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw(Keyword::Limit) {
+            match self.bump() {
+                Token::Int(n) if n >= 0 => Some(n as u64),
+                other => return Err(self.err(format!("expected limit count, found `{other}`"))),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            body,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = self.parse_set_operand()?;
+        loop {
+            let op = match self.peek() {
+                Token::Keyword(Keyword::Union) => SetOp::Union,
+                Token::Keyword(Keyword::Intersect) => SetOp::Intersect,
+                Token::Keyword(Keyword::Except) => SetOp::Except,
+                _ => break,
+            };
+            self.bump();
+            let all = self.eat_kw(Keyword::All);
+            let right = self.parse_set_operand()?;
+            left = SetExpr::SetOp {
+                op,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_set_operand(&mut self) -> Result<SetExpr> {
+        if self.eat(&Token::LParen) {
+            // Parenthesized query used as a set operand.
+            let q = self.parse_query()?;
+            self.expect(&Token::RParen)?;
+            // Flatten a bare parenthesized select so that printing does not
+            // need to reproduce the parentheses.
+            if q.order_by.is_empty() && q.limit.is_none() {
+                return Ok(q.body);
+            }
+            return Err(self.err(
+                "ORDER BY / LIMIT inside a parenthesized set operand is not supported".into(),
+            ));
+        }
+        Ok(SetExpr::Select(Box::new(self.parse_select()?)))
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_kw(Keyword::Select)?;
+        let distinct = self.eat_kw(Keyword::Distinct);
+        let mut projections = vec![self.parse_select_item()?];
+        while self.eat(&Token::Comma) {
+            projections.push(self.parse_select_item()?);
+        }
+        self.expect_kw(Keyword::From)?;
+        let from = self.parse_table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let left = match self.peek() {
+                Token::Keyword(Keyword::Join) => {
+                    self.bump();
+                    false
+                }
+                Token::Keyword(Keyword::Inner) => {
+                    self.bump();
+                    self.expect_kw(Keyword::Join)?;
+                    false
+                }
+                Token::Keyword(Keyword::Left) => {
+                    self.bump();
+                    self.expect_kw(Keyword::Join)?;
+                    true
+                }
+                _ => break,
+            };
+            let table = self.parse_table_ref()?;
+            let constraint = if self.eat_kw(Keyword::On) {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            joins.push(Join {
+                table,
+                constraint,
+                left,
+            });
+        }
+        let selection = if self.eat_kw(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            group_by.push(self.parse_expr()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.parse_expr()?);
+            }
+        }
+        let having = if self.eat_kw(Keyword::Having) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            projections,
+            from,
+            joins,
+            selection,
+            group_by,
+            having,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            match self.bump() {
+                Token::Ident(name) => Some(name),
+                other => return Err(self.err(format!("expected alias, found `{other}`"))),
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let factor = if self.peek() == &Token::LParen {
+            self.bump();
+            let q = self.parse_query()?;
+            self.expect(&Token::RParen)?;
+            TableFactor::Derived(Box::new(q))
+        } else {
+            match self.bump() {
+                Token::Ident(name) => TableFactor::Table(name),
+                other => return Err(self.err(format!("expected table name, found `{other}`"))),
+            }
+        };
+        let alias = if self.eat_kw(Keyword::As) {
+            match self.bump() {
+                Token::Ident(name) => Some(name),
+                other => return Err(self.err(format!("expected table alias, found `{other}`"))),
+            }
+        } else if let Token::Ident(_) = self.peek() {
+            // Implicit alias: `FROM specobj s`.
+            match self.bump() {
+                Token::Ident(name) => Some(name),
+                _ => unreachable!(),
+            }
+        } else {
+            None
+        };
+        Ok(TableRef { factor, alias })
+    }
+
+    /// Parse an expression with the lowest precedence (i.e. including
+    /// `OR`).
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_binary(0)
+    }
+
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            // Postfix predicates bind tighter than AND/OR but looser than
+            // comparisons; handle them at precedence 3.
+            if min_prec <= 3 {
+                if let Some(e) = self.try_parse_postfix(&left)? {
+                    left = e;
+                    continue;
+                }
+            }
+            let op = match self.peek() {
+                Token::Keyword(Keyword::Or) => BinaryOp::Or,
+                Token::Keyword(Keyword::And) => BinaryOp::And,
+                Token::Eq => BinaryOp::Eq,
+                Token::NotEq => BinaryOp::NotEq,
+                Token::Lt => BinaryOp::Lt,
+                Token::LtEq => BinaryOp::LtEq,
+                Token::Gt => BinaryOp::Gt,
+                Token::GtEq => BinaryOp::GtEq,
+                Token::Plus => BinaryOp::Add,
+                Token::Minus => BinaryOp::Sub,
+                Token::Star => BinaryOp::Mul,
+                Token::Slash => BinaryOp::Div,
+                _ => break,
+            };
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            // All supported operators are left-associative.
+            let right = self.parse_binary(prec + 1)?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    /// Try to parse a postfix predicate (`BETWEEN`, `IN`, `LIKE`,
+    /// `IS [NOT] NULL`) attached to `left`. Returns `Ok(None)` when the next
+    /// token does not start one.
+    fn try_parse_postfix(&mut self, left: &Expr) -> Result<Option<Expr>> {
+        let negated = match (self.peek(), self.peek2()) {
+            (Token::Keyword(Keyword::Not), Token::Keyword(k))
+                if matches!(k, Keyword::Between | Keyword::In | Keyword::Like) =>
+            {
+                self.bump();
+                true
+            }
+            _ => false,
+        };
+        match self.peek() {
+            Token::Keyword(Keyword::Between) => {
+                self.bump();
+                // Bounds bind at additive precedence so `BETWEEN a AND b`
+                // does not swallow the `AND`.
+                let low = self.parse_binary(5)?;
+                self.expect_kw(Keyword::And)?;
+                let high = self.parse_binary(5)?;
+                Ok(Some(Expr::Between {
+                    expr: Box::new(left.clone()),
+                    negated,
+                    low: Box::new(low),
+                    high: Box::new(high),
+                }))
+            }
+            Token::Keyword(Keyword::In) => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                if self.peek() == &Token::Keyword(Keyword::Select) {
+                    let q = self.parse_query()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(Some(Expr::InSubquery {
+                        expr: Box::new(left.clone()),
+                        negated,
+                        subquery: Box::new(q),
+                    }))
+                } else {
+                    let mut list = vec![self.parse_expr()?];
+                    while self.eat(&Token::Comma) {
+                        list.push(self.parse_expr()?);
+                    }
+                    self.expect(&Token::RParen)?;
+                    Ok(Some(Expr::InList {
+                        expr: Box::new(left.clone()),
+                        negated,
+                        list,
+                    }))
+                }
+            }
+            Token::Keyword(Keyword::Like) => {
+                self.bump();
+                let pattern = self.parse_unary()?;
+                Ok(Some(Expr::Like {
+                    expr: Box::new(left.clone()),
+                    negated,
+                    pattern: Box::new(pattern),
+                }))
+            }
+            Token::Keyword(Keyword::Is) => {
+                self.bump();
+                let negated = self.eat_kw(Keyword::Not);
+                self.expect_kw(Keyword::Null)?;
+                Ok(Some(Expr::IsNull {
+                    expr: Box::new(left.clone()),
+                    negated,
+                }))
+            }
+            _ => {
+                if negated {
+                    Err(self.err("expected BETWEEN, IN or LIKE after NOT".into()))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Token::Minus => {
+                self.bump();
+                let inner = self.parse_unary()?;
+                // Fold negation into numeric literals for cleaner ASTs.
+                Ok(match inner {
+                    Expr::Literal(Literal::Int(v)) => Expr::Literal(Literal::Int(-v)),
+                    Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
+                    other => Expr::Unary {
+                        op: UnaryOp::Neg,
+                        expr: Box::new(other),
+                    },
+                })
+            }
+            Token::Plus => {
+                self.bump();
+                self.parse_unary()
+            }
+            Token::Keyword(Keyword::Not) => {
+                if self.peek2() == &Token::Keyword(Keyword::Exists) {
+                    self.bump();
+                    self.bump();
+                    self.expect(&Token::LParen)?;
+                    let q = self.parse_query()?;
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::Exists {
+                        negated: true,
+                        subquery: Box::new(q),
+                    });
+                }
+                self.bump();
+                // NOT binds looser than comparisons: parse at precedence 3.
+                let inner = self.parse_binary(3)?;
+                Ok(Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(inner),
+                })
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Token::Int(v) => Ok(Expr::Literal(Literal::Int(v))),
+            Token::Float(v) => Ok(Expr::Literal(Literal::Float(v))),
+            Token::Str(s) => Ok(Expr::Literal(Literal::Str(s))),
+            Token::Keyword(Keyword::Null) => Ok(Expr::Literal(Literal::Null)),
+            Token::Keyword(Keyword::True) => Ok(Expr::Literal(Literal::Bool(true))),
+            Token::Keyword(Keyword::False) => Ok(Expr::Literal(Literal::Bool(false))),
+            Token::Keyword(Keyword::Exists) => {
+                self.expect(&Token::LParen)?;
+                let q = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                Ok(Expr::Exists {
+                    negated: false,
+                    subquery: Box::new(q),
+                })
+            }
+            Token::Keyword(k @ (Keyword::Count
+            | Keyword::Sum
+            | Keyword::Avg
+            | Keyword::Min
+            | Keyword::Max)) => {
+                let func = match k {
+                    Keyword::Count => AggFunc::Count,
+                    Keyword::Sum => AggFunc::Sum,
+                    Keyword::Avg => AggFunc::Avg,
+                    Keyword::Min => AggFunc::Min,
+                    Keyword::Max => AggFunc::Max,
+                    _ => unreachable!(),
+                };
+                self.expect(&Token::LParen)?;
+                let distinct = self.eat_kw(Keyword::Distinct);
+                let arg = if self.eat(&Token::Star) {
+                    AggArg::Star
+                } else {
+                    AggArg::Expr(Box::new(self.parse_expr()?))
+                };
+                self.expect(&Token::RParen)?;
+                Ok(Expr::Agg {
+                    func,
+                    distinct,
+                    arg,
+                })
+            }
+            Token::LParen => {
+                if self.peek() == &Token::Keyword(Keyword::Select) {
+                    let q = self.parse_query()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(Expr::Subquery(Box::new(q)))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(e)
+                }
+            }
+            Token::Ident(first) => {
+                if self.eat(&Token::Dot) {
+                    match self.bump() {
+                        Token::Ident(col) => Ok(Expr::Column(ColumnRef {
+                            table: Some(first),
+                            column: col,
+                        })),
+                        // Allow keyword-shaped column names after a dot,
+                        // e.g. `t.count` in odd schemas.
+                        Token::Keyword(k) => Ok(Expr::Column(ColumnRef {
+                            table: Some(first),
+                            column: k.as_str().to_ascii_lowercase(),
+                        })),
+                        other => Err(self.err(format!("expected column name, found `{other}`"))),
+                    }
+                } else {
+                    Ok(Expr::Column(ColumnRef {
+                        table: None,
+                        column: first,
+                    }))
+                }
+            }
+            other => Err(self.err(format!("unexpected token `{other}` in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> Query {
+        parse(src).unwrap_or_else(|e| panic!("failed to parse `{src}`: {e}"))
+    }
+
+    #[test]
+    fn simple_select() {
+        let q = p("SELECT a, b FROM t");
+        let s = q.body.as_select().unwrap();
+        assert_eq!(s.projections.len(), 2);
+        assert!(s.selection.is_none());
+    }
+
+    #[test]
+    fn select_star_distinct() {
+        let q = p("SELECT DISTINCT * FROM t");
+        let s = q.body.as_select().unwrap();
+        assert!(s.distinct);
+        assert_eq!(s.projections, vec![SelectItem::Wildcard]);
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = p("SELECT a + b * c FROM t");
+        let s = q.body.as_select().unwrap();
+        let SelectItem::Expr { expr, .. } = &s.projections[0] else {
+            panic!()
+        };
+        // a + (b * c)
+        match expr {
+            Expr::Binary { op, right, .. } => {
+                assert_eq!(*op, BinaryOp::Add);
+                assert!(matches!(
+                    **right,
+                    Expr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let q = p("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+        let s = q.body.as_select().unwrap();
+        match s.selection.as_ref().unwrap() {
+            Expr::Binary { op, .. } => assert_eq!(*op, BinaryOp::Or),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_does_not_swallow_and() {
+        let q = p("SELECT * FROM t WHERE x BETWEEN 1 AND 5 AND y = 2");
+        let s = q.body.as_select().unwrap();
+        let conj = s.selection.as_ref().unwrap().conjuncts();
+        assert_eq!(conj.len(), 2);
+        assert!(matches!(conj[0], Expr::Between { .. }));
+    }
+
+    #[test]
+    fn not_between() {
+        let q = p("SELECT * FROM t WHERE x NOT BETWEEN 1 AND 5");
+        let s = q.body.as_select().unwrap();
+        assert!(matches!(
+            s.selection.as_ref().unwrap(),
+            Expr::Between { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn in_list_and_in_subquery() {
+        let q = p("SELECT * FROM t WHERE a IN (1, 2, 3)");
+        let s = q.body.as_select().unwrap();
+        assert!(matches!(
+            s.selection.as_ref().unwrap(),
+            Expr::InList { list, .. } if list.len() == 3
+        ));
+
+        let q = p("SELECT * FROM t WHERE a NOT IN (SELECT b FROM u)");
+        let s = q.body.as_select().unwrap();
+        assert!(matches!(
+            s.selection.as_ref().unwrap(),
+            Expr::InSubquery { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn like_and_is_null() {
+        let q = p("SELECT * FROM t WHERE name LIKE '%gal%' AND z IS NOT NULL");
+        let s = q.body.as_select().unwrap();
+        let conj = s.selection.as_ref().unwrap().conjuncts();
+        assert!(matches!(conj[0], Expr::Like { .. }));
+        assert!(matches!(conj[1], Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn aggregates() {
+        let q = p("SELECT COUNT(*), AVG(z), COUNT(DISTINCT class) FROM specobj");
+        let s = q.body.as_select().unwrap();
+        assert_eq!(s.projections.len(), 3);
+        let SelectItem::Expr { expr, .. } = &s.projections[2] else {
+            panic!()
+        };
+        assert!(matches!(expr, Expr::Agg { distinct: true, .. }));
+    }
+
+    #[test]
+    fn group_by_having_order_limit() {
+        let q = p(
+            "SELECT class, COUNT(*) FROM specobj GROUP BY class \
+             HAVING COUNT(*) > 10 ORDER BY COUNT(*) DESC LIMIT 5",
+        );
+        let s = q.body.as_select().unwrap();
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].desc);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn joins_with_aliases() {
+        let q = p(
+            "SELECT p.objid FROM photoobj AS p JOIN specobj AS s ON s.bestobjid = p.objid \
+             LEFT JOIN neighbors n ON n.objid = p.objid",
+        );
+        let s = q.body.as_select().unwrap();
+        assert_eq!(s.joins.len(), 2);
+        assert!(s.joins[1].left);
+        assert_eq!(s.joins[1].table.alias.as_deref(), Some("n"));
+    }
+
+    #[test]
+    fn set_operations() {
+        let q = p("SELECT a FROM t UNION SELECT a FROM u INTERSECT SELECT a FROM v");
+        // Left-associative: (t UNION u) INTERSECT v
+        match &q.body {
+            SetExpr::SetOp { op, left, .. } => {
+                assert_eq!(*op, SetOp::Intersect);
+                assert!(matches!(**left, SetExpr::SetOp { op: SetOp::Union, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_subquery_comparison() {
+        let q = p("SELECT * FROM t WHERE z > (SELECT AVG(z) FROM t)");
+        let s = q.body.as_select().unwrap();
+        match s.selection.as_ref().unwrap() {
+            Expr::Binary { right, .. } => assert!(matches!(**right, Expr::Subquery(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exists_and_not_exists() {
+        let q = p("SELECT * FROM t WHERE EXISTS (SELECT * FROM u)");
+        assert!(matches!(
+            q.body.as_select().unwrap().selection.as_ref().unwrap(),
+            Expr::Exists { negated: false, .. }
+        ));
+        let q = p("SELECT * FROM t WHERE NOT EXISTS (SELECT * FROM u)");
+        assert!(matches!(
+            q.body.as_select().unwrap().selection.as_ref().unwrap(),
+            Expr::Exists { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn derived_table() {
+        let q = p("SELECT x.c FROM (SELECT class AS c FROM specobj) AS x");
+        let s = q.body.as_select().unwrap();
+        assert!(matches!(s.from.factor, TableFactor::Derived(_)));
+        assert_eq!(s.from.alias.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let q = p("SELECT * FROM t WHERE dec > -10.5");
+        let s = q.body.as_select().unwrap();
+        match s.selection.as_ref().unwrap() {
+            Expr::Binary { right, .. } => {
+                assert_eq!(**right, Expr::Literal(Literal::Float(-10.5)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_error() {
+        assert!(parse("SELECT a FROM t garbage garbage").is_err());
+        assert!(parse("SELECT a FROM").is_err());
+        assert!(parse("FROM t").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_accepted() {
+        assert!(parse("SELECT a FROM t;").is_ok());
+    }
+
+    #[test]
+    fn not_predicate() {
+        let q = p("SELECT * FROM t WHERE NOT a = 1");
+        let s = q.body.as_select().unwrap();
+        assert!(matches!(
+            s.selection.as_ref().unwrap(),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn keyword_column_after_dot() {
+        let q = p("SELECT t.count FROM t");
+        let s = q.body.as_select().unwrap();
+        let SelectItem::Expr { expr, .. } = &s.projections[0] else {
+            panic!()
+        };
+        assert_eq!(*expr, Expr::col(Some("t"), "count"));
+    }
+}

@@ -1,0 +1,340 @@
+//! Pretty-printer: `Display` implementations that render the AST back to
+//! canonical SQL text.
+//!
+//! The printer produces the canonical form used everywhere in the
+//! reproduction: keywords upper-cased, single spaces, parentheses inserted
+//! from operator precedence. `parse(q.to_string()) == q` holds for every
+//! query the parser accepts (verified by property tests).
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, item) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", item.expr)?;
+                if item.desc {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Select(s) => write!(f, "{s}"),
+            SetExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                write!(f, "{left} {}", op.as_str())?;
+                if *all {
+                    write!(f, " ALL")?;
+                }
+                write!(f, " {right}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.projections.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM {}", self.from)?;
+        for join in &self.joins {
+            write!(f, " {join}")?;
+        }
+        if let Some(sel) = &self.selection {
+            write!(f, " WHERE {sel}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, e) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.factor {
+            TableFactor::Table(name) => write!(f, "{name}")?,
+            TableFactor::Derived(q) => write!(f, "({q})")?,
+        }
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Join {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.left {
+            write!(f, "LEFT ")?;
+        }
+        write!(f, "JOIN {}", self.table)?;
+        if let Some(c) = &self.constraint {
+            write!(f, " ON {c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Null => write!(f, "NULL"),
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    // Keep a decimal point so the literal re-lexes as float.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+/// Precedence of an expression node for parenthesization purposes.
+fn expr_prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary { op, .. } => op.precedence(),
+        Expr::Unary {
+            op: UnaryOp::Not, ..
+        } => 3,
+        Expr::Between { .. }
+        | Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::Like { .. }
+        | Expr::IsNull { .. } => 3,
+        // Atoms and calls never need parentheses.
+        _ => u8::MAX,
+    }
+}
+
+/// Write `e`, parenthesizing when its precedence is below `min`.
+fn write_with_prec(f: &mut fmt::Formatter<'_>, e: &Expr, min: u8) -> fmt::Result {
+    if expr_prec(e) < min {
+        write!(f, "({e})")
+    } else {
+        write!(f, "{e}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Neg => {
+                    write!(f, "-")?;
+                    write_with_prec(f, expr, u8::MAX)
+                }
+                UnaryOp::Not => {
+                    write!(f, "NOT ")?;
+                    write_with_prec(f, expr, 3)
+                }
+            },
+            Expr::Binary { left, op, right } => {
+                let prec = op.precedence();
+                write_with_prec(f, left, prec)?;
+                write!(f, " {} ", op.as_str())?;
+                // Left-associative: right operand needs strictly higher
+                // precedence to avoid parens ambiguity.
+                write_with_prec(f, right, prec + 1)
+            }
+            Expr::Agg {
+                func,
+                distinct,
+                arg,
+            } => {
+                write!(f, "{}(", func.as_str())?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                match arg {
+                    AggArg::Star => write!(f, "*")?,
+                    AggArg::Expr(e) => write!(f, "{e}")?,
+                }
+                write!(f, ")")
+            }
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => {
+                write_with_prec(f, expr, 4)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " BETWEEN ")?;
+                write_with_prec(f, low, 5)?;
+                write!(f, " AND ")?;
+                write_with_prec(f, high, 5)
+            }
+            Expr::InList {
+                expr,
+                negated,
+                list,
+            } => {
+                write_with_prec(f, expr, 4)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " IN (")?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::InSubquery {
+                expr,
+                negated,
+                subquery,
+            } => {
+                write_with_prec(f, expr, 4)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " IN ({subquery})")
+            }
+            Expr::Like {
+                expr,
+                negated,
+                pattern,
+            } => {
+                write_with_prec(f, expr, 4)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " LIKE ")?;
+                write_with_prec(f, pattern, 4)
+            }
+            Expr::IsNull { expr, negated } => {
+                write_with_prec(f, expr, 4)?;
+                write!(f, " IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Subquery(q) => write!(f, "({q})"),
+            Expr::Exists { negated, subquery } => {
+                if *negated {
+                    write!(f, "NOT ")?;
+                }
+                write!(f, "EXISTS ({subquery})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    /// Round-trip a query through print → parse and check canonical
+    /// stability (print ∘ parse ∘ print = print).
+    fn round_trip(src: &str) {
+        let q = parse(src).unwrap_or_else(|e| panic!("parse `{src}`: {e}"));
+        let printed = q.to_string();
+        let q2 = parse(&printed).unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
+        assert_eq!(q, q2, "round-trip changed the AST for `{src}`");
+        assert_eq!(printed, q2.to_string(), "printing is not canonical");
+    }
+
+    #[test]
+    fn round_trips_paper_examples() {
+        round_trip("SELECT s.specobjid FROM specobj AS s WHERE s.subclass = 'STARBURST'");
+        round_trip(
+            "SELECT s.bestobjid, s.ra, s.dec, s.z FROM specobj AS s \
+             WHERE s.class = 'GALAXY' AND s.z > 0.5 AND s.z < 1",
+        );
+        round_trip(
+            "SELECT p.objid, s.specobjid FROM photoobj AS p \
+             JOIN specobj AS s ON s.bestobjid = p.objid \
+             WHERE s.class = 'GALAXY' AND p.u - p.r < 2.22 AND p.u - p.r > 1",
+        );
+    }
+
+    #[test]
+    fn round_trips_complex_shapes() {
+        round_trip("SELECT COUNT(*), class FROM specobj GROUP BY class HAVING COUNT(*) > 3");
+        round_trip("SELECT a FROM t WHERE x BETWEEN 1 AND 2 OR y NOT IN (1, 2)");
+        round_trip("SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = 'x')");
+        round_trip("SELECT a FROM t UNION SELECT b FROM u ORDER BY a DESC LIMIT 3");
+        round_trip("SELECT a FROM (SELECT a FROM t WHERE z > 0.5) AS s WHERE a < 10");
+        round_trip("SELECT * FROM t WHERE NOT (a = 1 OR b = 2)");
+        round_trip("SELECT AVG(u - r) FROM photoobj");
+        round_trip("SELECT * FROM t WHERE z > (SELECT AVG(z) FROM t)");
+        round_trip("SELECT * FROM t WHERE name LIKE '%burst%' AND z IS NOT NULL");
+    }
+
+    #[test]
+    fn parenthesizes_or_under_and() {
+        let q = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
+        let printed = q.to_string();
+        assert!(printed.contains("(a = 1 OR b = 2)"), "{printed}");
+        round_trip(&printed);
+    }
+
+    #[test]
+    fn float_literals_stay_floats() {
+        let q = parse("SELECT * FROM t WHERE z = 1.0").unwrap();
+        let printed = q.to_string();
+        assert!(printed.contains("1.0"), "{printed}");
+        round_trip(&printed);
+    }
+}

@@ -1,0 +1,243 @@
+//! Token definitions shared by the lexer and the parser.
+
+use std::fmt;
+
+/// SQL keywords recognized by the dialect.
+///
+/// Keyword matching is case-insensitive; the canonical (upper-case) spelling
+/// is used when printing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    Distinct,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Asc,
+    Desc,
+    Limit,
+    Join,
+    Inner,
+    Left,
+    On,
+    As,
+    And,
+    Or,
+    Not,
+    In,
+    Like,
+    Between,
+    Is,
+    Null,
+    Exists,
+    Union,
+    All,
+    Intersect,
+    Except,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    True,
+    False,
+}
+
+impl Keyword {
+    /// Parse an identifier-shaped word into a keyword, if it is one.
+    pub fn from_word(word: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match word.to_ascii_uppercase().as_str() {
+            "SELECT" => Select,
+            "DISTINCT" => Distinct,
+            "FROM" => From,
+            "WHERE" => Where,
+            "GROUP" => Group,
+            "BY" => By,
+            "HAVING" => Having,
+            "ORDER" => Order,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "LIMIT" => Limit,
+            "JOIN" => Join,
+            "INNER" => Inner,
+            "LEFT" => Left,
+            "ON" => On,
+            "AS" => As,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "IN" => In,
+            "LIKE" => Like,
+            "BETWEEN" => Between,
+            "IS" => Is,
+            "NULL" => Null,
+            "EXISTS" => Exists,
+            "UNION" => Union,
+            "ALL" => All,
+            "INTERSECT" => Intersect,
+            "EXCEPT" => Except,
+            "COUNT" => Count,
+            "SUM" => Sum,
+            "AVG" => Avg,
+            "MIN" => Min,
+            "MAX" => Max,
+            "TRUE" => True,
+            "FALSE" => False,
+            _ => return None,
+        })
+    }
+
+    /// Canonical upper-case spelling.
+    pub fn as_str(&self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Select => "SELECT",
+            Distinct => "DISTINCT",
+            From => "FROM",
+            Where => "WHERE",
+            Group => "GROUP",
+            By => "BY",
+            Having => "HAVING",
+            Order => "ORDER",
+            Asc => "ASC",
+            Desc => "DESC",
+            Limit => "LIMIT",
+            Join => "JOIN",
+            Inner => "INNER",
+            Left => "LEFT",
+            On => "ON",
+            As => "AS",
+            And => "AND",
+            Or => "OR",
+            Not => "NOT",
+            In => "IN",
+            Like => "LIKE",
+            Between => "BETWEEN",
+            Is => "IS",
+            Null => "NULL",
+            Exists => "EXISTS",
+            Union => "UNION",
+            All => "ALL",
+            Intersect => "INTERSECT",
+            Except => "EXCEPT",
+            Count => "COUNT",
+            Sum => "SUM",
+            Avg => "AVG",
+            Min => "MIN",
+            Max => "MAX",
+            True => "TRUE",
+            False => "FALSE",
+        }
+    }
+}
+
+/// A lexical token with no positional information.
+///
+/// Positions are tracked separately by the lexer as byte offsets so that
+/// `Token` stays cheap to compare in the parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A recognized SQL keyword.
+    Keyword(Keyword),
+    /// A bare or double-quoted identifier (quotes stripped).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*` (multiplication or wildcard, disambiguated by the parser)
+    Star,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{}", k.as_str()),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Semicolon => write!(f, ";"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for word in ["select", "SELECT", "SeLeCt"] {
+            assert_eq!(Keyword::from_word(word), Some(Keyword::Select));
+        }
+        assert_eq!(Keyword::from_word("specobj"), None);
+    }
+
+    #[test]
+    fn keyword_canonical_spelling() {
+        assert_eq!(Keyword::Between.as_str(), "BETWEEN");
+        assert_eq!(
+            Keyword::from_word(Keyword::Intersect.as_str()),
+            Some(Keyword::Intersect)
+        );
+    }
+
+    #[test]
+    fn token_display_escapes_strings() {
+        let t = Token::Str("it's".into());
+        assert_eq!(t.to_string(), "'it''s'");
+    }
+}

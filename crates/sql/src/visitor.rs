@@ -1,0 +1,264 @@
+//! Read-only traversal utilities over the AST.
+//!
+//! The hardness classifier (`sb-metrics`), the template extractor
+//! (`sb-semql`) and the NL-to-SQL schema linker all need to enumerate
+//! columns, tables, literals and operators of a query; this module provides
+//! one canonical walk so those crates do not each reimplement recursion.
+
+use crate::ast::*;
+
+/// Events delivered during a walk, in syntactic order.
+pub trait Visitor {
+    /// Called for every `SELECT` block, including those in subqueries.
+    fn visit_select(&mut self, _select: &Select) {}
+    /// Called for every expression node (pre-order).
+    fn visit_expr(&mut self, _expr: &Expr) {}
+    /// Called for every table reference.
+    fn visit_table_ref(&mut self, _table: &TableRef) {}
+    /// Called for every nested query (subqueries and derived tables), but
+    /// not for the root query.
+    fn visit_subquery(&mut self, _query: &Query) {}
+}
+
+/// Walk `query`, delivering events to `v`. Descends into subqueries and
+/// derived tables.
+pub fn walk_query<V: Visitor>(query: &Query, v: &mut V) {
+    walk_set_expr(&query.body, v);
+    for item in &query.order_by {
+        walk_expr(&item.expr, v);
+    }
+}
+
+fn walk_set_expr<V: Visitor>(body: &SetExpr, v: &mut V) {
+    match body {
+        SetExpr::Select(s) => walk_select(s, v),
+        SetExpr::SetOp { left, right, .. } => {
+            walk_set_expr(left, v);
+            walk_set_expr(right, v);
+        }
+    }
+}
+
+fn walk_select<V: Visitor>(select: &Select, v: &mut V) {
+    v.visit_select(select);
+    for item in &select.projections {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk_expr(expr, v);
+        }
+    }
+    walk_table_ref(&select.from, v);
+    for join in &select.joins {
+        walk_table_ref(&join.table, v);
+        if let Some(c) = &join.constraint {
+            walk_expr(c, v);
+        }
+    }
+    if let Some(sel) = &select.selection {
+        walk_expr(sel, v);
+    }
+    for e in &select.group_by {
+        walk_expr(e, v);
+    }
+    if let Some(h) = &select.having {
+        walk_expr(h, v);
+    }
+}
+
+fn walk_table_ref<V: Visitor>(table: &TableRef, v: &mut V) {
+    v.visit_table_ref(table);
+    if let TableFactor::Derived(q) = &table.factor {
+        v.visit_subquery(q);
+        walk_query(q, v);
+    }
+}
+
+/// Walk an expression tree in pre-order, descending into subqueries.
+pub fn walk_expr<V: Visitor>(expr: &Expr, v: &mut V) {
+    v.visit_expr(expr);
+    match expr {
+        Expr::Column(_) | Expr::Literal(_) => {}
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => walk_expr(expr, v),
+        Expr::Binary { left, right, .. } => {
+            walk_expr(left, v);
+            walk_expr(right, v);
+        }
+        Expr::Agg { arg, .. } => {
+            if let AggArg::Expr(e) = arg {
+                walk_expr(e, v);
+            }
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            walk_expr(expr, v);
+            walk_expr(low, v);
+            walk_expr(high, v);
+        }
+        Expr::InList { expr, list, .. } => {
+            walk_expr(expr, v);
+            for e in list {
+                walk_expr(e, v);
+            }
+        }
+        Expr::InSubquery { expr, subquery, .. } => {
+            walk_expr(expr, v);
+            v.visit_subquery(subquery);
+            walk_query(subquery, v);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            walk_expr(expr, v);
+            walk_expr(pattern, v);
+        }
+        Expr::Subquery(q) => {
+            v.visit_subquery(q);
+            walk_query(q, v);
+        }
+        Expr::Exists { subquery, .. } => {
+            v.visit_subquery(subquery);
+            walk_query(subquery, v);
+        }
+    }
+}
+
+/// Collect every column reference in the query (including subqueries).
+pub fn collect_columns(query: &Query) -> Vec<ColumnRef> {
+    struct C(Vec<ColumnRef>);
+    impl Visitor for C {
+        fn visit_expr(&mut self, expr: &Expr) {
+            if let Expr::Column(c) = expr {
+                self.0.push(c.clone());
+            }
+        }
+    }
+    let mut c = C(Vec::new());
+    walk_query(query, &mut c);
+    c.0
+}
+
+/// Collect every base-table name in the query (including subqueries), in
+/// syntactic order, with duplicates.
+pub fn collect_tables(query: &Query) -> Vec<String> {
+    struct T(Vec<String>);
+    impl Visitor for T {
+        fn visit_table_ref(&mut self, table: &TableRef) {
+            if let TableFactor::Table(name) = &table.factor {
+                self.0.push(name.clone());
+            }
+        }
+    }
+    let mut t = T(Vec::new());
+    walk_query(query, &mut t);
+    t.0
+}
+
+/// Collect every literal in the query (including subqueries).
+pub fn collect_literals(query: &Query) -> Vec<Literal> {
+    struct L(Vec<Literal>);
+    impl Visitor for L {
+        fn visit_expr(&mut self, expr: &Expr) {
+            if let Expr::Literal(l) = expr {
+                self.0.push(l.clone());
+            }
+        }
+    }
+    let mut l = L(Vec::new());
+    walk_query(query, &mut l);
+    l.0
+}
+
+/// Count subqueries nested anywhere in the query.
+pub fn count_subqueries(query: &Query) -> usize {
+    struct S(usize);
+    impl Visitor for S {
+        fn visit_subquery(&mut self, _q: &Query) {
+            self.0 += 1;
+        }
+    }
+    let mut s = S(0);
+    walk_query(query, &mut s);
+    s.0
+}
+
+/// Count aggregate calls anywhere in the query.
+pub fn count_aggregates(query: &Query) -> usize {
+    struct A(usize);
+    impl Visitor for A {
+        fn visit_expr(&mut self, expr: &Expr) {
+            if matches!(expr, Expr::Agg { .. }) {
+                self.0 += 1;
+            }
+        }
+    }
+    let mut a = A(0);
+    walk_query(query, &mut a);
+    a.0
+}
+
+/// Count arithmetic (`+ - * /`) operator applications anywhere in the
+/// query — the paper's "math operators" for SDSS.
+pub fn count_math_ops(query: &Query) -> usize {
+    struct M(usize);
+    impl Visitor for M {
+        fn visit_expr(&mut self, expr: &Expr) {
+            if let Expr::Binary { op, .. } = expr {
+                if op.is_arithmetic() {
+                    self.0 += 1;
+                }
+            }
+        }
+    }
+    let mut m = M(0);
+    walk_query(query, &mut m);
+    m.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn collects_columns_and_tables() {
+        let q = parse(
+            "SELECT p.objid, s.specobjid FROM photoobj AS p \
+             JOIN specobj AS s ON s.bestobjid = p.objid WHERE s.class = 'GALAXY'",
+        )
+        .unwrap();
+        let cols = collect_columns(&q);
+        assert_eq!(cols.len(), 5);
+        let tables = collect_tables(&q);
+        assert_eq!(tables, vec!["photoobj".to_string(), "specobj".to_string()]);
+    }
+
+    #[test]
+    fn descends_into_subqueries() {
+        let q = parse("SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d > 1)").unwrap();
+        assert_eq!(count_subqueries(&q), 1);
+        assert_eq!(
+            collect_tables(&q),
+            vec!["t".to_string(), "u".to_string()]
+        );
+        assert_eq!(collect_literals(&q).len(), 1);
+    }
+
+    #[test]
+    fn counts_aggregates_and_math() {
+        let q = parse("SELECT COUNT(*), AVG(u - r) FROM photoobj WHERE u - r < 2.22").unwrap();
+        assert_eq!(count_aggregates(&q), 2);
+        assert_eq!(count_math_ops(&q), 2);
+    }
+
+    #[test]
+    fn walks_order_by_exprs() {
+        let q = parse("SELECT a FROM t ORDER BY b DESC").unwrap();
+        let cols = collect_columns(&q);
+        assert_eq!(cols.len(), 2);
+    }
+
+    #[test]
+    fn walks_derived_tables() {
+        let q = parse("SELECT x.a FROM (SELECT a FROM t) AS x").unwrap();
+        assert_eq!(count_subqueries(&q), 1);
+        assert_eq!(collect_tables(&q), vec!["t".to_string()]);
+    }
+}

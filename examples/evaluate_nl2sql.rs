@@ -1,0 +1,75 @@
+//! Evaluate the three NL-to-SQL systems on the OncoMX cancer-research
+//! domain: zero-shot from the Spider-like corpus versus trained with the
+//! domain's seed + synthetic data (a single-domain slice of Table 5).
+//!
+//! ```sh
+//! cargo run --release --example evaluate_nl2sql
+//! ```
+
+use sciencebenchmark::core::experiments::{build_domain_bundle, evaluate, fresh_systems};
+use sciencebenchmark::core::{ExperimentConfig, SpiderPairs, SpiderSetConfig};
+use sciencebenchmark::data::Domain;
+use sciencebenchmark::nl2sql::{DbCatalog, Pair};
+
+fn main() {
+    let cfg = ExperimentConfig::quick();
+    println!("building the Spider-like corpus ...");
+    let spider = SpiderPairs::build(&SpiderSetConfig {
+        train_total: 480,
+        dev_total: 60,
+        databases: 4,
+        seed: 11,
+    });
+    println!("building the OncoMX bundle (seed/dev/synth) ...");
+    let bundle = build_domain_bundle(Domain::OncoMx, &cfg);
+    println!(
+        "  seed {} / dev {} / synth {} pairs\n",
+        bundle.dataset.seed.len(),
+        bundle.dataset.dev.len(),
+        bundle.dataset.synth.len()
+    );
+
+    let to_pairs = |ps: &[sciencebenchmark::core::NlSqlPair]| -> Vec<Pair> {
+        ps.iter()
+            .map(|p| Pair::new(p.question.clone(), p.sql.clone(), p.db.clone()))
+            .collect()
+    };
+    let spider_train = to_pairs(&spider.train);
+    let mut domain_train = spider_train.clone();
+    domain_train.extend(to_pairs(&bundle.dataset.seed));
+    domain_train.extend(to_pairs(&bundle.dataset.synth));
+
+    let mut dbs: Vec<&sciencebenchmark::engine::Database> =
+        spider.corpus.databases.iter().map(|d| &d.db).collect();
+    dbs.push(&bundle.data.db);
+    let catalog = DbCatalog::new(dbs);
+
+    println!("{:<24} {:>12} {:>16}", "system", "zero-shot", "seed+synth");
+    for make in 0..3 {
+        // Train two fresh instances of the same system under the two
+        // regimes.
+        let mut zero = fresh_systems().remove(make);
+        zero.train(&spider_train, &catalog);
+        let mut tuned = fresh_systems().remove(make);
+        tuned.train(&domain_train, &catalog);
+        let lookup = |name: &str| {
+            if name.eq_ignore_ascii_case("oncomx") {
+                Some(&bundle.data.db)
+            } else {
+                None
+            }
+        };
+        let acc_zero = evaluate(zero.as_ref(), &bundle.dataset.dev, lookup);
+        let acc_tuned = evaluate(tuned.as_ref(), &bundle.dataset.dev, lookup);
+        println!(
+            "{:<24} {:>12.2} {:>16.2}",
+            zero.name(),
+            acc_zero,
+            acc_tuned
+        );
+    }
+    println!(
+        "\nThe paper's OncoMX row: zero-shot 0.20–0.27 → seed+synth 0.46–0.57; \
+         what must reproduce is the jump, not the absolute value."
+    );
+}

@@ -1,0 +1,20 @@
+//! # ScienceBenchmark — a Rust reproduction
+//!
+//! Umbrella crate re-exporting every subsystem of the reproduction of
+//! *ScienceBenchmark: A Complex Real-World Benchmark for Evaluating Natural
+//! Language to SQL Systems* (VLDB 2023).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and experiment index.
+
+pub use sb_core as core;
+pub use sb_data as data;
+pub use sb_embed as embed;
+pub use sb_engine as engine;
+pub use sb_gen as gen;
+pub use sb_metrics as metrics;
+pub use sb_nl as nl;
+pub use sb_nl2sql as nl2sql;
+pub use sb_schema as schema;
+pub use sb_semql as semql;
+pub use sb_sql as sql;

@@ -1,0 +1,106 @@
+//! Integration tests asserting the *shape* of the paper's experimental
+//! claims on miniature runs (Table 5 and §5.4).
+
+use sciencebenchmark::core::experiments::{evaluate, fresh_systems, run_domain_grid};
+use sciencebenchmark::core::{ExperimentConfig, SpiderPairs, SpiderSetConfig};
+use sciencebenchmark::data::{Domain, SizeClass};
+use sciencebenchmark::nl2sql::{DbCatalog, Pair};
+
+fn mini_config() -> ExperimentConfig {
+    ExperimentConfig {
+        size: SizeClass::Tiny,
+        scale: 0.15,
+        spider: SpiderSetConfig {
+            train_total: 180,
+            dev_total: 45,
+            databases: 3,
+            seed: 31,
+        },
+        seed: 31,
+    }
+}
+
+#[test]
+fn domain_training_lifts_every_system_on_oncomx() {
+    // The paper's headline: domain data (seed+synth) beats zero-shot for
+    // every system; OncoMX shows the largest gains.
+    let cfg = mini_config();
+    let spider = SpiderPairs::build(&cfg.spider);
+    let results = run_domain_grid(&cfg, &spider, &[Domain::OncoMx]);
+    assert_eq!(results.len(), 12);
+    for system in ["ValueNet", "T5-Large w/o PICARD", "SmBoP+GraPPa"] {
+        let get = |needle: &str| {
+            results
+                .iter()
+                .find(|r| r.system == system && r.regime.contains(needle))
+                .map(|r| r.accuracy)
+                .unwrap()
+        };
+        let zero = get("Zero-Shot");
+        let best = get("+ Synth");
+        assert!(
+            best + 1e-9 >= zero,
+            "{system}: domain training must not lose to zero-shot ({best} vs {zero})"
+        );
+    }
+}
+
+#[test]
+fn in_domain_spider_beats_zero_shot_domain_transfer() {
+    // Table 5's control: systems trained and evaluated on Spider-like
+    // data score far above zero-shot transfer to a scientific domain.
+    let cfg = mini_config();
+    let spider = SpiderPairs::build(&cfg.spider);
+    let train: Vec<Pair> = spider
+        .train
+        .iter()
+        .map(|p| Pair::new(p.question.clone(), p.sql.clone(), p.db.clone()))
+        .collect();
+    let catalog = DbCatalog::new(spider.corpus.databases.iter().map(|d| &d.db));
+
+    let sdss = Domain::Sdss.build(SizeClass::Tiny);
+    let sdss_bundle =
+        sciencebenchmark::core::experiments::build_domain_bundle(Domain::Sdss, &cfg);
+
+    let mut in_domain_best = 0.0f64;
+    let mut transfer_best = 0.0f64;
+    for mut system in fresh_systems() {
+        system.train(&train, &catalog);
+        let spider_acc = evaluate(system.as_ref(), &spider.dev, |name| {
+            spider
+                .corpus
+                .databases
+                .iter()
+                .find(|d| d.db.schema.name.eq_ignore_ascii_case(name))
+                .map(|d| &d.db)
+        });
+        let sdss_acc = evaluate(system.as_ref(), &sdss_bundle.dataset.dev, |name| {
+            if name.eq_ignore_ascii_case("sdss") {
+                Some(&sdss_bundle.data.db)
+            } else {
+                None
+            }
+        });
+        in_domain_best = in_domain_best.max(spider_acc);
+        transfer_best = transfer_best.max(sdss_acc);
+    }
+    let _ = &sdss;
+    assert!(
+        in_domain_best > transfer_best,
+        "in-domain Spider accuracy ({in_domain_best}) must exceed zero-shot SDSS transfer ({transfer_best})"
+    );
+    assert!(
+        transfer_best < 0.35,
+        "zero-shot transfer to SDSS must be poor (got {transfer_best})"
+    );
+}
+
+#[test]
+fn dataset_serialization_round_trips_through_json() {
+    let cfg = mini_config();
+    let bundle = sciencebenchmark::core::experiments::build_domain_bundle(Domain::Cordis, &cfg);
+    let json = bundle.dataset.to_json();
+    let back = sciencebenchmark::core::BenchmarkDataset::from_json(&json).unwrap();
+    assert_eq!(bundle.dataset, back);
+    assert!(json.contains("\"domain\": \"cordis\""));
+}

@@ -1,0 +1,200 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning the parser, engine, templates and embeddings.
+
+use proptest::prelude::*;
+use sciencebenchmark::embed;
+use sciencebenchmark::engine::{Database, Value};
+use sciencebenchmark::schema::{Column, ColumnType, Schema, TableDef};
+
+// ---------------------------------------------------------------------
+// SQL front end: print → parse round-trip on generated queries.
+// ---------------------------------------------------------------------
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        sb_sql::Keyword::from_word(s).is_none()
+    })
+}
+
+fn literal_sql() -> impl Strategy<Value = String> {
+    prop_oneof![
+        any::<i32>().prop_map(|v| v.to_string()),
+        (-1000.0f64..1000.0).prop_map(|v| format!("{v:.3}")),
+        "[a-zA-Z ]{0,12}".prop_map(|s| format!("'{s}'")),
+    ]
+}
+
+prop_compose! {
+    fn simple_query()(
+        table in ident_strategy(),
+        col1 in ident_strategy(),
+        col2 in ident_strategy(),
+        lit in literal_sql(),
+        op in prop_oneof![Just("="), Just("<"), Just(">"), Just("<="), Just(">="), Just("<>")],
+        distinct in any::<bool>(),
+        desc in any::<bool>(),
+        limit in proptest::option::of(0u64..100),
+    ) -> String {
+        let mut q = format!(
+            "SELECT {}{col1}, {col2} FROM {table} WHERE {col1} {op} {lit}",
+            if distinct { "DISTINCT " } else { "" }
+        );
+        q.push_str(&format!(" ORDER BY {col2}{}", if desc { " DESC" } else { "" }));
+        if let Some(n) = limit {
+            q.push_str(&format!(" LIMIT {n}"));
+        }
+        q
+    }
+}
+
+proptest! {
+    #[test]
+    fn parse_print_parse_is_identity(sql in simple_query()) {
+        let q1 = sb_sql::parse(&sql).expect("generated query parses");
+        let printed = q1.to_string();
+        let q2 = sb_sql::parse(&printed).expect("printed query reparses");
+        prop_assert_eq!(&q1, &q2);
+        prop_assert_eq!(printed.clone(), q2.to_string());
+    }
+
+    #[test]
+    fn hardness_is_total_and_stable(sql in simple_query()) {
+        let q = sb_sql::parse(&sql).unwrap();
+        let h1 = sciencebenchmark::metrics::classify(&q);
+        let h2 = sciencebenchmark::metrics::classify(&q);
+        prop_assert_eq!(h1, h2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine invariants on randomized content.
+// ---------------------------------------------------------------------
+
+fn test_db(rows: &[(i64, f64, bool)]) -> Database {
+    let schema = Schema::new("prop").with_table(TableDef::new(
+        "t",
+        vec![
+            Column::pk("id", ColumnType::Int),
+            Column::new("x", ColumnType::Float),
+            Column::new("flag", ColumnType::Bool),
+        ],
+    ));
+    let mut db = Database::new(schema);
+    let table = db.table_mut("t").unwrap();
+    for (id, x, flag) in rows {
+        table.push_rows(vec![vec![
+            Value::Int(*id),
+            Value::Float(*x),
+            Value::Bool(*flag),
+        ]]);
+    }
+    db
+}
+
+proptest! {
+    #[test]
+    fn filter_never_grows_the_result(rows in proptest::collection::vec((any::<i64>(), -100.0f64..100.0, any::<bool>()), 0..40), threshold in -100.0f64..100.0) {
+        let db = test_db(&rows);
+        let all = db.run("SELECT id FROM t").unwrap();
+        let filtered = db.run(&format!("SELECT id FROM t WHERE x > {threshold:.4}")).unwrap();
+        prop_assert!(filtered.len() <= all.len());
+    }
+
+    #[test]
+    fn limit_truncates_exactly(rows in proptest::collection::vec((any::<i64>(), -100.0f64..100.0, any::<bool>()), 0..40), n in 0u64..50) {
+        let db = test_db(&rows);
+        let limited = db.run(&format!("SELECT id FROM t LIMIT {n}")).unwrap();
+        prop_assert_eq!(limited.len(), rows.len().min(n as usize));
+    }
+
+    #[test]
+    fn count_matches_row_count(rows in proptest::collection::vec((any::<i64>(), -100.0f64..100.0, any::<bool>()), 0..40)) {
+        let db = test_db(&rows);
+        let rs = db.run("SELECT COUNT(*) FROM t").unwrap();
+        prop_assert_eq!(rs.rows[0][0].clone(), Value::Int(rows.len() as i64));
+    }
+
+    #[test]
+    fn union_all_cardinality_adds(rows in proptest::collection::vec((any::<i64>(), -100.0f64..100.0, any::<bool>()), 0..30)) {
+        let db = test_db(&rows);
+        let u = db.run("SELECT id FROM t UNION ALL SELECT id FROM t").unwrap();
+        prop_assert_eq!(u.len(), rows.len() * 2);
+        // Plain UNION (set semantics) is bounded by the distinct count.
+        let distinct = db.run("SELECT DISTINCT id FROM t").unwrap();
+        let set_union = db.run("SELECT id FROM t UNION SELECT id FROM t").unwrap();
+        prop_assert_eq!(set_union.len(), distinct.len());
+    }
+
+    #[test]
+    fn order_by_produces_sorted_output(rows in proptest::collection::vec((any::<i64>(), -100.0f64..100.0, any::<bool>()), 0..40)) {
+        let db = test_db(&rows);
+        let rs = db.run("SELECT x FROM t ORDER BY x").unwrap();
+        for w in rs.rows.windows(2) {
+            let a = w[0][0].as_f64().unwrap();
+            let b = w[1][0].as_f64().unwrap();
+            prop_assert!(a <= b);
+        }
+    }
+
+    #[test]
+    fn execution_match_is_reflexive(rows in proptest::collection::vec((any::<i64>(), -100.0f64..100.0, any::<bool>()), 0..30)) {
+        let db = test_db(&rows);
+        let sql = "SELECT id, x FROM t WHERE flag = TRUE";
+        prop_assert!(sciencebenchmark::metrics::execution_match(&db, sql, sql));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Embedding space invariants.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn cosine_bounded_and_symmetric(a in "[a-z ]{0,40}", b in "[a-z ]{0,40}") {
+        let ea = embed::embed(&a);
+        let eb = embed::embed(&b);
+        let s1 = ea.cosine(&eb);
+        let s2 = eb.cosine(&ea);
+        prop_assert!((-1.0..=1.0).contains(&s1));
+        prop_assert!((s1 - s2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn self_similarity_is_max(a in "[a-z]{1,20}( [a-z]{1,20}){0,5}") {
+        let e = embed::embed(&a);
+        prop_assert!((e.cosine(&e) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn geometric_median_selection_returns_members(
+        texts in proptest::collection::vec("[a-z ]{1,30}", 1..8),
+        k in 1usize..4,
+    ) {
+        let selected = embed::select_top_k(&texts, k);
+        prop_assert_eq!(selected.len(), k.min(texts.len()));
+        for s in selected {
+            prop_assert!(texts.contains(s));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Template extraction / instantiation invariants.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn generated_fills_always_execute(seed in 0u64..50) {
+        use sciencebenchmark::data::{Domain, SizeClass};
+        use sciencebenchmark::gen::Generator;
+        let d = Domain::Sdss.build(SizeClass::Tiny);
+        let sql = "SELECT s.specobjid FROM specobj AS s WHERE s.class = 'GALAXY'";
+        let template = sb_semql::extract(&sb_sql::parse(sql).unwrap(), &d.db.schema).unwrap();
+        let mut g = Generator::new(&d.db, &d.enhanced, seed);
+        // Whatever the sampler produces must execute (not necessarily
+        // return rows).
+        if let Ok(q) = g.fill(&template) {
+            prop_assert!(d.db.run_query(&q).is_ok(), "{}", q);
+        }
+    }
+}
