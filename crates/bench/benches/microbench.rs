@@ -26,7 +26,9 @@ const PARSE_CASES: [&str; 3] = [
 fn bench_parser(c: &mut Criterion) {
     let mut g = c.benchmark_group("sql_parser");
     for (label, sql) in ["q1_easy", "q2_medium", "q3_extra"].iter().zip(PARSE_CASES) {
-        g.bench_function(*label, |b| b.iter(|| sb_sql::parse(std::hint::black_box(sql))));
+        g.bench_function(label, |b| {
+            b.iter(|| sb_sql::parse(std::hint::black_box(sql)))
+        });
     }
     g.finish();
 }
@@ -37,12 +39,73 @@ fn bench_engine(c: &mut Criterion) {
     g.sample_size(20);
     for (label, sql) in ["q1_easy", "q2_medium", "q3_extra"].iter().zip(PARSE_CASES) {
         let q = sb_sql::parse(sql).unwrap();
-        g.bench_function(*label, |b| b.iter(|| d.db.run_query(std::hint::black_box(&q))));
+        g.bench_function(label, |b| {
+            b.iter(|| d.db.run_query(std::hint::black_box(&q)))
+        });
     }
-    let agg = sb_sql::parse("SELECT s.class, COUNT(*), AVG(s.z) FROM specobj AS s GROUP BY s.class").unwrap();
+    let agg =
+        sb_sql::parse("SELECT s.class, COUNT(*), AVG(s.z) FROM specobj AS s GROUP BY s.class")
+            .unwrap();
     g.bench_function("grouped_aggregation", |b| {
         b.iter(|| d.db.run_query(std::hint::black_box(&agg)))
     });
+    g.finish();
+}
+
+fn bench_join_strategies(c: &mut Criterion) {
+    use sb_engine::{ExecOptions, JoinStrategy};
+    let d = Domain::Sdss.build(SizeClass::Small);
+    let mut g = c.benchmark_group("join_strategies");
+    g.sample_size(10);
+    // The perf-trajectory anchor: the extra-hard join query before the
+    // engine rework (cloning scans, nested-loop join, no pushdown) vs.
+    // after (zero-copy scans, hash join, pushdown).
+    let q3 = sb_sql::parse(PARSE_CASES[2]).unwrap();
+    g.bench_function("q3_extra_before", |b| {
+        b.iter(|| {
+            d.db.run_query_with(std::hint::black_box(&q3), ExecOptions::legacy())
+        })
+    });
+    g.bench_function("q3_extra_after", |b| {
+        b.iter(|| {
+            d.db.run_query_with(std::hint::black_box(&q3), ExecOptions::default())
+        })
+    });
+    // Join strategy in isolation: the same bare equi-join, hash vs.
+    // nested loop.
+    let join = sb_sql::parse(
+        "SELECT p.objid, s.specobjid FROM photoobj AS p \
+         JOIN specobj AS s ON s.bestobjid = p.objid",
+    )
+    .unwrap();
+    for (label, join_strategy) in [
+        ("equi_join_hash", JoinStrategy::Auto),
+        ("equi_join_nested_loop", JoinStrategy::NestedLoop),
+    ] {
+        let opts = ExecOptions {
+            join: join_strategy,
+            ..ExecOptions::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| d.db.run_query_with(std::hint::black_box(&join), opts))
+        });
+    }
+    // Predicate pushdown in isolation on a selective single-table scan.
+    let filtered =
+        sb_sql::parse("SELECT s.specobjid FROM specobj AS s WHERE s.class = 'QSO' AND s.z > 1.0")
+            .unwrap();
+    for (label, predicate_pushdown) in [
+        ("filtered_scan_pushdown", true),
+        ("filtered_scan_no_pushdown", false),
+    ] {
+        let opts = ExecOptions {
+            predicate_pushdown,
+            ..ExecOptions::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| d.db.run_query_with(std::hint::black_box(&filtered), opts))
+        });
+    }
     g.finish();
 }
 
@@ -86,7 +149,11 @@ fn bench_nl_and_embedding(c: &mut Criterion) {
         )
     });
     g.bench_function("embed_sentence", |b| {
-        b.iter(|| embed(std::hint::black_box("find the redshift of spectroscopically observed galaxies")))
+        b.iter(|| {
+            embed(std::hint::black_box(
+                "find the redshift of spectroscopically observed galaxies",
+            ))
+        })
     });
     let candidates: Vec<String> = (0..8)
         .map(|i| format!("find galaxies with redshift over 0.{i}"))
@@ -138,7 +205,11 @@ fn bench_nl2sql_predict(c: &mut Criterion) {
         .map(|sql| {
             let q = sb_sql::parse(sql).unwrap();
             let realizer = Realizer::new(&d.enhanced);
-            Pair::new(realizer.realize(&q, Style::reference()), sql.clone(), "sdss")
+            Pair::new(
+                realizer.realize(&q, Style::reference()),
+                sql.clone(),
+                "sdss",
+            )
         })
         .collect();
     let question = "Find the spectroscopic objects whose class is GALAXY";
@@ -167,6 +238,7 @@ criterion_group!(
     benches,
     bench_parser,
     bench_engine,
+    bench_join_strategies,
     bench_templates_and_generation,
     bench_nl_and_embedding,
     bench_pipeline,

@@ -49,8 +49,7 @@ fn main() {
         SpiderSetConfig::default()
     };
     let spider = SpiderPairs::build(&spider_cfg);
-    let train_json =
-        serde_json::to_string_pretty(&spider.train).expect("spider train serializes");
+    let train_json = serde_json::to_string_pretty(&spider.train).expect("spider train serializes");
     let dev_json = serde_json::to_string_pretty(&spider.dev).expect("spider dev serializes");
     fs::write(out.join("spider_like_train.json"), train_json).expect("write train");
     fs::write(out.join("spider_like_dev.json"), dev_json).expect("write dev");

@@ -42,7 +42,11 @@ fn main() {
         attempts += 1;
         if let Ok(q) = generator.fill(&template) {
             let sql = q.to_string();
-            if domain.db.run_query(&q).map(|r| !r.is_empty()).unwrap_or(false)
+            if domain
+                .db
+                .run_query(&q)
+                .map(|r| !r.is_empty())
+                .unwrap_or(false)
                 && !generated.contains(&sql)
             {
                 generated.push(sql);

@@ -35,8 +35,16 @@ fn main() {
     // Spider-like corpus (aggregate over all member databases).
     let corpus = SpiderCorpus::build();
     let n_dbs = corpus.databases.len();
-    let tables: usize = corpus.databases.iter().map(|d| d.db.schema.tables.len()).sum();
-    let columns: usize = corpus.databases.iter().map(|d| d.db.schema.column_count()).sum();
+    let tables: usize = corpus
+        .databases
+        .iter()
+        .map(|d| d.db.schema.tables.len())
+        .sum();
+    let columns: usize = corpus
+        .databases
+        .iter()
+        .map(|d| d.db.schema.column_count())
+        .sum();
     let rows: usize = corpus.databases.iter().map(|d| d.db.total_rows()).sum();
     let bytes: usize = corpus.databases.iter().map(|d| d.db.approx_bytes()).sum();
     t.row(&[

@@ -38,7 +38,10 @@ fn main() {
     for m in &mut models {
         if m.name != "GPT-3-zero" {
             for d in &spider.corpus.databases {
-                m.fine_tune(&d.db.schema.name, if m.name == "GPT-3" { 468 } else { 8659 });
+                m.fine_tune(
+                    &d.db.schema.name,
+                    if m.name == "GPT-3" { 468 } else { 8659 },
+                );
             }
         }
     }

@@ -56,11 +56,7 @@ fn main() {
         let sample = proportional_sample(synth, 100, 4242);
         let judged: Vec<(String, sb_sql::Query)> = sample
             .iter()
-            .filter_map(|p| {
-                sb_sql::parse(&p.sql)
-                    .ok()
-                    .map(|q| (p.question.clone(), q))
-            })
+            .filter_map(|p| sb_sql::parse(&p.sql).ok().map(|q| (p.question.clone(), q)))
             .collect();
         let mut judge = ExpertJudge::new(21);
         let rate = judge.rate(&judged);

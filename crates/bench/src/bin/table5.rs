@@ -80,9 +80,7 @@ fn print_grid(results: &[ExperimentResult]) {
     let zero = |domain: &str, system: &str| -> Option<f64> {
         results
             .iter()
-            .find(|r| {
-                r.domain == domain && r.system == system && r.regime.contains("Zero-Shot")
-            })
+            .find(|r| r.domain == domain && r.system == system && r.regime.contains("Zero-Shot"))
             .map(|r| r.accuracy)
     };
     for (domain, regime) in seen {

@@ -17,11 +17,7 @@ pub struct NlSqlPair {
 
 impl NlSqlPair {
     /// Construct a pair.
-    pub fn new(
-        question: impl Into<String>,
-        sql: impl Into<String>,
-        db: impl Into<String>,
-    ) -> Self {
+    pub fn new(question: impl Into<String>, sql: impl Into<String>, db: impl Into<String>) -> Self {
         NlSqlPair {
             question: question.into(),
             sql: sql.into(),
@@ -112,11 +108,7 @@ mod tests {
         vec![
             NlSqlPair::new("q1", "SELECT a FROM t", "d"),
             NlSqlPair::new("q2", "SELECT a FROM t WHERE b = 1 AND c = 2", "d"),
-            NlSqlPair::new(
-                "q3",
-                "SELECT a FROM t WHERE b IN (SELECT b FROM u)",
-                "d",
-            ),
+            NlSqlPair::new("q3", "SELECT a FROM t WHERE b IN (SELECT b FROM u)", "d"),
         ]
     }
 

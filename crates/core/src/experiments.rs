@@ -14,6 +14,7 @@ use crate::assemble::{assemble_expert_set, assemble_expert_set_styled, Quotas};
 use crate::dataset::{BenchmarkDataset, NlSqlPair};
 use crate::pipeline::{Pipeline, PipelineConfig};
 use crate::spider::{SpiderPairs, SpiderSetConfig};
+use rayon::prelude::*;
 use sb_data::{Domain, DomainData, SizeClass};
 use sb_engine::Database;
 use sb_metrics::execution_match;
@@ -119,9 +120,9 @@ pub fn paper_quotas(domain: Domain) -> (Quotas, Quotas, usize) {
 
 fn scaled_quota(q: Quotas, scale: f64) -> Quotas {
     let mut out = [0usize; 4];
-    for i in 0..4 {
-        if q.0[i] > 0 {
-            out[i] = ((q.0[i] as f64 * scale).round() as usize).max(1);
+    for (o, &n) in out.iter_mut().zip(q.0.iter()) {
+        if n > 0 {
+            *o = ((n as f64 * scale).round() as usize).max(1);
         }
     }
     Quotas(out)
@@ -196,26 +197,28 @@ pub fn fresh_systems() -> Vec<Box<dyn NlToSql>> {
 }
 
 /// Evaluate one system on dev pairs; `lookup` resolves each pair's
-/// database.
+/// database. Pairs are scored in parallel — prediction and execution
+/// matching are read-only, and accuracy is an order-independent mean, so
+/// the result does not depend on the thread count.
 pub fn evaluate<'a>(
     system: &dyn NlToSql,
     dev: &[NlSqlPair],
-    lookup: impl Fn(&str) -> Option<&'a Database>,
+    lookup: impl Fn(&str) -> Option<&'a Database> + Sync,
 ) -> f64 {
     if dev.is_empty() {
         return 0.0;
     }
-    let mut hits = 0usize;
-    for pair in dev {
-        let Some(db) = lookup(&pair.db) else {
-            continue;
-        };
-        let predicted = system.predict(&pair.question, db);
-        if execution_match(db, &pair.sql, &predicted) {
-            hits += 1;
-        }
-    }
-    hits as f64 / dev.len() as f64
+    let hits: Vec<bool> = dev
+        .par_iter()
+        .map(|pair| {
+            let Some(db) = lookup(&pair.db) else {
+                return false;
+            };
+            let predicted = system.predict(&pair.question, db);
+            execution_match(db, &pair.sql, &predicted)
+        })
+        .collect();
+    hits.iter().filter(|h| **h).count() as f64 / dev.len() as f64
 }
 
 /// Run the full Table 5 domain grid. Returns one [`ExperimentResult`] per
@@ -273,8 +276,8 @@ pub fn run_domain_grid(
 pub fn run_spider_rows(cfg: &ExperimentConfig, spider: &SpiderPairs) -> Vec<ExperimentResult> {
     // Synth Spider: run the pipeline over every corpus database.
     let mut synth = Vec::new();
-    let per_db = ((spider.train.len() as f64 * 0.25 / spider.corpus.databases.len() as f64)
-        .round() as usize)
+    let per_db = ((spider.train.len() as f64 * 0.25 / spider.corpus.databases.len() as f64).round()
+        as usize)
         .max(6);
     for (i, d) in spider.corpus.databases.iter().enumerate() {
         let domain_data = sb_data::DomainData {

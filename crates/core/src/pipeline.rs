@@ -11,6 +11,7 @@
 //!    (Equation 1).
 
 use crate::dataset::NlSqlPair;
+use rayon::prelude::*;
 use sb_data::DomainData;
 use sb_embed::Discriminator;
 use sb_gen::{GenOptions, GenStats, Generator};
@@ -134,50 +135,69 @@ impl<'a> Pipeline<'a> {
         };
         let n_templates = {
             let mut seen = std::collections::HashSet::new();
-            templates.iter().filter(|t| seen.insert(t.signature())).count()
+            templates
+                .iter()
+                .filter(|t| seen.insert(t.signature()))
+                .count()
         };
 
         // Phase 2: SQL generation. The discriminator keeps 1–2 questions
         // per query, so the query budget equals the pair target (Phase 3
         // stops early once the target is met).
         let sql_target = self.config.target_pairs;
-        let mut generator = Generator::new(&self.domain.db, &self.domain.enhanced, self.config.gen_seed);
+        let mut generator =
+            Generator::new(&self.domain.db, &self.domain.enhanced, self.config.gen_seed);
         generator.use_enhanced_constraints = self.config.use_enhanced_constraints;
         let (generated, gen_stats) =
             generator.generate(&templates, sql_target, &GenOptions::default());
 
-        // Phases 3 + 4: translate and select.
+        // Phases 3 + 4: translate and select, fanned out across queries.
+        // Every worker gets its own LLM clone reseeded from (llm_seed,
+        // query index), and results merge in query order, so the output
+        // is byte-identical for any RAYON_NUM_THREADS.
         let discriminator = Discriminator::new(self.config.keep_k);
+        let kept_per_query: Vec<Vec<String>> = (0..generated.len())
+            .into_par_iter()
+            .map(|i| {
+                let mut llm = self.llm.clone();
+                llm.reseed(
+                    self.config
+                        .llm_seed
+                        .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                let candidates = llm.candidates(
+                    &generated[i].query,
+                    &self.domain.enhanced,
+                    self.config.candidates_per_query,
+                );
+                if self.config.discriminate {
+                    discriminator
+                        .select(&candidates)
+                        .into_iter()
+                        .cloned()
+                        .collect()
+                } else {
+                    candidates.into_iter().take(self.config.keep_k).collect()
+                }
+            })
+            .collect();
         let mut pairs = Vec::new();
-        for gq in &generated {
-            let candidates = self.llm.candidates(
-                &gq.query,
-                &self.domain.enhanced,
-                self.config.candidates_per_query,
-            );
-            let kept: Vec<String> = if self.config.discriminate {
-                discriminator
-                    .select(&candidates)
-                    .into_iter()
-                    .cloned()
-                    .collect()
-            } else {
-                candidates
-                    .into_iter()
-                    .take(self.config.keep_k)
-                    .collect()
-            };
+        'merge: for (gq, kept) in generated.iter().zip(kept_per_query) {
             let sql = gq.query.to_string();
             // Distinct questions only: the discriminator can select two
             // identical realizations.
             let mut seen_q = HashSet::new();
             for q in kept {
                 if seen_q.insert(q.clone()) {
-                    pairs.push(NlSqlPair::new(q, sql.clone(), self.domain.db.schema.name.clone()));
+                    pairs.push(NlSqlPair::new(
+                        q,
+                        sql.clone(),
+                        self.domain.db.schema.name.clone(),
+                    ));
                 }
             }
             if pairs.len() >= self.config.target_pairs {
-                break;
+                break 'merge;
             }
         }
         pairs.truncate(self.config.target_pairs);

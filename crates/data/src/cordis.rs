@@ -88,12 +88,40 @@ const ERC_DOMAINS: [(&str, &str); 3] = [
     ("SH", "Social Sciences and Humanities"),
 ];
 const FIRST_NAMES: [&str; 16] = [
-    "Anna", "Luca", "Marie", "Jan", "Sofia", "Pierre", "Elena", "Thomas", "Ingrid", "Marco",
-    "Katarzyna", "Miguel", "Eva", "Lars", "Chiara", "Peter",
+    "Anna",
+    "Luca",
+    "Marie",
+    "Jan",
+    "Sofia",
+    "Pierre",
+    "Elena",
+    "Thomas",
+    "Ingrid",
+    "Marco",
+    "Katarzyna",
+    "Miguel",
+    "Eva",
+    "Lars",
+    "Chiara",
+    "Peter",
 ];
 const LAST_NAMES: [&str; 16] = [
-    "Muller", "Rossi", "Dubois", "Garcia", "Jansen", "Novak", "Andersson", "Papadopoulos",
-    "Kowalski", "Silva", "Nielsen", "Bauer", "Moreau", "Ricci", "Virtanen", "Horvath",
+    "Muller",
+    "Rossi",
+    "Dubois",
+    "Garcia",
+    "Jansen",
+    "Novak",
+    "Andersson",
+    "Papadopoulos",
+    "Kowalski",
+    "Silva",
+    "Nielsen",
+    "Bauer",
+    "Moreau",
+    "Ricci",
+    "Virtanen",
+    "Horvath",
 ];
 
 /// The CORDIS schema: 19 tables, 82 columns (asserted by crate tests).
@@ -256,17 +284,42 @@ pub fn schema() -> Schema {
             "project_member_roles",
             vec![Column::pk("code", Text), Column::new("description", Text)],
         ))
-        .with_fk(ForeignKey::new("projects", "framework_program", "ec_framework_programs", "name"))
-        .with_fk(ForeignKey::new("projects", "funding_scheme", "funding_schemes", "code"))
-        .with_fk(ForeignKey::new("projects", "principal_investigator", "people", "unics_id"))
-        .with_fk(ForeignKey::new("institutions", "country_id", "countries", "unics_id"))
+        .with_fk(ForeignKey::new(
+            "projects",
+            "framework_program",
+            "ec_framework_programs",
+            "name",
+        ))
+        .with_fk(ForeignKey::new(
+            "projects",
+            "funding_scheme",
+            "funding_schemes",
+            "code",
+        ))
+        .with_fk(ForeignKey::new(
+            "projects",
+            "principal_investigator",
+            "people",
+            "unics_id",
+        ))
+        .with_fk(ForeignKey::new(
+            "institutions",
+            "country_id",
+            "countries",
+            "unics_id",
+        ))
         .with_fk(ForeignKey::new(
             "institutions",
             "geocode_regions_3",
             "eu_territorial_units",
             "geocode_regions",
         ))
-        .with_fk(ForeignKey::new("project_members", "project", "projects", "unics_id"))
+        .with_fk(ForeignKey::new(
+            "project_members",
+            "project",
+            "projects",
+            "unics_id",
+        ))
         .with_fk(ForeignKey::new(
             "project_members",
             "institution_id",
@@ -285,7 +338,12 @@ pub fn schema() -> Schema {
             "project_member_roles",
             "code",
         ))
-        .with_fk(ForeignKey::new("project_topics", "project", "projects", "unics_id"))
+        .with_fk(ForeignKey::new(
+            "project_topics",
+            "project",
+            "projects",
+            "unics_id",
+        ))
         .with_fk(ForeignKey::new("project_topics", "topic", "topics", "code"))
         .with_fk(ForeignKey::new(
             "project_subject_areas",
@@ -305,10 +363,30 @@ pub fn schema() -> Schema {
             "projects",
             "unics_id",
         ))
-        .with_fk(ForeignKey::new("project_programmes", "programme", "programmes", "code"))
-        .with_fk(ForeignKey::new("erc_panels", "part_of", "erc_research_domains", "code"))
-        .with_fk(ForeignKey::new("project_erc_panels", "project", "projects", "unics_id"))
-        .with_fk(ForeignKey::new("project_erc_panels", "panel", "erc_panels", "code"))
+        .with_fk(ForeignKey::new(
+            "project_programmes",
+            "programme",
+            "programmes",
+            "code",
+        ))
+        .with_fk(ForeignKey::new(
+            "erc_panels",
+            "part_of",
+            "erc_research_domains",
+            "code",
+        ))
+        .with_fk(ForeignKey::new(
+            "project_erc_panels",
+            "project",
+            "projects",
+            "unics_id",
+        ))
+        .with_fk(ForeignKey::new(
+            "project_erc_panels",
+            "panel",
+            "erc_panels",
+            "code",
+        ))
         .with_fk(ForeignKey::new(
             "eu_territorial_units",
             "country_id",
@@ -460,7 +538,11 @@ pub fn build(size: SizeClass) -> DomainData {
                 Value::Int(i as i64 + 1),
                 format!("{first} {last}").into(),
                 ["Dr", "Prof", "Mr", "Ms"][i % 4].into(),
-                format!("{}.example.eu", LAST_NAMES[i % LAST_NAMES.len()].to_lowercase()).into(),
+                format!(
+                    "{}.example.eu",
+                    LAST_NAMES[i % LAST_NAMES.len()].to_lowercase()
+                )
+                .into(),
             ]]);
         }
     }
@@ -469,8 +551,12 @@ pub fn build(size: SizeClass) -> DomainData {
         for i in 0..n_institutions {
             let country_idx = zipf(&mut rng, COUNTRIES.len(), 0.8);
             let country = &COUNTRIES[country_idx];
-            let kind = ["University of", "Technical University of", "Institute of", "Center for"]
-                [i % 4];
+            let kind = [
+                "University of",
+                "Technical University of",
+                "Institute of",
+                "Center for",
+            ][i % 4];
             let word = TOPIC_WORDS[i % TOPIC_WORDS.len()];
             t.push_rows(vec![vec![
                 Value::Int(i as i64 + 1),
@@ -516,8 +602,11 @@ pub fn build(size: SizeClass) -> DomainData {
                 format!("https://project{i}.example.eu").into(),
                 format!("{fw}-CALL-{}", start).into(),
                 format!("REF{:06}", i).into(),
-                (*weighted(&mut rng, &[("SIGNED", 6.0), ("CLOSED", 10.0), ("TERMINATED", 1.0)]))
-                    .into(),
+                (*weighted(
+                    &mut rng,
+                    &[("SIGNED", 6.0), ("CLOSED", 10.0), ("TERMINATED", 1.0)],
+                ))
+                .into(),
                 fw.into(),
                 scheme.into(),
                 Value::Int(rng.gen_range(0..n_people as i64) + 1),
@@ -549,11 +638,18 @@ pub fn build(size: SizeClass) -> DomainData {
         }
     }
     // Link tables.
-    link(&mut db, &mut rng, "project_topics", n_proj_topics, n_projects, |rng, _| {
-        let i = rng.gen_range(0..n_topics);
-        let w = TOPIC_WORDS[i % TOPIC_WORDS.len()];
-        Value::Text(format!("T-{w}-{i:04}").to_uppercase())
-    });
+    link(
+        &mut db,
+        &mut rng,
+        "project_topics",
+        n_proj_topics,
+        n_projects,
+        |rng, _| {
+            let i = rng.gen_range(0..n_topics);
+            let w = TOPIC_WORDS[i % TOPIC_WORDS.len()];
+            Value::Text(format!("T-{w}-{i:04}").to_uppercase())
+        },
+    );
     link(
         &mut db,
         &mut rng,
@@ -620,12 +716,24 @@ fn enhance(db: &Database) -> EnhancedSchema {
     e.set_column_alias("projects", "ec_max_contribution", "maximum EC contribution");
     e.set_column_alias("projects", "total_cost", "total cost");
     e.set_column_alias("projects", "ec_call", "EC call identifier");
-    e.set_column_alias("projects", "principal_investigator", "principal investigator");
+    e.set_column_alias(
+        "projects",
+        "principal_investigator",
+        "principal investigator",
+    );
     e.set_column_alias("institutions", "geocode_regions_3", "NUTS level 3 region");
-    e.set_column_alias("eu_territorial_units", "geocode_regions", "NUTS region code");
+    e.set_column_alias(
+        "eu_territorial_units",
+        "geocode_regions",
+        "NUTS region code",
+    );
     e.set_column_alias("eu_territorial_units", "geocode_level", "NUTS level");
     e.set_column_alias("project_members", "ec_contribution", "EC contribution");
-    e.set_column_alias("project_members", "pic_number", "participant identification code");
+    e.set_column_alias(
+        "project_members",
+        "pic_number",
+        "participant identification code",
+    );
     // Clear the inferred per-table measure groups, then declare the unit
     // groups explicitly: money and years.
     let tables: Vec<String> = e.schema.tables.iter().map(|t| t.name.clone()).collect();
@@ -725,9 +833,8 @@ mod tests {
     #[test]
     fn referential_integrity_of_member_projects() {
         let d = build(SizeClass::Tiny);
-        let r = d
-            .db
-            .run(
+        let r =
+            d.db.run(
                 "SELECT COUNT(*) FROM project_members AS m WHERE m.project NOT IN \
                  (SELECT p.unics_id FROM projects AS p)",
             )
@@ -757,8 +864,9 @@ mod tests {
         // GROUP BY, one with ORDER BY ... LIMIT.
         let pats = seed_patterns();
         assert!(pats.iter().any(|p| p.contains("JOIN")));
-        assert!(pats.iter().any(|p| p.contains("IN (SELECT")
-            || p.contains("> (SELECT")));
+        assert!(pats
+            .iter()
+            .any(|p| p.contains("IN (SELECT") || p.contains("> (SELECT")));
         assert!(pats.iter().any(|p| p.contains("GROUP BY")));
         assert!(pats.iter().any(|p| p.contains("LIMIT")));
     }

@@ -172,11 +172,14 @@ mod tests {
                 domain.name()
             );
             for sql in &d.seed_patterns {
-                let rs = d
-                    .db
-                    .run(sql)
-                    .unwrap_or_else(|e| panic!("{}: `{sql}` failed: {e}", domain.name()));
-                assert!(!rs.is_empty(), "{}: `{sql}` returned nothing", domain.name());
+                let rs =
+                    d.db.run(sql)
+                        .unwrap_or_else(|e| panic!("{}: `{sql}` failed: {e}", domain.name()));
+                assert!(
+                    !rs.is_empty(),
+                    "{}: `{sql}` returned nothing",
+                    domain.name()
+                );
             }
         }
     }

@@ -18,9 +18,8 @@ pub const REAL_ROWS: f64 = 65_900_000.0;
 pub const REAL_BYTES: f64 = 1.2e10;
 
 const GENES: [&str; 24] = [
-    "BRCA1", "BRCA2", "TP53", "EGFR", "KRAS", "BRAF", "PIK3CA", "PTEN", "ALK", "MYC", "RB1",
-    "APC", "VHL", "RET", "KIT", "ERBB2", "CDKN2A", "NRAS", "IDH1", "JAK2", "FLT3", "NPM1",
-    "SMAD4", "ATM",
+    "BRCA1", "BRCA2", "TP53", "EGFR", "KRAS", "BRAF", "PIK3CA", "PTEN", "ALK", "MYC", "RB1", "APC",
+    "VHL", "RET", "KIT", "ERBB2", "CDKN2A", "NRAS", "IDH1", "JAK2", "FLT3", "NPM1", "SMAD4", "ATM",
 ];
 const DISEASES: [(&str, i64); 12] = [
     ("breast cancer", 1612),
@@ -37,8 +36,8 @@ const DISEASES: [(&str, i64); 12] = [
     ("kidney cancer", 263),
 ];
 const TISSUES: [&str; 14] = [
-    "breast", "lung", "colon", "prostate", "ovary", "pancreas", "liver", "skin", "blood",
-    "brain", "stomach", "kidney", "thyroid", "bladder",
+    "breast", "lung", "colon", "prostate", "ovary", "pancreas", "liver", "skin", "blood", "brain",
+    "stomach", "kidney", "thyroid", "bladder",
 ];
 const AA: [&str; 10] = ["A", "R", "N", "D", "C", "Q", "E", "G", "H", "L"];
 
@@ -273,27 +272,72 @@ pub fn schema() -> Schema {
         ))
         .with_fk(ForeignKey::new("gene", "speciesid", "species", "speciesid"))
         .with_fk(ForeignKey::new("biomarker", "gene", "gene", "id"))
-        .with_fk(ForeignKey::new("biomarker_fda", "biomarker", "biomarker", "id"))
-        .with_fk(ForeignKey::new("biomarker_fda_test", "biomarker_fda", "biomarker_fda", "id"))
+        .with_fk(ForeignKey::new(
+            "biomarker_fda",
+            "biomarker",
+            "biomarker",
+            "id",
+        ))
+        .with_fk(ForeignKey::new(
+            "biomarker_fda_test",
+            "biomarker_fda",
+            "biomarker_fda",
+            "id",
+        ))
         .with_fk(ForeignKey::new(
             "biomarker_fda_test_use",
             "fda_test",
             "biomarker_fda_test",
             "id",
         ))
-        .with_fk(ForeignKey::new("biomarker_fda_drug", "biomarker_fda", "biomarker_fda", "id"))
-        .with_fk(ForeignKey::new("biomarker_edrn", "biomarker", "biomarker", "id"))
-        .with_fk(ForeignKey::new("biomarker_edrn", "disease", "disease", "id"))
+        .with_fk(ForeignKey::new(
+            "biomarker_fda_drug",
+            "biomarker_fda",
+            "biomarker_fda",
+            "id",
+        ))
+        .with_fk(ForeignKey::new(
+            "biomarker_edrn",
+            "biomarker",
+            "biomarker",
+            "id",
+        ))
+        .with_fk(ForeignKey::new(
+            "biomarker_edrn",
+            "disease",
+            "disease",
+            "id",
+        ))
         .with_fk(ForeignKey::new(
             "biomarker_edrn",
             "anatomical_entity",
             "anatomical_entity",
             "id",
         ))
-        .with_fk(ForeignKey::new("biomarker_alias", "biomarker", "biomarker", "id"))
-        .with_fk(ForeignKey::new("biomarker_article", "biomarker", "biomarker", "id"))
-        .with_fk(ForeignKey::new("biomarker_disease", "biomarker", "biomarker", "id"))
-        .with_fk(ForeignKey::new("biomarker_disease", "disease", "disease", "id"))
+        .with_fk(ForeignKey::new(
+            "biomarker_alias",
+            "biomarker",
+            "biomarker",
+            "id",
+        ))
+        .with_fk(ForeignKey::new(
+            "biomarker_article",
+            "biomarker",
+            "biomarker",
+            "id",
+        ))
+        .with_fk(ForeignKey::new(
+            "biomarker_disease",
+            "biomarker",
+            "biomarker",
+            "id",
+        ))
+        .with_fk(ForeignKey::new(
+            "biomarker_disease",
+            "disease",
+            "disease",
+            "id",
+        ))
         .with_fk(ForeignKey::new("healthy_expression", "gene", "gene", "id"))
         .with_fk(ForeignKey::new(
             "healthy_expression",
@@ -301,15 +345,30 @@ pub fn schema() -> Schema {
             "anatomical_entity",
             "id",
         ))
-        .with_fk(ForeignKey::new("healthy_expression", "speciesid", "species", "speciesid"))
+        .with_fk(ForeignKey::new(
+            "healthy_expression",
+            "speciesid",
+            "species",
+            "speciesid",
+        ))
         .with_fk(ForeignKey::new(
             "expression_call_source",
             "healthy_expression",
             "healthy_expression",
             "id",
         ))
-        .with_fk(ForeignKey::new("differential_expression", "gene", "gene", "id"))
-        .with_fk(ForeignKey::new("differential_expression", "disease", "disease", "id"))
+        .with_fk(ForeignKey::new(
+            "differential_expression",
+            "gene",
+            "gene",
+            "id",
+        ))
+        .with_fk(ForeignKey::new(
+            "differential_expression",
+            "disease",
+            "disease",
+            "id",
+        ))
         .with_fk(ForeignKey::new("cancer_tissue", "disease", "disease", "id"))
         .with_fk(ForeignKey::new(
             "cancer_tissue",
@@ -319,7 +378,12 @@ pub fn schema() -> Schema {
         ))
         .with_fk(ForeignKey::new("mutation", "gene", "gene", "id"))
         .with_fk(ForeignKey::new("mutation", "disease", "disease", "id"))
-        .with_fk(ForeignKey::new("mutation_impact", "mutation", "mutation", "id"))
+        .with_fk(ForeignKey::new(
+            "mutation_impact",
+            "mutation",
+            "mutation",
+            "id",
+        ))
         .with_fk(ForeignKey::new("disease_stage", "disease", "disease", "id"))
         .with_fk(ForeignKey::new("disease_stage", "stage", "stage", "id"))
         .with_fk(ForeignKey::new("disease_drug", "disease", "disease", "id"))
@@ -394,18 +458,20 @@ pub fn build(size: SizeClass) -> DomainData {
     }
     {
         let t = db.table_mut("stage").unwrap();
-        for (i, s) in ["stage I", "stage II", "stage III", "stage IV"].iter().enumerate() {
+        for (i, s) in ["stage I", "stage II", "stage III", "stage IV"]
+            .iter()
+            .enumerate()
+        {
             t.push_rows(vec![vec![Value::Int(i as i64 + 1), (*s).into()]]);
         }
     }
     {
         let t = db.table_mut("gene").unwrap();
         for i in 0..n_genes {
-            let symbol = if i < GENES.len() {
-                GENES[i].to_string()
-            } else {
-                format!("GENE{i:05}")
-            };
+            let symbol = GENES
+                .get(i)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("GENE{i:05}"));
             t.push_rows(vec![vec![
                 Value::Int(i as i64 + 1),
                 symbol.into(),
@@ -451,14 +517,19 @@ pub fn build(size: SizeClass) -> DomainData {
             ["PCR", "NGS", "IHC", "FISH"][i % 4].into(),
         ]
     });
-    fanout(&mut db, "biomarker_fda_test_use", n_fda_test_use, |rng, i| {
-        vec![
-            Value::Int(i as i64 + 1),
-            Value::Int(rng.gen_range(0..n_fda_test as i64) + 1),
-            DISEASES[i % DISEASES.len()].0.into(),
-            ["approved", "investigational"][i % 2].into(),
-        ]
-    });
+    fanout(
+        &mut db,
+        "biomarker_fda_test_use",
+        n_fda_test_use,
+        |rng, i| {
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(rng.gen_range(0..n_fda_test as i64) + 1),
+                DISEASES[i % DISEASES.len()].0.into(),
+                ["approved", "investigational"][i % 2].into(),
+            ]
+        },
+    );
     fanout(&mut db, "biomarker_fda_drug", n_fda_drug, |rng, i| {
         vec![
             Value::Int(i as i64 + 1),
@@ -517,13 +588,18 @@ pub fn build(size: SizeClass) -> DomainData {
             Value::Int(if i % 9 == 8 { 10090 } else { 9606 }),
         ]
     });
-    fanout(&mut db, "expression_call_source", n_call_source, |rng, i| {
-        vec![
-            Value::Int(i as i64 + 1),
-            Value::Int(rng.gen_range(0..n_healthy as i64) + 1),
-            ["Bgee", "GTEx", "Affymetrix"][i % 3].into(),
-        ]
-    });
+    fanout(
+        &mut db,
+        "expression_call_source",
+        n_call_source,
+        |rng, i| {
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(rng.gen_range(0..n_healthy as i64) + 1),
+                ["Bgee", "GTEx", "Affymetrix"][i % 3].into(),
+            ]
+        },
+    );
     fanout(&mut db, "differential_expression", n_diff, |rng, i| {
         let up = rng.gen_bool(0.55);
         let log2fc = if up {
@@ -623,7 +699,9 @@ fn fanout(
 ) {
     // Per-table RNG stream keyed on the table name keeps generation
     // order-independent and deterministic.
-    let seed = table.bytes().fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+    let seed = table
+        .bytes()
+        .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
     let mut rng = StdRng::seed_from_u64(0x0C0_0000 ^ seed);
     let t = db.table_mut(table).unwrap();
     for i in 0..n {
@@ -743,19 +821,17 @@ mod tests {
     #[test]
     fn famous_genes_exist() {
         let d = build(SizeClass::Tiny);
-        let r = d
-            .db
-            .run("SELECT g.id FROM gene AS g WHERE g.gene_symbol = 'BRCA1'")
-            .unwrap();
+        let r =
+            d.db.run("SELECT g.id FROM gene AS g WHERE g.gene_symbol = 'BRCA1'")
+                .unwrap();
         assert_eq!(r.len(), 1);
     }
 
     #[test]
     fn breast_cancer_biomarker_join_works() {
         let d = build(SizeClass::Small);
-        let r = d
-            .db
-            .run(
+        let r =
+            d.db.run(
                 "SELECT b.biomarker_internal_id FROM biomarker AS b \
                  JOIN biomarker_disease AS bd ON bd.biomarker = b.id \
                  JOIN disease AS d ON bd.disease = d.id WHERE d.name = 'breast cancer'",
@@ -767,9 +843,8 @@ mod tests {
     #[test]
     fn expression_levels_consistent_with_scores() {
         let d = build(SizeClass::Tiny);
-        let r = d
-            .db
-            .run(
+        let r =
+            d.db.run(
                 "SELECT MIN(e.expression_score) FROM healthy_expression AS e \
                  WHERE e.expression_level_gene = 'HIGH'",
             )

@@ -117,9 +117,24 @@ pub fn schema() -> Schema {
         .with_fk(ForeignKey::new("specobj", "bestobjid", "photoobj", "objid"))
         .with_fk(ForeignKey::new("photoobj", "type", "photo_type", "value"))
         .with_fk(ForeignKey::new("neighbors", "objid", "photoobj", "objid"))
-        .with_fk(ForeignKey::new("neighbors", "neighborobjid", "photoobj", "objid"))
-        .with_fk(ForeignKey::new("sppparams", "specobjid", "specobj", "specobjid"))
-        .with_fk(ForeignKey::new("galspecline", "specobjid", "specobj", "specobjid"))
+        .with_fk(ForeignKey::new(
+            "neighbors",
+            "neighborobjid",
+            "photoobj",
+            "objid",
+        ))
+        .with_fk(ForeignKey::new(
+            "sppparams",
+            "specobjid",
+            "specobj",
+            "specobjid",
+        ))
+        .with_fk(ForeignKey::new(
+            "galspecline",
+            "specobjid",
+            "specobj",
+            "specobjid",
+        ))
 }
 
 /// Build the populated domain at a size class.
@@ -323,7 +338,13 @@ fn enhance(db: &Database) -> EnhancedSchema {
     // leaves the automatically inferred per-table group — coordinates,
     // errors and radii must not be combined arithmetically (the paper's
     // `T1.length - T2.area` counter-example).
-    for t in ["photoobj", "specobj", "neighbors", "sppparams", "galspecline"] {
+    for t in [
+        "photoobj",
+        "specobj",
+        "neighbors",
+        "sppparams",
+        "galspecline",
+    ] {
         let cols: Vec<String> = e
             .schema
             .table(t)
@@ -336,7 +357,12 @@ fn enhance(db: &Database) -> EnhancedSchema {
     for c in ["u", "g", "r", "i", "z"] {
         e.set_math_group("photoobj", c, "magnitude");
     }
-    for c in ["h_alpha_flux", "h_beta_flux", "oiii_5007_flux", "nii_6584_flux"] {
+    for c in [
+        "h_alpha_flux",
+        "h_beta_flux",
+        "oiii_5007_flux",
+        "nii_6584_flux",
+    ] {
         e.set_math_group("galspecline", c, "flux");
     }
     for (t, c) in [
@@ -425,9 +451,8 @@ mod tests {
     #[test]
     fn paper_q3_runs_on_content() {
         let d = build(SizeClass::Small);
-        let r = d
-            .db
-            .run(
+        let r =
+            d.db.run(
                 "SELECT p.objid, s.specobjid FROM photoobj AS p \
                  JOIN specobj AS s ON s.bestobjid = p.objid \
                  WHERE s.class = 'GALAXY' AND p.u - p.r < 2.22 AND p.u - p.r > 1",
@@ -439,12 +464,14 @@ mod tests {
     #[test]
     fn redshift_ranges_are_class_plausible() {
         let d = build(SizeClass::Tiny);
-        let r = d
-            .db
-            .run("SELECT MAX(s.z) FROM specobj AS s WHERE s.class = 'STAR'")
-            .unwrap();
+        let r =
+            d.db.run("SELECT MAX(s.z) FROM specobj AS s WHERE s.class = 'STAR'")
+                .unwrap();
         let max_star_z = r.rows[0][0].as_f64().unwrap();
-        assert!(max_star_z < 0.02, "stars have ~zero redshift, got {max_star_z}");
+        assert!(
+            max_star_z < 0.02,
+            "stars have ~zero redshift, got {max_star_z}"
+        );
     }
 
     #[test]

@@ -50,30 +50,294 @@ struct Theme {
 }
 
 const THEMES: [Theme; 24] = [
-    Theme { db: "concert_hall", ent: "concert", cat: "genre", cat_values: ["rock", "pop", "jazz", "classical"], m1: "ticket_price", m2: "duration_hours", n1: "attendance", ent2: "stadium", attr2: "city", link: "performance" },
-    Theme { db: "pet_shelter", ent: "pet", cat: "pet_type", cat_values: ["dog", "cat", "bird", "rabbit"], m1: "weight", m2: "height", n1: "age", ent2: "owner", attr2: "city", link: "adoption" },
-    Theme { db: "college_courses", ent: "course", cat: "department", cat_values: ["math", "physics", "history", "biology"], m1: "credits", m2: "workload_hours", n1: "enrollment", ent2: "professor", attr2: "office", link: "teaching" },
-    Theme { db: "airline_flights", ent: "flight", cat: "airline", cat_values: ["united", "delta", "lufthansa", "klm"], m1: "distance", m2: "duration_hours", n1: "passengers", ent2: "airport", attr2: "city", link: "departure" },
-    Theme { db: "movie_studio", ent: "movie", cat: "genre", cat_values: ["drama", "comedy", "action", "horror"], m1: "budget", m2: "gross", n1: "year", ent2: "director", attr2: "nationality", link: "production" },
-    Theme { db: "book_press", ent: "book", cat: "category", cat_values: ["fiction", "science", "history", "poetry"], m1: "price", m2: "rating", n1: "pages", ent2: "author", attr2: "country", link: "authorship" },
-    Theme { db: "car_dealers", ent: "car", cat: "maker", cat_values: ["toyota", "ford", "bmw", "fiat"], m1: "price", m2: "horsepower", n1: "year", ent2: "dealer", attr2: "city", link: "inventory" },
-    Theme { db: "city_restaurants", ent: "restaurant", cat: "cuisine", cat_values: ["italian", "chinese", "mexican", "thai"], m1: "rating", m2: "avg_price", n1: "capacity", ent2: "chef", attr2: "specialty", link: "employment" },
-    Theme { db: "orchestra_music", ent: "orchestra", cat: "era", cat_values: ["baroque", "romantic", "modern", "classical"], m1: "ticket_price", m2: "rating", n1: "founded_year", ent2: "conductor", attr2: "nationality", link: "engagement" },
-    Theme { db: "school_sports", ent: "team", cat: "sport", cat_values: ["soccer", "basketball", "swimming", "tennis"], m1: "win_rate", m2: "budget", n1: "wins", ent2: "coach", attr2: "hometown", link: "coaching" },
-    Theme { db: "museum_visits", ent: "museum", cat: "theme", cat_values: ["art", "science", "history", "nature"], m1: "ticket_price", m2: "rating", n1: "num_paintings", ent2: "visitor", attr2: "membership", link: "visit" },
-    Theme { db: "tv_shows", ent: "show", cat: "genre", cat_values: ["sitcom", "drama", "reality", "news"], m1: "rating", m2: "share", n1: "episodes", ent2: "channel", attr2: "country", link: "broadcast" },
-    Theme { db: "wine_cellar", ent: "wine", cat: "grape", cat_values: ["merlot", "riesling", "syrah", "pinot"], m1: "price", m2: "score", n1: "year", ent2: "winery", attr2: "region", link: "bottling" },
-    Theme { db: "hospital_staff", ent: "physician", cat: "specialty", cat_values: ["cardiology", "oncology", "surgery", "pediatrics"], m1: "salary", m2: "experience_years", n1: "patients", ent2: "ward", attr2: "building", link: "assignment" },
-    Theme { db: "bank_branches", ent: "account", cat: "account_type", cat_values: ["checking", "savings", "business", "student"], m1: "balance", m2: "interest_rate", n1: "open_year", ent2: "branch", attr2: "city", link: "holding" },
-    Theme { db: "theme_park", ent: "ride", cat: "ride_type", cat_values: ["coaster", "water", "family", "thrill"], m1: "max_speed", m2: "height_limit", n1: "capacity", ent2: "operator", attr2: "shift", link: "operation" },
-    Theme { db: "farm_produce", ent: "farm", cat: "product", cat_values: ["dairy", "grain", "fruit", "vegetable"], m1: "acreage", m2: "yield_tons", n1: "workers", ent2: "market", attr2: "town", link: "supply" },
-    Theme { db: "gym_members", ent: "member", cat: "plan", cat_values: ["basic", "silver", "gold", "platinum"], m1: "monthly_fee", m2: "weight", n1: "visits", ent2: "trainer", attr2: "certification", link: "training" },
-    Theme { db: "shipping_docks", ent: "ship", cat: "ship_type", cat_values: ["cargo", "tanker", "ferry", "cruise"], m1: "tonnage", m2: "length", n1: "built_year", ent2: "dock", attr2: "harbor", link: "mooring" },
-    Theme { db: "game_studio", ent: "game", cat: "platform", cat_values: ["pc", "console", "mobile", "arcade"], m1: "price", m2: "rating", n1: "players", ent2: "designer", attr2: "country", link: "credit" },
-    Theme { db: "county_elections", ent: "candidate", cat: "party", cat_values: ["red", "blue", "green", "independent"], m1: "vote_share", m2: "funding", n1: "votes", ent2: "county", attr2: "state", link: "campaign" },
-    Theme { db: "apartment_rentals", ent: "apartment", cat: "layout", cat_values: ["studio", "one_bed", "two_bed", "loft"], m1: "rent", m2: "area_sqm", n1: "floor", ent2: "tenant", attr2: "occupation", link: "lease" },
-    Theme { db: "coffee_chain", ent: "shop", cat: "district", cat_values: ["downtown", "uptown", "suburb", "airport"], m1: "revenue", m2: "rating", n1: "seats", ent2: "manager", attr2: "hometown", link: "management" },
-    Theme { db: "race_track", ent: "driver", cat: "league", cat_values: ["f1", "rally", "karting", "endurance"], m1: "points", m2: "avg_speed", n1: "podiums", ent2: "sponsor", attr2: "industry", link: "sponsorship" },
+    Theme {
+        db: "concert_hall",
+        ent: "concert",
+        cat: "genre",
+        cat_values: ["rock", "pop", "jazz", "classical"],
+        m1: "ticket_price",
+        m2: "duration_hours",
+        n1: "attendance",
+        ent2: "stadium",
+        attr2: "city",
+        link: "performance",
+    },
+    Theme {
+        db: "pet_shelter",
+        ent: "pet",
+        cat: "pet_type",
+        cat_values: ["dog", "cat", "bird", "rabbit"],
+        m1: "weight",
+        m2: "height",
+        n1: "age",
+        ent2: "owner",
+        attr2: "city",
+        link: "adoption",
+    },
+    Theme {
+        db: "college_courses",
+        ent: "course",
+        cat: "department",
+        cat_values: ["math", "physics", "history", "biology"],
+        m1: "credits",
+        m2: "workload_hours",
+        n1: "enrollment",
+        ent2: "professor",
+        attr2: "office",
+        link: "teaching",
+    },
+    Theme {
+        db: "airline_flights",
+        ent: "flight",
+        cat: "airline",
+        cat_values: ["united", "delta", "lufthansa", "klm"],
+        m1: "distance",
+        m2: "duration_hours",
+        n1: "passengers",
+        ent2: "airport",
+        attr2: "city",
+        link: "departure",
+    },
+    Theme {
+        db: "movie_studio",
+        ent: "movie",
+        cat: "genre",
+        cat_values: ["drama", "comedy", "action", "horror"],
+        m1: "budget",
+        m2: "gross",
+        n1: "year",
+        ent2: "director",
+        attr2: "nationality",
+        link: "production",
+    },
+    Theme {
+        db: "book_press",
+        ent: "book",
+        cat: "category",
+        cat_values: ["fiction", "science", "history", "poetry"],
+        m1: "price",
+        m2: "rating",
+        n1: "pages",
+        ent2: "author",
+        attr2: "country",
+        link: "authorship",
+    },
+    Theme {
+        db: "car_dealers",
+        ent: "car",
+        cat: "maker",
+        cat_values: ["toyota", "ford", "bmw", "fiat"],
+        m1: "price",
+        m2: "horsepower",
+        n1: "year",
+        ent2: "dealer",
+        attr2: "city",
+        link: "inventory",
+    },
+    Theme {
+        db: "city_restaurants",
+        ent: "restaurant",
+        cat: "cuisine",
+        cat_values: ["italian", "chinese", "mexican", "thai"],
+        m1: "rating",
+        m2: "avg_price",
+        n1: "capacity",
+        ent2: "chef",
+        attr2: "specialty",
+        link: "employment",
+    },
+    Theme {
+        db: "orchestra_music",
+        ent: "orchestra",
+        cat: "era",
+        cat_values: ["baroque", "romantic", "modern", "classical"],
+        m1: "ticket_price",
+        m2: "rating",
+        n1: "founded_year",
+        ent2: "conductor",
+        attr2: "nationality",
+        link: "engagement",
+    },
+    Theme {
+        db: "school_sports",
+        ent: "team",
+        cat: "sport",
+        cat_values: ["soccer", "basketball", "swimming", "tennis"],
+        m1: "win_rate",
+        m2: "budget",
+        n1: "wins",
+        ent2: "coach",
+        attr2: "hometown",
+        link: "coaching",
+    },
+    Theme {
+        db: "museum_visits",
+        ent: "museum",
+        cat: "theme",
+        cat_values: ["art", "science", "history", "nature"],
+        m1: "ticket_price",
+        m2: "rating",
+        n1: "num_paintings",
+        ent2: "visitor",
+        attr2: "membership",
+        link: "visit",
+    },
+    Theme {
+        db: "tv_shows",
+        ent: "show",
+        cat: "genre",
+        cat_values: ["sitcom", "drama", "reality", "news"],
+        m1: "rating",
+        m2: "share",
+        n1: "episodes",
+        ent2: "channel",
+        attr2: "country",
+        link: "broadcast",
+    },
+    Theme {
+        db: "wine_cellar",
+        ent: "wine",
+        cat: "grape",
+        cat_values: ["merlot", "riesling", "syrah", "pinot"],
+        m1: "price",
+        m2: "score",
+        n1: "year",
+        ent2: "winery",
+        attr2: "region",
+        link: "bottling",
+    },
+    Theme {
+        db: "hospital_staff",
+        ent: "physician",
+        cat: "specialty",
+        cat_values: ["cardiology", "oncology", "surgery", "pediatrics"],
+        m1: "salary",
+        m2: "experience_years",
+        n1: "patients",
+        ent2: "ward",
+        attr2: "building",
+        link: "assignment",
+    },
+    Theme {
+        db: "bank_branches",
+        ent: "account",
+        cat: "account_type",
+        cat_values: ["checking", "savings", "business", "student"],
+        m1: "balance",
+        m2: "interest_rate",
+        n1: "open_year",
+        ent2: "branch",
+        attr2: "city",
+        link: "holding",
+    },
+    Theme {
+        db: "theme_park",
+        ent: "ride",
+        cat: "ride_type",
+        cat_values: ["coaster", "water", "family", "thrill"],
+        m1: "max_speed",
+        m2: "height_limit",
+        n1: "capacity",
+        ent2: "operator",
+        attr2: "shift",
+        link: "operation",
+    },
+    Theme {
+        db: "farm_produce",
+        ent: "farm",
+        cat: "product",
+        cat_values: ["dairy", "grain", "fruit", "vegetable"],
+        m1: "acreage",
+        m2: "yield_tons",
+        n1: "workers",
+        ent2: "market",
+        attr2: "town",
+        link: "supply",
+    },
+    Theme {
+        db: "gym_members",
+        ent: "member",
+        cat: "plan",
+        cat_values: ["basic", "silver", "gold", "platinum"],
+        m1: "monthly_fee",
+        m2: "weight",
+        n1: "visits",
+        ent2: "trainer",
+        attr2: "certification",
+        link: "training",
+    },
+    Theme {
+        db: "shipping_docks",
+        ent: "ship",
+        cat: "ship_type",
+        cat_values: ["cargo", "tanker", "ferry", "cruise"],
+        m1: "tonnage",
+        m2: "length",
+        n1: "built_year",
+        ent2: "dock",
+        attr2: "harbor",
+        link: "mooring",
+    },
+    Theme {
+        db: "game_studio",
+        ent: "game",
+        cat: "platform",
+        cat_values: ["pc", "console", "mobile", "arcade"],
+        m1: "price",
+        m2: "rating",
+        n1: "players",
+        ent2: "designer",
+        attr2: "country",
+        link: "credit",
+    },
+    Theme {
+        db: "county_elections",
+        ent: "candidate",
+        cat: "party",
+        cat_values: ["red", "blue", "green", "independent"],
+        m1: "vote_share",
+        m2: "funding",
+        n1: "votes",
+        ent2: "county",
+        attr2: "state",
+        link: "campaign",
+    },
+    Theme {
+        db: "apartment_rentals",
+        ent: "apartment",
+        cat: "layout",
+        cat_values: ["studio", "one_bed", "two_bed", "loft"],
+        m1: "rent",
+        m2: "area_sqm",
+        n1: "floor",
+        ent2: "tenant",
+        attr2: "occupation",
+        link: "lease",
+    },
+    Theme {
+        db: "coffee_chain",
+        ent: "shop",
+        cat: "district",
+        cat_values: ["downtown", "uptown", "suburb", "airport"],
+        m1: "revenue",
+        m2: "rating",
+        n1: "seats",
+        ent2: "manager",
+        attr2: "hometown",
+        link: "management",
+    },
+    Theme {
+        db: "race_track",
+        ent: "driver",
+        cat: "league",
+        cat_values: ["f1", "rally", "karting", "endurance"],
+        m1: "points",
+        m2: "avg_speed",
+        n1: "podiums",
+        ent2: "sponsor",
+        attr2: "industry",
+        link: "sponsorship",
+    },
 ];
 
 impl SpiderCorpus {
@@ -231,9 +495,7 @@ fn theme_patterns(t: &Theme) -> Vec<String> {
         // -- Hard --
         format!("SELECT name FROM {e} WHERE {m1} > (SELECT AVG({m1}) FROM {e})"),
         format!("SELECT MIN({m1}), MAX({m1}) FROM {e} WHERE {cat} = '{v0}' AND {m2} > 10.0"),
-        format!(
-            "SELECT COUNT(*), {cat} FROM {e} WHERE {m1} > 20.0 AND {m2} < 90.0 GROUP BY {cat}"
-        ),
+        format!("SELECT COUNT(*), {cat} FROM {e} WHERE {m1} > 20.0 AND {m2} < 90.0 GROUP BY {cat}"),
         // -- Extra hard --
         format!(
             "SELECT T2.name, COUNT(*) FROM {link} AS T1 JOIN {e} AS T2 ON T1.{eid} = T2.id \
@@ -286,10 +548,9 @@ mod tests {
         let c = SpiderCorpus::build_n(4);
         for d in &c.databases {
             for sql in &d.seed_patterns {
-                let rs = d
-                    .db
-                    .run(sql)
-                    .unwrap_or_else(|e| panic!("{}: `{sql}`: {e}", d.db.schema.name));
+                let rs =
+                    d.db.run(sql)
+                        .unwrap_or_else(|e| panic!("{}: `{sql}`: {e}", d.db.schema.name));
                 assert!(!rs.is_empty(), "{}: `{sql}` empty", d.db.schema.name);
             }
         }

@@ -43,8 +43,8 @@ pub fn geometric_median(points: &[Embedding]) -> Embedding {
     // Initialize at the centroid.
     let mut m = [0.0f32; crate::DIM];
     for p in points {
-        for i in 0..crate::DIM {
-            m[i] += p.0[i];
+        for (mi, pi) in m.iter_mut().zip(p.0.iter()) {
+            *mi += *pi;
         }
     }
     for x in &mut m {
@@ -56,8 +56,8 @@ pub fn geometric_median(points: &[Embedding]) -> Embedding {
         let mut coincident = false;
         for p in points {
             let mut d2 = 0.0f32;
-            for i in 0..crate::DIM {
-                let diff = p.0[i] - m[i];
+            for (pi, mi) in p.0.iter().zip(m.iter()) {
+                let diff = pi - mi;
                 d2 += diff * diff;
             }
             let d = d2.sqrt();
@@ -66,8 +66,8 @@ pub fn geometric_median(points: &[Embedding]) -> Embedding {
                 continue;
             }
             let w = 1.0 / d;
-            for i in 0..crate::DIM {
-                num[i] += w * p.0[i];
+            for (ni, pi) in num.iter_mut().zip(p.0.iter()) {
+                *ni += w * pi;
             }
             denom += w;
         }
@@ -131,7 +131,10 @@ mod tests {
         ];
         let top = select_top_k(&candidates, 2);
         assert_eq!(top.len(), 2);
-        assert!(!top.contains(&&candidates[4]), "outlier must not be selected");
+        assert!(
+            !top.contains(&&candidates[4]),
+            "outlier must not be selected"
+        );
     }
 
     #[test]
@@ -153,14 +156,8 @@ mod tests {
         let candidates: Vec<String> = (0..6)
             .map(|i| format!("list all galaxies with redshift over {i}"))
             .collect();
-        let a: Vec<String> = select_top_k(&candidates, 2)
-            .into_iter()
-            .cloned()
-            .collect();
-        let b: Vec<String> = select_top_k(&candidates, 2)
-            .into_iter()
-            .cloned()
-            .collect();
+        let a: Vec<String> = select_top_k(&candidates, 2).into_iter().cloned().collect();
+        let b: Vec<String> = select_top_k(&candidates, 2).into_iter().cloned().collect();
         assert_eq!(a, b);
     }
 

@@ -1,9 +1,16 @@
 //! In-memory tables and databases.
 
 use crate::error::{EngineError, Result};
+use crate::exec::ExecOptions;
 use crate::result::ResultSet;
 use crate::value::Value;
 use sb_schema::{ColumnType, Schema, TableDef};
+use std::sync::Arc;
+
+/// One stored row. Rows are reference-counted so scans hand out handles
+/// instead of deep-copying cell data; cloning a `Row` is a pointer bump.
+/// `Arc` (not `Rc`) so shared tables can be scanned from worker threads.
+pub type Row = Arc<[Value]>;
 
 /// A row-oriented in-memory table.
 ///
@@ -16,7 +23,7 @@ pub struct Table {
     /// The table's definition (name + typed columns).
     pub def: TableDef,
     /// Row data; every row has exactly `def.columns.len()` values.
-    pub rows: Vec<Vec<Value>>,
+    pub rows: Vec<Row>,
 }
 
 impl Table {
@@ -52,7 +59,7 @@ impl Table {
                 )));
             }
         }
-        self.rows.push(row);
+        self.rows.push(row.into());
         Ok(())
     }
 
@@ -84,7 +91,7 @@ impl Table {
     pub fn approx_bytes(&self) -> usize {
         let mut total = 0;
         for row in &self.rows {
-            for v in row {
+            for v in row.iter() {
                 total += match v {
                     Value::Null => 1,
                     Value::Int(_) => 8,
@@ -151,6 +158,18 @@ impl Database {
     /// Execute an already-parsed query.
     pub fn run_query(&self, query: &sb_sql::Query) -> Result<ResultSet> {
         crate::exec::execute(self, query)
+    }
+
+    /// Parse and execute with explicit executor options (used by the
+    /// benchmarks and the join-equivalence tests).
+    pub fn run_with(&self, sql: &str, opts: ExecOptions) -> Result<ResultSet> {
+        let query = sb_sql::parse(sql)?;
+        crate::exec::execute_with(self, &query, opts)
+    }
+
+    /// Execute an already-parsed query with explicit executor options.
+    pub fn run_query_with(&self, query: &sb_sql::Query, opts: ExecOptions) -> Result<ResultSet> {
+        crate::exec::execute_with(self, query, opts)
     }
 }
 

@@ -1,29 +1,121 @@
 //! The query executor.
 //!
-//! A straightforward pull-everything-into-vectors executor: build the
-//! joined row stream, filter, optionally group, project, sort, limit. Joins
-//! use a hash join when the `ON` constraint is a simple column equality and
-//! fall back to a nested loop otherwise.
+//! Scans are **zero-copy**: base tables store reference-counted rows
+//! ([`crate::database::Row`]) and a scan collects `Arc` handles, never
+//! cell data. On single-relation predicates the executor pushes WHERE
+//! conjuncts down into the scan, so non-qualifying rows are dropped
+//! before any join or materialization. Equi-joins (`ON a = b`) run as a
+//! hash join that builds on the smaller input and probes the larger;
+//! anything else falls back to a nested loop. Output row order is
+//! identical across all join strategies and build sides (left-major,
+//! probe order within a match set), which the equivalence tests rely on.
+//!
+//! [`ExecOptions`] can force the legacy behavior (deep-copy scans, no
+//! pushdown, build-on-right hash joins) or a pure nested-loop plan; the
+//! benchmarks use those to measure before/after, the tests to check
+//! strategy equivalence.
 
-use crate::database::Database;
+use crate::database::{Database, Row};
 use crate::error::{EngineError, Result};
 use crate::eval::{eval, eval_filter, truth, EvalContext, Scope};
 use crate::result::ResultSet;
 use crate::value::Value;
 use sb_sql::{
-    AggArg, AggFunc, BinaryOp, Expr, Join, OrderItem, Query, Select, SelectItem, SetExpr, SetOp,
-    TableFactor, TableRef,
+    AggArg, AggFunc, BinaryOp, ColumnRef, Expr, Join, OrderItem, Query, Select, SelectItem,
+    SetExpr, SetOp, TableFactor, TableRef,
 };
 use std::collections::{HashMap, HashSet};
+use std::ops::Deref;
+use std::sync::Arc;
 
-/// Execute a parsed query against a database.
-pub fn execute(db: &Database, query: &Query) -> Result<ResultSet> {
-    match &query.body {
-        SetExpr::Select(select) => {
-            execute_select(db, select, &query.order_by, query.limit)
+/// Join algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Hash join on equi-constraints, building on the smaller input;
+    /// nested loop otherwise.
+    #[default]
+    Auto,
+    /// Hash join on equi-constraints, always building on the right input
+    /// (no build-side selection); nested loop otherwise.
+    BuildRight,
+    /// Nested loop for every join, even equi-joins.
+    NestedLoop,
+}
+
+/// Executor tuning knobs. [`Default`] is the optimized configuration;
+/// [`ExecOptions::legacy`] reproduces the pre-optimization executor for
+/// before/after benchmarking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Push single-relation WHERE conjuncts down into scans.
+    pub predicate_pushdown: bool,
+    /// Join algorithm selection.
+    pub join: JoinStrategy,
+    /// Deep-copy row data on scan instead of sharing `Arc` handles.
+    pub copy_scans: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            predicate_pushdown: true,
+            join: JoinStrategy::Auto,
+            copy_scans: false,
         }
+    }
+}
+
+impl ExecOptions {
+    /// The pre-optimization executor: materializing scans, no pushdown,
+    /// and the cloning O(n·m) nested-loop join.
+    pub fn legacy() -> Self {
+        ExecOptions {
+            predicate_pushdown: false,
+            join: JoinStrategy::NestedLoop,
+            copy_scans: true,
+        }
+    }
+}
+
+/// A row flowing through the executor: either a shared handle into base
+/// table storage (scans) or an owned buffer (join outputs, derived
+/// tables). Derefs to `[Value]` so expression evaluation is agnostic.
+enum ExecRow {
+    Shared(Row),
+    Owned(Vec<Value>),
+}
+
+impl Deref for ExecRow {
+    type Target = [Value];
+
+    fn deref(&self) -> &[Value] {
+        match self {
+            ExecRow::Shared(r) => r,
+            ExecRow::Owned(v) => v,
+        }
+    }
+}
+
+impl ExecRow {
+    fn into_vec(self) -> Vec<Value> {
+        match self {
+            ExecRow::Shared(r) => r.to_vec(),
+            ExecRow::Owned(v) => v,
+        }
+    }
+}
+
+/// Execute a parsed query against a database with default options.
+pub fn execute(db: &Database, query: &Query) -> Result<ResultSet> {
+    execute_with(db, query, ExecOptions::default())
+}
+
+/// Execute a parsed query with explicit executor options.
+pub fn execute_with(db: &Database, query: &Query, opts: ExecOptions) -> Result<ResultSet> {
+    match &query.body {
+        SetExpr::Select(select) => execute_select(db, select, &query.order_by, query.limit, opts),
         SetExpr::SetOp { .. } => {
-            let mut rs = execute_set_expr(db, &query.body)?;
+            let mut rs = execute_set_expr(db, &query.body, opts)?;
             apply_output_order(&mut rs, &query.order_by)?;
             if let Some(n) = query.limit {
                 rs.rows.truncate(n as usize);
@@ -34,17 +126,17 @@ pub fn execute(db: &Database, query: &Query) -> Result<ResultSet> {
     }
 }
 
-fn execute_set_expr(db: &Database, body: &SetExpr) -> Result<ResultSet> {
+fn execute_set_expr(db: &Database, body: &SetExpr, opts: ExecOptions) -> Result<ResultSet> {
     match body {
-        SetExpr::Select(s) => execute_select(db, s, &[], None),
+        SetExpr::Select(s) => execute_select(db, s, &[], None, opts),
         SetExpr::SetOp {
             op,
             all,
             left,
             right,
         } => {
-            let l = execute_set_expr(db, left)?;
-            let r = execute_set_expr(db, right)?;
+            let l = execute_set_expr(db, left, opts)?;
+            let r = execute_set_expr(db, right, opts)?;
             if l.columns.len() != r.columns.len() {
                 return Err(EngineError::TypeMismatch(format!(
                     "set operands have {} vs {} columns",
@@ -110,11 +202,23 @@ fn dedup_rows(rows: &mut Vec<Vec<Value>>) {
     });
 }
 
-/// Resolve a table reference to `(binding name, column names, rows)`.
-fn resolve_table_ref(
-    db: &Database,
+/// One relation of the FROM clause, resolved but not yet scanned.
+enum RelSource<'a> {
+    Base(&'a crate::database::Table),
+    Derived(ResultSet),
+}
+
+struct Relation<'a> {
+    binding: String,
+    columns: Vec<String>,
+    source: RelSource<'a>,
+}
+
+fn resolve_relation<'a>(
+    db: &'a Database,
     tr: &TableRef,
-) -> Result<(String, Vec<String>, Vec<Vec<Value>>)> {
+    opts: ExecOptions,
+) -> Result<Relation<'a>> {
     match &tr.factor {
         TableFactor::Table(name) => {
             let table = db
@@ -122,14 +226,219 @@ fn resolve_table_ref(
                 .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
             let binding = tr.binding().expect("named table always binds").to_string();
             let columns = table.def.columns.iter().map(|c| c.name.clone()).collect();
-            Ok((binding, columns, table.rows.clone()))
+            Ok(Relation {
+                binding,
+                columns,
+                source: RelSource::Base(table),
+            })
         }
         TableFactor::Derived(q) => {
             let alias = tr.alias.clone().ok_or_else(|| {
                 EngineError::Unsupported("derived table requires an alias".into())
             })?;
-            let rs = execute(db, q)?;
-            Ok((alias, rs.columns, rs.rows))
+            let rs = execute_with(db, q, opts)?;
+            Ok(Relation {
+                binding: alias,
+                columns: rs.columns.clone(),
+                source: RelSource::Derived(rs),
+            })
+        }
+    }
+}
+
+/// Flatten a predicate into its top-level AND conjuncts, left to right.
+fn split_conjuncts<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::Binary {
+        left,
+        op: BinaryOp::And,
+        right,
+    } = expr
+    {
+        split_conjuncts(left, out);
+        split_conjuncts(right, out);
+    } else {
+        out.push(expr);
+    }
+}
+
+/// Whether an expression contains any subquery. Subquery conjuncts are
+/// never pushed down: keeping them in the residual filter preserves the
+/// statement-level memoization order and keeps the pushdown rule easy to
+/// reason about.
+fn has_subquery(expr: &Expr) -> bool {
+    match expr {
+        Expr::Subquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. } => true,
+        Expr::Column(_) | Expr::Literal(_) => false,
+        Expr::Unary { expr, .. } => has_subquery(expr),
+        Expr::Binary { left, right, .. } => has_subquery(left) || has_subquery(right),
+        Expr::Agg { arg, .. } => match arg {
+            AggArg::Star => false,
+            AggArg::Expr(e) => has_subquery(e),
+        },
+        Expr::Between {
+            expr, low, high, ..
+        } => has_subquery(expr) || has_subquery(low) || has_subquery(high),
+        Expr::InList { expr, list, .. } => has_subquery(expr) || list.iter().any(has_subquery),
+        Expr::Like { expr, pattern, .. } => has_subquery(expr) || has_subquery(pattern),
+        Expr::IsNull { expr, .. } => has_subquery(expr),
+    }
+}
+
+/// Collect every column reference in an expression.
+fn collect_columns<'e>(expr: &'e Expr, out: &mut Vec<&'e ColumnRef>) {
+    match expr {
+        Expr::Column(c) => out.push(c),
+        Expr::Literal(_) | Expr::Subquery(_) | Expr::Exists { .. } => {}
+        Expr::Unary { expr, .. } => collect_columns(expr, out),
+        Expr::Binary { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Expr::Agg { arg, .. } => {
+            if let AggArg::Expr(e) = arg {
+                collect_columns(e, out);
+            }
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_columns(expr, out);
+            collect_columns(low, out);
+            collect_columns(high, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_columns(expr, out);
+            for e in list {
+                collect_columns(e, out);
+            }
+        }
+        Expr::InSubquery { expr, .. } => collect_columns(expr, out),
+        Expr::Like { expr, pattern, .. } => {
+            collect_columns(expr, out);
+            collect_columns(pattern, out);
+        }
+        Expr::IsNull { expr, .. } => collect_columns(expr, out),
+    }
+}
+
+/// Which relation (index into `scope.bindings`) a concatenated-row column
+/// index belongs to.
+fn relation_of(scope: &Scope, col_idx: usize) -> usize {
+    scope
+        .bindings
+        .iter()
+        .rposition(|b| b.offset <= col_idx)
+        .expect("column index within scope width")
+}
+
+/// Assign WHERE conjuncts to scans. A conjunct is pushed to relation `i`
+/// when it has no subquery and every column it references resolves (in
+/// the *full* scope, so ambiguity and unknown-column behavior are
+/// unchanged) inside relation `i` alone — and the relation is not on the
+/// nullable side of a LEFT JOIN, where the conjunct must see the padded
+/// NULLs instead of the scan rows.
+fn assign_conjuncts<'e>(
+    selection: Option<&'e Expr>,
+    scope: &Scope,
+    joins: &[Join],
+    opts: ExecOptions,
+) -> (Vec<Vec<&'e Expr>>, Vec<&'e Expr>) {
+    let n_rel = scope.bindings.len();
+    let mut pushed: Vec<Vec<&'e Expr>> = (0..n_rel).map(|_| Vec::new()).collect();
+    let mut residual: Vec<&'e Expr> = Vec::new();
+    let Some(pred) = selection else {
+        return (pushed, residual);
+    };
+    let mut conjuncts = Vec::new();
+    split_conjuncts(pred, &mut conjuncts);
+    if !opts.predicate_pushdown {
+        return (pushed, conjuncts);
+    }
+    'next: for conj in conjuncts {
+        if has_subquery(conj) {
+            residual.push(conj);
+            continue;
+        }
+        let mut cols = Vec::new();
+        collect_columns(conj, &mut cols);
+        if cols.is_empty() {
+            residual.push(conj);
+            continue;
+        }
+        let mut target: Option<usize> = None;
+        for col in cols {
+            let Ok(idx) = scope.resolve(col) else {
+                // Unknown or ambiguous: leave it to the residual filter,
+                // which reports the error exactly as before.
+                residual.push(conj);
+                continue 'next;
+            };
+            let rel = relation_of(scope, idx);
+            match target {
+                None => target = Some(rel),
+                Some(t) if t == rel => {}
+                Some(_) => {
+                    residual.push(conj);
+                    continue 'next;
+                }
+            }
+        }
+        let t = target.expect("at least one column");
+        let nullable_side = t > 0 && joins[t - 1].left;
+        if nullable_side {
+            residual.push(conj);
+        } else {
+            pushed[t].push(conj);
+        }
+    }
+    (pushed, residual)
+}
+
+/// Scan one relation, applying its pushed-down conjuncts. Base-table
+/// scans share `Arc` row handles (or deep-copy under
+/// `ExecOptions::copy_scans`); derived tables own their rows already.
+fn scan_relation(
+    rel: Relation<'_>,
+    pushed: &[&Expr],
+    ctx: &EvalContext,
+    opts: ExecOptions,
+) -> Result<Vec<ExecRow>> {
+    let mut local = Scope::default();
+    local.push(&rel.binding, rel.columns.clone());
+    let keep = |row: &[Value]| -> Result<bool> {
+        for conj in pushed {
+            if !eval_filter(conj, row, &local, ctx)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    };
+    match rel.source {
+        RelSource::Base(table) => {
+            let mut out = Vec::with_capacity(if pushed.is_empty() {
+                table.rows.len()
+            } else {
+                0
+            });
+            for row in &table.rows {
+                if keep(row)? {
+                    out.push(if opts.copy_scans {
+                        ExecRow::Owned(row.to_vec())
+                    } else {
+                        ExecRow::Shared(Arc::clone(row))
+                    });
+                }
+            }
+            Ok(out)
+        }
+        RelSource::Derived(rs) => {
+            let mut out = Vec::with_capacity(rs.rows.len());
+            for row in rs.rows {
+                if keep(&row)? {
+                    out.push(ExecRow::Owned(row));
+                }
+            }
+            Ok(out)
         }
     }
 }
@@ -175,55 +484,111 @@ fn equi_join_keys(
     None
 }
 
-/// Build the joined rows for `FROM ... JOIN ...`.
-fn build_from(
-    db: &Database,
-    from: &TableRef,
+/// Hash-join match lists: `matches[i]` holds the indices of right rows
+/// joining left row `i`, in right-scan order. Building the map on either
+/// side yields the same lists, so build-side selection never changes
+/// output order — only speed.
+fn hash_join_matches(
+    left: &[ExecRow],
+    right: &[ExecRow],
+    li: usize,
+    ri: usize,
+    build_left: bool,
+) -> Vec<Vec<u32>> {
+    let mut matches: Vec<Vec<u32>> = vec![Vec::new(); left.len()];
+    if build_left {
+        let mut index: HashMap<String, Vec<u32>> = HashMap::with_capacity(left.len());
+        for (i, l) in left.iter().enumerate() {
+            if !l[li].is_null() {
+                index
+                    .entry(l[li].canonical_key())
+                    .or_default()
+                    .push(i as u32);
+            }
+        }
+        for (j, r) in right.iter().enumerate() {
+            if !r[ri].is_null() {
+                if let Some(bucket) = index.get(&r[ri].canonical_key()) {
+                    for &i in bucket {
+                        matches[i as usize].push(j as u32);
+                    }
+                }
+            }
+        }
+    } else {
+        let mut index: HashMap<String, Vec<u32>> = HashMap::with_capacity(right.len());
+        for (j, r) in right.iter().enumerate() {
+            if !r[ri].is_null() {
+                index
+                    .entry(r[ri].canonical_key())
+                    .or_default()
+                    .push(j as u32);
+            }
+        }
+        for (i, l) in left.iter().enumerate() {
+            if !l[li].is_null() {
+                if let Some(bucket) = index.get(&l[li].canonical_key()) {
+                    matches[i].extend_from_slice(bucket);
+                }
+            }
+        }
+    }
+    matches
+}
+
+fn concat_row(left: &[Value], right: &[Value]) -> Vec<Value> {
+    let mut row = Vec::with_capacity(left.len() + right.len());
+    row.extend_from_slice(left);
+    row.extend_from_slice(right);
+    row
+}
+
+/// Build the joined rows for `FROM ... JOIN ...` from pre-scanned
+/// relations.
+fn join_relations(
+    mut scanned: Vec<Vec<ExecRow>>,
+    relations: &[(String, Vec<String>)],
     joins: &[Join],
     ctx: &EvalContext,
-) -> Result<(Scope, Vec<Vec<Value>>)> {
+    opts: ExecOptions,
+) -> Result<(Scope, Vec<ExecRow>)> {
+    let mut scanned = scanned.drain(..);
+    let mut rows = scanned.next().expect("at least the FROM relation");
     let mut scope = Scope::default();
-    let (binding, columns, mut rows) = resolve_table_ref(db, from)?;
-    scope.push(&binding, columns);
+    scope.push(&relations[0].0, relations[0].1.clone());
 
-    for join in joins {
-        let (jbinding, jcolumns, jrows) = resolve_table_ref(db, &join.table)?;
-        let right_width = jcolumns.len();
+    for (join, rel) in joins.iter().zip(&relations[1..]) {
+        let jrows = scanned.next().expect("one scan per relation");
+        let right_width = rel.1.len();
 
         // Attempt hash join on a column equality before extending the
         // scope (so "left side" means the scope built so far).
-        let hash_keys = join
-            .constraint
-            .as_ref()
-            .and_then(|c| equi_join_keys(c, &scope, &jcolumns, &jbinding));
+        let hash_keys = if matches!(opts.join, JoinStrategy::NestedLoop) {
+            None
+        } else {
+            join.constraint
+                .as_ref()
+                .and_then(|c| equi_join_keys(c, &scope, &rel.1, &rel.0))
+        };
 
-        scope.push(&jbinding, jcolumns);
+        scope.push(&rel.0, rel.1.clone());
 
         let mut out = Vec::new();
         match hash_keys {
             Some((li, ri)) => {
-                let mut index: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
-                for r in &jrows {
-                    if !r[ri].is_null() {
-                        index.entry(r[ri].canonical_key()).or_default().push(r);
+                let build_left = match opts.join {
+                    JoinStrategy::Auto => rows.len() < jrows.len(),
+                    _ => false,
+                };
+                let matches = hash_join_matches(&rows, &jrows, li, ri, build_left);
+                for (l, js) in rows.iter().zip(&matches) {
+                    for &j in js {
+                        out.push(ExecRow::Owned(concat_row(l, &jrows[j as usize])));
                     }
-                }
-                for l in &rows {
-                    let mut matched = false;
-                    if !l[li].is_null() {
-                        if let Some(bucket) = index.get(&l[li].canonical_key()) {
-                            for r in bucket {
-                                let mut row = l.clone();
-                                row.extend((*r).iter().cloned());
-                                out.push(row);
-                                matched = true;
-                            }
-                        }
-                    }
-                    if join.left && !matched {
-                        let mut row = l.clone();
+                    if join.left && js.is_empty() {
+                        let mut row = l.to_vec();
                         row.extend(std::iter::repeat_n(Value::Null, right_width));
-                        out.push(row);
+                        out.push(ExecRow::Owned(row));
                     }
                 }
             }
@@ -232,21 +597,20 @@ fn build_from(
                 for l in &rows {
                     let mut matched = false;
                     for r in &jrows {
-                        let mut row = l.clone();
-                        row.extend(r.iter().cloned());
+                        let row = concat_row(l, r);
                         let keep = match &join.constraint {
                             Some(c) => eval_filter(c, &row, &scope, ctx)?,
                             None => true,
                         };
                         if keep {
-                            out.push(row);
+                            out.push(ExecRow::Owned(row));
                             matched = true;
                         }
                     }
                     if join.left && !matched {
-                        let mut row = l.clone();
+                        let mut row = l.to_vec();
                         row.extend(std::iter::repeat_n(Value::Null, right_width));
-                        out.push(row);
+                        out.push(ExecRow::Owned(row));
                     }
                 }
             }
@@ -284,16 +648,44 @@ fn execute_select(
     select: &Select,
     order_by: &[OrderItem],
     limit: Option<u64>,
+    opts: ExecOptions,
 ) -> Result<ResultSet> {
     let ctx = EvalContext::new(db);
-    let (scope, mut rows) = build_from(db, &select.from, &select.joins, &ctx)?;
 
-    if let Some(pred) = &select.selection {
+    // Resolve every relation and build the full scope up front, so
+    // pushdown decisions see exactly what the residual filter would.
+    let mut relations = vec![resolve_relation(db, &select.from, opts)?];
+    for join in &select.joins {
+        relations.push(resolve_relation(db, &join.table, opts)?);
+    }
+    let mut full_scope = Scope::default();
+    for rel in &relations {
+        full_scope.push(&rel.binding, rel.columns.clone());
+    }
+
+    let (pushed, residual) =
+        assign_conjuncts(select.selection.as_ref(), &full_scope, &select.joins, opts);
+
+    let rel_names: Vec<(String, Vec<String>)> = relations
+        .iter()
+        .map(|r| (r.binding.clone(), r.columns.clone()))
+        .collect();
+    let mut scanned = Vec::with_capacity(relations.len());
+    for (rel, pushed) in relations.into_iter().zip(&pushed) {
+        scanned.push(scan_relation(rel, pushed, &ctx, opts)?);
+    }
+
+    let (scope, mut rows) = join_relations(scanned, &rel_names, &select.joins, &ctx, opts)?;
+
+    if !residual.is_empty() {
         let mut kept = Vec::with_capacity(rows.len());
-        for row in rows {
-            if eval_filter(pred, &row, &scope, &ctx)? {
-                kept.push(row);
+        'row: for row in rows {
+            for conj in &residual {
+                if !eval_filter(conj, &row, &scope, &ctx)? {
+                    continue 'row;
+                }
             }
+            kept.push(row);
         }
         rows = kept;
     }
@@ -357,7 +749,7 @@ fn execute_plain(
     select: &Select,
     order_by: &[OrderItem],
     scope: &Scope,
-    rows: Vec<Vec<Value>>,
+    rows: Vec<ExecRow>,
     ctx: &EvalContext,
 ) -> Result<Projected> {
     let mut columns = Vec::new();
@@ -366,6 +758,14 @@ fn execute_plain(
             SelectItem::Wildcard => columns.extend(scope.all_columns()),
             other => columns.push(projection_name(other)),
         }
+    }
+    // A bare `SELECT *` needs no per-cell work: the row comes back as-is.
+    let passthrough =
+        matches!(select.projections[..], [SelectItem::Wildcard]) && order_by.is_empty();
+    if passthrough {
+        let out_rows: Vec<Vec<Value>> = rows.into_iter().map(ExecRow::into_vec).collect();
+        let keys = vec![Vec::new(); out_rows.len()];
+        return Ok((columns, out_rows, keys));
     }
     let mut out_rows = Vec::with_capacity(rows.len());
     let mut keys = Vec::with_capacity(rows.len());
@@ -423,11 +823,11 @@ fn execute_grouped(
     select: &Select,
     order_by: &[OrderItem],
     scope: &Scope,
-    rows: Vec<Vec<Value>>,
+    rows: Vec<ExecRow>,
     ctx: &EvalContext,
 ) -> Result<Projected> {
     // Group rows by evaluated GROUP BY key.
-    let mut groups: Vec<Vec<Vec<Value>>> = Vec::new();
+    let mut groups: Vec<Vec<ExecRow>> = Vec::new();
     if select.group_by.is_empty() {
         // Single implicit group — even over zero rows (COUNT(*) = 0).
         groups.push(rows);
@@ -487,12 +887,7 @@ fn execute_grouped(
 /// Evaluate an expression in group context: aggregate nodes consume the
 /// whole group; everything else is evaluated on the group's first row
 /// (valid for GROUP BY keys, which are constant within a group).
-fn eval_grouped(
-    expr: &Expr,
-    group: &[Vec<Value>],
-    scope: &Scope,
-    ctx: &EvalContext,
-) -> Result<Value> {
+fn eval_grouped(expr: &Expr, group: &[ExecRow], scope: &Scope, ctx: &EvalContext) -> Result<Value> {
     match expr {
         Expr::Agg {
             func,
@@ -549,7 +944,7 @@ fn eval_aggregate(
     func: AggFunc,
     distinct: bool,
     arg: &AggArg,
-    group: &[Vec<Value>],
+    group: &[ExecRow],
     scope: &Scope,
     ctx: &EvalContext,
 ) -> Result<Value> {
@@ -754,7 +1149,9 @@ mod tests {
     #[test]
     fn aggregates_skip_nulls() {
         let db = galaxy_db();
-        let r = db.run("SELECT COUNT(z), COUNT(*), AVG(z) FROM specobj").unwrap();
+        let r = db
+            .run("SELECT COUNT(z), COUNT(*), AVG(z) FROM specobj")
+            .unwrap();
         assert_eq!(r.rows[0][0], Value::Int(4));
         assert_eq!(r.rows[0][1], Value::Int(5));
         let avg = r.rows[0][2].as_f64().unwrap();
@@ -981,5 +1378,151 @@ mod tests {
         let galaxy = &r.rows[0];
         assert_eq!(galaxy[0], Value::Text("GALAXY".into()));
         assert!((galaxy[1].as_f64().unwrap() - 0.8).abs() < 1e-9);
+    }
+
+    // -----------------------------------------------------------------
+    // Executor-option equivalence and pushdown semantics.
+
+    /// Queries exercising scans, filters, joins (equi and not), left
+    /// joins, grouping, subqueries and derived tables.
+    const STRATEGY_CASES: [&str; 8] = [
+        "SELECT specobjid FROM specobj WHERE class = 'GALAXY' AND z > 0.5",
+        "SELECT s.specobjid, p.objid FROM specobj AS s \
+         JOIN photoobj AS p ON s.bestobjid = p.objid",
+        "SELECT s.specobjid, p.objid FROM specobj AS s \
+         JOIN photoobj AS p ON s.bestobjid = p.objid \
+         WHERE s.class = 'GALAXY' AND p.u - p.r < 2.22 AND p.u - p.r > 1",
+        "SELECT s.specobjid, p.objid FROM specobj AS s \
+         LEFT JOIN photoobj AS p ON s.bestobjid = p.objid WHERE p.objid IS NULL",
+        "SELECT s.specobjid FROM specobj AS s \
+         JOIN photoobj AS p ON s.bestobjid < p.objid WHERE s.specobjid = 3",
+        "SELECT class, COUNT(*) FROM specobj GROUP BY class HAVING COUNT(*) >= 2",
+        "SELECT specobjid FROM specobj WHERE bestobjid IN \
+         (SELECT objid FROM photoobj) AND class = 'GALAXY' ORDER BY specobjid",
+        "SELECT g.class FROM (SELECT class, COUNT(*) AS n FROM specobj \
+         GROUP BY class) AS g WHERE g.n >= 2",
+    ];
+
+    #[test]
+    fn all_strategies_agree_on_rows_and_order() {
+        let db = galaxy_db();
+        let variants = [
+            ExecOptions::default(),
+            ExecOptions::legacy(),
+            ExecOptions {
+                join: JoinStrategy::NestedLoop,
+                ..Default::default()
+            },
+            ExecOptions {
+                predicate_pushdown: false,
+                ..Default::default()
+            },
+            ExecOptions {
+                join: JoinStrategy::BuildRight,
+                ..Default::default()
+            },
+        ];
+        for sql in STRATEGY_CASES {
+            let baseline = db.run_with(sql, variants[0]).unwrap();
+            for opts in &variants[1..] {
+                let got = db.run_with(sql, *opts).unwrap();
+                // Strict equality: same rows in the same order, not just
+                // multiset equivalence.
+                assert_eq!(
+                    baseline.rows, got.rows,
+                    "options {opts:?} changed the result of: {sql}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pushdown_keeps_left_join_null_padding() {
+        let db = galaxy_db();
+        // `p.objid IS NULL` references only the nullable side; pushing it
+        // into the photoobj scan would keep no rows and pad everything.
+        let r = db
+            .run(
+                "SELECT s.specobjid FROM specobj AS s \
+                 LEFT JOIN photoobj AS p ON s.bestobjid = p.objid \
+                 WHERE p.objid IS NULL",
+            )
+            .unwrap();
+        let ids: Vec<_> = r.rows.iter().map(|row| row[0].clone()).collect();
+        assert_eq!(ids, vec![Value::Int(3), Value::Int(4)]);
+    }
+
+    #[test]
+    fn pushdown_preserves_ambiguity_errors() {
+        let db = galaxy_db();
+        let schema_dup = Schema::new("d")
+            .with_table(TableDef::new("a", vec![Column::pk("id", ColumnType::Int)]))
+            .with_table(TableDef::new("b", vec![Column::pk("id", ColumnType::Int)]));
+        let mut dup = Database::new(schema_dup);
+        dup.table_mut("a").unwrap().push_rows(vec![vec![1.into()]]);
+        dup.table_mut("b").unwrap().push_rows(vec![vec![1.into()]]);
+        // `id` is ambiguous across a and b: must error with and without
+        // pushdown, not silently bind to one side.
+        for opts in [ExecOptions::default(), ExecOptions::legacy()] {
+            assert!(matches!(
+                dup.run_with(
+                    "SELECT a.id FROM a JOIN b ON a.id = b.id WHERE id = 1",
+                    opts
+                ),
+                Err(EngineError::AmbiguousColumn(_))
+            ));
+        }
+        // Sanity: unambiguous qualified pushdown still works.
+        let r = db
+            .run(
+                "SELECT s.specobjid FROM specobj AS s JOIN photoobj AS p \
+                  ON s.bestobjid = p.objid WHERE s.class = 'STAR'",
+            )
+            .unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn build_side_selection_matches_input_sizes() {
+        // Left (5 rows) larger than right (3): Auto builds on the right;
+        // flip the join order and it builds on the left. Either way the
+        // results must agree with the nested loop.
+        let db = galaxy_db();
+        for sql in [
+            "SELECT s.specobjid, p.objid FROM specobj AS s \
+             JOIN photoobj AS p ON s.bestobjid = p.objid",
+            "SELECT s.specobjid, p.objid FROM photoobj AS p \
+             JOIN specobj AS s ON s.bestobjid = p.objid",
+        ] {
+            let auto = db.run_with(sql, ExecOptions::default()).unwrap();
+            let nested = db
+                .run_with(
+                    sql,
+                    ExecOptions {
+                        join: JoinStrategy::NestedLoop,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(auto.rows, nested.rows, "strategy mismatch for: {sql}");
+        }
+    }
+
+    #[test]
+    fn conjunct_splitting_and_subquery_detection() {
+        let q = sb_sql::parse(
+            "SELECT specobjid FROM specobj WHERE class = 'GALAXY' AND z > 0.5 \
+             AND bestobjid IN (SELECT objid FROM photoobj)",
+        )
+        .unwrap();
+        let SetExpr::Select(select) = &q.body else {
+            panic!("select expected")
+        };
+        let mut conj = Vec::new();
+        split_conjuncts(select.selection.as_ref().unwrap(), &mut conj);
+        assert_eq!(conj.len(), 3);
+        assert!(!has_subquery(conj[0]));
+        assert!(!has_subquery(conj[1]));
+        assert!(has_subquery(conj[2]));
     }
 }

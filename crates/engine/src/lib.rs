@@ -27,9 +27,9 @@ pub mod profile;
 pub mod result;
 pub mod value;
 
-pub use database::{Database, Table};
+pub use database::{Database, Row, Table};
 pub use error::{EngineError, Result};
-pub use exec::execute;
+pub use exec::{execute, execute_with, ExecOptions, JoinStrategy};
 pub use profile::{profile_database, sql_literal};
 pub use result::ResultSet;
 pub use value::Value;

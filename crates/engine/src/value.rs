@@ -176,11 +176,13 @@ mod tests {
 
     #[test]
     fn total_cmp_is_deterministic_across_types() {
-        let mut vals = [Value::Text("b".into()),
+        let mut vals = [
+            Value::Text("b".into()),
             Value::Int(2),
             Value::Null,
             Value::Float(1.5),
-            Value::Bool(true)];
+            Value::Bool(true),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Bool(true));
@@ -191,7 +193,13 @@ mod tests {
 
     #[test]
     fn canonical_key_unifies_int_and_float() {
-        assert_eq!(Value::Int(3).canonical_key(), Value::Float(3.0).canonical_key());
-        assert_ne!(Value::Int(3).canonical_key(), Value::Text("3".into()).canonical_key());
+        assert_eq!(
+            Value::Int(3).canonical_key(),
+            Value::Float(3.0).canonical_key()
+        );
+        assert_ne!(
+            Value::Int(3).canonical_key(),
+            Value::Text("3".into()).canonical_key()
+        );
     }
 }

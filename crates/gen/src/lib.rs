@@ -24,7 +24,8 @@ pub use sampler::parse_literal;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
+use rayon::prelude::*;
 use sb_engine::{profile_database, Database};
 use sb_schema::{DataProfile, EnhancedSchema};
 use sb_semql::{Assignment, Template, TemplateError};
@@ -127,6 +128,26 @@ impl GenStats {
     }
 }
 
+/// One parallel worker's output: executable candidates plus local
+/// rejection counts, merged into [`GenStats`] by the caller.
+#[derive(Default)]
+struct AttemptBatch {
+    candidates: Vec<(Query, String)>,
+    rejected_sampling: usize,
+    rejected_execution: usize,
+    rejected_empty: usize,
+    rejected_duplicate: usize,
+}
+
+/// Mix a per-run base seed with a round and template index into one
+/// worker seed. `seed_from_u64` finishes the avalanche, so simple odd-
+/// constant multiplies suffice to separate the streams.
+fn derive_seed(base: u64, round: u64, template_idx: u64) -> u64 {
+    base ^ round
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(template_idx.wrapping_mul(0xD1B5_4A32_D192_ED03))
+}
+
 /// The Phase 2 generator: fills templates against one database.
 pub struct Generator<'a> {
     db: &'a Database,
@@ -154,9 +175,18 @@ impl<'a> Generator<'a> {
     /// Algorithm 1: one fill attempt for a template. Fails fast on any
     /// constraint violation; callers retry.
     pub fn fill(&mut self, template: &Template) -> Result<Query, GenError> {
-        let tables = self.sample_tables(template)?;
-        let columns = self.sample_columns(template, &tables)?;
-        let values = self.sample_values(template, &tables, &columns)?;
+        let mut rng = self.rng.clone();
+        let out = self.fill_with(&mut rng, template);
+        self.rng = rng;
+        out
+    }
+
+    /// One fill attempt with an explicit RNG — the reentrant core behind
+    /// [`Generator::fill`], shared by the parallel generation workers.
+    fn fill_with(&self, rng: &mut StdRng, template: &Template) -> Result<Query, GenError> {
+        let tables = self.sample_tables(rng, template)?;
+        let columns = self.sample_columns(rng, template, &tables)?;
+        let values = self.sample_values(rng, template, &tables, &columns)?;
         let assignment = Assignment {
             tables,
             columns,
@@ -167,6 +197,15 @@ impl<'a> Generator<'a> {
 
     /// Generate up to `n` validated, de-duplicated queries by cycling over
     /// the templates. Returns the queries and the rejection statistics.
+    ///
+    /// Fill-and-execute batches run in parallel, one worker per template
+    /// per round, each on its own RNG seeded from `(base, round,
+    /// template)`; accepted queries are then merged sequentially in
+    /// template-index order. Both the worker seeds and the merge order are
+    /// independent of thread scheduling, so the output is identical for
+    /// any `RAYON_NUM_THREADS`. Each round accepts at most one query per
+    /// template, which keeps the template mix balanced exactly like the
+    /// sequential round-robin this replaces.
     pub fn generate(
         &mut self,
         templates: &[Template],
@@ -176,30 +215,40 @@ impl<'a> Generator<'a> {
         let mut out = Vec::new();
         let mut stats = GenStats::default();
         let mut seen: HashSet<String> = HashSet::new();
-        if templates.is_empty() {
+        if templates.is_empty() || n == 0 {
             return (out, stats);
         }
-        let mut template_order: Vec<usize> = (0..templates.len()).collect();
-        'outer: while out.len() < n {
-            template_order.shuffle(&mut self.rng);
+        let base = self.rng.next_u64();
+        let mut round: u64 = 0;
+        while out.len() < n {
+            let batches: Vec<AttemptBatch> = (0..templates.len())
+                .into_par_iter()
+                .map(|ti| {
+                    let seed = derive_seed(base, round, ti as u64);
+                    self.attempt_batch(seed, &templates[ti], opts)
+                })
+                .collect();
             let mut progressed = false;
-            for &ti in &template_order {
+            for (ti, batch) in batches.into_iter().enumerate() {
+                stats.rejected_sampling += batch.rejected_sampling;
+                stats.rejected_execution += batch.rejected_execution;
+                stats.rejected_empty += batch.rejected_empty;
+                stats.rejected_duplicate += batch.rejected_duplicate;
                 if out.len() >= n {
-                    break 'outer;
+                    continue;
                 }
-                for _ in 0..opts.max_attempts_per_query {
-                    match self.try_one(&templates[ti], opts, &mut seen, &mut stats) {
-                        Some(q) => {
-                            out.push(GeneratedQuery {
-                                query: q,
-                                template_idx: ti,
-                            });
-                            stats.accepted += 1;
-                            progressed = true;
-                            break;
-                        }
-                        None => continue,
+                for (query, sql) in batch.candidates {
+                    if !seen.insert(sql) {
+                        stats.rejected_duplicate += 1;
+                        continue;
                     }
+                    out.push(GeneratedQuery {
+                        query,
+                        template_idx: ti,
+                    });
+                    stats.accepted += 1;
+                    progressed = true;
+                    break;
                 }
             }
             if !progressed {
@@ -207,52 +256,64 @@ impl<'a> Generator<'a> {
                 // loop forever.
                 break;
             }
+            round += 1;
         }
         (out, stats)
     }
 
-    fn try_one(
-        &mut self,
-        template: &Template,
-        opts: &GenOptions,
-        seen: &mut HashSet<String>,
-        stats: &mut GenStats,
-    ) -> Option<Query> {
-        let query = match self.fill(template) {
-            Ok(q) => q,
-            Err(GenError::Template(_)) | Err(GenError::NotExecutable(_)) => {
-                stats.rejected_execution += 1;
-                return None;
+    /// One worker's round: attempt fills of a single template, execute the
+    /// candidates, and return the survivors (a few, so the merge can fall
+    /// back when its first choice duplicates another template's output).
+    fn attempt_batch(&self, seed: u64, template: &Template, opts: &GenOptions) -> AttemptBatch {
+        /// Survivors kept per batch; the merge accepts at most one.
+        const MAX_CANDIDATES: usize = 3;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut batch = AttemptBatch::default();
+        let mut local_seen: HashSet<String> = HashSet::new();
+        for _ in 0..opts.max_attempts_per_query {
+            if batch.candidates.len() >= MAX_CANDIDATES {
+                break;
             }
-            Err(_) => {
-                stats.rejected_sampling += 1;
-                return None;
-            }
-        };
-        let sql = query.to_string();
-        if seen.contains(&sql) {
-            stats.rejected_duplicate += 1;
-            return None;
-        }
-        match self.db.run_query(&query) {
-            Ok(rs) => {
-                if opts.require_nonempty && rs.is_empty() {
-                    stats.rejected_empty += 1;
-                    return None;
+            let query = match self.fill_with(&mut rng, template) {
+                Ok(q) => q,
+                Err(GenError::Template(_)) | Err(GenError::NotExecutable(_)) => {
+                    batch.rejected_execution += 1;
+                    continue;
                 }
-                seen.insert(sql);
-                Some(query)
+                Err(_) => {
+                    batch.rejected_sampling += 1;
+                    continue;
+                }
+            };
+            let sql = query.to_string();
+            if local_seen.contains(&sql) {
+                batch.rejected_duplicate += 1;
+                continue;
             }
-            Err(_) => {
-                stats.rejected_execution += 1;
-                None
+            match self.db.run_query(&query) {
+                Ok(rs) => {
+                    if opts.require_nonempty && rs.is_empty() {
+                        batch.rejected_empty += 1;
+                        continue;
+                    }
+                    local_seen.insert(sql.clone());
+                    batch.candidates.push((query, sql));
+                }
+                Err(_) => {
+                    batch.rejected_execution += 1;
+                }
             }
         }
+        batch
     }
 
     // ---- Algorithm 1, lines 8-11: table sampling -------------------------
 
-    fn sample_tables(&mut self, template: &Template) -> Result<Vec<String>, GenError> {
+    fn sample_tables(
+        &self,
+        rng: &mut StdRng,
+        template: &Template,
+    ) -> Result<Vec<String>, GenError> {
         let schema = &self.enhanced.schema;
         let mut tables: Vec<Option<String>> = vec![None; template.table_count];
 
@@ -268,7 +329,7 @@ impl<'a> Generator<'a> {
                     if fks.is_empty() {
                         return Err(GenError::NoJoinableTable);
                     }
-                    let fk = &fks[self.rng.gen_range(0..fks.len())];
+                    let fk = &fks[rng.gen_range(0..fks.len())];
                     tables[edge.left_table] = Some(fk.from_table.clone());
                     tables[edge.right_table] = Some(fk.to_table.clone());
                 }
@@ -277,7 +338,7 @@ impl<'a> Generator<'a> {
                     if edges.is_empty() {
                         return Err(GenError::NoJoinableTable);
                     }
-                    let (_, other, _) = &edges[self.rng.gen_range(0..edges.len())];
+                    let (_, other, _) = &edges[rng.gen_range(0..edges.len())];
                     tables[edge.right_table] = Some(other.clone());
                 }
                 (None, Some(r)) => {
@@ -285,7 +346,7 @@ impl<'a> Generator<'a> {
                     if edges.is_empty() {
                         return Err(GenError::NoJoinableTable);
                     }
-                    let (_, other, _) = &edges[self.rng.gen_range(0..edges.len())];
+                    let (_, other, _) = &edges[rng.gen_range(0..edges.len())];
                     tables[edge.left_table] = Some(other.clone());
                 }
                 (Some(l), Some(r)) => {
@@ -305,10 +366,7 @@ impl<'a> Generator<'a> {
         // Free slots: any table.
         for slot in tables.iter_mut() {
             if slot.is_none() {
-                let t = schema
-                    .tables
-                    .choose(&mut self.rng)
-                    .ok_or(GenError::NoJoinableTable)?;
+                let t = schema.tables.choose(rng).ok_or(GenError::NoJoinableTable)?;
                 *slot = Some(t.name.clone());
             }
         }
@@ -318,7 +376,8 @@ impl<'a> Generator<'a> {
     // ---- Algorithm 1, lines 12-15: column sampling -----------------------
 
     fn sample_columns(
-        &mut self,
+        &self,
+        rng: &mut StdRng,
         template: &Template,
         tables: &[String],
     ) -> Result<Vec<String>, GenError> {
@@ -338,7 +397,7 @@ impl<'a> Generator<'a> {
                 .map(|(lcol, _, rcol)| (lcol, rcol))
                 .collect();
             let (lcol, rcol) = candidates
-                .choose(&mut self.rng)
+                .choose(rng)
                 .cloned()
                 .ok_or(GenError::NoJoinableTable)?;
             columns[edge.left_col] = Some(lcol);
@@ -350,9 +409,9 @@ impl<'a> Generator<'a> {
             if columns[idx].is_some() || !slot.contexts.math {
                 continue;
             }
-            let peer = slot.math_peer.ok_or_else(|| {
-                GenError::NoCandidateColumn("math operand without peer".into())
-            })?;
+            let peer = slot
+                .math_peer
+                .ok_or_else(|| GenError::NoCandidateColumn("math operand without peer".into()))?;
             if columns[peer].is_some() {
                 continue;
             }
@@ -362,7 +421,7 @@ impl<'a> Generator<'a> {
                     "math operands in different tables".into(),
                 ));
             }
-            let pair = self.sample_math_pair(table)?;
+            let pair = self.sample_math_pair(rng, table)?;
             columns[idx] = Some(pair.0);
             columns[peer] = Some(pair.1);
         }
@@ -375,7 +434,7 @@ impl<'a> Generator<'a> {
             let table = &tables[slot.table_slot];
             let candidates = self.candidate_columns(table, slot)?;
             let choice = candidates
-                .choose(&mut self.rng)
+                .choose(rng)
                 .cloned()
                 .ok_or_else(|| GenError::NoCandidateColumn(format!("table `{table}`")))?;
             columns[idx] = Some(choice);
@@ -383,7 +442,11 @@ impl<'a> Generator<'a> {
         Ok(columns.into_iter().map(|c| c.expect("filled")).collect())
     }
 
-    fn sample_math_pair(&mut self, table: &str) -> Result<(String, String), GenError> {
+    fn sample_math_pair(
+        &self,
+        rng: &mut StdRng,
+        table: &str,
+    ) -> Result<(String, String), GenError> {
         if !self.use_enhanced_constraints {
             // Ablation: any two numeric columns.
             let def = self
@@ -403,18 +466,18 @@ impl<'a> Generator<'a> {
                 )));
             }
             let mut pick = numeric.clone();
-            pick.shuffle(&mut self.rng);
+            pick.shuffle(rng);
             return Ok((pick[0].clone(), pick[1].clone()));
         }
         let groups = self.enhanced.math_groups(table);
         let mut group_names: Vec<&String> = groups.keys().collect();
         group_names.sort(); // determinism
         let g = group_names
-            .choose(&mut self.rng)
+            .choose(rng)
             .ok_or_else(|| GenError::NoCandidateColumn(format!("no math group in `{table}`")))?;
         let members = &groups[*g];
         let mut pick: Vec<String> = members.clone();
-        pick.shuffle(&mut self.rng);
+        pick.shuffle(rng);
         Ok((pick[0].clone(), pick[1].clone()))
     }
 
@@ -472,7 +535,8 @@ impl<'a> Generator<'a> {
     // ---- Algorithm 1, lines 16-19: value sampling ------------------------
 
     fn sample_values(
-        &mut self,
+        &self,
+        rng: &mut StdRng,
         template: &Template,
         tables: &[String],
         columns: &[String],
@@ -484,16 +548,10 @@ impl<'a> Generator<'a> {
                     let cslot = &template.columns[ci];
                     let table = &tables[cslot.table_slot];
                     let column = &columns[ci];
-                    sampler::sample_value(
-                        &mut self.rng,
-                        &self.profile,
-                        table,
-                        column,
-                        vslot.kind,
-                    )
-                    .ok_or_else(|| GenError::NoValue(format!("{table}.{column}")))?
+                    sampler::sample_value(rng, &self.profile, table, column, vslot.kind)
+                        .ok_or_else(|| GenError::NoValue(format!("{table}.{column}")))?
                 }
-                None => sampler::sample_agg_value(&mut self.rng),
+                None => sampler::sample_agg_value(rng),
             };
             out.push(lit);
         }

@@ -118,11 +118,7 @@ mod tests {
         StdRng::seed_from_u64(1)
     }
 
-    fn profile_with(
-        values: &[&str],
-        min: Option<f64>,
-        max: Option<f64>,
-    ) -> DataProfile {
+    fn profile_with(values: &[&str], min: Option<f64>, max: Option<f64>) -> DataProfile {
         let mut p = DataProfile::new();
         p.insert(
             "t",

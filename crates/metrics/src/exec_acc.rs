@@ -37,7 +37,7 @@ pub fn execution_accuracy(db: &Database, pairs: &[(String, String)]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use sb_schema::{Column, ColumnType, Schema, TableDef};
 
     fn db() -> Database {

@@ -61,10 +61,7 @@ impl ExpertJudge {
         if pairs.is_empty() {
             return 0.0;
         }
-        let ok = pairs
-            .iter()
-            .filter(|(nl, sql)| self.judge(nl, sql))
-            .count();
+        let ok = pairs.iter().filter(|(nl, sql)| self.judge(nl, sql)).count();
         ok as f64 / pairs.len() as f64
     }
 }
@@ -101,7 +98,13 @@ impl<'a> Checks<'a> {
             sb_sql::SetExpr::SetOp { .. } => {
                 // Set operations must be signposted somehow.
                 self.any_word(&[
-                    "also", "exclude", "except", "both", "combined", "union", "intersect",
+                    "also",
+                    "exclude",
+                    "except",
+                    "both",
+                    "combined",
+                    "union",
+                    "intersect",
                     "keep only",
                 ]);
             }
@@ -128,7 +131,13 @@ impl<'a> Checks<'a> {
                     self.any_word(&["highest", "most", "largest", "top", "maximum", "descending"]);
                 } else {
                     self.any_word(&[
-                        "lowest", "least", "smallest", "fewest", "minimum", "ascending", "bottom",
+                        "lowest",
+                        "least",
+                        "smallest",
+                        "fewest",
+                        "minimum",
+                        "ascending",
+                        "bottom",
                     ]);
                 }
             } else if item.desc {
@@ -182,10 +191,7 @@ impl<'a> Checks<'a> {
                 self.aggregates(left);
             }
             Expr::Between {
-                low,
-                high,
-                negated,
-                ..
+                low, high, negated, ..
             } => {
                 self.any_word(&["between", "range", "from"]);
                 if let Expr::Literal(l) = low.as_ref() {
@@ -262,8 +268,16 @@ impl<'a> Checks<'a> {
                 "no less than",
             ]),
             BinaryOp::Lt | BinaryOp::LtEq => self.any_word(&[
-                "less", "below", "at most", "under", "lower", "fewer", "before", "younger",
-                "smaller", "no more than",
+                "less",
+                "below",
+                "at most",
+                "under",
+                "lower",
+                "fewer",
+                "before",
+                "younger",
+                "smaller",
+                "no more than",
             ]),
             BinaryOp::NotEq => self.any_word(&["not", "other than", "different", "excluding"]),
             _ => {}

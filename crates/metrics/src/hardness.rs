@@ -136,11 +136,7 @@ fn count_others(q: &Query) -> usize {
         }
     }
     for s in outer_selects(q) {
-        let conds = s
-            .selection
-            .as_ref()
-            .map(count_condition_units)
-            .unwrap_or(0);
+        let conds = s.selection.as_ref().map(count_condition_units).unwrap_or(0);
         if conds > 1 {
             count += 1;
             break;
@@ -286,8 +282,10 @@ mod tests {
     #[test]
     fn subquery_plus_components_is_extra() {
         assert_eq!(
-            h("SELECT name, z FROM t WHERE z > (SELECT AVG(z) FROM t) AND class = 'GALAXY' \
-               ORDER BY z DESC LIMIT 5"),
+            h(
+                "SELECT name, z FROM t WHERE z > (SELECT AVG(z) FROM t) AND class = 'GALAXY' \
+               ORDER BY z DESC LIMIT 5"
+            ),
             Hardness::ExtraHard
         );
     }

@@ -129,6 +129,14 @@ impl LlmProfile {
         *entry = entry.max(strength);
     }
 
+    /// Reset the sampling RNG to a fresh stream. The parallel pipeline
+    /// derives one seed per SQL query from this, so each query's
+    /// candidate set is independent of how queries are scheduled across
+    /// threads.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
     /// Whether this model has been fine-tuned on a schema.
     pub fn is_fine_tuned(&self, schema_name: &str) -> bool {
         self.fine_tuned
@@ -184,12 +192,7 @@ impl LlmProfile {
     /// discriminator is good at filtering). The 75/35 split calibrates the
     /// post-discrimination silver-standard quality to Table 4's 75–83%
     /// band.
-    pub fn candidates(
-        &mut self,
-        q: &Query,
-        enhanced: &EnhancedSchema,
-        n: usize,
-    ) -> Vec<String> {
+    pub fn candidates(&mut self, q: &Query, enhanced: &EnhancedSchema, n: usize) -> Vec<String> {
         let p = self.effective_error_rate(enhanced);
         let shared = corrupt_query(q, (p * 0.75).min(0.9), &mut self.rng);
         (0..n)
@@ -350,7 +353,8 @@ fn corrupt_predicate(pred: Expr, p: f64, rng: &mut StdRng) -> Option<Expr> {
         }
         kept.push(c);
     }
-    kept.into_iter().reduce(|a, b| Expr::binary(a, BinaryOp::And, b))
+    kept.into_iter()
+        .reduce(|a, b| Expr::binary(a, BinaryOp::And, b))
 }
 
 fn contains_literal(e: &Expr) -> bool {
@@ -513,8 +517,7 @@ mod tests {
     #[test]
     fn candidates_have_diversity() {
         let e = plain_schema();
-        let q =
-            sb_sql::parse("SELECT o.city FROM owners AS o WHERE o.age > 30").unwrap();
+        let q = sb_sql::parse("SELECT o.city FROM owners AS o WHERE o.age > 30").unwrap();
         let mut m = LlmProfile::gpt3_zero(3);
         let cands = m.candidates(&q, &e, 8);
         assert_eq!(cands.len(), 8);

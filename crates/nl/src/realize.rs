@@ -8,8 +8,8 @@
 
 use sb_schema::EnhancedSchema;
 use sb_sql::{
-    AggArg, AggFunc, BinaryOp, ColumnRef, Expr, Literal, Query, Select, SelectItem, SetExpr,
-    SetOp, TableFactor, UnaryOp,
+    AggArg, AggFunc, BinaryOp, ColumnRef, Expr, Literal, Query, Select, SelectItem, SetExpr, SetOp,
+    TableFactor, UnaryOp,
 };
 use std::collections::HashMap;
 
@@ -84,7 +84,10 @@ impl<'a> Realizer<'a> {
             (Some(item), Some(n)) => {
                 let key = self.expr_phrase(&item.expr, &self.binding_map(q));
                 let dir = if item.desc { "highest" } else { "lowest" };
-                let lead = pick(&["with the", "having the", "showing only the"], style.variant);
+                let lead = pick(
+                    &["with the", "having the", "showing only the"],
+                    style.variant,
+                );
                 if n == 1 {
                     text.push_str(&format!(" {lead} {dir} {key}"));
                 } else {
@@ -247,7 +250,9 @@ impl<'a> Realizer<'a> {
     ) -> String {
         match item {
             SelectItem::Wildcard => "full details".to_string(),
-            SelectItem::Expr { expr, .. } => self.expr_phrase_with_table(expr, main_table, bindings),
+            SelectItem::Expr { expr, .. } => {
+                self.expr_phrase_with_table(expr, main_table, bindings)
+            }
         }
     }
 
@@ -451,7 +456,10 @@ impl<'a> Realizer<'a> {
             Expr::Unary {
                 op: UnaryOp::Not,
                 expr,
-            } => format!("it is not the case that {}", self.condition_phrase(expr, bindings)),
+            } => format!(
+                "it is not the case that {}",
+                self.condition_phrase(expr, bindings)
+            ),
             other => format!("the condition {other} holds"),
         }
     }
@@ -596,9 +604,8 @@ mod tests {
 
     #[test]
     fn realizes_join() {
-        let nl = realize(
-            "SELECT p.objid FROM photoobj AS p JOIN specobj AS s ON s.bestobjid = p.objid",
-        );
+        let nl =
+            realize("SELECT p.objid FROM photoobj AS p JOIN specobj AS s ON s.bestobjid = p.objid");
         assert!(nl.contains("photometric object"), "{nl}");
         assert!(nl.contains("spectroscopic object"), "{nl}");
     }

@@ -81,8 +81,9 @@ impl<'a> DbCatalog<'a> {
     }
 }
 
-/// The common interface of the three systems.
-pub trait NlToSql {
+/// The common interface of the three systems. `Send + Sync` so a trained
+/// system can serve predictions from parallel evaluation workers.
+pub trait NlToSql: Send + Sync {
     /// The system's display name (as used in Table 5).
     fn name(&self) -> &'static str;
 
@@ -99,15 +100,76 @@ pub trait NlToSql {
 
 /// English stopwords ignored by linking and lexicon learning.
 pub(crate) const STOPWORDS: [&str; 68] = [
-    "the", "a", "an", "of", "in", "on", "for", "to", "is", "are", "was", "were", "and", "or",
-    "with", "that", "which", "all", "find", "show", "list", "return", "give", "me", "what",
-    "whose", "their", "there", "than", "as", "by", "at", "from", "how", "many", "much", "each",
-    "every", "per", "retrieve", "records", "record", "where",
+    "the",
+    "a",
+    "an",
+    "of",
+    "in",
+    "on",
+    "for",
+    "to",
+    "is",
+    "are",
+    "was",
+    "were",
+    "and",
+    "or",
+    "with",
+    "that",
+    "which",
+    "all",
+    "find",
+    "show",
+    "list",
+    "return",
+    "give",
+    "me",
+    "what",
+    "whose",
+    "their",
+    "there",
+    "than",
+    "as",
+    "by",
+    "at",
+    "from",
+    "how",
+    "many",
+    "much",
+    "each",
+    "every",
+    "per",
+    "retrieve",
+    "records",
+    "record",
+    "where",
     // Aggregate / comparison / ordering scaffolding: these describe the
     // query shape, not the schema, and must not accumulate lexicon votes.
-    "maximum", "minimum", "average", "total", "count", "number", "sum", "greater", "less",
-    "least", "most", "smaller", "larger", "highest", "lowest", "equals", "exactly", "between",
-    "above", "below", "related", "together", "ordered", "descending", "ascending",
+    "maximum",
+    "minimum",
+    "average",
+    "total",
+    "count",
+    "number",
+    "sum",
+    "greater",
+    "less",
+    "least",
+    "most",
+    "smaller",
+    "larger",
+    "highest",
+    "lowest",
+    "equals",
+    "exactly",
+    "between",
+    "above",
+    "below",
+    "related",
+    "together",
+    "ordered",
+    "descending",
+    "ascending",
 ];
 
 /// Whether a token is a stopword.

@@ -21,9 +21,8 @@ use crate::{is_stopword, Pair};
 use sb_engine::{profile_database, Database};
 use sb_schema::{ColumnType, DataProfile};
 use sb_sql::Literal;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A linked schema column with a confidence score.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,14 +64,26 @@ impl LinkResult {
 }
 
 /// The trainable linker.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Linker {
     /// token → (db, table, column) → votes.
     lexicon: HashMap<String, HashMap<(String, String, String), f64>>,
     /// Cached data profiles per database name (interior mutability so
     /// that linking — a read-only operation conceptually — can run on
-    /// `&self`).
-    profiles: RefCell<HashMap<String, Rc<DataProfile>>>,
+    /// `&self`; a `Mutex` rather than `RefCell` so predictions can run
+    /// from parallel evaluation workers).
+    profiles: Mutex<HashMap<String, Arc<DataProfile>>>,
+}
+
+impl Clone for Linker {
+    fn clone(&self) -> Self {
+        Linker {
+            lexicon: self.lexicon.clone(),
+            // The profile cache is derived data; a clone starts cold and
+            // repopulates on demand.
+            profiles: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl Linker {
@@ -143,9 +154,27 @@ impl Linker {
         }
         let total: f64 = elements.iter().map(|(_, _, w)| w).sum();
         let db_name = pair.db.to_ascii_lowercase();
+        // Tokens that appear inside the pair's own SQL literals are value
+        // mentions ("… where the alias is 'SAILA'"), not paraphrases of
+        // the columns they co-occur with; learning them as column
+        // vocabulary turns cell values into bogus realization aliases.
+        let mut literal_tokens: std::collections::HashSet<String> =
+            std::collections::HashSet::new();
+        for lit in sb_sql::visitor::collect_literals(&query) {
+            match lit {
+                sb_sql::Literal::Str(s) => literal_tokens.extend(sb_embed::tokenize(&s)),
+                sb_sql::Literal::Int(v) => {
+                    literal_tokens.insert(v.to_string());
+                }
+                sb_sql::Literal::Float(v) => {
+                    literal_tokens.insert(v.to_string());
+                }
+                _ => {}
+            }
+        }
         let tokens = sb_embed::tokenize(&pair.nl);
         for token in tokens {
-            if is_stopword(&token) || token.len() < 3 {
+            if is_stopword(&token) || token.len() < 3 || literal_tokens.contains(&token) {
                 continue;
             }
             // Tokens that literally name a schema element carry no new
@@ -184,8 +213,17 @@ impl Linker {
         let db_name = db_name.to_ascii_lowercase();
         let mut best: HashMap<(String, String), (String, f64)> = HashMap::new();
         for (token, votes) in &self.lexicon {
+            // A token only qualifies as a column's alias when the column
+            // holds the majority of the token's vote mass in this
+            // database — boilerplate words that co-occur with every
+            // column never reach a majority and are rejected wholesale.
+            let total: f64 = votes
+                .iter()
+                .filter(|((vdb, _, _), _)| *vdb == db_name)
+                .map(|(_, w)| *w)
+                .sum();
             for ((vdb, table, column), w) in votes {
-                if *vdb != db_name || *w < 0.9 {
+                if *vdb != db_name || *w < 0.9 || *w / total < 0.5 {
                     continue;
                 }
                 let entry = best
@@ -205,12 +243,13 @@ impl Linker {
     }
 
     /// The (cached) data profile of a database.
-    pub fn profile(&self, db: &Database) -> Rc<DataProfile> {
-        Rc::clone(
+    pub fn profile(&self, db: &Database) -> Arc<DataProfile> {
+        Arc::clone(
             self.profiles
-                .borrow_mut()
+                .lock()
+                .expect("profile cache lock poisoned")
                 .entry(db.schema.name.to_ascii_lowercase())
-                .or_insert_with(|| Rc::new(profile_database(db))),
+                .or_insert_with(|| Arc::new(profile_database(db))),
         )
     }
 
@@ -236,7 +275,10 @@ impl Linker {
         for t in &db.schema.tables {
             let t_lower = t.name.to_ascii_lowercase();
             for part in name_tokens(&t.name) {
-                if part.len() >= 3 && tokens.iter().any(|tok| tok == &part || singular_eq(tok, &part))
+                if part.len() >= 3
+                    && tokens
+                        .iter()
+                        .any(|tok| tok == &part || singular_eq(tok, &part))
                 {
                     *table_score.entry(t_lower.clone()).or_insert(0.0) += 1.0;
                 }
@@ -245,7 +287,10 @@ impl Linker {
                 let parts = name_tokens(&c.name);
                 let mut hit = 0usize;
                 for part in &parts {
-                    if tokens.iter().any(|tok| tok == part || singular_eq(tok, part)) {
+                    if tokens
+                        .iter()
+                        .any(|tok| tok == part || singular_eq(tok, part))
+                    {
                         hit += 1;
                     }
                 }
@@ -266,19 +311,26 @@ impl Linker {
         }
 
         // 2. Learned lexicon votes (scoped to this database), scaled by
-        //    token informativeness: a token that votes for many distinct
-        //    columns carries little signal about any one of them.
+        //    each column's *share* of the token's vote mass. A
+        //    discriminative token ("redshift" → `specobj.z`) concentrates
+        //    its mass on one column and votes at full strength; phrasing
+        //    boilerplate that large synthetic training sets attach to
+        //    every column ("records", "entries") spreads its mass thin
+        //    and contributes almost nothing anywhere.
         for tok in &tokens {
             if let Some(votes) = self.lexicon.get(tok) {
-                let fanout = votes
-                    .keys()
-                    .filter(|(vdb, _, _)| *vdb == db_name)
-                    .count()
-                    .max(1);
-                let specificity = 1.0 / (1.0 + (fanout as f64).ln());
+                let total: f64 = votes
+                    .iter()
+                    .filter(|((vdb, _, _), _)| *vdb == db_name)
+                    .map(|(_, w)| *w)
+                    .sum();
+                if total <= 0.0 {
+                    continue;
+                }
                 for ((vdb, table, column), w) in votes {
                     if *vdb == db_name {
-                        let v = specificity * w.min(3.0);
+                        let share = w / total;
+                        let v = share * w.min(3.0);
                         *col_score
                             .entry((table.clone(), column.clone()))
                             .or_insert(0.0) += 0.8 * v;
@@ -317,10 +369,7 @@ impl Linker {
                                 Literal::Str(lit.trim_matches('\'').to_string()),
                             ));
                             *col_score
-                                .entry((
-                                    t.name.to_ascii_lowercase(),
-                                    c.name.to_ascii_lowercase(),
-                                ))
+                                .entry((t.name.to_ascii_lowercase(), c.name.to_ascii_lowercase()))
                                 .or_insert(0.0) += 1.0;
                             *table_score
                                 .entry(t.name.to_ascii_lowercase())
@@ -331,7 +380,7 @@ impl Linker {
             }
         }
         // Prefer longer (more specific) grounded values.
-        values.sort_by(|a, b| literal_len(&b.2).cmp(&literal_len(&a.2)));
+        values.sort_by_key(|v| std::cmp::Reverse(literal_len(&v.2)));
         values.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
 
         // 4. Numbers in the question — excluding digits that belong to a
@@ -349,8 +398,11 @@ impl Linker {
         }
 
         let mut tables: Vec<(String, f64)> = table_score.into_iter().collect();
-        tables.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.0.cmp(&b.0)));
+        tables.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
         let mut columns: Vec<LinkedColumn> = col_score
             .into_iter()
             .map(|((table, column), score)| LinkedColumn {
@@ -363,7 +415,9 @@ impl Linker {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| (a.table.clone(), a.column.clone()).cmp(&(b.table.clone(), b.column.clone())))
+                .then_with(|| {
+                    (a.table.clone(), a.column.clone()).cmp(&(b.table.clone(), b.column.clone()))
+                })
         });
 
         LinkResult {
@@ -391,11 +445,9 @@ pub fn column_mentioned(question_tokens: &[String], column: &str) -> bool {
     if parts.is_empty() {
         return false;
     }
-    parts.iter().all(|p| {
-        question_tokens
-            .iter()
-            .any(|t| t == p || singular_eq(t, p))
-    })
+    parts
+        .iter()
+        .all(|p| question_tokens.iter().any(|t| t == p || singular_eq(t, p)))
 }
 
 /// Public alias of [`singular_eq`] for sibling modules.
@@ -433,9 +485,7 @@ pub(crate) fn extract_numbers(text: &str) -> Vec<f64> {
         if bytes[i].is_ascii_digit() {
             let start = i;
             let mut saw_dot = false;
-            while i < bytes.len()
-                && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !saw_dot))
-            {
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !saw_dot)) {
                 if bytes[i] == b'.' {
                     // Only treat as decimal point when followed by digit.
                     if i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit() {
@@ -503,11 +553,9 @@ mod tests {
         let db = sdss_db();
         let l = Linker::new();
         let r = l.link("show all GALAXY entries", &db);
-        assert!(r
-            .values
-            .iter()
-            .any(|(t, c, v)| t == "specobj" && c == "class"
-                && *v == Literal::Str("GALAXY".into())));
+        assert!(r.values.iter().any(|(t, c, v)| t == "specobj"
+            && c == "class"
+            && *v == Literal::Str("GALAXY".into())));
     }
 
     #[test]

@@ -21,10 +21,8 @@ use sb_engine::Database;
 use sb_nl::{Realizer, Style};
 use sb_schema::{ColumnType, EnhancedSchema};
 use sb_sql::{
-    AggArg, AggFunc, BinaryOp, Expr, Join, Literal, OrderItem, Query, Select, SelectItem,
-    TableRef,
+    AggArg, AggFunc, BinaryOp, Expr, Join, Literal, OrderItem, Query, Select, SelectItem, TableRef,
 };
-
 
 /// The SmBoP-like system.
 #[derive(Debug, Clone, Default)]
@@ -69,7 +67,9 @@ impl SmBopSim {
         let superlative_asc = ["lowest", "least", "smallest", "fewest", "minimum"]
             .iter()
             .any(|w| q_lower.contains(w));
-        let grouped = ["each", "every", "per "].iter().any(|w| q_lower.contains(w));
+        let grouped = ["each", "every", "per "]
+            .iter()
+            .any(|w| q_lower.contains(w));
 
         // Tables to consider: linked ones, value-hosting ones, else the
         // first schema table.
@@ -111,10 +111,7 @@ impl SmBopSim {
             let numeric_cols: Vec<String> = link
                 .columns_of(table)
                 .into_iter()
-                .filter(|c| {
-                    def.column(&c.column)
-                        .is_some_and(|cd| cd.ty.is_numeric())
-                })
+                .filter(|c| def.column(&c.column).is_some_and(|cd| cd.ty.is_numeric()))
                 .map(|c| c.column.clone())
                 .take(2)
                 .collect();
@@ -181,7 +178,11 @@ impl SmBopSim {
             for filter in &filters {
                 // Plain projections: single columns and the top pair.
                 for col in &proj_cols {
-                    out.push(plain_query(table, &[col.clone()], filter.clone()));
+                    out.push(plain_query(
+                        table,
+                        std::slice::from_ref(col),
+                        filter.clone(),
+                    ));
                     if out.len() >= MAX_CANDIDATES {
                         return out;
                     }
@@ -311,7 +312,13 @@ impl SmBopSim {
                 for (qual, proj) in &projections {
                     for filter in jfilters.iter().take(10) {
                         out.push(join_query_qualified(
-                            table, other, &lcol, &rcol, qual, proj, filter.clone(),
+                            table,
+                            other,
+                            &lcol,
+                            &rcol,
+                            qual,
+                            proj,
+                            filter.clone(),
                         ));
                         if out.len() >= MAX_CANDIDATES {
                             return out;
@@ -352,7 +359,9 @@ impl QuestionCues {
         .map(|(f, _)| f)
         .collect();
         QuestionCues {
-            count: ["how many", "number of", "count"].iter().any(|w| q.contains(w)),
+            count: ["how many", "number of", "count"]
+                .iter()
+                .any(|w| q.contains(w)),
             aggs,
             superlative: [
                 "highest", "most", "largest", "top", "lowest", "least", "smallest", "fewest",
@@ -360,13 +369,22 @@ impl QuestionCues {
             .iter()
             .any(|w| q.contains(w)),
             grouped: ["each", "every", "per "].iter().any(|w| q.contains(w)),
-            join: ["together with", "related", "their matching"].iter().any(|w| q.contains(w)),
+            join: ["together with", "related", "their matching"]
+                .iter()
+                .any(|w| q.contains(w)),
             disjunction: q.contains(" or "),
             n_numbers: crate::linker::extract_numbers(question).len(),
-            greater_words: ["greater", "above", "more than", "exceeds", "at least", "over"]
-                .iter()
-                .filter(|w| q.contains(*w))
-                .count(),
+            greater_words: [
+                "greater",
+                "above",
+                "more than",
+                "exceeds",
+                "at least",
+                "over",
+            ]
+            .iter()
+            .filter(|w| q.contains(*w))
+            .count(),
             less_words: ["less", "below", "under", "at most", "smaller than", "fewer"]
                 .iter()
                 .filter(|w| q.contains(*w))
@@ -387,12 +405,7 @@ fn mention_pos(q_tokens: &[String], column: &str) -> Option<usize> {
 /// The hand-built analogue of a learned tree scorer: rewards candidates
 /// whose shape and column mentions align with the question's cues and
 /// evidence.
-fn score_features(
-    c: &Query,
-    q_tokens: &[String],
-    cues: &QuestionCues,
-    link: &LinkResult,
-) -> f64 {
+fn score_features(c: &Query, q_tokens: &[String], cues: &QuestionCues, link: &LinkResult) -> f64 {
     let mut score = 0.0;
     let mut has_count = false;
     let mut has_group = false;
@@ -538,7 +551,9 @@ fn pairing_bonus(e: &Expr, q_tokens: &[String], link: &LinkResult) -> f64 {
                 if let Some(n) = n {
                     // Token index of this number.
                     let num_pos = q_tokens.iter().position(|t| {
-                        t.parse::<f64>().map(|x| (x - n).abs() < 1e-9).unwrap_or(false)
+                        t.parse::<f64>()
+                            .map(|x| (x - n).abs() < 1e-9)
+                            .unwrap_or(false)
                             || t.parse::<f64>()
                                 .map(|x| (x - n.trunc()).abs() < 1e-9)
                                 .unwrap_or(false)
@@ -745,10 +760,7 @@ impl NlToSql for SmBopSim {
         }
         // Realization-based scoring with learned domain vocabulary.
         let mut enhanced = EnhancedSchema::new(db.schema.clone());
-        for (table, column, token) in self
-            .linker
-            .learned_aliases(&db.schema.name)
-        {
+        for (table, column, token) in self.linker.learned_aliases(&db.schema.name) {
             enhanced.set_column_alias(&table, &column, &token);
         }
         let realizer = Realizer::new(&enhanced);

@@ -108,11 +108,7 @@ impl T5Sim {
                 Token::Ident(name) => {
                     let lower = name.to_ascii_lowercase();
                     let known_table = db.schema.table(name).is_some();
-                    let known_column = db
-                        .schema
-                        .tables
-                        .iter()
-                        .any(|t| t.column(name).is_some());
+                    let known_column = db.schema.tables.iter().any(|t| t.column(name).is_some());
                     if aliases.contains(&lower) || known_table && is_table_pos(i) {
                         name.clone()
                     } else if is_table_pos(i) && !known_table {
@@ -122,9 +118,7 @@ impl T5Sim {
                             .or_insert_with(|| {
                                 link.best_table()
                                     .map(str::to_string)
-                                    .or_else(|| {
-                                        db.schema.tables.first().map(|t| t.name.clone())
-                                    })
+                                    .or_else(|| db.schema.tables.first().map(|t| t.name.clone()))
                                     .unwrap_or_else(|| name.clone())
                             })
                             .clone()
@@ -150,8 +144,7 @@ impl T5Sim {
                 Token::Int(_) => {
                     // LIMIT counts come from the query shape, not the
                     // question's filter values — keep them.
-                    let after_limit =
-                        i > 0 && tokens[i - 1].0 == Token::Keyword(Keyword::Limit);
+                    let after_limit = i > 0 && tokens[i - 1].0 == Token::Keyword(Keyword::Limit);
                     if after_limit {
                         tok.to_string()
                     } else {
@@ -239,9 +232,9 @@ impl T5Sim {
             // compatible type.
             let replacement = link.columns_of(&table).into_iter().find(|lc| {
                 column_mentioned(&q_tokens, &lc.column)
-                    && def.column(&lc.column).is_some_and(|cd| {
-                        !numeric_needed || cd.ty.is_numeric()
-                    })
+                    && def
+                        .column(&lc.column)
+                        .is_some_and(|cd| !numeric_needed || cd.ty.is_numeric())
             });
             if let Some(lc) = replacement {
                 c.column = lc.column.clone();

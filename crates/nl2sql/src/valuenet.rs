@@ -121,8 +121,7 @@ impl ValueNetSim {
 
         // ---- tables ----
         let mut tables: Vec<Option<String>> = vec![None; template.table_count];
-        let mut linked_tables: Vec<String> =
-            link.tables.iter().map(|(t, _)| t.clone()).collect();
+        let mut linked_tables: Vec<String> = link.tables.iter().map(|(t, _)| t.clone()).collect();
         // Tables hosting grounded values are strong candidates too.
         for (t, _, _) in &link.values {
             if !linked_tables.contains(t) {
@@ -138,7 +137,11 @@ impl ValueNetSim {
             while next_linked < linked_tables.len() {
                 let cand = linked_tables[next_linked].clone();
                 next_linked += 1;
-                if !exclude.iter().flatten().any(|t| t.eq_ignore_ascii_case(&cand)) {
+                if !exclude
+                    .iter()
+                    .flatten()
+                    .any(|t| t.eq_ignore_ascii_case(&cand))
+                {
                     return Some(cand);
                 }
             }
@@ -163,7 +166,11 @@ impl ValueNetSim {
                 .find(|(name, _)| name.eq_ignore_ascii_case(t))
                 .map(|(_, s)| 2.0 * s / max_table_score)
                 .unwrap_or_else(|| {
-                    if link.values.iter().any(|(vt, _, _)| vt.eq_ignore_ascii_case(t)) {
+                    if link
+                        .values
+                        .iter()
+                        .any(|(vt, _, _)| vt.eq_ignore_ascii_case(t))
+                    {
                         0.75
                     } else {
                         -0.75
@@ -252,8 +259,7 @@ impl ValueNetSim {
                 if slot.contexts.like {
                     return c.ty == ColumnType::Text;
                 }
-                if slot.contexts.agg.is_some()
-                    && slot.contexts.agg != Some(sb_sql::AggFunc::Count)
+                if slot.contexts.agg.is_some() && slot.contexts.agg != Some(sb_sql::AggFunc::Count)
                 {
                     return c.ty.is_numeric();
                 }
@@ -343,9 +349,8 @@ impl ValueNetSim {
                         ValueKind::Cmp => {
                             let from_question = numbers.next();
                             score += if from_question.is_some() { 1.5 } else { -0.75 };
-                            let n = from_question.or_else(|| {
-                                profile.column(table, column).and_then(|p| p.min)
-                            })?;
+                            let n = from_question
+                                .or_else(|| profile.column(table, column).and_then(|p| p.min))?;
                             if col_ty == ColumnType::Int {
                                 Literal::Int(n.round() as i64)
                             } else {
@@ -367,11 +372,13 @@ impl ValueNetSim {
                             // Equality: grounded value on this column, then
                             // any grounded value in the table, then a
                             // frequent content value, then a number.
-                            let type_fits = |v: &Literal| match (v, col_ty) {
-                                (Literal::Str(_), ColumnType::Text) => true,
-                                (Literal::Int(_), ColumnType::Int | ColumnType::Float) => true,
-                                (Literal::Float(_), ColumnType::Float | ColumnType::Int) => true,
-                                _ => false,
+                            let type_fits = |v: &Literal| {
+                                matches!(
+                                    (v, col_ty),
+                                    (Literal::Str(_), ColumnType::Text)
+                                        | (Literal::Int(_), ColumnType::Int | ColumnType::Float)
+                                        | (Literal::Float(_), ColumnType::Float | ColumnType::Int)
+                                )
                             };
                             let grounded = link
                                 .values
@@ -421,8 +428,8 @@ impl ValueNetSim {
         // Normalize the evidence by slot count so that template size does
         // not buy score: a 3-slot template fully grounded must beat a
         // 9-slot template two-thirds grounded.
-        let slots = (template.table_count + template.columns.len() + template.values.len())
-            .max(1) as f64;
+        let slots =
+            (template.table_count + template.columns.len() + template.values.len()).max(1) as f64;
         score /= slots;
 
         // Question numbers the fill never consumed signal a mismatched
@@ -537,7 +544,10 @@ fn reground_values(sql: &str, link: &LinkResult) -> Option<String> {
 /// crate).
 fn sb_gen_parse(text: &str) -> Option<Literal> {
     let trimmed = text.trim();
-    if let Some(inner) = trimmed.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')) {
+    if let Some(inner) = trimmed
+        .strip_prefix('\'')
+        .and_then(|s| s.strip_suffix('\''))
+    {
         return Some(Literal::Str(inner.replace("''", "'")));
     }
     if let Ok(v) = trimmed.parse::<i64>() {
@@ -573,13 +583,9 @@ impl ValueNetSim {
         let q_tokens = sb_embed::tokenize(question);
         for (sim, idx) in ranked.into_iter().take(top) {
             for rotation in 0..2 {
-                if let Some((sql, fill)) = self.instantiate(
-                    &self.sketches[idx].template,
-                    &link,
-                    &q_tokens,
-                    db,
-                    rotation,
-                ) {
+                if let Some((sql, fill)) =
+                    self.instantiate(&self.sketches[idx].template, &link, &q_tokens, db, rotation)
+                {
                     let ok = db.run(&sql).is_ok();
                     out.push((
                         sim,
@@ -656,8 +662,7 @@ impl NlToSql for ValueNetSim {
         near.truncate(7);
         if !near.is_empty() {
             // Vote by template skeleton, weighting by similarity.
-            let mut votes: std::collections::HashMap<&str, f32> =
-                std::collections::HashMap::new();
+            let mut votes: std::collections::HashMap<&str, f32> = std::collections::HashMap::new();
             for (sim, m) in &near {
                 *votes.entry(m.skeleton.as_str()).or_insert(0.0) += sim;
             }
@@ -675,16 +680,14 @@ impl NlToSql for ValueNetSim {
                         .map(|q| {
                             let n = sb_sql::visitor::collect_literals(&q)
                                 .iter()
-                                .filter(|l| {
-                                    matches!(l, Literal::Int(_) | Literal::Float(_))
-                                })
+                                .filter(|l| matches!(l, Literal::Int(_) | Literal::Float(_)))
                                 .count();
                             n == link.numbers.len()
                         })
                         .unwrap_or(false);
                     // Strong consensus or near-exact single match.
-                    let consensus = votes[skeleton.as_str()]
-                        / near.iter().map(|(s, _)| s).sum::<f32>();
+                    let consensus =
+                        votes[skeleton.as_str()] / near.iter().map(|(s, _)| s).sum::<f32>();
                     if arity_ok && (sim > 0.96 || (sim > 0.92 && consensus > 0.55)) {
                         if let Some(repaired) = reground_values(&m.sql, &link) {
                             if db.run(&repaired).is_ok() {
@@ -738,13 +741,9 @@ impl NlToSql for ValueNetSim {
                 2.min(link.tables.len().max(1))
             };
             for rotation in 0..rotations {
-                if let Some((sql, fill)) = self.instantiate(
-                    &self.sketches[idx].template,
-                    &link,
-                    &q_tokens,
-                    db,
-                    rotation,
-                ) {
+                if let Some((sql, fill)) =
+                    self.instantiate(&self.sketches[idx].template, &link, &q_tokens, db, rotation)
+                {
                     // Grammar-constrained decoding: only executable SQL
                     // survives the beam.
                     if db.run(&sql).is_err() {

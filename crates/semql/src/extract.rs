@@ -5,9 +5,7 @@
 //! recording the context of each slot. Aliases are canonicalized to
 //! `T1, T2, …` exactly as the paper's figures render generated SQL.
 
-use crate::{
-    ColumnSlot, JoinEdge, Template, TemplateError, ValueKind, ValueSlot,
-};
+use crate::{ColumnSlot, JoinEdge, Template, TemplateError, ValueKind, ValueSlot};
 use sb_schema::Schema;
 use sb_sql::{
     AggArg, AggFunc, BinaryOp, ColumnRef, Expr, Join, Literal, OrderItem, Query, Select,
@@ -505,11 +503,7 @@ impl<'a> Extractor<'a> {
 
     /// A BETWEEN bound: literal becomes a Cmp value slot; anything else is
     /// extracted normally.
-    fn tx_bound(
-        &mut self,
-        e: &Expr,
-        anchor: Option<usize>,
-    ) -> Result<Expr, TemplateError> {
+    fn tx_bound(&mut self, e: &Expr, anchor: Option<usize>) -> Result<Expr, TemplateError> {
         match e {
             Expr::Literal(Literal::Null) => Ok(e.clone()),
             Expr::Literal(_) => Ok(self.value_slot(anchor, ValueKind::Cmp)),
@@ -574,10 +568,7 @@ impl<'a> Extractor<'a> {
                         }
                     }
                     let lskel = self.tx_expr(lhs, role, agg)?;
-                    let vslot = self.value_slot(
-                        if lhs_has_agg { None } else { anchor },
-                        kind,
-                    );
+                    let vslot = self.value_slot(if lhs_has_agg { None } else { anchor }, kind);
                     let (l, r) = if flipped {
                         (vslot, lskel)
                     } else {
@@ -698,10 +689,8 @@ mod tests {
 
     #[test]
     fn join_edges_are_recorded() {
-        let t = tpl(
-            "SELECT p.objid, s.specobjid FROM photoobj AS p \
-             JOIN specobj AS s ON s.bestobjid = p.objid WHERE s.class = 'GALAXY'",
-        );
+        let t = tpl("SELECT p.objid, s.specobjid FROM photoobj AS p \
+             JOIN specobj AS s ON s.bestobjid = p.objid WHERE s.class = 'GALAXY'");
         assert_eq!(t.table_count, 2);
         assert_eq!(t.joins.len(), 1);
         let j = &t.joins[0];
@@ -726,10 +715,8 @@ mod tests {
 
     #[test]
     fn group_by_and_having_contexts() {
-        let t = tpl(
-            "SELECT COUNT(*), s.class FROM specobj AS s \
-             GROUP BY s.class HAVING COUNT(*) > 10",
-        );
+        let t = tpl("SELECT COUNT(*), s.class FROM specobj AS s \
+             GROUP BY s.class HAVING COUNT(*) > 10");
         let class_slot = t
             .columns
             .iter()
@@ -763,10 +750,8 @@ mod tests {
 
     #[test]
     fn in_subquery_extracts_recursively() {
-        let t = tpl(
-            "SELECT s.specobjid FROM specobj AS s WHERE s.bestobjid IN \
-             (SELECT p.objid FROM photoobj AS p WHERE p.u > 19)",
-        );
+        let t = tpl("SELECT s.specobjid FROM specobj AS s WHERE s.bestobjid IN \
+             (SELECT p.objid FROM photoobj AS p WHERE p.u > 19)");
         assert_eq!(t.table_count, 2, "subquery table gets its own slot");
         assert_eq!(t.values.len(), 1);
         assert_eq!(t.values[0].kind, ValueKind::Cmp);
@@ -820,7 +805,8 @@ mod tests {
     fn instantiation_round_trips_identity() {
         // Filling a template with its own leaves reproduces an equivalent
         // query (modulo canonical aliases).
-        let sql = "SELECT s.bestobjid, s.z FROM specobj AS s WHERE s.class = 'GALAXY' AND s.z > 0.5";
+        let sql =
+            "SELECT s.bestobjid, s.z FROM specobj AS s WHERE s.class = 'GALAXY' AND s.z > 0.5";
         let q = sb_sql::parse(sql).unwrap();
         let t = extract(&q, &sdss_schema()).unwrap();
         let a = Assignment {

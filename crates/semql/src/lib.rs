@@ -216,13 +216,9 @@ impl Template {
             }
         };
         let mut out = Vec::new();
-        let value_bound: Vec<Option<usize>> =
-            self.values.iter().map(|v| v.column_slot).collect();
+        let value_bound: Vec<Option<usize>> = self.values.iter().map(|v| v.column_slot).collect();
         for (ci, col) in self.columns.iter().enumerate() {
-            let value = value_bound
-                .iter()
-                .position(|b| *b == Some(ci))
-                .map(|vi| vi);
+            let value = value_bound.iter().position(|b| *b == Some(ci));
             out.push(LeafQuadruple {
                 agg: agg_pos(col.contexts.agg),
                 table: Some(col.table_slot),
@@ -289,10 +285,7 @@ fn substitute_query(q: &mut Query, a: &Assignment) -> Result<(), TemplateError> 
     Ok(())
 }
 
-fn substitute_set_expr(
-    body: &mut sb_sql::SetExpr,
-    a: &Assignment,
-) -> Result<(), TemplateError> {
+fn substitute_set_expr(body: &mut sb_sql::SetExpr, a: &Assignment) -> Result<(), TemplateError> {
     match body {
         sb_sql::SetExpr::Select(s) => substitute_select(s, a),
         sb_sql::SetExpr::SetOp { left, right, .. } => {
@@ -327,10 +320,7 @@ fn substitute_select(s: &mut sb_sql::Select, a: &Assignment) -> Result<(), Templ
     Ok(())
 }
 
-fn substitute_table_ref(
-    tr: &mut sb_sql::TableRef,
-    a: &Assignment,
-) -> Result<(), TemplateError> {
+fn substitute_table_ref(tr: &mut sb_sql::TableRef, a: &Assignment) -> Result<(), TemplateError> {
     match &mut tr.factor {
         sb_sql::TableFactor::Table(name) => {
             if let Some(i) = placeholder_index(name, 'T') {

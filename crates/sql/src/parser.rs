@@ -322,9 +322,10 @@ impl Parser {
     /// token does not start one.
     fn try_parse_postfix(&mut self, left: &Expr) -> Result<Option<Expr>> {
         let negated = match (self.peek(), self.peek2()) {
-            (Token::Keyword(Keyword::Not), Token::Keyword(k))
-                if matches!(k, Keyword::Between | Keyword::In | Keyword::Like) =>
-            {
+            (
+                Token::Keyword(Keyword::Not),
+                Token::Keyword(Keyword::Between | Keyword::In | Keyword::Like),
+            ) => {
                 self.bump();
                 true
             }
@@ -457,11 +458,9 @@ impl Parser {
                     subquery: Box::new(q),
                 })
             }
-            Token::Keyword(k @ (Keyword::Count
-            | Keyword::Sum
-            | Keyword::Avg
-            | Keyword::Min
-            | Keyword::Max)) => {
+            Token::Keyword(
+                k @ (Keyword::Count | Keyword::Sum | Keyword::Avg | Keyword::Min | Keyword::Max),
+            ) => {
                 let func = match k {
                     Keyword::Count => AggFunc::Count,
                     Keyword::Sum => AggFunc::Sum,
@@ -637,10 +636,8 @@ mod tests {
 
     #[test]
     fn group_by_having_order_limit() {
-        let q = p(
-            "SELECT class, COUNT(*) FROM specobj GROUP BY class \
-             HAVING COUNT(*) > 10 ORDER BY COUNT(*) DESC LIMIT 5",
-        );
+        let q = p("SELECT class, COUNT(*) FROM specobj GROUP BY class \
+             HAVING COUNT(*) > 10 ORDER BY COUNT(*) DESC LIMIT 5");
         let s = q.body.as_select().unwrap();
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
@@ -668,7 +665,13 @@ mod tests {
         match &q.body {
             SetExpr::SetOp { op, left, .. } => {
                 assert_eq!(*op, SetOp::Intersect);
-                assert!(matches!(**left, SetExpr::SetOp { op: SetOp::Union, .. }));
+                assert!(matches!(
+                    **left,
+                    SetExpr::SetOp {
+                        op: SetOp::Union,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }

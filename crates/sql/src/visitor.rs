@@ -234,10 +234,7 @@ mod tests {
     fn descends_into_subqueries() {
         let q = parse("SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d > 1)").unwrap();
         assert_eq!(count_subqueries(&q), 1);
-        assert_eq!(
-            collect_tables(&q),
-            vec!["t".to_string(), "u".to_string()]
-        );
+        assert_eq!(collect_tables(&q), vec!["t".to_string(), "u".to_string()]);
         assert_eq!(collect_literals(&q).len(), 1);
     }
 

@@ -61,12 +61,7 @@ fn main() {
         };
         let acc_zero = evaluate(zero.as_ref(), &bundle.dataset.dev, lookup);
         let acc_tuned = evaluate(tuned.as_ref(), &bundle.dataset.dev, lookup);
-        println!(
-            "{:<24} {:>12.2} {:>16.2}",
-            zero.name(),
-            acc_zero,
-            acc_tuned
-        );
+        println!("{:<24} {:>12.2} {:>16.2}", zero.name(), acc_zero, acc_tuned);
     }
     println!(
         "\nThe paper's OncoMX row: zero-shot 0.20–0.27 → seed+synth 0.46–0.57; \

@@ -63,6 +63,12 @@ fn main() {
     let gold = "SELECT p.acronym FROM projects AS p WHERE p.framework_program = 'H2020' AND p.start_year = 2020";
     let same = "SELECT p2.acronym FROM projects AS p2 WHERE p2.start_year = 2020 AND p2.framework_program = 'H2020'";
     let different = "SELECT p.acronym FROM projects AS p WHERE p.framework_program = 'FP7'";
-    println!("execution match (reordered conjuncts): {}", execution_match(db, gold, same));
-    println!("execution match (different filter)   : {}", execution_match(db, gold, different));
+    println!(
+        "execution match (reordered conjuncts): {}",
+        execution_match(db, gold, same)
+    );
+    println!(
+        "execution match (different filter)   : {}",
+        execution_match(db, gold, different)
+    );
 }

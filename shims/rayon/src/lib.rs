@@ -1,0 +1,253 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the small data-parallel surface the workspace uses —
+//! `par_iter()` / `into_par_iter()` with `map(..).collect::<Vec<_>>()`,
+//! `for_each`, and `join` — on scoped `std::thread`s. Two properties are
+//! load-bearing and guaranteed here:
+//!
+//! - **Order preservation**: `collect` returns results in input order,
+//!   regardless of thread count or scheduling. Combined with per-item
+//!   seeded RNGs this is what makes the parallel pipeline byte-identical
+//!   for 1 or N threads.
+//! - **`RAYON_NUM_THREADS`**: like upstream rayon, the env var caps the
+//!   worker count (`1` forces fully sequential in-thread execution).
+//!
+//! Work is split into one contiguous chunk per worker, so per-item
+//! closure panics propagate and nothing is reordered.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads: `RAYON_NUM_THREADS` when set and valid,
+/// otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel; returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim: joined closure panicked"))
+    })
+}
+
+/// Order-preserving parallel map over owned items: the workhorse behind
+/// every adapter in this shim.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks, one per worker; concatenating chunk outputs in
+    // worker order restores the input order exactly.
+    let n = items.len();
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let outputs: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim: worker panicked"))
+            .collect()
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+/// A parallel iterator: a fully-materialized item list plus a composed
+/// mapping. Terminal operations run [`parallel_map_vec`].
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item for its side effects.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map_vec(self.items, f);
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Execute the map and collect results in input order.
+    pub fn collect<C: FromParallel<R>>(self) -> C {
+        C::from_ordered_vec(parallel_map_vec(self.items, self.f))
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallel<R> {
+    /// Build the collection from results already in input order.
+    fn from_ordered_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallel<R> for Vec<R> {
+    fn from_ordered_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+
+    /// A parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Owned item type.
+    type Item: Send;
+
+    /// A parallel iterator over owned items.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_owned_and_range() {
+        let out: Vec<String> = vec!["a", "b", "c"]
+            .into_par_iter()
+            .map(|s| s.to_uppercase())
+            .collect();
+        assert_eq!(out, vec!["A", "B", "C"]);
+        let sq: Vec<usize> = (0..17usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(sq.len(), 17);
+        assert_eq!(sq[16], 256);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<i32> = Vec::new();
+        let out: Vec<i32> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        let v: Vec<usize> = (1..=100).collect();
+        v.par_iter().for_each(|x| {
+            sum.fetch_add(*x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+}

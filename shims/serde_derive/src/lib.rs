@@ -1,0 +1,147 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Supports exactly what the workspace uses: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` on non-generic structs with named fields.
+//! Implemented on the raw `proc_macro` API (no `syn`/`quote` in this
+//! offline environment): the struct name and field identifiers are
+//! scraped from the token stream and the impl is emitted as a string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extract the struct name and its named fields from a derive input.
+/// Panics (a compile error at the derive site) on enums, tuple structs
+/// or generics — none of which this shim supports.
+fn parse_struct(input: TokenStream) -> StructShape {
+    let mut iter = input.into_iter().peekable();
+    let mut name = None;
+
+    // Walk to `struct <Name>`, skipping attributes and visibility.
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following [...] group.
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("serde shim derive: expected struct name, got {other:?}"),
+                }
+                break;
+            }
+            TokenTree::Ident(_) => {} // visibility etc.
+            other => panic!("serde shim derive: unsupported item shape near {other:?}"),
+        }
+    }
+    let name = name.expect("serde shim derive: no `struct` keyword found");
+
+    // The next brace group holds the named fields. Anything else (tuple
+    // struct parens, generics) is unsupported.
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde shim derive: generic structs are not supported")
+            }
+            Some(_) => continue,
+            None => panic!("serde shim derive: struct `{name}` has no braced field list"),
+        }
+    };
+
+    // Fields: skip attributes/visibility, take the ident before `:`,
+    // then skip the type up to the next top-level comma (tracking angle
+    // brackets so `Map<K, V>`-style types don't split early).
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    while let Some(tt) = toks.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                toks.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => {
+                        panic!("serde shim derive: expected `:` after field `{id}`, got {other:?}")
+                    }
+                }
+                fields.push(id.to_string());
+                let mut angle_depth = 0i32;
+                while let Some(t) = toks.peek() {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            toks.next();
+                            break;
+                        }
+                        _ => {}
+                    }
+                    toks.next();
+                }
+            }
+            other => panic!("serde shim derive: unexpected token in field list: {other:?}"),
+        }
+    }
+
+    StructShape { name, fields }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let entries: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::json::Value {{\n\
+                 ::serde::json::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = shape.name
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let inits: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_json_value(\
+                     ::serde::json::field(entries, \"{f}\")?)?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(v: &::serde::json::Value) -> Result<Self, String> {{\n\
+                 let entries = v.as_object().ok_or_else(|| \
+                     format!(\"expected object for {name}, got {{v:?}}\"))?;\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = shape.name
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl parses")
+}

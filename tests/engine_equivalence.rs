@@ -1,0 +1,182 @@
+//! Equivalence and determinism guarantees for the execution-engine
+//! rework: every join strategy and pushdown setting must produce the
+//! exact same `ResultSet` (rows *and* order), and the parallel pipeline
+//! must be byte-identical regardless of thread count.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sciencebenchmark::core::{Pipeline, PipelineConfig};
+use sciencebenchmark::data::{Domain, SizeClass};
+use sciencebenchmark::engine::{ExecOptions, JoinStrategy};
+
+/// Every execution configuration that must agree: the default (pushdown +
+/// auto hash join), each forced join strategy with and without pushdown,
+/// and the pre-rework cloning path.
+fn all_options() -> Vec<ExecOptions> {
+    let mut out = vec![ExecOptions::default(), ExecOptions::legacy()];
+    for join in [
+        JoinStrategy::Auto,
+        JoinStrategy::BuildRight,
+        JoinStrategy::NestedLoop,
+    ] {
+        for predicate_pushdown in [false, true] {
+            out.push(ExecOptions {
+                join,
+                predicate_pushdown,
+                ..ExecOptions::default()
+            });
+        }
+    }
+    out
+}
+
+/// A type-appropriate comparison for `col_ref`, so generated queries
+/// always execute.
+fn typed_predicate(
+    rng: &mut StdRng,
+    col_ref: &str,
+    ty: sciencebenchmark::schema::ColumnType,
+) -> String {
+    use sciencebenchmark::schema::ColumnType;
+    match ty {
+        ColumnType::Int | ColumnType::Float => {
+            let op = *["<", ">", "<="].choose(rng).unwrap();
+            format!("{col_ref} {op} {}", rng.gen_range(-5..500))
+        }
+        ColumnType::Bool => format!(
+            "{col_ref} = {}",
+            if rng.gen_bool(0.5) { "TRUE" } else { "FALSE" }
+        ),
+        ColumnType::Text => format!("{col_ref} <> 'zz_none'"),
+    }
+}
+
+/// A random single-hop equi-join over a real FK edge of the schema, with
+/// qualified projections and an optional typed filter / ORDER BY / LIMIT.
+fn random_equi_join(
+    rng: &mut StdRng,
+    schema: &sciencebenchmark::schema::Schema,
+    edges: &[(String, String, String, String)],
+) -> String {
+    let (lt, lc, rt, rc) = edges.choose(rng).unwrap();
+    let ldef = schema.table(lt).unwrap();
+    let rdef = schema.table(rt).unwrap();
+    let p1 = &ldef.columns.choose(rng).unwrap().name;
+    let p2 = &rdef.columns.choose(rng).unwrap().name;
+    let mut sql =
+        format!("SELECT T1.{p1}, T2.{p2} FROM {lt} AS T1 JOIN {rt} AS T2 ON T1.{lc} = T2.{rc}");
+    if rng.gen_bool(0.6) {
+        // Filter on a random column of a random side; the literal is
+        // type-appropriate so the query always executes.
+        let (qual, def) = if rng.gen_bool(0.5) {
+            ("T1", ldef)
+        } else {
+            ("T2", rdef)
+        };
+        let col = def.columns.choose(rng).unwrap();
+        sql.push_str(&format!(
+            " WHERE {}",
+            typed_predicate(rng, &format!("{qual}.{}", col.name), col.ty)
+        ));
+    }
+    if rng.gen_bool(0.4) {
+        sql.push_str(&format!(
+            " ORDER BY T1.{p1}{}",
+            if rng.gen_bool(0.5) { " DESC" } else { "" }
+        ));
+    }
+    if rng.gen_bool(0.3) {
+        sql.push_str(&format!(" LIMIT {}", rng.gen_range(1..40u64)));
+    }
+    sql
+}
+
+#[test]
+fn join_strategies_agree_on_random_equi_joins_across_domains() {
+    for (i, domain) in Domain::ALL.into_iter().enumerate() {
+        let d = domain.build(SizeClass::Tiny);
+        let schema = &d.db.schema;
+        // Both directions of every FK edge, so the hash build lands on the
+        // big side as well as the small one.
+        let mut edges: Vec<(String, String, String, String)> = Vec::new();
+        for t in &schema.tables {
+            for (lcol, other, rcol) in schema.join_edges(&t.name) {
+                edges.push((t.name.clone(), lcol, other, rcol));
+            }
+        }
+        assert!(!edges.is_empty(), "{} has no FK edges", domain.name());
+        let mut rng = StdRng::seed_from_u64(0xE9_0200 + i as u64);
+        for _ in 0..60 {
+            let sql = random_equi_join(&mut rng, schema, &edges);
+            let reference =
+                d.db.run_with(&sql, ExecOptions::default())
+                    .unwrap_or_else(|e| panic!("{}: `{sql}`: {e}", domain.name()));
+            for opts in all_options() {
+                let rs = d
+                    .db
+                    .run_with(&sql, opts)
+                    .unwrap_or_else(|e| panic!("{}: `{sql}` with {opts:?}: {e}", domain.name()));
+                assert_eq!(
+                    rs,
+                    reference,
+                    "{}: `{sql}` differs under {opts:?}",
+                    domain.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pushdown_agrees_on_filtered_single_table_scans() {
+    for (i, domain) in Domain::ALL.into_iter().enumerate() {
+        let d = domain.build(SizeClass::Tiny);
+        let schema = &d.db.schema;
+        let mut rng = StdRng::seed_from_u64(0x5CA_0300 + i as u64);
+        for _ in 0..60 {
+            let t = schema.tables.choose(&mut rng).unwrap();
+            let proj = &t.columns.choose(&mut rng).unwrap().name;
+            let col = t.columns.choose(&mut rng).unwrap();
+            let pred = typed_predicate(&mut rng, &col.name.clone(), col.ty);
+            let sql = format!("SELECT {proj} FROM {} WHERE {pred}", t.name);
+            let reference = d.db.run_with(&sql, ExecOptions::default()).unwrap();
+            for opts in all_options() {
+                assert_eq!(
+                    d.db.run_with(&sql, opts).unwrap(),
+                    reference,
+                    "{}: `{sql}` differs under {opts:?}",
+                    domain.name()
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance criterion for the parallel pipeline: byte-identical
+/// output for the same `PipelineConfig` whether rayon runs 1 or N
+/// workers. The thread count is process-global, so both runs happen
+/// inside this one test.
+#[test]
+fn pipeline_output_is_identical_for_one_and_many_threads() {
+    let run = || {
+        let d = Domain::OncoMx.build(SizeClass::Tiny);
+        let seeds = d.seed_patterns.clone();
+        let mut p = Pipeline::new(
+            &d,
+            PipelineConfig {
+                target_pairs: 40,
+                ..Default::default()
+            },
+        );
+        p.run(&seeds)
+    };
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let sequential = run();
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let parallel = run();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(sequential.pairs, parallel.pairs);
+    assert_eq!(sequential.sql_queries, parallel.sql_queries);
+    assert_eq!(sequential.templates, parallel.templates);
+}

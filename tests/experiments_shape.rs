@@ -59,8 +59,7 @@ fn in_domain_spider_beats_zero_shot_domain_transfer() {
     let catalog = DbCatalog::new(spider.corpus.databases.iter().map(|d| &d.db));
 
     let sdss = Domain::Sdss.build(SizeClass::Tiny);
-    let sdss_bundle =
-        sciencebenchmark::core::experiments::build_domain_bundle(Domain::Sdss, &cfg);
+    let sdss_bundle = sciencebenchmark::core::experiments::build_domain_bundle(Domain::Sdss, &cfg);
 
     let mut in_domain_best = 0.0f64;
     let mut transfer_best = 0.0f64;

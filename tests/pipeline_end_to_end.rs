@@ -22,10 +22,9 @@ fn pipeline_runs_on_every_domain() {
         assert_eq!(report.pairs.len(), 24, "{}", domain.name());
         // Every synthetic SQL query executes and returns rows.
         for pair in &report.pairs {
-            let rs = d
-                .db
-                .run(&pair.sql)
-                .unwrap_or_else(|e| panic!("{}: `{}`: {e}", domain.name(), pair.sql));
+            let rs =
+                d.db.run(&pair.sql)
+                    .unwrap_or_else(|e| panic!("{}: `{}`: {e}", domain.name(), pair.sql));
             assert!(!rs.is_empty(), "{}: `{}`", domain.name(), pair.sql);
         }
     }
