@@ -2,96 +2,11 @@
 //! three ScienceBenchmark databases (tables, columns, rows, average rows
 //! per table, size).
 //!
-//! The synthetic content is scaled (see `SizeClass`); the harness prints
-//! both the measured scaled numbers and the real-deployment extrapolation
-//! next to the paper's published values.
+//! The report itself lives in [`sb_bench::reports::table1_report`] so
+//! the golden-snapshot tests diff exactly what this binary prints.
 
-use sb_bench::{quick_mode, TextTable};
-use sb_data::{Domain, SizeClass, SpiderCorpus};
-use sb_schema::stats::{humanize_count, humanize_gb};
-use sb_schema::SchemaStats;
+use sb_bench::{quick_mode, reports};
 
 fn main() {
-    let size = if quick_mode() {
-        SizeClass::Tiny
-    } else {
-        SizeClass::Full
-    };
-    println!("Table 1: database complexity (size class {size:?})\n");
-
-    let mut t = TextTable::new(&[
-        "Dataset",
-        "DBs",
-        "Tables",
-        "Columns",
-        "Rows (gen)",
-        "Rows (extrapolated)",
-        "Rows (paper)",
-        "Avg rows/table (extrapolated)",
-        "Size GB (extrapolated)",
-        "Size GB (paper)",
-    ]);
-
-    // Spider-like corpus (aggregate over all member databases).
-    let corpus = SpiderCorpus::build();
-    let n_dbs = corpus.databases.len();
-    let tables: usize = corpus
-        .databases
-        .iter()
-        .map(|d| d.db.schema.tables.len())
-        .sum();
-    let columns: usize = corpus
-        .databases
-        .iter()
-        .map(|d| d.db.schema.column_count())
-        .sum();
-    let rows: usize = corpus.databases.iter().map(|d| d.db.total_rows()).sum();
-    let bytes: usize = corpus.databases.iter().map(|d| d.db.approx_bytes()).sum();
-    t.row(&[
-        "Spider-like".to_string(),
-        n_dbs.to_string(),
-        tables.to_string(),
-        columns.to_string(),
-        humanize_count(rows as f64),
-        humanize_count(rows as f64),
-        "1.6M".to_string(),
-        humanize_count(rows as f64 / tables as f64),
-        humanize_gb(bytes as f64),
-        "0.51".to_string(),
-    ]);
-
-    let paper = [
-        (Domain::Cordis, "671K", "1.0"),
-        (Domain::Sdss, "86M", "6.1"),
-        (Domain::OncoMx, "65.9M", "12.0"),
-    ];
-    for (domain, paper_rows, paper_gb) in paper {
-        let d = domain.build(size);
-        let stats = SchemaStats::new(
-            &d.db.schema,
-            d.db.total_rows(),
-            d.db.approx_bytes(),
-            d.scale_factor(),
-        );
-        // Bytes extrapolate independently: the real deployments store far
-        // wider text payloads than the synthetic rows, so the harness
-        // reports the real byte size from the domain constants.
-        t.row(&[
-            d.db.schema.name.to_uppercase(),
-            "1".to_string(),
-            stats.tables.to_string(),
-            stats.columns.to_string(),
-            humanize_count(stats.rows as f64),
-            humanize_count(stats.extrapolated_rows()),
-            paper_rows.to_string(),
-            humanize_count(stats.extrapolated_rows() / stats.tables as f64),
-            humanize_gb(d.real_bytes),
-            paper_gb.to_string(),
-        ]);
-    }
-    t.print();
-    println!(
-        "\nShape check: CORDIS ≪ OncoMX < SDSS in rows; all three dwarf the \
-         per-database Spider average, matching the paper."
-    );
+    print!("{}", reports::table1_report(quick_mode()));
 }

@@ -1,72 +1,12 @@
 //! Regenerates Table 2: sizes and Spider-hardness distributions of every
 //! ScienceBenchmark split (Seed / Dev / Synth per domain) plus the
 //! Spider-like train/dev sets.
+//!
+//! The report itself lives in [`sb_bench::reports::table2_report`] so
+//! the golden-snapshot tests diff exactly what this binary prints.
 
-use sb_bench::{quick_mode, TextTable};
-use sb_core::dataset::SplitStats;
-use sb_core::experiments::{build_domain_bundle, ExperimentConfig};
-use sb_core::spider::{SpiderPairs, SpiderSetConfig};
-use sb_data::Domain;
-use sb_metrics::Hardness;
+use sb_bench::{quick_mode, reports};
 
 fn main() {
-    let cfg = if quick_mode() {
-        ExperimentConfig::quick()
-    } else {
-        ExperimentConfig::default()
-    };
-    println!(
-        "Table 2: dataset hardness distributions (scale {:.2})\n",
-        cfg.scale
-    );
-
-    let mut t = TextTable::new(&["Dataset", "Easy", "Medium", "Hard", "Extra Hard", "Total"]);
-    let add = |t: &mut TextTable, name: String, stats: &SplitStats| {
-        t.row(&[
-            name,
-            stats.cell(0),
-            stats.cell(1),
-            stats.cell(2),
-            stats.cell(3),
-            stats.total.to_string(),
-        ]);
-    };
-
-    for domain in Domain::ALL {
-        let bundle = build_domain_bundle(domain, &cfg);
-        for (split, stats) in bundle.dataset.stats() {
-            add(
-                &mut t,
-                format!("{} {split}", domain.name().to_uppercase()),
-                &stats,
-            );
-        }
-    }
-
-    let spider_cfg = if quick_mode() {
-        SpiderSetConfig::small()
-    } else {
-        SpiderSetConfig::default()
-    };
-    let spider = SpiderPairs::build(&spider_cfg);
-    add(
-        &mut t,
-        "Spider-like Train".to_string(),
-        &SplitStats::of(&spider.train),
-    );
-    add(
-        &mut t,
-        "Spider-like Dev".to_string(),
-        &SplitStats::of(&spider.dev),
-    );
-    t.print();
-
-    println!("\nPaper reference rows (Table 2):");
-    println!("  CORDIS Synth 1306: 55.6% / 37.8% / 5.1% / 1.5%  — synth skews easy");
-    println!("  SDSS   Dev    100: 12% / 28% / 20% / 40%        — dev skews extra-hard");
-    println!(
-        "\nShape check: every Synth split is easier than its Seed split \
-         (§3.4 — complex templates generate semantically broken queries)."
-    );
-    let _ = Hardness::ALL; // classes documented above
+    print!("{}", reports::table2_report(quick_mode()));
 }

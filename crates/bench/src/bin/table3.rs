@@ -4,127 +4,15 @@
 //! judge. `--domains` additionally reproduces §4.1.2: the per-domain
 //! expert scores of the fine-tuned GPT-3 model (CORDIS 82%, OncoMX 73%,
 //! SDSS 53% in the paper).
+//!
+//! The report itself lives in [`sb_bench::reports::table3_report`] so
+//! the golden-snapshot tests diff exactly what this binary prints.
 
-use sb_bench::{has_flag, quick_mode, TextTable};
-use sb_core::experiments::{build_domain_bundle, ExperimentConfig};
-use sb_core::spider::{SpiderPairs, SpiderSetConfig};
-use sb_data::Domain;
-use sb_metrics::{corpus_bleu, corpus_similarity, ExpertJudge};
-use sb_nl::LlmProfile;
+use sb_bench::{has_flag, quick_mode, reports};
 
 fn main() {
-    let spider_cfg = if quick_mode() {
-        SpiderSetConfig::small()
-    } else {
-        SpiderSetConfig {
-            dev_total: 1032,
-            ..SpiderSetConfig::default()
-        }
-    };
-    let spider = SpiderPairs::build(&spider_cfg);
-    // The paper samples 25 queries per expert × 7 experts = 175
-    // annotations per model; the automatic metrics run on the full dev
-    // set. We use the full dev set for everything.
-    let dev = &spider.dev;
-    println!(
-        "Table 3: SQL-to-NL model comparison on {} Spider-like dev queries\n",
-        dev.len()
+    print!(
+        "{}",
+        reports::table3_report(quick_mode(), has_flag("--domains"))
     );
-
-    let mut models = LlmProfile::all(41);
-    // Fine-tuning setup per §4.1: GPT-2 on all of Spider (20 epochs),
-    // GPT-3 on a 468-pair subset, T5 on all of Spider; GPT-3-zero stays
-    // zero-shot.
-    for m in &mut models {
-        if m.name != "GPT-3-zero" {
-            for d in &spider.corpus.databases {
-                m.fine_tune(
-                    &d.db.schema.name,
-                    if m.name == "GPT-3" { 468 } else { 8659 },
-                );
-            }
-        }
-    }
-
-    let mut t = TextTable::new(&["Metric", "GPT-2", "GPT-3-zero", "GPT-3", "T5"]);
-    let mut bleu_row = vec!["SacreBLEU".to_string()];
-    let mut sim_row = vec!["SentenceBERT (surrogate)".to_string()];
-    let mut human_row = vec!["Human Expert (simulated)".to_string()];
-
-    for model in &mut models {
-        let mut hyp_ref = Vec::with_capacity(dev.len());
-        let mut judged = Vec::with_capacity(dev.len());
-        for pair in dev {
-            let db = spider
-                .corpus
-                .databases
-                .iter()
-                .find(|d| d.db.schema.name.eq_ignore_ascii_case(&pair.db))
-                .expect("dev pair db exists");
-            let query = sb_sql::parse(&pair.sql).expect("dev sql parses");
-            let generated = model.translate(&query, &db.enhanced);
-            hyp_ref.push((generated.clone(), pair.question.clone()));
-            judged.push((generated, query));
-        }
-        let bleu = corpus_bleu(&hyp_ref);
-        let sim = corpus_similarity(&hyp_ref);
-        let mut judge = ExpertJudge::new(7);
-        let human = judge.rate(&judged);
-        bleu_row.push(format!("{bleu:.2}"));
-        sim_row.push(format!("{sim:.3}"));
-        human_row.push(format!("{human:.3}"));
-    }
-    t.row(&bleu_row);
-    t.row(&sim_row);
-    t.row(&human_row);
-    t.print();
-    println!(
-        "\nPaper reference: SacreBLEU 33.85 / 30.36 / 38.55 / 31.79; \
-         SentenceBERT 0.840 / 0.870 / 0.888 / 0.864; \
-         Human 0.629 / 0.765 / 0.731 / 0.645."
-    );
-    println!(
-        "Shape check: fine-tuned GPT-3 wins BLEU and similarity; both GPT-3 \
-         variants beat GPT-2 and T5 on the expert metric."
-    );
-
-    if has_flag("--domains") {
-        println!("\n§4.1.2: fine-tuned GPT-3 SQL-to-NL expert scores per domain\n");
-        let cfg = if quick_mode() {
-            ExperimentConfig::quick()
-        } else {
-            ExperimentConfig::default()
-        };
-        let mut t = TextTable::new(&["Domain", "Expert score", "Paper"]);
-        let paper = [("cordis", "0.82"), ("sdss", "0.53"), ("oncomx", "0.73")];
-        for domain in [Domain::Cordis, Domain::Sdss, Domain::OncoMx] {
-            let bundle = build_domain_bundle(domain, &cfg);
-            let mut model = LlmProfile::gpt3_finetuned(41);
-            model.fine_tune(domain.name(), bundle.dataset.seed.len() + 468);
-            let mut judged = Vec::new();
-            for pair in &bundle.dataset.dev {
-                let query = sb_sql::parse(&pair.sql).expect("dev sql parses");
-                let generated = model.translate(&query, &bundle.data.enhanced);
-                judged.push((generated, query));
-            }
-            let mut judge = ExpertJudge::new(13);
-            let score = judge.rate(&judged);
-            let paper_score = paper
-                .iter()
-                .find(|(d, _)| *d == domain.name())
-                .map(|(_, s)| *s)
-                .unwrap_or("-");
-            t.row(&[
-                domain.name().to_uppercase(),
-                format!("{score:.3}"),
-                paper_score.to_string(),
-            ]);
-        }
-        t.print();
-        println!(
-            "\nShape note: per-clause errors compound with dev-set hardness, so \
-             harder dev sets score lower in expectation; at --quick sample \
-             sizes (~25 questions) individual orderings move by ±0.1."
-        );
-    }
 }

@@ -4,78 +4,12 @@
 //!
 //! As in the paper, 100 pairs per domain are sampled proportionally to
 //! the synth split's hardness distribution and judged.
+//!
+//! The report itself lives in [`sb_bench::reports::table4_report`] so
+//! the golden-snapshot tests diff exactly what this binary prints.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use sb_bench::{quick_mode, TextTable};
-use sb_core::dataset::NlSqlPair;
-use sb_core::experiments::{build_domain_bundle, ExperimentConfig};
-use sb_data::Domain;
-use sb_metrics::hardness::{classify_sql, Hardness};
-use sb_metrics::ExpertJudge;
-
-/// Proportional-by-hardness sample of up to `n` pairs.
-fn proportional_sample(pairs: &[NlSqlPair], n: usize, seed: u64) -> Vec<&NlSqlPair> {
-    let mut buckets: [Vec<&NlSqlPair>; 4] = Default::default();
-    for p in pairs {
-        let h = classify_sql(&p.sql);
-        let idx = Hardness::ALL.iter().position(|x| *x == h).expect("in ALL");
-        buckets[idx].push(p);
-    }
-    let total = pairs.len().max(1);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::new();
-    for bucket in &mut buckets {
-        let want = (n * bucket.len()).div_ceil(total);
-        bucket.shuffle(&mut rng);
-        out.extend(bucket.iter().take(want).copied());
-    }
-    out.truncate(n);
-    out
-}
+use sb_bench::{quick_mode, reports};
 
 fn main() {
-    let cfg = if quick_mode() {
-        ExperimentConfig::quick()
-    } else {
-        ExperimentConfig::default()
-    };
-    println!("Table 4: semantic equivalence of the synthetic (silver standard) data\n");
-    let mut t = TextTable::new(&[
-        "Domain",
-        "Total synth pairs",
-        "Sampled",
-        "Semantic equivalence",
-        "Paper",
-    ]);
-    let paper = [("cordis", "83%"), ("sdss", "76%"), ("oncomx", "75%")];
-    for domain in Domain::ALL {
-        let bundle = build_domain_bundle(domain, &cfg);
-        let synth = &bundle.dataset.synth;
-        let sample = proportional_sample(synth, 100, 4242);
-        let judged: Vec<(String, sb_sql::Query)> = sample
-            .iter()
-            .filter_map(|p| sb_sql::parse(&p.sql).ok().map(|q| (p.question.clone(), q)))
-            .collect();
-        let mut judge = ExpertJudge::new(21);
-        let rate = judge.rate(&judged);
-        let paper_rate = paper
-            .iter()
-            .find(|(d, _)| *d == domain.name())
-            .map(|(_, s)| *s)
-            .unwrap_or("-");
-        t.row(&[
-            domain.name().to_uppercase(),
-            synth.len().to_string(),
-            judged.len().to_string(),
-            format!("{:.0}%", rate * 100.0),
-            paper_rate.to_string(),
-        ]);
-    }
-    t.print();
-    println!(
-        "\nShape check: all three domains land in the paper's 70–90% band — \
-         noisy but usable silver-standard data (paper: 83 / 76 / 75%)."
-    );
+    print!("{}", reports::table4_report(quick_mode()));
 }

@@ -4,18 +4,15 @@
 //!
 //! Flags: `--quick` (scaled-down run), `--domain cordis|sdss|oncomx`
 //! (restrict to one domain), `--no-spider-rows` (skip the control rows).
+//!
+//! The report itself lives in [`sb_bench::reports::table5_report`] so
+//! the golden-snapshot tests diff exactly what this binary prints;
+//! progress chatter stays on stderr.
 
-use sb_bench::{has_flag, quick_mode, TextTable};
-use sb_core::experiments::{run_domain_grid, run_spider_rows, ExperimentConfig, ExperimentResult};
-use sb_core::spider::SpiderPairs;
+use sb_bench::{has_flag, quick_mode, reports};
 use sb_data::Domain;
 
 fn main() {
-    let cfg = if quick_mode() {
-        ExperimentConfig::quick()
-    } else {
-        ExperimentConfig::default()
-    };
     let domains: Vec<Domain> = match std::env::args()
         .skip_while(|a| a != "--domain")
         .nth(1)
@@ -26,81 +23,8 @@ fn main() {
         Some("oncomx") => vec![Domain::OncoMx],
         _ => Domain::ALL.to_vec(),
     };
-
-    eprintln!("building Spider-like corpus + pair sets ...");
-    let spider = SpiderPairs::build(&cfg.spider);
-    eprintln!(
-        "  {} train / {} dev pairs over {} databases",
-        spider.train.len(),
-        spider.dev.len(),
-        spider.corpus.databases.len()
+    print!(
+        "{}",
+        reports::table5_report(quick_mode(), &domains, !has_flag("--no-spider-rows"))
     );
-
-    eprintln!("running domain grid ...");
-    let mut results = run_domain_grid(&cfg, &spider, &domains);
-    if !has_flag("--no-spider-rows") {
-        eprintln!("running Spider control rows ...");
-        results.extend(run_spider_rows(&cfg, &spider));
-    }
-
-    println!("\nTable 5: execution accuracy (dev sets, simulated systems)\n");
-    print_grid(&results);
-
-    println!("\nPaper reference (Table 5, ValueNet / T5 / SmBoP):");
-    println!("  CORDIS zero-shot .12/.16/.16 → seed+synth .35/.29/.21");
-    println!("  SDSS   zero-shot .08/.05/.06 → seed+synth .21/.15/.15");
-    println!("  OncoMX zero-shot .27/.21/.20 → seed+synth .57/.51/.46");
-    println!("  Spider dev .70/.70/.74; +synth slightly lower; synth-only ~.35-.40");
-    println!(
-        "\nShape checks: (1) zero-shot transfer to every science domain is \
-         poor; (2) seed helps, synth helps more, seed+synth helps most; \
-         (3) SDSS is the hardest domain; (4) Spider-dev accuracy is far \
-         above any domain zero-shot row."
-    );
-}
-
-fn print_grid(results: &[ExperimentResult]) {
-    let systems = ["ValueNet", "T5-Large w/o PICARD", "SmBoP+GraPPa"];
-    let mut t = TextTable::new(&[
-        "Train Set",
-        "Dev Set",
-        "ValueNet",
-        "T5-Large w/o PICARD",
-        "SmBoP+GraPPa",
-    ]);
-    // Preserve first-seen regime order per domain.
-    let mut seen: Vec<(String, String)> = Vec::new();
-    for r in results {
-        let key = (r.domain.clone(), r.regime.clone());
-        if !seen.contains(&key) {
-            seen.push(key);
-        }
-    }
-    // Zero-shot accuracy per (domain, system) for the Δ column.
-    let zero = |domain: &str, system: &str| -> Option<f64> {
-        results
-            .iter()
-            .find(|r| r.domain == domain && r.system == system && r.regime.contains("Zero-Shot"))
-            .map(|r| r.accuracy)
-    };
-    for (domain, regime) in seen {
-        let mut cells = vec![regime.clone(), domain.to_uppercase()];
-        for system in systems {
-            let cell = results
-                .iter()
-                .find(|r| r.domain == domain && r.regime == regime && r.system == system)
-                .map(|r| {
-                    let base = zero(&domain, system).unwrap_or(r.accuracy);
-                    if regime.contains("Zero-Shot") {
-                        format!("{:.2}", r.accuracy)
-                    } else {
-                        format!("{:.2} ({:+.2})", r.accuracy, r.accuracy - base)
-                    }
-                })
-                .unwrap_or_else(|| "-".to_string());
-            cells.push(cell);
-        }
-        t.row(&cells);
-    }
-    t.print();
 }

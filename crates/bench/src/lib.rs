@@ -21,6 +21,8 @@
 
 use std::fmt::Write as _;
 
+pub mod reports;
+
 /// A plain-text table printer with fixed-width columns.
 pub struct TextTable {
     header: Vec<String>,

@@ -1,0 +1,113 @@
+//! Golden snapshot tests: regenerate every results table through the
+//! same report functions the `tableN` binaries print, and diff against
+//! the committed `results_tableN.txt` files at the repository root.
+//!
+//! The committed files were captured from `cargo run` output, so they
+//! carry cargo's own stderr noise (compilation lines, the `Running`
+//! banner, table5's progress messages) ahead of the report proper.
+//! Normalization therefore skips everything before the first line that
+//! starts with `"Table "` and trims trailing whitespace per line; the
+//! report body itself must match exactly.
+//!
+//! Flags baked into the committed files: table 1 was captured at the
+//! Full size class, tables 2–5 with `--quick`, table 3 additionally
+//! with `--domains`. Regenerate a file after an intentional change with
+//! e.g. `cargo run --release -p sb-bench --bin table4 -- --quick > results_table4.txt 2>&1`.
+
+use sb_bench::reports;
+use sb_data::Domain;
+
+/// Drop everything before the first line starting with `"Table "` and
+/// trim trailing whitespace from each remaining line.
+fn normalize(s: &str) -> String {
+    let mut out = String::new();
+    let mut started = false;
+    for line in s.lines() {
+        if !started && line.starts_with("Table ") {
+            started = true;
+        }
+        if started {
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+    }
+    // The reports end with a trailing newline; normalize the tail too.
+    while out.ends_with("\n\n") {
+        out.pop();
+    }
+    out
+}
+
+fn committed(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string() + "/" + name;
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn assert_matches(generated: String, file: &str, regen_hint: &str) {
+    let want = normalize(&committed(file));
+    let got = normalize(&generated);
+    if want != got {
+        let want_lines: Vec<&str> = want.lines().collect();
+        let got_lines: Vec<&str> = got.lines().collect();
+        let mut diff = String::new();
+        for i in 0..want_lines.len().max(got_lines.len()) {
+            let w = want_lines.get(i).copied().unwrap_or("<missing>");
+            let g = got_lines.get(i).copied().unwrap_or("<missing>");
+            if w != g {
+                diff.push_str(&format!(
+                    "line {}:\n  committed: {w}\n  generated: {g}\n",
+                    i + 1
+                ));
+            }
+        }
+        panic!(
+            "{file} no longer matches the generated report.\n{diff}\
+             If the change is intentional, regenerate with:\n  {regen_hint}"
+        );
+    }
+}
+
+#[test]
+fn table1_matches_committed_snapshot() {
+    assert_matches(
+        reports::table1_report(false),
+        "results_table1.txt",
+        "cargo run --release -p sb-bench --bin table1 > results_table1.txt 2>&1",
+    );
+}
+
+#[test]
+fn table2_matches_committed_snapshot() {
+    assert_matches(
+        reports::table2_report(true),
+        "results_table2.txt",
+        "cargo run --release -p sb-bench --bin table2 -- --quick > results_table2.txt 2>&1",
+    );
+}
+
+#[test]
+fn table3_matches_committed_snapshot() {
+    assert_matches(
+        reports::table3_report(true, true),
+        "results_table3.txt",
+        "cargo run --release -p sb-bench --bin table3 -- --quick --domains > results_table3.txt 2>&1",
+    );
+}
+
+#[test]
+fn table4_matches_committed_snapshot() {
+    assert_matches(
+        reports::table4_report(true),
+        "results_table4.txt",
+        "cargo run --release -p sb-bench --bin table4 -- --quick > results_table4.txt 2>&1",
+    );
+}
+
+#[test]
+fn table5_matches_committed_snapshot() {
+    assert_matches(
+        reports::table5_report(true, &Domain::ALL, true),
+        "results_table5.txt",
+        "cargo run --release -p sb-bench --bin table5 -- --quick > results_table5.txt 2>&1",
+    );
+}

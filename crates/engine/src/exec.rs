@@ -463,22 +463,39 @@ fn equi_join_keys(
     let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) else {
         return None;
     };
+    // A bare column belongs to one side only when the name is absent
+    // from the other side entirely; otherwise the joined scope sees it
+    // as ambiguous (or bound differently), and only the general
+    // nested-loop evaluator reports that correctly. Claiming such a
+    // column here would let the hash path return rows where the general
+    // path raises `AmbiguousColumn`.
+    let in_right = |c: &sb_sql::ColumnRef| -> Option<usize> {
+        right_cols
+            .iter()
+            .position(|col| col.eq_ignore_ascii_case(&c.column))
+    };
+    let resolve_left = |c: &sb_sql::ColumnRef| -> Option<usize> {
+        let li = left_scope.resolve(c).ok()?;
+        if c.table.is_none() && in_right(c).is_some() {
+            return None;
+        }
+        Some(li)
+    };
     let resolve_right = |c: &sb_sql::ColumnRef| -> Option<usize> {
         match &c.table {
-            Some(t) if t.eq_ignore_ascii_case(right_binding) => right_cols
-                .iter()
-                .position(|col| col.eq_ignore_ascii_case(&c.column)),
+            Some(t) if t.eq_ignore_ascii_case(right_binding) => in_right(c),
             Some(_) => None,
-            None => right_cols
-                .iter()
-                .position(|col| col.eq_ignore_ascii_case(&c.column)),
+            None => match left_scope.resolve(c) {
+                Err(EngineError::UnknownColumn(_)) => in_right(c),
+                _ => None,
+            },
         }
     };
     // Either (a in left, b in right) or (b in left, a in right).
-    if let (Ok(li), Some(ri)) = (left_scope.resolve(a), resolve_right(b)) {
+    if let (Some(li), Some(ri)) = (resolve_left(a), resolve_right(b)) {
         return Some((li, ri));
     }
-    if let (Ok(li), Some(ri)) = (left_scope.resolve(b), resolve_right(a)) {
+    if let (Some(li), Some(ri)) = (resolve_left(b), resolve_right(a)) {
         return Some((li, ri));
     }
     None
@@ -536,6 +553,44 @@ fn hash_join_matches(
     matches
 }
 
+/// Resolve every column reference in a join constraint against the
+/// joined scope, without evaluating anything. Subquery bodies resolve
+/// against their own scopes at execution time and are skipped.
+fn validate_constraint_columns(e: &Expr, scope: &Scope) -> Result<()> {
+    match e {
+        Expr::Column(c) => scope.resolve(c).map(|_| ()),
+        Expr::Literal(_) | Expr::Subquery(_) | Expr::Exists { .. } => Ok(()),
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => {
+            validate_constraint_columns(expr, scope)
+        }
+        Expr::Binary { left, right, .. } => {
+            validate_constraint_columns(left, scope)?;
+            validate_constraint_columns(right, scope)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            validate_constraint_columns(expr, scope)?;
+            validate_constraint_columns(low, scope)?;
+            validate_constraint_columns(high, scope)
+        }
+        Expr::InList { expr, list, .. } => {
+            validate_constraint_columns(expr, scope)?;
+            list.iter()
+                .try_for_each(|e| validate_constraint_columns(e, scope))
+        }
+        Expr::InSubquery { expr, .. } => validate_constraint_columns(expr, scope),
+        Expr::Like { expr, pattern, .. } => {
+            validate_constraint_columns(expr, scope)?;
+            validate_constraint_columns(pattern, scope)
+        }
+        Expr::Agg { arg, .. } => match arg {
+            sb_sql::AggArg::Star => Ok(()),
+            sb_sql::AggArg::Expr(e) => validate_constraint_columns(e, scope),
+        },
+    }
+}
+
 fn concat_row(left: &[Value], right: &[Value]) -> Vec<Value> {
     let mut row = Vec::with_capacity(left.len() + right.len());
     row.extend_from_slice(left);
@@ -572,6 +627,15 @@ fn join_relations(
         };
 
         scope.push(&rel.0, rel.1.clone());
+
+        // Resolve the constraint's column references before touching any
+        // rows: hash joins and pushdown-emptied scans can leave the
+        // constraint unevaluated for some (or all) row pairs, and whether
+        // an unknown-column or ambiguity error surfaces must not depend
+        // on row counts or on the chosen plan.
+        if let Some(c) = &join.constraint {
+            validate_constraint_columns(c, &scope)?;
+        }
 
         let mut out = Vec::new();
         match hash_keys {
@@ -1050,7 +1114,18 @@ fn apply_output_order(rs: &mut ResultSet, order_by: &[OrderItem]) -> Result<()> 
                 .iter()
                 .position(|name| name.eq_ignore_ascii_case(&c.column))
                 .ok_or_else(|| EngineError::UnknownColumn(c.column.clone()))?,
-            Expr::Literal(sb_sql::Literal::Int(n)) if *n >= 1 => (*n as usize) - 1,
+            // Ordinals are validated even when the result has no rows to
+            // sort: `ORDER BY 5` over two columns is an error, not a no-op.
+            Expr::Literal(sb_sql::Literal::Int(n)) if *n >= 1 => {
+                let idx = (*n as usize) - 1;
+                if idx >= rs.columns.len() {
+                    return Err(EngineError::UnknownColumn(format!(
+                        "ORDER BY position {n} of {} columns",
+                        rs.columns.len()
+                    )));
+                }
+                idx
+            }
             other => {
                 return Err(EngineError::Unsupported(format!(
                     "ORDER BY `{other}` after a set operation (use an output column)"

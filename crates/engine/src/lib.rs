@@ -24,6 +24,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod profile;
+pub mod reference;
 pub mod result;
 pub mod value;
 
@@ -31,6 +32,7 @@ pub use database::{Database, Row, Table};
 pub use error::{EngineError, Result};
 pub use exec::{execute, execute_with, ExecOptions, JoinStrategy};
 pub use profile::{profile_database, sql_literal};
+pub use reference::execute_reference;
 pub use result::ResultSet;
 pub use value::Value;
 

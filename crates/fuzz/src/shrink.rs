@@ -1,0 +1,252 @@
+//! Greedy AST shrinking for failing queries.
+//!
+//! Given a query that fails the differential oracle, the shrinker
+//! repeatedly tries structural simplifications — collapsing a set
+//! operation to one side, dropping ORDER BY / LIMIT / DISTINCT / HAVING
+//! / GROUP BY, removing trailing joins and surplus projections, and
+//! replacing predicate trees with their subtrees — keeping any
+//! simplification that still fails. The result is a locally-minimal
+//! reproducer: no single remaining simplification preserves the
+//! failure. Combined with the generator seed this is what a bug report
+//! from a fuzz session contains.
+
+use sb_sql::{
+    BinaryOp, ColumnRef, Expr, OrderItem, Query, Select, SetExpr, TableFactor, TableRef, UnaryOp,
+};
+
+/// Hard cap on accepted shrink steps, as a loop guard; generated
+/// queries are small enough that real shrinks finish in far fewer.
+const MAX_STEPS: usize = 200;
+
+/// Greedily shrink `query` while `fails` keeps returning `true`.
+/// `query` itself must fail; the returned query also fails.
+pub fn shrink(query: &Query, mut fails: impl FnMut(&Query) -> bool) -> Query {
+    let mut current = query.clone();
+    for _ in 0..MAX_STEPS {
+        let mut improved = false;
+        for cand in candidates(&current) {
+            if fails(&cand) {
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    current
+}
+
+/// One-step simplifications of `q`, roughly largest-reduction first.
+fn candidates(q: &Query) -> Vec<Query> {
+    let mut out = Vec::new();
+
+    // Collapse a set operation to either side.
+    if let SetExpr::SetOp { left, right, .. } = &q.body {
+        for side in [left, right] {
+            out.push(Query {
+                body: (**side).clone(),
+                order_by: q.order_by.clone(),
+                limit: q.limit,
+            });
+        }
+    }
+
+    // Drop ORDER BY items and LIMIT.
+    if !q.order_by.is_empty() {
+        out.push(Query {
+            order_by: Vec::new(),
+            ..q.clone()
+        });
+        if q.order_by.len() > 1 {
+            for i in 0..q.order_by.len() {
+                let mut ob = q.order_by.clone();
+                ob.remove(i);
+                out.push(Query {
+                    order_by: ob,
+                    ..q.clone()
+                });
+            }
+        }
+    }
+    if q.limit.is_some() {
+        out.push(Query {
+            limit: None,
+            ..q.clone()
+        });
+    }
+
+    if let SetExpr::Select(select) = &q.body {
+        for s in select_candidates(select) {
+            out.push(Query {
+                body: SetExpr::Select(Box::new(s)),
+                order_by: q.order_by.clone(),
+                limit: q.limit,
+            });
+        }
+    }
+
+    // Shrink ORDER BY expressions in place.
+    for (i, item) in q.order_by.iter().enumerate() {
+        for e in expr_shrinks(&item.expr) {
+            let mut ob = q.order_by.clone();
+            ob[i] = OrderItem {
+                expr: e,
+                desc: item.desc,
+            };
+            out.push(Query {
+                order_by: ob,
+                ..q.clone()
+            });
+        }
+    }
+
+    out
+}
+
+fn select_candidates(select: &Select) -> Vec<Select> {
+    let mut out = Vec::new();
+
+    // Drop whole clauses.
+    if select.selection.is_some() {
+        out.push(Select {
+            selection: None,
+            ..select.clone()
+        });
+    }
+    if select.having.is_some() {
+        out.push(Select {
+            having: None,
+            ..select.clone()
+        });
+    }
+    if !select.group_by.is_empty() {
+        out.push(Select {
+            group_by: Vec::new(),
+            ..select.clone()
+        });
+    }
+    if select.distinct {
+        out.push(Select {
+            distinct: false,
+            ..select.clone()
+        });
+    }
+
+    // Drop the last join, but only when nothing else still references
+    // its binding (otherwise the candidate fails for the wrong reason —
+    // an unknown-table error — and shrinking stalls on noise).
+    if let Some(binding) = select
+        .joins
+        .last()
+        .and_then(|j| j.table.binding())
+        .map(|b| b.to_string())
+    {
+        let referenced = select.projections.iter().any(|p| match p {
+            sb_sql::SelectItem::Wildcard => false,
+            sb_sql::SelectItem::Expr { expr, .. } => mentions(expr, &binding),
+        }) || select
+            .selection
+            .iter()
+            .chain(select.having.iter())
+            .any(|e| mentions(e, &binding))
+            || select.group_by.iter().any(|e| mentions(e, &binding));
+        if !referenced {
+            let mut s = select.clone();
+            s.joins.pop();
+            out.push(s);
+        }
+    }
+
+    // Drop surplus projections.
+    if select.projections.len() > 1 {
+        for i in 0..select.projections.len() {
+            let mut s = select.clone();
+            s.projections.remove(i);
+            out.push(s);
+        }
+    }
+
+    // Shrink WHERE / HAVING predicate trees.
+    if let Some(sel) = &select.selection {
+        for e in expr_shrinks(sel) {
+            out.push(Select {
+                selection: Some(e),
+                ..select.clone()
+            });
+        }
+    }
+    if let Some(h) = &select.having {
+        for e in expr_shrinks(h) {
+            out.push(Select {
+                having: Some(e),
+                ..select.clone()
+            });
+        }
+    }
+
+    out
+}
+
+/// Root-level simplifications of an expression. Deep trees shrink over
+/// multiple rounds: each accepted step promotes a subtree to the root.
+fn expr_shrinks(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Binary { left, op, right } => {
+            if matches!(op, BinaryOp::And | BinaryOp::Or) {
+                out.push((**left).clone());
+                out.push((**right).clone());
+            }
+        }
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => out.push((**expr).clone()),
+        Expr::InList {
+            expr,
+            negated,
+            list,
+        } if list.len() > 1 => {
+            out.push(Expr::InList {
+                expr: expr.clone(),
+                negated: *negated,
+                list: list[..1].to_vec(),
+            });
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Does `e` reference `binding` as a column qualifier or (for derived
+/// tables) as a table name?
+fn mentions(e: &Expr, binding: &str) -> bool {
+    struct Finder<'a> {
+        binding: &'a str,
+        found: bool,
+    }
+    impl sb_sql::visitor::Visitor for Finder<'_> {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let Expr::Column(ColumnRef { table: Some(t), .. }) = e {
+                if t.eq_ignore_ascii_case(self.binding) {
+                    self.found = true;
+                }
+            }
+        }
+        fn visit_table_ref(&mut self, t: &TableRef) {
+            if let TableFactor::Table(name) = &t.factor {
+                if name.eq_ignore_ascii_case(self.binding) {
+                    self.found = true;
+                }
+            }
+        }
+    }
+    let mut f = Finder {
+        binding,
+        found: false,
+    };
+    sb_sql::visitor::walk_expr(e, &mut f);
+    f.found
+}

@@ -184,7 +184,16 @@ impl fmt::Display for Expr {
                 }
                 UnaryOp::Not => {
                     write!(f, "NOT ")?;
-                    write_with_prec(f, expr, 3)
+                    // `NOT EXISTS (...)` would reparse as the folded
+                    // `Exists { negated: true }`; parenthesize so the
+                    // unary node survives the round trip.
+                    if matches!(expr.as_ref(), Expr::Exists { .. }) {
+                        write!(f, "(")?;
+                        write_with_prec(f, expr, 0)?;
+                        write!(f, ")")
+                    } else {
+                        write_with_prec(f, expr, 3)
+                    }
                 }
             },
             Expr::Binary { left, op, right } => {
@@ -284,6 +293,7 @@ impl fmt::Display for Expr {
 #[cfg(test)]
 mod tests {
     use crate::parser::parse;
+    use crate::{Expr, Query, Select, SelectItem, TableRef, UnaryOp};
 
     /// Round-trip a query through print → parse and check canonical
     /// stability (print ∘ parse ∘ print = print).
@@ -328,6 +338,37 @@ mod tests {
         let printed = q.to_string();
         assert!(printed.contains("(a = 1 OR b = 2)"), "{printed}");
         round_trip(&printed);
+    }
+
+    /// Fuzzer-found (sdss, seed 23893): `Unary { Not, Exists }` printed
+    /// as `NOT EXISTS (...)`, which the parser folds into the distinct
+    /// `Exists { negated: true }` node — breaking AST round-tripping.
+    /// The printer now parenthesizes the operand.
+    #[test]
+    fn not_over_exists_survives_the_round_trip() {
+        let ast = Query::from_select(Select {
+            distinct: false,
+            projections: vec![SelectItem::Wildcard],
+            from: TableRef::named("t"),
+            joins: Vec::new(),
+            selection: Some(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(Expr::Exists {
+                    negated: false,
+                    subquery: Box::new(Query::from_select(Select::star_from("u"))),
+                }),
+            }),
+            group_by: Vec::new(),
+            having: None,
+        });
+        let printed = ast.to_string();
+        assert!(printed.contains("NOT (EXISTS"), "{printed}");
+        assert_eq!(parse(&printed).unwrap(), ast);
+        // The folded form still parses to the dedicated node and keeps
+        // its own canonical spelling.
+        let folded = parse("SELECT * FROM t WHERE NOT EXISTS (SELECT * FROM u)").unwrap();
+        assert_ne!(folded, ast);
+        round_trip(&folded.to_string());
     }
 
     #[test]

@@ -6,6 +6,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release =="
 cargo build --release
 
+echo "== fuzz smoke: differential oracle, bounded (500 queries/domain) =="
+SB_FUZZ_COUNT=500 cargo test -q -p sb-fuzz
+
 echo "== cargo test -q (workspace) =="
 cargo test -q --workspace
 

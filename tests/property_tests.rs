@@ -99,6 +99,35 @@ fn parse_print_parse_is_identity() {
     }
 }
 
+/// The same invariant over the fuzzer's schema-aware generator, whose
+/// output covers joins, grouping, set operations and subqueries far
+/// beyond `simple_query` — the fast seeded cousin of the differential
+/// campaign in `crates/fuzz/tests/differential.rs`.
+#[test]
+fn fuzzer_generated_queries_round_trip() {
+    use sciencebenchmark::data::Domain;
+    for (domain, seed) in [
+        (Domain::Cordis, 11u64),
+        (Domain::Sdss, 12),
+        (Domain::OncoMx, 13),
+    ] {
+        let db = sb_fuzz::fuzz_database(domain);
+        let mut gen = sb_fuzz::QueryGenerator::new(&db, seed);
+        for _ in 0..300 {
+            let q1 = gen.query();
+            let printed = q1.to_string();
+            let q2 = sb_sql::parse(&printed)
+                .unwrap_or_else(|e| panic!("printed query reparses: {e}\n{printed}"));
+            assert_eq!(q1, q2, "round-trip changed the AST for: {printed}");
+            assert_eq!(
+                printed,
+                q2.to_string(),
+                "printing is not a fixpoint: {printed}"
+            );
+        }
+    }
+}
+
 #[test]
 fn hardness_is_total_and_stable() {
     let mut rng = StdRng::seed_from_u64(0xB0B);
