@@ -52,6 +52,62 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_engine_compiled(c: &mut Criterion) {
+    use sb_engine::ExecOptions;
+    let d = Domain::Sdss.build(SizeClass::Small);
+    let mut g = c.benchmark_group("engine_execution_compiled");
+    g.sample_size(20);
+    // The compile-once layer in isolation: identical plans, expression
+    // programs vs. per-row AST interpretation.
+    let agg = "SELECT s.class, COUNT(*), AVG(s.z) FROM specobj AS s GROUP BY s.class";
+    let cases = ["q1_easy", "q2_medium", "q3_extra", "grouped_aggregation"]
+        .iter()
+        .zip([PARSE_CASES[0], PARSE_CASES[1], PARSE_CASES[2], agg]);
+    for (label, sql) in cases {
+        let q = sb_sql::parse(sql).unwrap();
+        for (suffix, compiled) in [("compiled", true), ("interpreted", false)] {
+            let opts = ExecOptions {
+                compiled,
+                ..ExecOptions::default()
+            };
+            g.bench_function(&format!("{label}_{suffix}"), |b| {
+                b.iter(|| d.db.run_query_with(std::hint::black_box(&q), opts))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_exec_acc_cached(c: &mut Criterion) {
+    use sb_metrics::{execution_accuracy, execution_accuracy_cached, GoldCache};
+    let d = Domain::Sdss.build(SizeClass::Small);
+    // A dev-set-shaped workload: each gold query scored against several
+    // predictions, as the Table 5 grid does once per (system × regime).
+    let pairs: Vec<(String, String)> = d
+        .seed_patterns
+        .iter()
+        .flat_map(|gold| {
+            [
+                (gold.clone(), gold.clone()),
+                (gold.clone(), "SELECT broken FROM".to_string()),
+                (gold.clone(), d.seed_patterns[0].clone()),
+            ]
+        })
+        .collect();
+    let mut g = c.benchmark_group("exec_acc_cached");
+    g.sample_size(10);
+    g.bench_function("uncached", |b| {
+        b.iter(|| execution_accuracy(&d.db, std::hint::black_box(&pairs)))
+    });
+    g.bench_function("cached_warm", |b| {
+        // One cache across iterations: gold executions amortize to zero,
+        // as in a grid run where every cell shares the bundle's cache.
+        let cache = GoldCache::new();
+        b.iter(|| execution_accuracy_cached(&cache, &d.db, std::hint::black_box(&pairs)))
+    });
+    g.finish();
+}
+
 fn bench_join_strategies(c: &mut Criterion) {
     use sb_engine::{ExecOptions, JoinStrategy};
     let d = Domain::Sdss.build(SizeClass::Small);
@@ -238,6 +294,8 @@ criterion_group!(
     benches,
     bench_parser,
     bench_engine,
+    bench_engine_compiled,
+    bench_exec_acc_cached,
     bench_join_strategies,
     bench_templates_and_generation,
     bench_nl_and_embedding,

@@ -17,7 +17,7 @@ use crate::spider::{SpiderPairs, SpiderSetConfig};
 use rayon::prelude::*;
 use sb_data::{Domain, DomainData, SizeClass};
 use sb_engine::Database;
-use sb_metrics::execution_match;
+use sb_metrics::{execution_match_cached, GoldCache};
 use sb_nl2sql::{DbCatalog, NlToSql, Pair, SmBopSim, T5Sim, ValueNetSim};
 use std::collections::HashSet;
 
@@ -199,10 +199,14 @@ pub fn fresh_systems() -> Vec<Box<dyn NlToSql>> {
 /// Evaluate one system on dev pairs; `lookup` resolves each pair's
 /// database. Pairs are scored in parallel — prediction and execution
 /// matching are read-only, and accuracy is an order-independent mean, so
-/// the result does not depend on the thread count.
+/// the result does not depend on the thread count. Gold executions are
+/// served from `cache`: the grid scores the same dev set once per
+/// (system × regime) cell, so each gold query runs once per database
+/// rather than once per cell.
 pub fn evaluate<'a>(
     system: &dyn NlToSql,
     dev: &[NlSqlPair],
+    cache: &GoldCache,
     lookup: impl Fn(&str) -> Option<&'a Database> + Sync,
 ) -> f64 {
     if dev.is_empty() {
@@ -215,7 +219,7 @@ pub fn evaluate<'a>(
                 return false;
             };
             let predicted = system.predict(&pair.question, db);
-            execution_match(db, &pair.sql, &predicted)
+            execution_match_cached(cache, db, &pair.sql, &predicted)
         })
         .collect();
     hits.iter().filter(|h| **h).count() as f64 / dev.len() as f64
@@ -234,6 +238,9 @@ pub fn run_domain_grid(
         let bundle = build_domain_bundle(domain, cfg);
         let seed_pairs = to_train_pairs(&bundle.dataset.seed);
         let synth_pairs = to_train_pairs(&bundle.dataset.synth);
+        // One cache per bundle: every (regime × system) cell scores the
+        // same dev set, so each gold query executes exactly once.
+        let gold_cache = GoldCache::new();
         for regime in TrainRegime::ALL {
             let mut training = spider_train.clone();
             match regime {
@@ -251,7 +258,7 @@ pub fn run_domain_grid(
             let catalog = DbCatalog::new(catalog_dbs);
             for mut system in fresh_systems() {
                 system.train(&training, &catalog);
-                let acc = evaluate(system.as_ref(), &bundle.dataset.dev, |name| {
+                let acc = evaluate(system.as_ref(), &bundle.dataset.dev, &gold_cache, |name| {
                     if name.eq_ignore_ascii_case(domain.name()) {
                         Some(&bundle.data.db)
                     } else {
@@ -313,11 +320,12 @@ pub fn run_spider_rows(cfg: &ExperimentConfig, spider: &SpiderPairs) -> Vec<Expe
     ];
 
     let catalog = DbCatalog::new(spider.corpus.databases.iter().map(|d| &d.db));
+    let gold_cache = GoldCache::new();
     let mut results = Vec::new();
     for (label, training) in regimes {
         for mut system in fresh_systems() {
             system.train(&training, &catalog);
-            let acc = evaluate(system.as_ref(), &spider.dev, |name| {
+            let acc = evaluate(system.as_ref(), &spider.dev, &gold_cache, |name| {
                 spider
                     .corpus
                     .databases

@@ -123,22 +123,7 @@ pub fn eval(expr: &Expr, row: &[Value], scope: &Scope, ctx: &EvalContext) -> Res
     match expr {
         Expr::Column(c) => Ok(row[scope.resolve(c)?].clone()),
         Expr::Literal(l) => Ok(literal_value(l)),
-        Expr::Unary { op, expr } => {
-            let v = eval(expr, row, scope, ctx)?;
-            match op {
-                UnaryOp::Neg => match v {
-                    Value::Null => Ok(Value::Null),
-                    Value::Int(i) => Ok(Value::Int(-i)),
-                    Value::Float(f) => Ok(Value::Float(-f)),
-                    other => Err(EngineError::TypeMismatch(format!("cannot negate {other}"))),
-                },
-                UnaryOp::Not => match v {
-                    Value::Null => Ok(Value::Null),
-                    Value::Bool(b) => Ok(Value::Bool(!b)),
-                    other => Err(EngineError::TypeMismatch(format!("NOT applied to {other}"))),
-                },
-            }
-        }
+        Expr::Unary { op, expr } => apply_unary(*op, eval(expr, row, scope, ctx)?),
         Expr::Binary { left, op, right } => {
             if matches!(op, BinaryOp::And | BinaryOp::Or) {
                 return eval_logical(*op, left, right, row, scope, ctx);
@@ -148,25 +133,7 @@ pub fn eval(expr: &Expr, row: &[Value], scope: &Scope, ctx: &EvalContext) -> Res
             if op.is_arithmetic() {
                 arith(*op, &l, &r)
             } else {
-                // Comparison.
-                match l.compare(&r) {
-                    None if l.is_null() || r.is_null() => Ok(Value::Null),
-                    None => Err(EngineError::TypeMismatch(format!(
-                        "cannot compare {l} with {r}"
-                    ))),
-                    Some(ord) => {
-                        let b = match op {
-                            BinaryOp::Eq => ord.is_eq(),
-                            BinaryOp::NotEq => !ord.is_eq(),
-                            BinaryOp::Lt => ord.is_lt(),
-                            BinaryOp::LtEq => ord.is_le(),
-                            BinaryOp::Gt => ord.is_gt(),
-                            BinaryOp::GtEq => ord.is_ge(),
-                            _ => unreachable!("arithmetic handled above"),
-                        };
-                        Ok(Value::Bool(b))
-                    }
-                }
+                apply_cmp(*op, &l, &r)
             }
         }
         Expr::Agg { .. } => Err(EngineError::Unsupported(
@@ -313,7 +280,15 @@ fn eval_logical(
         _ => {}
     }
     let r = truth(eval(right, row, scope, ctx)?)?;
-    let out = match op {
+    Ok(match combine_logical(op, l, r) {
+        Some(b) => Value::Bool(b),
+        None => Value::Null,
+    })
+}
+
+/// Three-valued AND/OR over already-truth-converted operands.
+pub(crate) fn combine_logical(op: BinaryOp, l: Option<bool>, r: Option<bool>) -> Option<bool> {
+    match op {
         BinaryOp::And => match (l, r) {
             (Some(false), _) | (_, Some(false)) => Some(false),
             (Some(true), Some(true)) => Some(true),
@@ -324,20 +299,22 @@ fn eval_logical(
             (Some(false), Some(false)) => Some(false),
             _ => None,
         },
-        _ => unreachable!(),
-    };
-    Ok(match out {
-        Some(b) => Value::Bool(b),
-        None => Value::Null,
-    })
+        _ => unreachable!("only AND/OR are logical"),
+    }
 }
 
 /// Convert a value to a three-valued truth: `Some(bool)` or `None` for
 /// NULL. Non-boolean values are a type error.
 pub fn truth(v: Value) -> Result<Option<bool>> {
+    truth_ref(&v)
+}
+
+/// [`truth`] without consuming the value.
+#[inline]
+pub(crate) fn truth_ref(v: &Value) -> Result<Option<bool>> {
     match v {
         Value::Null => Ok(None),
-        Value::Bool(b) => Ok(Some(b)),
+        Value::Bool(b) => Ok(Some(*b)),
         other => Err(EngineError::TypeMismatch(format!(
             "expected boolean predicate, got {other}"
         ))),
@@ -349,7 +326,49 @@ pub fn eval_filter(expr: &Expr, row: &[Value], scope: &Scope, ctx: &EvalContext)
     Ok(truth(eval(expr, row, scope, ctx)?)?.unwrap_or(false))
 }
 
-fn literal_value(l: &Literal) -> Value {
+/// Apply a comparison operator to two already-evaluated values with SQL
+/// NULL semantics. Shared by the tree-walking interpreter and the
+/// compiled evaluator.
+#[inline]
+pub(crate) fn apply_cmp(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    match l.compare(r) {
+        None if l.is_null() || r.is_null() => Ok(Value::Null),
+        None => Err(EngineError::TypeMismatch(format!(
+            "cannot compare {l} with {r}"
+        ))),
+        Some(ord) => {
+            let b = match op {
+                BinaryOp::Eq => ord.is_eq(),
+                BinaryOp::NotEq => !ord.is_eq(),
+                BinaryOp::Lt => ord.is_lt(),
+                BinaryOp::LtEq => ord.is_le(),
+                BinaryOp::Gt => ord.is_gt(),
+                BinaryOp::GtEq => ord.is_ge(),
+                _ => unreachable!("arithmetic operators use arith()"),
+            };
+            Ok(Value::Bool(b))
+        }
+    }
+}
+
+/// Apply a unary operator to an already-evaluated value.
+pub(crate) fn apply_unary(op: UnaryOp, v: Value) -> Result<Value> {
+    match op {
+        UnaryOp::Neg => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(EngineError::TypeMismatch(format!("cannot negate {other}"))),
+        },
+        UnaryOp::Not => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(EngineError::TypeMismatch(format!("NOT applied to {other}"))),
+        },
+    }
+}
+
+pub(crate) fn literal_value(l: &Literal) -> Value {
     match l {
         Literal::Null => Value::Null,
         Literal::Int(v) => Value::Int(*v),
@@ -359,7 +378,8 @@ fn literal_value(l: &Literal) -> Value {
     }
 }
 
-fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+#[inline]
+pub(crate) fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }

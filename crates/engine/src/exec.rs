@@ -10,21 +10,35 @@
 //! identical across all join strategies and build sides (left-major,
 //! probe order within a match set), which the equivalence tests rely on.
 //!
-//! [`ExecOptions`] can force the legacy behavior (deep-copy scans, no
-//! pushdown, build-on-right hash joins) or a pure nested-loop plan; the
-//! benchmarks use those to measure before/after, the tests to check
-//! strategy equivalence.
+//! Expressions run through the compile-once layer
+//! ([`crate::compile`]): each `SELECT`'s expressions are lowered against
+//! their scope exactly once — column references become positional slots,
+//! constant subtrees fold — and the resulting programs evaluate with no
+//! name lookups. Grouping, DISTINCT and set operations key rows through
+//! the allocation-free hashes of [`crate::key`] instead of joined key
+//! strings, and ORDER BY + LIMIT keeps only the top K rows in a bounded
+//! heap instead of sorting everything.
+//!
+//! [`ExecOptions`] can disable the compiled evaluator (falling back to
+//! the tree-walking interpreter) and force the legacy behavior
+//! (deep-copy scans, no pushdown, build-on-right hash joins) or a pure
+//! nested-loop plan; the benchmarks use those to measure before/after,
+//! the differential tests to check strategy equivalence.
 
+use crate::compile::{compile, compile_grouped, compile_order_key, CExpr, GExpr, OrderProg};
 use crate::database::{Database, Row};
 use crate::error::{EngineError, Result};
 use crate::eval::{eval, eval_filter, truth, EvalContext, Scope};
+use crate::key::{self, FxBuild, KeyIndex, RowSet};
 use crate::result::ResultSet;
 use crate::value::Value;
 use sb_sql::{
     AggArg, AggFunc, BinaryOp, ColumnRef, Expr, Join, OrderItem, Query, Select, SelectItem,
     SetExpr, SetOp, TableFactor, TableRef,
 };
-use std::collections::{HashMap, HashSet};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::hash::Hasher;
 use std::ops::Deref;
 use std::sync::Arc;
 
@@ -53,6 +67,9 @@ pub struct ExecOptions {
     pub join: JoinStrategy,
     /// Deep-copy row data on scan instead of sharing `Arc` handles.
     pub copy_scans: bool,
+    /// Lower expressions to compiled programs once per statement instead
+    /// of interpreting the AST per row.
+    pub compiled: bool,
 }
 
 impl Default for ExecOptions {
@@ -61,18 +78,21 @@ impl Default for ExecOptions {
             predicate_pushdown: true,
             join: JoinStrategy::Auto,
             copy_scans: false,
+            compiled: true,
         }
     }
 }
 
 impl ExecOptions {
     /// The pre-optimization executor: materializing scans, no pushdown,
-    /// and the cloning O(n·m) nested-loop join.
+    /// per-row AST interpretation, and the cloning O(n·m) nested-loop
+    /// join.
     pub fn legacy() -> Self {
         ExecOptions {
             predicate_pushdown: false,
             join: JoinStrategy::NestedLoop,
             copy_scans: true,
+            compiled: false,
         }
     }
 }
@@ -80,7 +100,7 @@ impl ExecOptions {
 /// A row flowing through the executor: either a shared handle into base
 /// table storage (scans) or an owned buffer (join outputs, derived
 /// tables). Derefs to `[Value]` so expression evaluation is agnostic.
-enum ExecRow {
+pub(crate) enum ExecRow {
     Shared(Row),
     Owned(Vec<Value>),
 }
@@ -116,7 +136,7 @@ pub fn execute_with(db: &Database, query: &Query, opts: ExecOptions) -> Result<R
         SetExpr::Select(select) => execute_select(db, select, &query.order_by, query.limit, opts),
         SetExpr::SetOp { .. } => {
             let mut rs = execute_set_expr(db, &query.body, opts)?;
-            apply_output_order(&mut rs, &query.order_by)?;
+            apply_output_order(&mut rs, &query.order_by, query.limit)?;
             if let Some(n) = query.limit {
                 rs.rows.truncate(n as usize);
             }
@@ -144,40 +164,34 @@ fn execute_set_expr(db: &Database, body: &SetExpr, opts: ExecOptions) -> Result<
                     r.columns.len()
                 )));
             }
-            let key = |row: &Vec<Value>| {
-                row.iter()
-                    .map(Value::canonical_key)
-                    .collect::<Vec<_>>()
-                    .join("\u{1}")
-            };
             let rows = match op {
                 SetOp::Union => {
                     let mut rows = l.rows;
                     rows.extend(r.rows);
                     if !*all {
-                        dedup_rows(&mut rows);
+                        key::dedup_values_rows(&mut rows);
                     }
                     rows
                 }
                 SetOp::Intersect => {
-                    let right_keys: HashSet<String> = r.rows.iter().map(key).collect();
+                    let right = RowSet::build(&r.rows);
                     let mut rows: Vec<Vec<Value>> = l
                         .rows
                         .into_iter()
-                        .filter(|row| right_keys.contains(&key(row)))
+                        .filter(|row| right.contains(row))
                         .collect();
                     // INTERSECT / EXCEPT have set semantics in SQL.
-                    dedup_rows(&mut rows);
+                    key::dedup_values_rows(&mut rows);
                     rows
                 }
                 SetOp::Except => {
-                    let right_keys: HashSet<String> = r.rows.iter().map(key).collect();
+                    let right = RowSet::build(&r.rows);
                     let mut rows: Vec<Vec<Value>> = l
                         .rows
                         .into_iter()
-                        .filter(|row| !right_keys.contains(&key(row)))
+                        .filter(|row| !right.contains(row))
                         .collect();
-                    dedup_rows(&mut rows);
+                    key::dedup_values_rows(&mut rows);
                     rows
                 }
             };
@@ -188,18 +202,6 @@ fn execute_set_expr(db: &Database, body: &SetExpr, opts: ExecOptions) -> Result<
             })
         }
     }
-}
-
-fn dedup_rows(rows: &mut Vec<Vec<Value>>) {
-    let mut seen = HashSet::new();
-    rows.retain(|row| {
-        let k = row
-            .iter()
-            .map(Value::canonical_key)
-            .collect::<Vec<_>>()
-            .join("\u{1}");
-        seen.insert(k)
-    });
 }
 
 /// One relation of the FROM clause, resolved but not yet scanned.
@@ -405,10 +407,26 @@ fn scan_relation(
 ) -> Result<Vec<ExecRow>> {
     let mut local = Scope::default();
     local.push(&rel.binding, rel.columns.clone());
+    // Compile pushed conjuncts once against the single-relation scope;
+    // the interpreter path re-resolves them per row.
+    let progs: Option<Vec<CExpr>> = opts
+        .compiled
+        .then(|| pushed.iter().map(|c| compile(c, &local, ctx)).collect());
     let keep = |row: &[Value]| -> Result<bool> {
-        for conj in pushed {
-            if !eval_filter(conj, row, &local, ctx)? {
-                return Ok(false);
+        match &progs {
+            Some(progs) => {
+                for prog in progs {
+                    if !prog.eval_filter(row, ctx)? {
+                        return Ok(false);
+                    }
+                }
+            }
+            None => {
+                for conj in pushed {
+                    if !eval_filter(conj, row, &local, ctx)? {
+                        return Ok(false);
+                    }
+                }
             }
         }
         Ok(true)
@@ -501,6 +519,35 @@ fn equi_join_keys(
     None
 }
 
+/// Join key under *SQL equality* (`sql_eq`), not canonical-key rounding:
+/// the hash path must match exactly the row pairs the nested-loop
+/// predicate `a = b` accepts. Numbers key by the bits of their `f64`
+/// view (`-0.0` normalized to `0.0`, so `-0.0 = 0.0` matches); `None`
+/// means the value can never satisfy an equality (NULL, or NaN which is
+/// not `sql_eq`-equal even to itself).
+#[derive(PartialEq, Eq, Hash)]
+enum JoinKey<'a> {
+    Num(u64),
+    Text(&'a str),
+    Bool(bool),
+}
+
+fn join_key(v: &Value) -> Option<JoinKey<'_>> {
+    match v {
+        Value::Null => None,
+        Value::Int(_) | Value::Float(_) => {
+            let f = v.as_f64().expect("numeric");
+            if f.is_nan() {
+                None
+            } else {
+                Some(JoinKey::Num((f + 0.0).to_bits()))
+            }
+        }
+        Value::Text(s) => Some(JoinKey::Text(s)),
+        Value::Bool(b) => Some(JoinKey::Bool(*b)),
+    }
+}
+
 /// Hash-join match lists: `matches[i]` holds the indices of right rows
 /// joining left row `i`, in right-scan order. Building the map on either
 /// side yields the same lists, so build-side selection never changes
@@ -514,18 +561,16 @@ fn hash_join_matches(
 ) -> Vec<Vec<u32>> {
     let mut matches: Vec<Vec<u32>> = vec![Vec::new(); left.len()];
     if build_left {
-        let mut index: HashMap<String, Vec<u32>> = HashMap::with_capacity(left.len());
+        let mut index: HashMap<JoinKey, Vec<u32>, FxBuild> =
+            HashMap::with_capacity_and_hasher(left.len(), FxBuild::default());
         for (i, l) in left.iter().enumerate() {
-            if !l[li].is_null() {
-                index
-                    .entry(l[li].canonical_key())
-                    .or_default()
-                    .push(i as u32);
+            if let Some(k) = join_key(&l[li]) {
+                index.entry(k).or_default().push(i as u32);
             }
         }
         for (j, r) in right.iter().enumerate() {
-            if !r[ri].is_null() {
-                if let Some(bucket) = index.get(&r[ri].canonical_key()) {
+            if let Some(k) = join_key(&r[ri]) {
+                if let Some(bucket) = index.get(&k) {
                     for &i in bucket {
                         matches[i as usize].push(j as u32);
                     }
@@ -533,18 +578,16 @@ fn hash_join_matches(
             }
         }
     } else {
-        let mut index: HashMap<String, Vec<u32>> = HashMap::with_capacity(right.len());
+        let mut index: HashMap<JoinKey, Vec<u32>, FxBuild> =
+            HashMap::with_capacity_and_hasher(right.len(), FxBuild::default());
         for (j, r) in right.iter().enumerate() {
-            if !r[ri].is_null() {
-                index
-                    .entry(r[ri].canonical_key())
-                    .or_default()
-                    .push(j as u32);
+            if let Some(k) = join_key(&r[ri]) {
+                index.entry(k).or_default().push(j as u32);
             }
         }
         for (i, l) in left.iter().enumerate() {
-            if !l[li].is_null() {
-                if let Some(bucket) = index.get(&l[li].canonical_key()) {
+            if let Some(k) = join_key(&l[li]) {
+                if let Some(bucket) = index.get(&k) {
                     matches[i].extend_from_slice(bucket);
                 }
             }
@@ -658,13 +701,18 @@ fn join_relations(
             }
             None => {
                 // Nested loop with the full predicate (or cross join).
+                let prog = match &join.constraint {
+                    Some(c) if opts.compiled => Some(compile(c, &scope, ctx)),
+                    _ => None,
+                };
                 for l in &rows {
                     let mut matched = false;
                     for r in &jrows {
                         let row = concat_row(l, r);
-                        let keep = match &join.constraint {
-                            Some(c) => eval_filter(c, &row, &scope, ctx)?,
-                            None => true,
+                        let keep = match (&prog, &join.constraint) {
+                            (Some(p), _) => p.eval_filter(&row, ctx)?,
+                            (None, Some(c)) => eval_filter(c, &row, &scope, ctx)?,
+                            (None, None) => true,
                         };
                         if keep {
                             out.push(ExecRow::Owned(row));
@@ -742,11 +790,25 @@ fn execute_select(
     let (scope, mut rows) = join_relations(scanned, &rel_names, &select.joins, &ctx, opts)?;
 
     if !residual.is_empty() {
+        let progs: Option<Vec<CExpr>> = opts
+            .compiled
+            .then(|| residual.iter().map(|c| compile(c, &scope, &ctx)).collect());
         let mut kept = Vec::with_capacity(rows.len());
         'row: for row in rows {
-            for conj in &residual {
-                if !eval_filter(conj, &row, &scope, &ctx)? {
-                    continue 'row;
+            match &progs {
+                Some(progs) => {
+                    for prog in progs {
+                        if !prog.eval_filter(&row, &ctx)? {
+                            continue 'row;
+                        }
+                    }
+                }
+                None => {
+                    for conj in &residual {
+                        if !eval_filter(conj, &row, &scope, &ctx)? {
+                            continue 'row;
+                        }
+                    }
                 }
             }
             kept.push(row);
@@ -755,25 +817,26 @@ fn execute_select(
     }
 
     let (columns, mut out_rows, mut keys) = if is_aggregate_query(select, order_by) {
-        execute_grouped(select, order_by, &scope, rows, &ctx)?
+        execute_grouped(select, order_by, &scope, rows, &ctx, opts)?
     } else {
-        execute_plain(select, order_by, &scope, rows, &ctx)?
+        execute_plain(select, order_by, &scope, rows, &ctx, opts)?
     };
 
     if select.distinct {
         // Dedup rows, keeping sort keys aligned.
-        let mut seen = HashSet::new();
-        let mut rows2 = Vec::new();
-        let mut keys2 = Vec::new();
-        for (row, key) in out_rows.into_iter().zip(keys) {
-            let k = row
-                .iter()
-                .map(Value::canonical_key)
-                .collect::<Vec<_>>()
-                .join("\u{1}");
-            if seen.insert(k) {
+        let mut index = KeyIndex::with_capacity(out_rows.len());
+        let mut rows2: Vec<Vec<Value>> = Vec::with_capacity(out_rows.len());
+        let mut keys2 = Vec::with_capacity(keys.len());
+        for (row, sort_key) in out_rows.into_iter().zip(keys) {
+            let h = key::hash_values(&row);
+            if index
+                .insert(h, rows2.len() as u32, |t| {
+                    key::values_key_eq(&rows2[t as usize], &row)
+                })
+                .is_none()
+            {
                 rows2.push(row);
-                keys2.push(key);
+                keys2.push(sort_key);
             }
         }
         out_rows = rows2;
@@ -781,8 +844,10 @@ fn execute_select(
     }
 
     if !order_by.is_empty() {
-        let mut idx: Vec<usize> = (0..out_rows.len()).collect();
-        idx.sort_by(|&a, &b| {
+        // Total order: ORDER BY keys, then input position — making the
+        // bounded top-K heap under LIMIT agree exactly with a stable
+        // full sort.
+        let cmp = |&a: &usize, &b: &usize| -> Ordering {
             for (item, (ka, kb)) in order_by.iter().zip(keys[a].iter().zip(keys[b].iter())) {
                 let ord = ka.total_cmp(kb);
                 let ord = if item.desc { ord.reverse() } else { ord };
@@ -790,9 +855,19 @@ fn execute_select(
                     return ord;
                 }
             }
-            std::cmp::Ordering::Equal
-        });
-        out_rows = idx.into_iter().map(|i| out_rows[i].clone()).collect();
+            a.cmp(&b)
+        };
+        let order = match limit {
+            Some(n) if (n as usize) < out_rows.len() => {
+                top_k_indices(out_rows.len(), n as usize, cmp)
+            }
+            _ => {
+                let mut idx: Vec<usize> = (0..out_rows.len()).collect();
+                idx.sort_unstable_by(&cmp);
+                idx
+            }
+        };
+        out_rows = permute(out_rows, &order);
     }
 
     if let Some(n) = limit {
@@ -806,7 +881,69 @@ fn execute_select(
     })
 }
 
+/// Reorder `rows` to `order` (a set of distinct indices) without cloning
+/// any row.
+fn permute(rows: Vec<Vec<Value>>, order: &[usize]) -> Vec<Vec<Value>> {
+    let mut slots: Vec<Option<Vec<Value>>> = rows.into_iter().map(Some).collect();
+    order
+        .iter()
+        .map(|&i| slots[i].take().expect("indices are distinct"))
+        .collect()
+}
+
+/// Indices of the least `k` elements under `cmp` (a strict total order),
+/// sorted — identical to sorting all of `0..len` and truncating, but via
+/// a bounded max-heap: O(len · log k) and O(k) memory.
+fn top_k_indices(len: usize, k: usize, cmp: impl Fn(&usize, &usize) -> Ordering) -> Vec<usize> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // `heap[0]` is the worst (greatest) element kept so far.
+    let mut heap: Vec<usize> = Vec::with_capacity(k);
+    for i in 0..len {
+        if heap.len() < k {
+            heap.push(i);
+            let mut c = heap.len() - 1;
+            while c > 0 {
+                let p = (c - 1) / 2;
+                if cmp(&heap[c], &heap[p]) == Ordering::Greater {
+                    heap.swap(c, p);
+                    c = p;
+                } else {
+                    break;
+                }
+            }
+        } else if cmp(&i, &heap[0]) == Ordering::Less {
+            heap[0] = i;
+            let mut p = 0;
+            loop {
+                let (l, r) = (2 * p + 1, 2 * p + 2);
+                let mut m = p;
+                if l < heap.len() && cmp(&heap[l], &heap[m]) == Ordering::Greater {
+                    m = l;
+                }
+                if r < heap.len() && cmp(&heap[r], &heap[m]) == Ordering::Greater {
+                    m = r;
+                }
+                if m == p {
+                    break;
+                }
+                heap.swap(p, m);
+                p = m;
+            }
+        }
+    }
+    heap.sort_unstable_by(|a, b| cmp(a, b));
+    heap
+}
+
 type Projected = (Vec<String>, Vec<Vec<Value>>, Vec<Vec<Value>>);
+
+/// A compiled projection item.
+enum ProjProg<'q> {
+    Wildcard,
+    Expr(CExpr<'q>),
+}
 
 /// Non-aggregate path: project each row, computing sort keys in-scope.
 fn execute_plain(
@@ -815,6 +952,7 @@ fn execute_plain(
     scope: &Scope,
     rows: Vec<ExecRow>,
     ctx: &EvalContext,
+    opts: ExecOptions,
 ) -> Result<Projected> {
     let mut columns = Vec::new();
     for item in &select.projections {
@@ -833,20 +971,50 @@ fn execute_plain(
     }
     let mut out_rows = Vec::with_capacity(rows.len());
     let mut keys = Vec::with_capacity(rows.len());
-    for row in &rows {
-        let mut out = Vec::with_capacity(columns.len());
-        for item in &select.projections {
-            match item {
-                SelectItem::Wildcard => out.extend(row.iter().cloned()),
-                SelectItem::Expr { expr, .. } => out.push(eval(expr, row, scope, ctx)?),
+    if opts.compiled {
+        let projs: Vec<ProjProg> = select
+            .projections
+            .iter()
+            .map(|item| match item {
+                SelectItem::Wildcard => ProjProg::Wildcard,
+                SelectItem::Expr { expr, .. } => ProjProg::Expr(compile(expr, scope, ctx)),
+            })
+            .collect();
+        let order_progs: Vec<OrderProg> = order_by
+            .iter()
+            .map(|item| compile_order_key(&item.expr, scope, ctx, select))
+            .collect();
+        for row in &rows {
+            let mut out = Vec::with_capacity(columns.len());
+            for proj in &projs {
+                match proj {
+                    ProjProg::Wildcard => out.extend(row.iter().cloned()),
+                    ProjProg::Expr(prog) => out.push(prog.eval(row, ctx)?.into_value()),
+                }
             }
+            let mut key = Vec::with_capacity(order_by.len());
+            for prog in &order_progs {
+                key.push(prog.eval(row, &out, ctx)?);
+            }
+            out_rows.push(out);
+            keys.push(key);
         }
-        let mut key = Vec::with_capacity(order_by.len());
-        for item in order_by {
-            key.push(eval_order_key(&item.expr, row, scope, ctx, select, &out)?);
+    } else {
+        for row in &rows {
+            let mut out = Vec::with_capacity(columns.len());
+            for item in &select.projections {
+                match item {
+                    SelectItem::Wildcard => out.extend(row.iter().cloned()),
+                    SelectItem::Expr { expr, .. } => out.push(eval(expr, row, scope, ctx)?),
+                }
+            }
+            let mut key = Vec::with_capacity(order_by.len());
+            for item in order_by {
+                key.push(eval_order_key(&item.expr, row, scope, ctx, select, &out)?);
+            }
+            out_rows.push(out);
+            keys.push(key);
         }
-        out_rows.push(out);
-        keys.push(key);
     }
     Ok((columns, out_rows, keys))
 }
@@ -889,25 +1057,76 @@ fn execute_grouped(
     scope: &Scope,
     rows: Vec<ExecRow>,
     ctx: &EvalContext,
+    opts: ExecOptions,
 ) -> Result<Projected> {
-    // Group rows by evaluated GROUP BY key.
+    // Group rows by evaluated GROUP BY key — hashed `Vec<Value>` keys
+    // under the canonical-key relation, no string concatenation.
     let mut groups: Vec<Vec<ExecRow>> = Vec::new();
     if select.group_by.is_empty() {
         // Single implicit group — even over zero rows (COUNT(*) = 0).
         groups.push(rows);
     } else {
-        let mut index: HashMap<String, usize> = HashMap::new();
-        for row in rows {
-            let mut key = String::new();
-            for ge in &select.group_by {
-                key.push_str(&eval(ge, &row, scope, ctx)?.canonical_key());
-                key.push('\u{1}');
+        let gprogs: Option<Vec<CExpr>> = opts.compiled.then(|| {
+            select
+                .group_by
+                .iter()
+                .map(|ge| compile(ge, scope, ctx))
+                .collect()
+        });
+        let mut index = KeyIndex::default();
+        let mut group_keys: Vec<Vec<Value>> = Vec::new();
+        match &gprogs {
+            Some(progs) => {
+                // Hash and compare the key cells as borrows straight out
+                // of the row; an owned key is cloned only when the group
+                // is new. Re-evaluating a program for the equality (and
+                // new-group) probes is sound because compiled evaluation
+                // is deterministic — the hash pass already surfaced any
+                // error this row can raise.
+                for row in rows {
+                    let mut hasher = key::FxHasher::default();
+                    for prog in progs {
+                        prog.eval(&row, ctx)?.hash_key(&mut hasher);
+                    }
+                    let h = hasher.finish();
+                    match index.insert(h, groups.len() as u32, |t| {
+                        group_keys[t as usize]
+                            .iter()
+                            .zip(progs)
+                            .all(|(k, p)| p.eval(&row, ctx).is_ok_and(|cv| cv.key_eq(k)))
+                    }) {
+                        Some(slot) => groups[slot as usize].push(row),
+                        None => {
+                            let mut gkey = Vec::with_capacity(progs.len());
+                            for prog in progs {
+                                gkey.push(prog.eval(&row, ctx)?.into_value());
+                            }
+                            group_keys.push(gkey);
+                            groups.push(vec![row]);
+                        }
+                    }
+                }
             }
-            let slot = *index.entry(key).or_insert_with(|| {
-                groups.push(Vec::new());
-                groups.len() - 1
-            });
-            groups[slot].push(row);
+            None => {
+                let mut key_buf: Vec<Value> = Vec::with_capacity(select.group_by.len());
+                for row in rows {
+                    key_buf.clear();
+                    for ge in &select.group_by {
+                        key_buf.push(eval(ge, &row, scope, ctx)?);
+                    }
+                    let h = key::hash_values(&key_buf);
+                    match index.insert(h, groups.len() as u32, |t| {
+                        key::values_key_eq(&group_keys[t as usize], &key_buf)
+                    }) {
+                        Some(slot) => groups[slot as usize].push(row),
+                        None => {
+                            group_keys.push(std::mem::take(&mut key_buf));
+                            key_buf = Vec::with_capacity(select.group_by.len());
+                            groups.push(vec![row]);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -925,25 +1144,61 @@ fn execute_grouped(
 
     let mut out_rows = Vec::new();
     let mut keys = Vec::new();
-    for group in &groups {
-        if let Some(h) = &select.having {
-            let v = eval_grouped(h, group, scope, ctx)?;
-            if !truth(v)?.unwrap_or(false) {
-                continue;
+    if opts.compiled {
+        let having: Option<GExpr> = select
+            .having
+            .as_ref()
+            .map(|h| compile_grouped(h, scope, ctx));
+        let projs: Vec<GExpr> = select
+            .projections
+            .iter()
+            .filter_map(|item| match item {
+                SelectItem::Wildcard => None,
+                SelectItem::Expr { expr, .. } => Some(compile_grouped(expr, scope, ctx)),
+            })
+            .collect();
+        let order_progs: Vec<GExpr> = order_by
+            .iter()
+            .map(|item| compile_grouped(&item.expr, scope, ctx))
+            .collect();
+        for group in &groups {
+            if let Some(h) = &having {
+                if !truth(h.eval(group, ctx)?)?.unwrap_or(false) {
+                    continue;
+                }
             }
-        }
-        let mut out = Vec::with_capacity(columns.len());
-        for item in &select.projections {
-            if let SelectItem::Expr { expr, .. } = item {
-                out.push(eval_grouped(expr, group, scope, ctx)?);
+            let mut out = Vec::with_capacity(columns.len());
+            for prog in &projs {
+                out.push(prog.eval(group, ctx)?);
             }
+            let mut key = Vec::with_capacity(order_by.len());
+            for prog in &order_progs {
+                key.push(prog.eval(group, ctx)?);
+            }
+            out_rows.push(out);
+            keys.push(key);
         }
-        let mut key = Vec::with_capacity(order_by.len());
-        for item in order_by {
-            key.push(eval_grouped(&item.expr, group, scope, ctx)?);
+    } else {
+        for group in &groups {
+            if let Some(h) = &select.having {
+                let v = eval_grouped(h, group, scope, ctx)?;
+                if !truth(v)?.unwrap_or(false) {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(columns.len());
+            for item in &select.projections {
+                if let SelectItem::Expr { expr, .. } = item {
+                    out.push(eval_grouped(expr, group, scope, ctx)?);
+                }
+            }
+            let mut key = Vec::with_capacity(order_by.len());
+            for item in order_by {
+                key.push(eval_grouped(&item.expr, group, scope, ctx)?);
+            }
+            out_rows.push(out);
+            keys.push(key);
         }
-        out_rows.push(out);
-        keys.push(key);
     }
     Ok((columns, out_rows, keys))
 }
@@ -1030,9 +1285,15 @@ fn eval_aggregate(
         }
     }
     if distinct {
-        let mut seen = HashSet::new();
-        values.retain(|v| seen.insert(v.canonical_key()));
+        key::dedup_values(&mut values);
     }
+    finish_aggregate(func, values)
+}
+
+/// Reduce the non-NULL (and, for DISTINCT, deduped) argument values of
+/// an aggregate call. Shared by the interpreter and the compiled
+/// evaluator.
+pub(crate) fn finish_aggregate(func: AggFunc, values: Vec<Value>) -> Result<Value> {
     match func {
         AggFunc::Count => Ok(Value::Int(values.len() as i64)),
         AggFunc::Sum => {
@@ -1101,8 +1362,13 @@ fn eval_aggregate(
 }
 
 /// Order a set-operation result by output column names or 1-based
-/// ordinals.
-fn apply_output_order(rs: &mut ResultSet, order_by: &[OrderItem]) -> Result<()> {
+/// ordinals. Under a LIMIT smaller than the result, only the top K rows
+/// are kept (bounded heap) instead of sorting everything.
+fn apply_output_order(
+    rs: &mut ResultSet,
+    order_by: &[OrderItem],
+    limit: Option<u64>,
+) -> Result<()> {
     if order_by.is_empty() {
         return Ok(());
     }
@@ -1134,16 +1400,26 @@ fn apply_output_order(rs: &mut ResultSet, order_by: &[OrderItem]) -> Result<()> 
         };
         key_idx.push((idx, item.desc));
     }
-    rs.rows.sort_by(|a, b| {
+    let rows = std::mem::take(&mut rs.rows);
+    let cmp = |&a: &usize, &b: &usize| -> Ordering {
         for (idx, desc) in &key_idx {
-            let ord = a[*idx].total_cmp(&b[*idx]);
+            let ord = rows[a][*idx].total_cmp(&rows[b][*idx]);
             let ord = if *desc { ord.reverse() } else { ord };
             if !ord.is_eq() {
                 return ord;
             }
         }
-        std::cmp::Ordering::Equal
-    });
+        a.cmp(&b)
+    };
+    let order = match limit {
+        Some(n) if (n as usize) < rows.len() => top_k_indices(rows.len(), n as usize, cmp),
+        _ => {
+            let mut idx: Vec<usize> = (0..rows.len()).collect();
+            idx.sort_unstable_by(&cmp);
+            idx
+        }
+    };
+    rs.rows = permute(rows, &order);
     Ok(())
 }
 
@@ -1495,6 +1771,19 @@ mod tests {
             ExecOptions {
                 join: JoinStrategy::BuildRight,
                 ..Default::default()
+            },
+            ExecOptions {
+                compiled: false,
+                ..Default::default()
+            },
+            ExecOptions {
+                compiled: false,
+                join: JoinStrategy::NestedLoop,
+                ..Default::default()
+            },
+            ExecOptions {
+                compiled: true,
+                ..ExecOptions::legacy()
             },
         ];
         for sql in STRATEGY_CASES {

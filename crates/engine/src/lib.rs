@@ -19,10 +19,12 @@
 //! logic collapsed to "NULL is not TRUE" in filters, aggregates skip NULLs,
 //! `COUNT(*)` counts rows, integer division truncates.
 
+pub(crate) mod compile;
 pub mod database;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod key;
 pub mod profile;
 pub mod reference;
 pub mod result;

@@ -2,22 +2,72 @@
 //! automatic enhanced-schema inference.
 
 use crate::database::Database;
+use crate::key::KeyIndex;
 use crate::value::Value;
 use sb_schema::{ColumnProfile, DataProfile};
-use std::collections::HashMap;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::Hasher;
 
 /// How many frequent values to retain per column. Value samplers and schema
 /// linkers only need a handful of representative literals.
 const FREQUENT_VALUES: usize = 24;
 
-/// Profile every column of every table in `db`.
+/// Hash a non-NULL value under *literal identity* — the equivalence of
+/// [`sql_literal`] renderings, which is exact per-type value identity
+/// (notably finer than canonical-key rounding: `3` and `3.0` are
+/// distinct literals). NaN is normalized to one bit pattern since every
+/// NaN renders as the same literal.
+fn lit_hash(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    match v {
+        Value::Null => h.write_u8(0),
+        Value::Int(i) => {
+            h.write_u8(1);
+            h.write_i64(*i);
+        }
+        Value::Float(f) => {
+            h.write_u8(2);
+            let f = if f.is_nan() { f64::NAN } else { *f };
+            h.write_u64(f.to_bits());
+        }
+        Value::Text(s) => {
+            h.write_u8(3);
+            h.write(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            h.write_u8(4);
+            h.write_u8(*b as u8);
+        }
+    }
+    h.finish()
+}
+
+/// Literal-identity equality matching [`lit_hash`].
+fn lit_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => {
+            x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan())
+        }
+        (Value::Text(x), Value::Text(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Profile every column of every table in `db`. Frequencies are counted
+/// by hashed value identity and only the retained distinct values are
+/// rendered as literals — not one `String` per cell, which dominated
+/// profiling cost on the larger size classes.
 pub fn profile_database(db: &Database) -> DataProfile {
     let mut profile = DataProfile::new();
     for table in db.tables() {
         profile.set_row_count(&table.def.name, table.len());
         for (idx, col) in table.def.columns.iter().enumerate() {
             let mut count = 0usize;
-            let mut freq: HashMap<String, usize> = HashMap::new();
+            let mut index = KeyIndex::default();
+            let mut freq: Vec<(&Value, usize)> = Vec::new();
             let mut min = f64::INFINITY;
             let mut max = f64::NEG_INFINITY;
             let mut saw_numeric = false;
@@ -26,7 +76,11 @@ pub fn profile_database(db: &Database) -> DataProfile {
                     continue;
                 }
                 count += 1;
-                *freq.entry(sql_literal(v)).or_insert(0) += 1;
+                let h = lit_hash(v);
+                match index.insert(h, freq.len() as u32, |t| lit_eq(freq[t as usize].0, v)) {
+                    Some(t) => freq[t as usize].1 += 1,
+                    None => freq.push((v, 1)),
+                }
                 if let Some(x) = v.as_f64() {
                     saw_numeric = true;
                     min = min.min(x);
@@ -34,7 +88,8 @@ pub fn profile_database(db: &Database) -> DataProfile {
                 }
             }
             let distinct = freq.len();
-            let mut by_freq: Vec<(String, usize)> = freq.into_iter().collect();
+            let mut by_freq: Vec<(String, usize)> =
+                freq.into_iter().map(|(v, n)| (sql_literal(v), n)).collect();
             // Most frequent first; ties broken by value for determinism.
             by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             by_freq.truncate(FREQUENT_VALUES);

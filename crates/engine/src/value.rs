@@ -3,6 +3,29 @@
 use sb_schema::ColumnType;
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::Hasher;
+
+/// Numeric canonicalization behind every grouping / dedup / multiset key:
+/// round to 6 decimal places, the tolerance Spider's execution-accuracy
+/// checker applies, so `1` (int) and `1.0` (float) — and any two floats
+/// within rounding distance — fall into the same key class.
+///
+/// Where `|v * 1e6|` exceeds 2^53 the rounded value can no longer be
+/// represented any more precisely than `v` itself (adjacent doubles are
+/// further than 1e-6 apart), so `v` passes through unchanged. NaN is
+/// normalized to one bit pattern so that bit-equality of canonicalized
+/// values coincides exactly with equality of [`Value::canonical_key`]
+/// strings — the property the executor's hash keys rely on.
+pub fn canon_num(v: f64) -> f64 {
+    if !v.is_finite() {
+        return if v.is_nan() { f64::NAN } else { v };
+    }
+    let scaled = v * 1e6;
+    if scaled.abs() >= 9_007_199_254_740_992.0 {
+        return v;
+    }
+    scaled.round() / 1e6
+}
 
 /// A runtime SQL value.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,11 +44,13 @@ pub enum Value {
 
 impl Value {
     /// Whether this value is NULL.
+    #[inline]
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
 
     /// Numeric view of the value, when it has one.
+    #[inline]
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Int(v) => Some(*v as f64),
@@ -47,6 +72,7 @@ impl Value {
 
     /// SQL comparison. Returns `None` when either side is NULL or the types
     /// are incomparable; numeric types compare cross-type via f64.
+    #[inline]
     pub fn compare(&self, other: &Value) -> Option<Ordering> {
         match (self, other) {
             (Value::Null, _) | (_, Value::Null) => None,
@@ -60,6 +86,7 @@ impl Value {
     }
 
     /// SQL equality: NULL never equals anything (returns `None`).
+    #[inline]
     pub fn sql_eq(&self, other: &Value) -> Option<bool> {
         self.compare(other).map(|o| o == Ordering::Equal)
     }
@@ -89,17 +116,70 @@ impl Value {
         }
     }
 
-    /// A canonical key for multiset comparison of result rows. Floats are
-    /// rounded to 6 decimal places so that `1.0` (float) and `1` (int)
-    /// produced by different but equivalent queries compare equal — the
-    /// same tolerance Spider's execution-accuracy checker applies.
+    /// A canonical key for multiset comparison of result rows. Numbers are
+    /// canonicalized through [`canon_num`] (6-decimal-place rounding) so
+    /// that `1.0` (float) and `1` (int) produced by different but
+    /// equivalent queries compare equal — the same tolerance Spider's
+    /// execution-accuracy checker applies.
+    ///
+    /// Two values have equal keys **iff** [`Value::key_eq`] holds and
+    /// [`Value::hash_key`] feeds identical bytes — the executor's
+    /// allocation-free grouping relies on that equivalence, so the three
+    /// must only change together.
     pub fn canonical_key(&self) -> String {
         match self {
             Value::Null => "∅".to_string(),
-            Value::Int(v) => format!("n:{:.6}", *v as f64),
-            Value::Float(v) => format!("n:{v:.6}"),
+            Value::Int(v) => format!("n:{}", canon_num(*v as f64)),
+            Value::Float(v) => format!("n:{}", canon_num(*v)),
             Value::Text(s) => format!("t:{s}"),
             Value::Bool(b) => format!("b:{b}"),
+        }
+    }
+
+    /// Feed this value's canonical identity into a hasher without
+    /// allocating. Hashes collide exactly when [`Value::canonical_key`]
+    /// strings are equal (modulo ordinary hash collisions, which callers
+    /// must resolve with [`Value::key_eq`]).
+    #[inline]
+    pub fn hash_key<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Int(v) => {
+                state.write_u8(1);
+                state.write_u64(canon_num(*v as f64).to_bits());
+            }
+            Value::Float(v) => {
+                state.write_u8(1);
+                state.write_u64(canon_num(*v).to_bits());
+            }
+            Value::Text(s) => {
+                state.write_u8(2);
+                state.write(s.as_bytes());
+                state.write_u8(0xFF);
+            }
+            Value::Bool(b) => {
+                state.write_u8(3);
+                state.write_u8(*b as u8);
+            }
+        }
+    }
+
+    /// Canonical-key equality without materializing the key strings:
+    /// `a.key_eq(&b)` ⇔ `a.canonical_key() == b.canonical_key()`. This is
+    /// a total equivalence (NULL equals NULL here), distinct from SQL
+    /// equality — it exists for grouping, DISTINCT and set operations.
+    #[inline]
+    pub fn key_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_)) => {
+                let a = self.as_f64().expect("numeric");
+                let b = other.as_f64().expect("numeric");
+                canon_num(a).to_bits() == canon_num(b).to_bits()
+            }
+            _ => false,
         }
     }
 }
@@ -201,5 +281,55 @@ mod tests {
             Value::Int(3).canonical_key(),
             Value::Text("3".into()).canonical_key()
         );
+    }
+
+    /// The load-bearing invariant of the allocation-free keys: `key_eq`
+    /// and `hash_key` agree with `canonical_key` string equality on every
+    /// pairing, including the awkward numeric corners.
+    #[test]
+    #[allow(clippy::excessive_precision)] // the near-9.3e18 literal documents intent: it rounds to the same f64
+    fn key_eq_and_hash_match_canonical_key_equality() {
+        use std::hash::{DefaultHasher, Hasher};
+        let hash = |v: &Value| {
+            let mut h = DefaultHasher::new();
+            v.hash_key(&mut h);
+            h.finish()
+        };
+        let values = [
+            Value::Null,
+            Value::Int(0),
+            Value::Int(3),
+            Value::Int(-3),
+            Value::Float(0.0),
+            Value::Float(-0.0),
+            Value::Float(3.0),
+            Value::Float(3.0000001),
+            Value::Float(3.1),
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(9.3e18),
+            Value::Float(9.300000000000001e18),
+            Value::Text("3".into()),
+            Value::Text("".into()),
+            Value::Bool(true),
+            Value::Bool(false),
+        ];
+        for a in &values {
+            for b in &values {
+                let by_string = a.canonical_key() == b.canonical_key();
+                assert_eq!(
+                    a.key_eq(b),
+                    by_string,
+                    "key_eq disagrees with canonical_key for {a:?} vs {b:?}"
+                );
+                if by_string {
+                    assert_eq!(hash(a), hash(b), "equal keys must hash equal: {a:?} {b:?}");
+                }
+            }
+        }
+        // Rounding unifies near-equal floats the way the string keys do.
+        assert!(Value::Float(3.0000001).key_eq(&Value::Float(3.0)));
+        assert!(!Value::Float(3.1).key_eq(&Value::Float(3.0)));
     }
 }

@@ -64,11 +64,14 @@ fn matrix() -> Vec<ExecOptions> {
     ] {
         for predicate_pushdown in [false, true] {
             for copy_scans in [false, true] {
-                out.push(ExecOptions {
-                    predicate_pushdown,
-                    join,
-                    copy_scans,
-                });
+                for compiled in [false, true] {
+                    out.push(ExecOptions {
+                        predicate_pushdown,
+                        join,
+                        copy_scans,
+                        compiled,
+                    });
+                }
             }
         }
     }

@@ -7,8 +7,9 @@
 //! 2. runs the naive reference interpreter to obtain the expected
 //!    outcome, and
 //! 3. runs the optimized executor under the full [`ExecOptions`] matrix
-//!    (join strategy × predicate pushdown × scan copying) and demands
-//!    that every configuration agrees with the reference.
+//!    (join strategy × predicate pushdown × scan copying × compiled vs
+//!    interpreted expressions) and demands that every configuration
+//!    agrees with the reference.
 //!
 //! Agreement is Spider execution-match (`ResultSet::same_result`:
 //! multiset of rows, ordered-list comparison when both sides carry an
@@ -76,7 +77,8 @@ impl std::fmt::Display for Disagreement {
 }
 
 /// The full executor configuration matrix: every join strategy crossed
-/// with pushdown on/off and copying vs zero-copy scans.
+/// with pushdown on/off, copying vs zero-copy scans, and compiled vs
+/// interpreted expression evaluation — 24 configurations.
 pub fn exec_matrix() -> Vec<(String, ExecOptions)> {
     let mut out = Vec::new();
     for join in [
@@ -86,19 +88,23 @@ pub fn exec_matrix() -> Vec<(String, ExecOptions)> {
     ] {
         for pushdown in [false, true] {
             for copy in [false, true] {
-                let name = format!(
-                    "{join:?}{}{}",
-                    if pushdown { "+pushdown" } else { "" },
-                    if copy { "+copy" } else { "" }
-                );
-                out.push((
-                    name,
-                    ExecOptions {
-                        predicate_pushdown: pushdown,
-                        join,
-                        copy_scans: copy,
-                    },
-                ));
+                for compiled in [false, true] {
+                    let name = format!(
+                        "{join:?}{}{}{}",
+                        if pushdown { "+pushdown" } else { "" },
+                        if copy { "+copy" } else { "" },
+                        if compiled { "+compiled" } else { "" }
+                    );
+                    out.push((
+                        name,
+                        ExecOptions {
+                            predicate_pushdown: pushdown,
+                            join,
+                            copy_scans: copy,
+                            compiled,
+                        },
+                    ));
+                }
             }
         }
     }

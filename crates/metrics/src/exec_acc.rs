@@ -1,8 +1,16 @@
 //! Execution accuracy — the Table 5 metric, identical in spirit to the
 //! Spider benchmark's execution match: run the gold and the predicted SQL
 //! against the database and compare the result sets.
+//!
+//! The experiment grid scores the same dev set once per (system × regime)
+//! cell, so each gold query would execute dozens of times with identical
+//! results. [`GoldCache`] memoizes gold executions per `(database, sql)`
+//! pair; [`execution_match_cached`] is the drop-in scoring entry point
+//! for grid runners.
 
-use sb_engine::Database;
+use sb_engine::{Database, ResultSet};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
 /// Whether one predicted SQL string execution-matches the gold SQL.
 ///
@@ -30,6 +38,99 @@ pub fn execution_accuracy(db: &Database, pairs: &[(String, String)]) -> f64 {
     let hits = pairs
         .iter()
         .filter(|(gold, pred)| execution_match(db, gold, pred))
+        .count();
+    hits as f64 / pairs.len() as f64
+}
+
+/// Memoized gold-query results, keyed by `(database name, gold SQL)`.
+///
+/// Thread-safe (grid runners score dev pairs with rayon); a gold query
+/// that fails to execute is cached as `None` so the failure is not
+/// re-derived either. Scope one cache per database bundle — entries are
+/// keyed by schema name, so two *different* databases sharing a name
+/// must not share a cache.
+/// Cache key: `(database name, gold SQL)`. A failed gold execution is a
+/// `None` entry.
+type GoldMap = HashMap<(String, String), Option<Arc<ResultSet>>>;
+
+#[derive(Default)]
+pub struct GoldCache {
+    inner: RwLock<GoldMap>,
+}
+
+impl GoldCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        GoldCache::default()
+    }
+
+    /// Number of distinct gold queries cached so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The gold result for `sql` on `db`, executing it at most once.
+    fn gold(&self, db: &Database, sql: &str) -> Option<Arc<ResultSet>> {
+        if let Some(hit) = self
+            .inner
+            .read()
+            .unwrap()
+            .get(&(db.schema.name.clone(), sql.to_string()))
+        {
+            return hit.clone();
+        }
+        let computed = match db.run(sql) {
+            Ok(rs) => Some(Arc::new(rs)),
+            Err(_) => {
+                // A broken gold query is a benchmark bug, not a system
+                // miss; count conservatively but do not panic in release.
+                debug_assert!(false, "gold query must execute: {sql}");
+                None
+            }
+        };
+        let mut map = self.inner.write().unwrap();
+        // Two threads may race on the same cold key; both computed the
+        // same value, so the first insert wins and the clone is dropped.
+        map.entry((db.schema.name.clone(), sql.to_string()))
+            .or_insert_with(|| computed.clone());
+        computed
+    }
+}
+
+/// [`execution_match`] with the gold side served from `cache`: the gold
+/// SQL executes once per database instead of once per scored pair.
+pub fn execution_match_cached(
+    cache: &GoldCache,
+    db: &Database,
+    gold_sql: &str,
+    predicted_sql: &str,
+) -> bool {
+    let Some(gold) = cache.gold(db, gold_sql) else {
+        return false;
+    };
+    match db.run(predicted_sql) {
+        Ok(pred) => gold.same_result(&pred),
+        Err(_) => false,
+    }
+}
+
+/// [`execution_accuracy`] over a shared [`GoldCache`].
+pub fn execution_accuracy_cached(
+    cache: &GoldCache,
+    db: &Database,
+    pairs: &[(String, String)],
+) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let hits = pairs
+        .iter()
+        .filter(|(gold, pred)| execution_match_cached(cache, db, gold, pred))
         .count();
     hits as f64 / pairs.len() as f64
 }
@@ -119,5 +220,75 @@ mod tests {
         ];
         assert!((execution_accuracy(&db, &pairs) - 0.5).abs() < 1e-9);
         assert_eq!(execution_accuracy(&db, &[]), 0.0);
+    }
+
+    #[test]
+    fn cached_scoring_agrees_with_uncached() {
+        let db = db();
+        let cache = GoldCache::new();
+        let cases = [
+            (
+                "SELECT specobjid FROM specobj WHERE class = 'GALAXY'",
+                "SELECT specobjid FROM specobj WHERE class = 'GALAXY'",
+            ),
+            (
+                "SELECT specobjid FROM specobj WHERE class = 'GALAXY'",
+                "SELECT s.specobjid FROM specobj AS s WHERE s.z > 0.5",
+            ),
+            (
+                "SELECT specobjid FROM specobj WHERE class = 'GALAXY'",
+                "SELECT specobjid FROM specobj WHERE class = 'STAR'",
+            ),
+            ("SELECT COUNT(*) FROM specobj", "SELEC broken"),
+        ];
+        for (gold, pred) in cases {
+            assert_eq!(
+                execution_match_cached(&cache, &db, gold, pred),
+                execution_match(&db, gold, pred),
+                "cached and uncached disagree on ({gold}, {pred})"
+            );
+        }
+        // Three scorings shared one gold execution; the fourth added one.
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_accuracy_matches_uncached_accuracy() {
+        let db = db();
+        let cache = GoldCache::new();
+        let pairs = vec![
+            (
+                "SELECT COUNT(*) FROM specobj".to_string(),
+                "SELECT COUNT(*) FROM specobj".to_string(),
+            ),
+            (
+                "SELECT COUNT(*) FROM specobj".to_string(),
+                "broken".to_string(),
+            ),
+        ];
+        let cached = execution_accuracy_cached(&cache, &db, &pairs);
+        assert!((cached - execution_accuracy(&db, &pairs)).abs() < 1e-9);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(execution_accuracy_cached(&cache, &db, &[]), 0.0);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let db = db();
+        let cache = GoldCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    assert!(execution_match_cached(
+                        &cache,
+                        &db,
+                        "SELECT COUNT(*) FROM specobj",
+                        "SELECT COUNT(*) FROM specobj",
+                    ));
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
     }
 }

@@ -10,7 +10,8 @@
 //!   §4.1.2, Table 4);
 //! - [`hardness`]: the Spider hardness classifier (Easy / Medium / Hard /
 //!   Extra Hard) used throughout Table 2;
-//! - [`exec_acc`]: execution accuracy — the Table 5 metric.
+//! - [`exec_acc`]: execution accuracy — the Table 5 metric — plus a
+//!   [`GoldCache`] so grid runs execute each gold query once per database.
 
 pub mod bleu;
 pub mod exec_acc;
@@ -18,7 +19,10 @@ pub mod expert;
 pub mod hardness;
 
 pub use bleu::corpus_bleu;
-pub use exec_acc::{execution_accuracy, execution_match};
+pub use exec_acc::{
+    execution_accuracy, execution_accuracy_cached, execution_match, execution_match_cached,
+    GoldCache,
+};
 pub use expert::ExpertJudge;
 pub use hardness::{classify, Hardness};
 pub use sb_embed::corpus_similarity;

@@ -9,6 +9,7 @@
 use sciencebenchmark::core::experiments::{build_domain_bundle, evaluate, fresh_systems};
 use sciencebenchmark::core::{ExperimentConfig, SpiderPairs, SpiderSetConfig};
 use sciencebenchmark::data::Domain;
+use sciencebenchmark::metrics::GoldCache;
 use sciencebenchmark::nl2sql::{DbCatalog, Pair};
 
 fn main() {
@@ -45,6 +46,7 @@ fn main() {
     let catalog = DbCatalog::new(dbs);
 
     println!("{:<24} {:>12} {:>16}", "system", "zero-shot", "seed+synth");
+    let gold_cache = GoldCache::new();
     for make in 0..3 {
         // Train two fresh instances of the same system under the two
         // regimes.
@@ -59,8 +61,8 @@ fn main() {
                 None
             }
         };
-        let acc_zero = evaluate(zero.as_ref(), &bundle.dataset.dev, lookup);
-        let acc_tuned = evaluate(tuned.as_ref(), &bundle.dataset.dev, lookup);
+        let acc_zero = evaluate(zero.as_ref(), &bundle.dataset.dev, &gold_cache, lookup);
+        let acc_tuned = evaluate(tuned.as_ref(), &bundle.dataset.dev, &gold_cache, lookup);
         println!("{:<24} {:>12.2} {:>16.2}", zero.name(), acc_zero, acc_tuned);
     }
     println!(

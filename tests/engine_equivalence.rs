@@ -8,11 +8,13 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use sciencebenchmark::core::{Pipeline, PipelineConfig};
 use sciencebenchmark::data::{Domain, SizeClass};
-use sciencebenchmark::engine::{ExecOptions, JoinStrategy};
+use sciencebenchmark::engine::{Database, EngineError, ExecOptions, JoinStrategy};
+use sciencebenchmark::schema::{Column, ColumnType, Schema, TableDef};
 
 /// Every execution configuration that must agree: the default (pushdown +
-/// auto hash join), each forced join strategy with and without pushdown,
-/// and the pre-rework cloning path.
+/// auto hash join + compiled expressions), each forced join strategy with
+/// and without pushdown, each of those both compiled and interpreted, and
+/// the pre-rework cloning path.
 fn all_options() -> Vec<ExecOptions> {
     let mut out = vec![ExecOptions::default(), ExecOptions::legacy()];
     for join in [
@@ -21,11 +23,14 @@ fn all_options() -> Vec<ExecOptions> {
         JoinStrategy::NestedLoop,
     ] {
         for predicate_pushdown in [false, true] {
-            out.push(ExecOptions {
-                join,
-                predicate_pushdown,
-                ..ExecOptions::default()
-            });
+            for compiled in [false, true] {
+                out.push(ExecOptions {
+                    join,
+                    predicate_pushdown,
+                    compiled,
+                    ..ExecOptions::default()
+                });
+            }
         }
     }
     out
@@ -179,4 +184,137 @@ fn pipeline_output_is_identical_for_one_and_many_threads() {
     assert_eq!(sequential.pairs, parallel.pairs);
     assert_eq!(sequential.sql_queries, parallel.sql_queries);
     assert_eq!(sequential.templates, parallel.templates);
+}
+
+// ---------------------------------------------------------------------
+// Error parity: the compiled expression path must surface the same
+// binding errors — same variant, same rendered payload — as the
+// interpreter, and zero-row plans must swallow residual errors the same
+// way on both paths.
+// ---------------------------------------------------------------------
+
+/// Two tables sharing the column name `shared` (the ambiguity surface).
+fn parity_db() -> Database {
+    let schema = Schema::new("parity")
+        .with_table(TableDef::new(
+            "a",
+            vec![
+                Column::pk("id", ColumnType::Int),
+                Column::new("x", ColumnType::Text),
+                Column::new("shared", ColumnType::Int),
+            ],
+        ))
+        .with_table(TableDef::new(
+            "b",
+            vec![
+                Column::pk("id", ColumnType::Int),
+                Column::new("shared", ColumnType::Int),
+            ],
+        ));
+    let mut db = Database::new(schema);
+    db.table_mut("a").unwrap().push_rows(vec![
+        vec![1.into(), "one".into(), 10.into()],
+        vec![2.into(), "two".into(), 20.into()],
+    ]);
+    db.table_mut("b")
+        .unwrap()
+        .push_rows(vec![vec![1.into(), 10.into()], vec![3.into(), 30.into()]]);
+    db
+}
+
+/// Every configuration must reject `sql`, and every rejection must render
+/// the exact same message — not just the same variant.
+fn assert_uniform_error(db: &Database, sql: &str) -> EngineError {
+    let mut first: Option<EngineError> = None;
+    for opts in all_options() {
+        let err = db
+            .run_with(sql, opts)
+            .err()
+            .unwrap_or_else(|| panic!("`{sql}` must fail under {opts:?}"));
+        match &first {
+            None => first = Some(err),
+            Some(f) => assert_eq!(
+                f.to_string(),
+                err.to_string(),
+                "`{sql}` error message drifts under {opts:?}"
+            ),
+        }
+    }
+    first.unwrap()
+}
+
+#[test]
+fn unknown_column_errors_are_identical_across_paths() {
+    let db = parity_db();
+    for sql in [
+        "SELECT nope FROM a",
+        "SELECT T1.nope FROM a AS T1",
+        "SELECT x FROM a WHERE nope = 1",
+        "SELECT x FROM a ORDER BY zzz",
+    ] {
+        let err = assert_uniform_error(&db, sql);
+        assert!(
+            matches!(err, EngineError::UnknownColumn(_)),
+            "`{sql}` raised {err} instead of UnknownColumn"
+        );
+    }
+}
+
+#[test]
+fn ambiguous_column_errors_are_identical_across_paths() {
+    let db = parity_db();
+    for sql in [
+        "SELECT shared FROM a AS T1 JOIN b AS T2 ON T1.id = T2.id",
+        "SELECT T1.x FROM a AS T1 JOIN b AS T2 ON shared = T2.shared",
+        "SELECT T1.x FROM a AS T1 JOIN b AS T2 ON T1.id = T2.id WHERE shared > 0",
+    ] {
+        let err = assert_uniform_error(&db, sql);
+        assert!(
+            matches!(err, EngineError::AmbiguousColumn(_)),
+            "`{sql}` raised {err} instead of AmbiguousColumn"
+        );
+    }
+}
+
+#[test]
+fn order_by_ordinal_errors_are_identical_across_paths() {
+    let db = parity_db();
+    // Ordinals bind after set operations; out-of-range must error even
+    // when the result is empty, identically on both evaluation paths.
+    for sql in [
+        "SELECT x FROM a UNION SELECT x FROM a ORDER BY 5",
+        "SELECT x FROM a WHERE x = 'none' UNION \
+         SELECT x FROM a WHERE x = 'none' ORDER BY 5",
+    ] {
+        let err = assert_uniform_error(&db, sql);
+        assert!(
+            matches!(err, EngineError::UnknownColumn(_)),
+            "`{sql}` raised {err} instead of UnknownColumn"
+        );
+    }
+}
+
+#[test]
+fn pushdown_emptied_scans_keep_constraint_errors_and_swallow_residual_ones() {
+    let db = parity_db();
+    // `T1.x = 'NOMATCH'` pushes into the scan of `a` and empties it; the
+    // ON constraint's unknown column must still be reported — with the
+    // same message — whether the constraint is compiled or interpreted.
+    let err = assert_uniform_error(
+        &db,
+        "SELECT T2.shared FROM a AS T1 JOIN b AS T2 ON T1.nope = T2.id \
+         WHERE T1.x = 'NOMATCH'",
+    );
+    assert!(matches!(err, EngineError::UnknownColumn(_)));
+    // ...while a residual (multi-table) conjunct over an unknown column
+    // is never evaluated once the plan carries zero rows: both paths
+    // succeed with an empty result instead of erroring.
+    let sql = "SELECT T1.x FROM a AS T1 JOIN b AS T2 ON T1.id = T2.id \
+               WHERE T1.x = 'NOMATCH' AND T1.shared + T2.nope < 0";
+    for opts in all_options() {
+        let rs = db
+            .run_with(sql, opts)
+            .unwrap_or_else(|e| panic!("`{sql}` must succeed under {opts:?}: {e}"));
+        assert!(rs.rows.is_empty(), "`{sql}` returned rows under {opts:?}");
+    }
 }

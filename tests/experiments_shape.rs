@@ -4,6 +4,7 @@
 use sciencebenchmark::core::experiments::{evaluate, fresh_systems, run_domain_grid};
 use sciencebenchmark::core::{ExperimentConfig, SpiderPairs, SpiderSetConfig};
 use sciencebenchmark::data::{Domain, SizeClass};
+use sciencebenchmark::metrics::GoldCache;
 use sciencebenchmark::nl2sql::{DbCatalog, Pair};
 
 fn mini_config() -> ExperimentConfig {
@@ -63,9 +64,10 @@ fn in_domain_spider_beats_zero_shot_domain_transfer() {
 
     let mut in_domain_best = 0.0f64;
     let mut transfer_best = 0.0f64;
+    let gold_cache = GoldCache::new();
     for mut system in fresh_systems() {
         system.train(&train, &catalog);
-        let spider_acc = evaluate(system.as_ref(), &spider.dev, |name| {
+        let spider_acc = evaluate(system.as_ref(), &spider.dev, &gold_cache, |name| {
             spider
                 .corpus
                 .databases
@@ -73,13 +75,18 @@ fn in_domain_spider_beats_zero_shot_domain_transfer() {
                 .find(|d| d.db.schema.name.eq_ignore_ascii_case(name))
                 .map(|d| &d.db)
         });
-        let sdss_acc = evaluate(system.as_ref(), &sdss_bundle.dataset.dev, |name| {
-            if name.eq_ignore_ascii_case("sdss") {
-                Some(&sdss_bundle.data.db)
-            } else {
-                None
-            }
-        });
+        let sdss_acc = evaluate(
+            system.as_ref(),
+            &sdss_bundle.dataset.dev,
+            &gold_cache,
+            |name| {
+                if name.eq_ignore_ascii_case("sdss") {
+                    Some(&sdss_bundle.data.db)
+                } else {
+                    None
+                }
+            },
+        );
         in_domain_best = in_domain_best.max(spider_acc);
         transfer_best = transfer_best.max(sdss_acc);
     }
