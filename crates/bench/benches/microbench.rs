@@ -99,12 +99,27 @@ fn bench_exec_acc_cached(c: &mut Criterion) {
     g.bench_function("uncached", |b| {
         b.iter(|| execution_accuracy(&d.db, std::hint::black_box(&pairs)))
     });
+    // One cache across iterations: gold executions amortize to zero,
+    // as in a grid run where every cell shares the bundle's cache.
+    let cache = GoldCache::new();
     g.bench_function("cached_warm", |b| {
-        // One cache across iterations: gold executions amortize to zero,
-        // as in a grid run where every cell shares the bundle's cache.
-        let cache = GoldCache::new();
         b.iter(|| execution_accuracy_cached(&cache, &d.db, std::hint::black_box(&pairs)))
     });
+    // Cache effectiveness lands next to the timing in BENCH_engine.json:
+    // distinct gold queries, lookups served from the memo, and the hit
+    // rate over the whole measured run.
+    let lookups = cache.hits() + cache.misses();
+    g.metric("gold_cache_entries", cache.len() as f64);
+    g.metric("gold_cache_hits", cache.hits() as f64);
+    g.metric("gold_cache_misses", cache.misses() as f64);
+    g.metric(
+        "gold_cache_hit_rate",
+        if lookups == 0 {
+            0.0
+        } else {
+            cache.hits() as f64 / lookups as f64
+        },
+    );
     g.finish();
 }
 

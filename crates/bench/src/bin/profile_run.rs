@@ -1,0 +1,206 @@
+//! `profile_run` — machine-readable observability run reports.
+//!
+//! For each selected domain, runs one generation pipeline (Figure 1)
+//! and one Table 5 grid cell (train one system, score the dev set
+//! through the shared gold cache) with `sb-obs` collection forced on,
+//! then emits one JSON run report per domain on stdout:
+//!
+//! ```sh
+//! cargo run --release -p sb-bench --bin profile_run -- --quick --domain sdss
+//! cargo run --release -p sb-bench --bin profile_run -- --validate report.json
+//! ```
+//!
+//! Flags:
+//!
+//! - `--quick`         tiny splits and corpus, seconds-scale (check.sh uses this)
+//! - `--domain NAME`   one of cordis / sdss / oncomx (default: all three)
+//! - `--timings`       include wall-clock span totals (off by default, so
+//!   the output is deterministic for a fixed workload)
+//! - `--validate FILE` validate that FILE is well-formed JSON and exit
+//!
+//! The report embeds the deterministic `sb-obs` counter snapshot
+//! (`Report::to_json(false)` unless `--timings`), the pipeline's phase
+//! accounting, and the grid cell's gold-cache effectiveness. Without
+//! `--timings` the output contains no wall-clock field at all.
+
+use sb_core::experiments::{build_domain_bundle, evaluate, fresh_systems, ExperimentConfig};
+use sb_core::{SpiderPairs, SpiderSetConfig};
+use sb_data::{Domain, SizeClass};
+use sb_metrics::GoldCache;
+use sb_nl2sql::{DbCatalog, Pair};
+use sb_obs::json::escape;
+use std::fmt::Write as _;
+
+fn parse_domain(name: &str) -> Option<Domain> {
+    Domain::ALL
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut timings = false;
+    let mut domains: Vec<Domain> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--timings" => timings = true,
+            "--domain" => {
+                i += 1;
+                let name = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--domain needs a value"));
+                match parse_domain(name) {
+                    Some(d) => domains.push(d),
+                    None => usage(&format!("unknown domain `{name}`")),
+                }
+            }
+            "--validate" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--validate needs a file path"));
+                validate_file(path);
+                return;
+            }
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    if domains.is_empty() {
+        domains.extend(Domain::ALL);
+    }
+
+    // The whole point of this binary is the report: force collection on
+    // when SB_OBS left it off. An explicit SB_OBS=json still upgrades
+    // the stderr side to JSON event lines.
+    if sb_obs::mode() == sb_obs::Mode::Off {
+        sb_obs::set_mode(sb_obs::Mode::Summary);
+    }
+
+    let cfg = if quick {
+        ExperimentConfig {
+            size: SizeClass::Tiny,
+            scale: 0.12,
+            spider: SpiderSetConfig {
+                train_total: 120,
+                dev_total: 40,
+                databases: 3,
+                seed: 5,
+            },
+            seed: 5,
+        }
+    } else {
+        ExperimentConfig::quick()
+    };
+    sb_obs::progress("profile_run", "building Spider-like corpus");
+    let spider = SpiderPairs::build(&cfg.spider);
+    let spider_train: Vec<Pair> = spider
+        .train
+        .iter()
+        .map(|p| Pair::new(p.question.clone(), p.sql.clone(), p.db.clone()))
+        .collect();
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"report\": \"sb-obs profile_run\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"domains\": [");
+    for (di, &domain) in domains.iter().enumerate() {
+        sb_obs::progress("profile_run", &format!("profiling {}", domain.name()));
+        // Per-domain isolation: each report starts from empty registries.
+        sb_obs::reset();
+
+        // One pipeline run (inside the bundle build) ...
+        let bundle = build_domain_bundle(domain, &cfg);
+
+        // ... and one grid cell: train the first system on Spider + Seed,
+        // score the dev set through a shared gold cache.
+        let gold_cache = GoldCache::new();
+        let mut training = spider_train.clone();
+        training.extend(
+            bundle
+                .dataset
+                .seed
+                .iter()
+                .map(|p| Pair::new(p.question.clone(), p.sql.clone(), p.db.clone())),
+        );
+        let mut system = fresh_systems().remove(0);
+        let mut catalog_dbs: Vec<&sb_engine::Database> =
+            spider.corpus.databases.iter().map(|d| &d.db).collect();
+        catalog_dbs.push(&bundle.data.db);
+        system.train(&training, &DbCatalog::new(catalog_dbs));
+        let accuracy = evaluate(system.as_ref(), &bundle.dataset.dev, &gold_cache, |name| {
+            if name.eq_ignore_ascii_case(domain.name()) {
+                Some(&bundle.data.db)
+            } else {
+                None
+            }
+        });
+
+        let obs = sb_obs::snapshot();
+        if di > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        let _ = writeln!(out, "      \"domain\": \"{}\",", escape(domain.name()));
+        let _ = writeln!(
+            out,
+            "      \"splits\": {{\"seed\": {}, \"dev\": {}, \"synth\": {}}},",
+            bundle.dataset.seed.len(),
+            bundle.dataset.dev.len(),
+            bundle.dataset.synth.len()
+        );
+        let _ = writeln!(
+            out,
+            "      \"grid_cell\": {{\"system\": \"{}\", \"accuracy\": {}, \"n_dev\": {}, \
+             \"gold_cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}}}}},",
+            escape(system.name()),
+            sb_obs::json::number(accuracy),
+            bundle.dataset.dev.len(),
+            gold_cache.len(),
+            gold_cache.hits(),
+            gold_cache.misses()
+        );
+        // Indent the embedded obs report to keep the document readable.
+        let obs_json = obs.to_json(timings).replace('\n', "\n      ");
+        let _ = writeln!(out, "      \"obs\": {obs_json}");
+        out.push_str("    }");
+    }
+    out.push_str("\n  ]\n}\n");
+
+    // Self-check before printing: a malformed report must fail loudly,
+    // not propagate into tooling.
+    if let Err(e) = sb_obs::json::validate(&out) {
+        eprintln!("profile_run: internal error, emitted invalid JSON: {e}");
+        std::process::exit(2);
+    }
+    print!("{out}");
+    sb_obs::emit_stderr();
+}
+
+fn validate_file(path: &str) {
+    match std::fs::read_to_string(path) {
+        Ok(content) => match sb_obs::json::validate(&content) {
+            Ok(()) => println!("{path}: valid JSON"),
+            Err(e) => {
+                eprintln!("{path}: INVALID JSON: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("profile_run: {msg}");
+    eprintln!(
+        "usage: profile_run [--quick] [--timings] [--domain cordis|sdss|oncomx]... \
+         | --validate FILE"
+    );
+    std::process::exit(2);
+}

@@ -391,8 +391,9 @@ pub fn table4_report(quick: bool) -> String {
     out
 }
 
-/// Table 5: execution accuracy grid. Builds whole experiment grids, so
-/// progress goes to stderr while the report accumulates in the result.
+/// Table 5: execution accuracy grid. Builds whole experiment grids;
+/// progress is reported through [`sb_obs::progress`] (silent unless
+/// `SB_OBS` is set) while the report accumulates in the result.
 pub fn table5_report(quick: bool, domains: &[Domain], spider_rows: bool) -> String {
     let cfg = if quick {
         ExperimentConfig::quick()
@@ -400,19 +401,22 @@ pub fn table5_report(quick: bool, domains: &[Domain], spider_rows: bool) -> Stri
         ExperimentConfig::default()
     };
 
-    eprintln!("building Spider-like corpus + pair sets ...");
+    sb_obs::progress("table5", "building Spider-like corpus + pair sets");
     let spider = SpiderPairs::build(&cfg.spider);
-    eprintln!(
-        "  {} train / {} dev pairs over {} databases",
-        spider.train.len(),
-        spider.dev.len(),
-        spider.corpus.databases.len()
+    sb_obs::progress(
+        "table5",
+        &format!(
+            "{} train / {} dev pairs over {} databases",
+            spider.train.len(),
+            spider.dev.len(),
+            spider.corpus.databases.len()
+        ),
     );
 
-    eprintln!("running domain grid ...");
+    sb_obs::progress("table5", "running domain grid");
     let mut results = run_domain_grid(&cfg, &spider, domains);
     if spider_rows {
-        eprintln!("running Spider control rows ...");
+        sb_obs::progress("table5", "running Spider control rows");
         results.extend(run_spider_rows(&cfg, &spider));
     }
 

@@ -17,6 +17,14 @@
 use sb_bench::reports;
 use sb_data::Domain;
 
+/// Force `sb-obs` collection ON for the regeneration. The committed
+/// files were captured with observability off, so passing these tests
+/// with collection active *is* the obs-on vs obs-off byte-identity
+/// check: instrumentation must never leak into a report string.
+fn obs_on() {
+    sb_obs::set_mode(sb_obs::Mode::Summary);
+}
+
 /// Drop everything before the first line starting with `"Table "` and
 /// trim trailing whitespace from each remaining line.
 fn normalize(s: &str) -> String {
@@ -69,6 +77,7 @@ fn assert_matches(generated: String, file: &str, regen_hint: &str) {
 
 #[test]
 fn table1_matches_committed_snapshot() {
+    obs_on();
     assert_matches(
         reports::table1_report(false),
         "results_table1.txt",
@@ -78,6 +87,7 @@ fn table1_matches_committed_snapshot() {
 
 #[test]
 fn table2_matches_committed_snapshot() {
+    obs_on();
     assert_matches(
         reports::table2_report(true),
         "results_table2.txt",
@@ -87,6 +97,7 @@ fn table2_matches_committed_snapshot() {
 
 #[test]
 fn table3_matches_committed_snapshot() {
+    obs_on();
     assert_matches(
         reports::table3_report(true, true),
         "results_table3.txt",
@@ -96,6 +107,7 @@ fn table3_matches_committed_snapshot() {
 
 #[test]
 fn table4_matches_committed_snapshot() {
+    obs_on();
     assert_matches(
         reports::table4_report(true),
         "results_table4.txt",
@@ -105,6 +117,7 @@ fn table4_matches_committed_snapshot() {
 
 #[test]
 fn table5_matches_committed_snapshot() {
+    obs_on();
     assert_matches(
         reports::table5_report(true, &Domain::ALL, true),
         "results_table5.txt",

@@ -65,6 +65,14 @@ pub struct PipelineReport {
     pub sql_queries: usize,
     /// Phase 2 rejection statistics.
     pub gen_stats: GenStats,
+    /// NL candidate questions produced in Phase 3 (before selection).
+    pub nl_candidates: usize,
+    /// Candidates dropped by Phase 4 (the discriminator, or the plain
+    /// `keep_k` truncation when discrimination is ablated off).
+    pub dropped_discriminator: usize,
+    /// Selected questions dropped as duplicates while merging (counted
+    /// until the pair target is reached).
+    pub dropped_duplicate: usize,
 }
 
 /// The pipeline, bound to one domain.
@@ -111,6 +119,7 @@ impl<'a> Pipeline<'a> {
     /// Run all four phases over the given seed SQL queries.
     pub fn run(&mut self, seeds: &[String]) -> PipelineReport {
         // Phase 1: Seeding.
+        let phase1 = sb_obs::span("pipeline.phase1.seeding");
         let templates = self.seeding_phase(seeds);
 
         // §3.4: "with more complex templates the generated queries tend to
@@ -140,21 +149,45 @@ impl<'a> Pipeline<'a> {
                 .filter(|t| seen.insert(t.signature()))
                 .count()
         };
+        sb_obs::count("pipeline.templates_extracted", n_templates as u64);
+        drop(phase1);
 
         // Phase 2: SQL generation. The discriminator keeps 1–2 questions
         // per query, so the query budget equals the pair target (Phase 3
         // stops early once the target is met).
+        let phase2 = sb_obs::span("pipeline.phase2.sql_gen");
         let sql_target = self.config.target_pairs;
         let mut generator =
             Generator::new(&self.domain.db, &self.domain.enhanced, self.config.gen_seed);
         generator.use_enhanced_constraints = self.config.use_enhanced_constraints;
         let (generated, gen_stats) =
             generator.generate(&templates, sql_target, &GenOptions::default());
+        if sb_obs::enabled() {
+            sb_obs::count("pipeline.sql.accepted", gen_stats.accepted as u64);
+            sb_obs::count(
+                "pipeline.sql.rejected_sampling",
+                gen_stats.rejected_sampling as u64,
+            );
+            sb_obs::count(
+                "pipeline.sql.rejected_execution",
+                gen_stats.rejected_execution as u64,
+            );
+            sb_obs::count(
+                "pipeline.sql.rejected_empty",
+                gen_stats.rejected_empty as u64,
+            );
+            sb_obs::count(
+                "pipeline.sql.rejected_duplicate",
+                gen_stats.rejected_duplicate as u64,
+            );
+        }
+        drop(phase2);
 
         // Phases 3 + 4: translate and select, fanned out across queries.
         // Every worker gets its own LLM clone reseeded from (llm_seed,
         // query index), and results merge in query order, so the output
         // is byte-identical for any RAYON_NUM_THREADS.
+        let phase34 = sb_obs::span("pipeline.phase34.nl_translate_select");
         let discriminator = Discriminator::new(self.config.keep_k);
         let kept_per_query: Vec<Vec<String>> = (0..generated.len())
             .into_par_iter()
@@ -181,7 +214,14 @@ impl<'a> Pipeline<'a> {
                 }
             })
             .collect();
+        drop(phase34);
+
+        let nl_candidates = generated.len() * self.config.candidates_per_query;
+        let kept_total: usize = kept_per_query.iter().map(Vec::len).sum();
+        let dropped_discriminator = nl_candidates - kept_total;
+
         let mut pairs = Vec::new();
+        let mut dropped_duplicate = 0usize;
         'merge: for (gq, kept) in generated.iter().zip(kept_per_query) {
             let sql = gq.query.to_string();
             // Distinct questions only: the discriminator can select two
@@ -194,6 +234,8 @@ impl<'a> Pipeline<'a> {
                         sql.clone(),
                         self.domain.db.schema.name.clone(),
                     ));
+                } else {
+                    dropped_duplicate += 1;
                 }
             }
             if pairs.len() >= self.config.target_pairs {
@@ -202,11 +244,24 @@ impl<'a> Pipeline<'a> {
         }
         pairs.truncate(self.config.target_pairs);
 
+        if sb_obs::enabled() {
+            sb_obs::count("pipeline.nl.candidates", nl_candidates as u64);
+            sb_obs::count(
+                "pipeline.nl.dropped_discriminator",
+                dropped_discriminator as u64,
+            );
+            sb_obs::count("pipeline.nl.dropped_duplicate", dropped_duplicate as u64);
+            sb_obs::count("pipeline.pairs_emitted", pairs.len() as u64);
+        }
+
         PipelineReport {
             pairs,
             templates: n_templates,
             sql_queries: generated.len(),
             gen_stats,
+            nl_candidates,
+            dropped_discriminator,
+            dropped_duplicate,
         }
     }
 }

@@ -79,6 +79,9 @@ impl<'q> SubPlan<'q> {
         if let Some(rs) = &*self.cache.borrow() {
             return Ok(Rc::clone(rs));
         }
+        if sb_obs::enabled() {
+            sb_obs::count("engine.compile.subquery_exec", 1);
+        }
         let rs = ctx.subquery(self.query)?;
         *self.cache.borrow_mut() = Some(Rc::clone(&rs));
         Ok(rs)

@@ -24,6 +24,14 @@
 //! (deep-copy scans, no pushdown, build-on-right hash joins) or a pure
 //! nested-loop plan; the benchmarks use those to measure before/after,
 //! the differential tests to check strategy equivalence.
+//!
+//! Operators report `sb-obs` counters (`engine.scan.rows`,
+//! `engine.scan.rows_pruned_pushdown`, `engine.join.hash.*`,
+//! `engine.group.groups_created`, `engine.order.topk_pushes`,
+//! `engine.dispatch.*`) in batches — one add per operator invocation,
+//! derived from lengths the code already computes, never per row — and
+//! every report site is gated on `sb_obs::enabled()`, so with `SB_OBS`
+//! off the entire layer costs one relaxed atomic load per operator.
 
 use crate::compile::{compile, compile_grouped, compile_order_key, CExpr, GExpr, OrderProg};
 use crate::database::{Database, Row};
@@ -396,6 +404,58 @@ fn assign_conjuncts<'e>(
     (pushed, residual)
 }
 
+// Out-of-line counter sinks for the hot operators. Keeping the
+// `sb_obs::count` calls behind `#[cold] #[inline(never)]` functions
+// leaves only a relaxed load and a never-taken branch in the operator
+// bodies themselves, so instrumentation does not perturb their code
+// size or layout when `SB_OBS` is off.
+#[cold]
+#[inline(never)]
+fn note_scan(scanned: usize, kept: usize) {
+    sb_obs::count("engine.scan.rows", scanned as u64);
+    sb_obs::count("engine.scan.rows_pruned_pushdown", (scanned - kept) as u64);
+}
+
+#[cold]
+#[inline(never)]
+fn note_hash_join(build: usize, probe: usize) {
+    sb_obs::count("engine.join.hash", 1);
+    sb_obs::count("engine.join.hash.build_rows", build as u64);
+    sb_obs::count("engine.join.hash.probe_rows", probe as u64);
+}
+
+#[cold]
+#[inline(never)]
+fn note_nested_loop_join() {
+    sb_obs::count("engine.join.nested_loop", 1);
+}
+
+#[cold]
+#[inline(never)]
+fn note_dispatch(compiled: bool) {
+    sb_obs::count(
+        if compiled {
+            "engine.dispatch.compiled"
+        } else {
+            "engine.dispatch.interpreted"
+        },
+        1,
+    );
+}
+
+#[cold]
+#[inline(never)]
+fn note_topk(pushes: u64) {
+    sb_obs::count("engine.order.topk", 1);
+    sb_obs::count("engine.order.topk_pushes", pushes);
+}
+
+#[cold]
+#[inline(never)]
+fn note_groups(created: usize) {
+    sb_obs::count("engine.group.groups_created", created as u64);
+}
+
 /// Scan one relation, applying its pushed-down conjuncts. Base-table
 /// scans share `Arc` row handles (or deep-copy under
 /// `ExecOptions::copy_scans`); derived tables own their rows already.
@@ -431,7 +491,7 @@ fn scan_relation(
         }
         Ok(true)
     };
-    match rel.source {
+    let out = match rel.source {
         RelSource::Base(table) => {
             let mut out = Vec::with_capacity(if pushed.is_empty() {
                 table.rows.len()
@@ -447,18 +507,26 @@ fn scan_relation(
                     });
                 }
             }
-            Ok(out)
+            if sb_obs::enabled() {
+                note_scan(table.rows.len(), out.len());
+            }
+            out
         }
         RelSource::Derived(rs) => {
-            let mut out = Vec::with_capacity(rs.rows.len());
+            let scanned = rs.rows.len();
+            let mut out = Vec::with_capacity(scanned);
             for row in rs.rows {
                 if keep(&row)? {
                     out.push(ExecRow::Owned(row));
                 }
             }
-            Ok(out)
+            if sb_obs::enabled() {
+                note_scan(scanned, out.len());
+            }
+            out
         }
-    }
+    };
+    Ok(out)
 }
 
 /// Try to use a hash join: the constraint must be `left_col = right_col`
@@ -687,6 +755,14 @@ fn join_relations(
                     JoinStrategy::Auto => rows.len() < jrows.len(),
                     _ => false,
                 };
+                if sb_obs::enabled() {
+                    let (build, probe) = if build_left {
+                        (rows.len(), jrows.len())
+                    } else {
+                        (jrows.len(), rows.len())
+                    };
+                    note_hash_join(build, probe);
+                }
                 let matches = hash_join_matches(&rows, &jrows, li, ri, build_left);
                 for (l, js) in rows.iter().zip(&matches) {
                     for &j in js {
@@ -701,6 +777,9 @@ fn join_relations(
             }
             None => {
                 // Nested loop with the full predicate (or cross join).
+                if sb_obs::enabled() {
+                    note_nested_loop_join();
+                }
                 let prog = match &join.constraint {
                     Some(c) if opts.compiled => Some(compile(c, &scope, ctx)),
                     _ => None,
@@ -762,6 +841,9 @@ fn execute_select(
     limit: Option<u64>,
     opts: ExecOptions,
 ) -> Result<ResultSet> {
+    if sb_obs::enabled() {
+        note_dispatch(opts.compiled);
+    }
     let ctx = EvalContext::new(db);
 
     // Resolve every relation and build the full scope up front, so
@@ -900,8 +982,10 @@ fn top_k_indices(len: usize, k: usize, cmp: impl Fn(&usize, &usize) -> Ordering)
     }
     // `heap[0]` is the worst (greatest) element kept so far.
     let mut heap: Vec<usize> = Vec::with_capacity(k);
+    let mut pushes: u64 = 0;
     for i in 0..len {
         if heap.len() < k {
+            pushes += 1;
             heap.push(i);
             let mut c = heap.len() - 1;
             while c > 0 {
@@ -914,6 +998,7 @@ fn top_k_indices(len: usize, k: usize, cmp: impl Fn(&usize, &usize) -> Ordering)
                 }
             }
         } else if cmp(&i, &heap[0]) == Ordering::Less {
+            pushes += 1;
             heap[0] = i;
             let mut p = 0;
             loop {
@@ -932,6 +1017,9 @@ fn top_k_indices(len: usize, k: usize, cmp: impl Fn(&usize, &usize) -> Ordering)
                 p = m;
             }
         }
+    }
+    if sb_obs::enabled() {
+        note_topk(pushes);
     }
     heap.sort_unstable_by(|a, b| cmp(a, b));
     heap
@@ -1128,6 +1216,10 @@ fn execute_grouped(
                 }
             }
         }
+    }
+
+    if sb_obs::enabled() {
+        note_groups(groups.len());
     }
 
     let mut columns = Vec::new();

@@ -84,6 +84,7 @@ pub fn fuzz_database(domain: Domain) -> Database {
 /// `base_seed` against `domain`, each checked by the differential
 /// oracle. Returns every failure, shrunk.
 pub fn run_fuzz(domain: Domain, base_seed: u64, count: usize) -> Vec<Failure> {
+    let campaign = sb_obs::span("fuzz.campaign");
     let db = fuzz_database(domain);
     let mut gen = QueryGenerator::new(&db, base_seed);
     let mut failures = Vec::new();
@@ -100,5 +101,10 @@ pub fn run_fuzz(domain: Domain, base_seed: u64, count: usize) -> Vec<Failure> {
             });
         }
     }
+    if sb_obs::enabled() {
+        sb_obs::count("fuzz.queries_generated", count as u64);
+        sb_obs::count("fuzz.failures", failures.len() as u64);
+    }
+    drop(campaign);
     failures
 }

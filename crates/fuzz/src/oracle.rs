@@ -165,6 +165,7 @@ pub fn check_query(db: &Database, query: &Query) -> Result<(), Disagreement> {
     for (name, opts) in exec_matrix() {
         let got = run_caught(|| execute_with(db, query, opts));
         if !agree(&reference, &got) {
+            sb_obs::count("fuzz.oracle.config_mismatches", 1);
             return Err(Disagreement::Mismatch {
                 config: name,
                 reference: reference.label(),

@@ -22,12 +22,14 @@ const MAX_STEPS: usize = 200;
 /// `query` itself must fail; the returned query also fails.
 pub fn shrink(query: &Query, mut fails: impl FnMut(&Query) -> bool) -> Query {
     let mut current = query.clone();
+    let mut steps: u64 = 0;
     for _ in 0..MAX_STEPS {
         let mut improved = false;
         for cand in candidates(&current) {
             if fails(&cand) {
                 current = cand;
                 improved = true;
+                steps += 1;
                 break;
             }
         }
@@ -35,6 +37,7 @@ pub fn shrink(query: &Query, mut fails: impl FnMut(&Query) -> bool) -> Query {
             break;
         }
     }
+    sb_obs::count("fuzz.shrink.steps_accepted", steps);
     current
 }
 

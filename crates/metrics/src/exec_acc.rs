@@ -10,6 +10,7 @@
 
 use sb_engine::{Database, ResultSet};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Whether one predicted SQL string execution-matches the gold SQL.
@@ -56,6 +57,8 @@ type GoldMap = HashMap<(String, String), Option<Arc<ResultSet>>>;
 #[derive(Default)]
 pub struct GoldCache {
     inner: RwLock<GoldMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl GoldCache {
@@ -74,6 +77,18 @@ impl GoldCache {
         self.len() == 0
     }
 
+    /// Lookups served from the memo (no gold execution).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that executed the gold query. Under a cold-key race both
+    /// threads count a miss — the counter tracks executions, not
+    /// distinct keys.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
     /// The gold result for `sql` on `db`, executing it at most once.
     fn gold(&self, db: &Database, sql: &str) -> Option<Arc<ResultSet>> {
         if let Some(hit) = self
@@ -82,7 +97,15 @@ impl GoldCache {
             .unwrap()
             .get(&(db.schema.name.clone(), sql.to_string()))
         {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if sb_obs::enabled() {
+                sb_obs::count("metrics.gold_cache.hits", 1);
+            }
             return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if sb_obs::enabled() {
+            sb_obs::count("metrics.gold_cache.misses", 1);
         }
         let computed = match db.run(sql) {
             Ok(rs) => Some(Arc::new(rs)),
@@ -250,6 +273,8 @@ mod tests {
         }
         // Three scorings shared one gold execution; the fourth added one.
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 2);
     }
 
     #[test]

@@ -12,6 +12,20 @@ SB_FUZZ_COUNT=500 cargo test -q -p sb-fuzz
 echo "== cargo test -q (workspace) =="
 cargo test -q --workspace
 
+echo "== obs smoke: SB_OBS=summary profile_run on one domain =="
+report="$(mktemp)"
+trap 'rm -f "$report"' EXIT
+SB_OBS=summary ./target/release/profile_run --quick --domain sdss > "$report"
+./target/release/profile_run --validate "$report"
+grep -q '"engine.scan.rows"' "$report" || {
+    echo "profile_run report is missing engine counters" >&2
+    exit 1
+}
+grep -q '"pipeline.pairs_emitted"' "$report" || {
+    echo "profile_run report is missing pipeline counters" >&2
+    exit 1
+}
+
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -39,6 +39,11 @@ pub struct Record {
     pub ns_per_iter: f64,
     pub iters_per_sample: u64,
     pub samples: usize,
+    /// Auxiliary named values attached via [`BenchmarkGroup::metric`]
+    /// (cache hit rates, item counts, ...). Emitted as a `"metrics"`
+    /// object in the JSON record only when non-empty, so records
+    /// without metrics keep their original shape.
+    pub metrics: Vec<(String, f64)>,
 }
 
 /// Runs one benchmark routine; handed to the user's closure.
@@ -131,6 +136,7 @@ fn run_one(
         ns_per_iter: median,
         iters_per_sample: iters,
         samples,
+        metrics: Vec::new(),
     })
 }
 
@@ -186,7 +192,7 @@ impl Criterion {
                 }
                 out.push_str(&format!(
                     "  {{\"group\": \"{}\", \"name\": \"{}\", \"ns_per_iter\": {:.1}, \
-                     \"queries_per_sec\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}}}",
+                     \"queries_per_sec\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}",
                     r.group,
                     r.name,
                     r.ns_per_iter,
@@ -194,6 +200,17 @@ impl Criterion {
                     r.iters_per_sample,
                     r.samples
                 ));
+                if !r.metrics.is_empty() {
+                    out.push_str(", \"metrics\": {");
+                    for (j, (k, v)) in r.metrics.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!("\"{k}\": {v}"));
+                    }
+                    out.push('}');
+                }
+                out.push('}');
             }
             out.push_str("\n]\n");
             if let Err(e) = std::fs::write(&path, out) {
@@ -223,6 +240,19 @@ impl BenchmarkGroup<'_> {
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         if let Some(r) = run_one(&self.name, name, self.samples, &mut f) {
             self.records.borrow_mut().push(r);
+        }
+        self
+    }
+
+    /// Attach a named auxiliary value to the most recent benchmark in
+    /// this group (no-op in smoke mode, where nothing is recorded).
+    /// Upstream criterion has no such API; the shim uses it to record
+    /// workload facts — cache hit/miss counts, items processed — next to
+    /// the timing they explain.
+    pub fn metric(&mut self, name: &str, value: f64) -> &mut Self {
+        let mut records = self.records.borrow_mut();
+        if let Some(r) = records.last_mut().filter(|r| r.group == self.name) {
+            r.metrics.push((name.to_string(), value));
         }
         self
     }
@@ -267,6 +297,34 @@ mod tests {
         g.finish();
         assert_eq!(count, 1);
         assert!(c.records.borrow().is_empty());
+    }
+
+    #[test]
+    fn metric_attaches_to_last_record_only_when_one_exists() {
+        // Smoke mode records nothing, so metric() must be a no-op.
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("noop", |b| b.iter(|| 1));
+        g.metric("hits", 3.0);
+        g.finish();
+        assert!(c.records.borrow().is_empty());
+
+        // With a record present, the metric lands on it.
+        c.records.borrow_mut().push(Record {
+            group: "g".to_string(),
+            name: "n".to_string(),
+            ns_per_iter: 1.0,
+            iters_per_sample: 1,
+            samples: 1,
+            metrics: Vec::new(),
+        });
+        let mut g = c.benchmark_group("g");
+        g.metric("hits", 3.0);
+        g.finish();
+        assert_eq!(
+            c.records.borrow()[0].metrics,
+            vec![("hits".to_string(), 3.0)]
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub use sb_gen as gen;
 pub use sb_metrics as metrics;
 pub use sb_nl as nl;
 pub use sb_nl2sql as nl2sql;
+pub use sb_obs as obs;
 pub use sb_schema as schema;
 pub use sb_semql as semql;
 pub use sb_sql as sql;

@@ -186,6 +186,59 @@ fn pipeline_output_is_identical_for_one_and_many_threads() {
     assert_eq!(sequential.templates, parallel.templates);
 }
 
+/// Observability must never change results: the same random workload
+/// executed with `sb-obs` collection on and off must produce identical
+/// `ResultSet`s under every executor configuration — and collection-on
+/// must actually have collected engine counters (the instrumentation is
+/// live, not compiled out).
+#[test]
+fn obs_on_and_off_produce_identical_result_sets() {
+    use sciencebenchmark::obs;
+    let d = Domain::Sdss.build(SizeClass::Tiny);
+    let schema = &d.db.schema;
+    let mut edges: Vec<(String, String, String, String)> = Vec::new();
+    for t in &schema.tables {
+        for (lcol, other, rcol) in schema.join_edges(&t.name) {
+            edges.push((t.name.clone(), lcol, other, rcol));
+        }
+    }
+    let queries: Vec<String> = {
+        let mut rng = StdRng::seed_from_u64(0x0B5_0600);
+        (0..30)
+            .map(|_| random_equi_join(&mut rng, schema, &edges))
+            .collect()
+    };
+    let run_all = || -> Vec<sciencebenchmark::engine::ResultSet> {
+        let mut out = Vec::new();
+        for sql in &queries {
+            for opts in all_options() {
+                out.push(d.db.run_with(sql, opts).unwrap());
+            }
+        }
+        out
+    };
+
+    obs::set_mode(obs::Mode::Off);
+    obs::reset();
+    let off = run_all();
+    assert!(obs::snapshot().is_empty(), "off mode must collect nothing");
+
+    obs::set_mode(obs::Mode::Summary);
+    obs::reset();
+    let on = run_all();
+    let report = obs::snapshot();
+    obs::set_mode(obs::Mode::Off);
+    obs::reset();
+
+    assert_eq!(off, on, "sb-obs collection changed engine results");
+    assert!(
+        report.counter("engine.scan.rows") > 0,
+        "engine instrumentation did not collect"
+    );
+    assert!(report.counter("engine.dispatch.compiled") > 0);
+    assert!(report.counter("engine.dispatch.interpreted") > 0);
+}
+
 // ---------------------------------------------------------------------
 // Error parity: the compiled expression path must surface the same
 // binding errors — same variant, same rendered payload — as the

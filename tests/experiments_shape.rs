@@ -102,6 +102,64 @@ fn in_domain_spider_beats_zero_shot_domain_transfer() {
 }
 
 #[test]
+fn pipeline_report_accounts_for_every_rejection() {
+    use sciencebenchmark::core::{Pipeline, PipelineConfig};
+    let d = Domain::Sdss.build(SizeClass::Tiny);
+    let seeds = d.seed_patterns.clone();
+    let config = PipelineConfig {
+        target_pairs: 60,
+        ..Default::default()
+    };
+    let mut p = Pipeline::new(&d, config.clone());
+    let report = p.run(&seeds);
+
+    // Phase 2: every sampling attempt is accounted for by exactly one
+    // outcome, and the accepted count is what later phases consumed.
+    let gs = &report.gen_stats;
+    assert_eq!(gs.accepted, report.sql_queries);
+    assert_eq!(
+        gs.attempts(),
+        gs.accepted
+            + gs.rejected_sampling
+            + gs.rejected_execution
+            + gs.rejected_empty
+            + gs.rejected_duplicate
+    );
+    // The Tiny SDSS workload exercises at least the sampling and
+    // empty-result rejection paths.
+    assert!(gs.rejected_sampling > 0, "no sampling rejections recorded");
+    assert!(gs.rejected_empty > 0, "no empty-result rejections recorded");
+
+    // Phases 3+4: candidates fan out per query, the discriminator drops
+    // the rest, and the merge dedups.
+    assert_eq!(
+        report.nl_candidates,
+        report.sql_queries * config.candidates_per_query
+    );
+    assert!(
+        report.dropped_discriminator > 0,
+        "discriminator dropped nothing"
+    );
+    assert!(
+        report.dropped_discriminator <= report.nl_candidates,
+        "cannot drop more candidates than were generated"
+    );
+    // Kept = candidates − discriminator drops; emitted pairs can only
+    // shrink further (merge dedup + early stop at the target).
+    let kept = report.nl_candidates - report.dropped_discriminator;
+    assert!(report.pairs.len() + report.dropped_duplicate <= kept);
+    assert_eq!(report.pairs.len(), config.target_pairs);
+
+    // Determinism: rejection accounting is part of the report contract,
+    // so a re-run must reproduce it exactly.
+    let again = Pipeline::new(&d, config).run(&seeds);
+    assert_eq!(again.gen_stats, report.gen_stats);
+    assert_eq!(again.nl_candidates, report.nl_candidates);
+    assert_eq!(again.dropped_discriminator, report.dropped_discriminator);
+    assert_eq!(again.dropped_duplicate, report.dropped_duplicate);
+}
+
+#[test]
 fn dataset_serialization_round_trips_through_json() {
     let cfg = mini_config();
     let bundle = sciencebenchmark::core::experiments::build_domain_bundle(Domain::Cordis, &cfg);
