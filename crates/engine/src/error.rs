@@ -27,6 +27,10 @@ pub enum EngineError {
     Unsupported(String),
     /// A scalar subquery returned more than one row/column.
     CardinalityViolation(String),
+    /// Integer arithmetic exceeded the i64 range. A defined error in both
+    /// the executor and the reference interpreter — never a silent wrap
+    /// (release) or panic (debug).
+    Overflow(String),
 }
 
 impl fmt::Display for EngineError {
@@ -39,6 +43,7 @@ impl fmt::Display for EngineError {
             EngineError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
             EngineError::CardinalityViolation(m) => write!(f, "cardinality violation: {m}"),
+            EngineError::Overflow(m) => write!(f, "numeric overflow: {m}"),
         }
     }
 }

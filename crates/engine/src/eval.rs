@@ -356,7 +356,11 @@ pub(crate) fn apply_unary(op: UnaryOp, v: Value) -> Result<Value> {
     match op {
         UnaryOp::Neg => match v {
             Value::Null => Ok(Value::Null),
-            Value::Int(i) => Ok(Value::Int(-i)),
+            // `-i64::MIN` has no i64 representation: defined error.
+            Value::Int(i) => i
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or_else(|| EngineError::Overflow(format!("negating {i} exceeds i64"))),
             Value::Float(f) => Ok(Value::Float(-f)),
             other => Err(EngineError::TypeMismatch(format!("cannot negate {other}"))),
         },
@@ -378,6 +382,15 @@ pub(crate) fn literal_value(l: &Literal) -> Value {
     }
 }
 
+/// Wrap a checked i64 operation's result, turning `None` into the
+/// defined [`EngineError::Overflow`] outcome.
+#[inline]
+pub(crate) fn int_arith(v: Option<i64>, a: &i64, b: &i64) -> Result<Value> {
+    v.map(Value::Int).ok_or_else(|| {
+        EngineError::Overflow(format!("integer arithmetic on {a} and {b} exceeds i64"))
+    })
+}
+
 #[inline]
 pub(crate) fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     if l.is_null() || r.is_null() {
@@ -385,17 +398,21 @@ pub(crate) fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     }
     match (l, r) {
         (Value::Int(a), Value::Int(b)) => Ok(match op {
-            BinaryOp::Add => Value::Int(a.wrapping_add(*b)),
-            BinaryOp::Sub => Value::Int(a.wrapping_sub(*b)),
-            BinaryOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            // Checked arithmetic: `i64::MAX + 1` is a defined `Overflow`
+            // error, never a silent wrap (release) or panic (debug). The
+            // reference interpreter's `arith` must error identically.
+            BinaryOp::Add => int_arith(a.checked_add(*b), a, b)?,
+            BinaryOp::Sub => int_arith(a.checked_sub(*b), a, b)?,
+            BinaryOp::Mul => int_arith(a.checked_mul(*b), a, b)?,
             BinaryOp::Div => {
                 // Integer division truncates; division by zero yields NULL
                 // (Postgres errors here, but NULL keeps generated query
-                // filtering total — documented divergence).
+                // filtering total — documented divergence). `i64::MIN / -1`
+                // is the one overflowing division.
                 if *b == 0 {
                     Value::Null
                 } else {
-                    Value::Int(a / b)
+                    int_arith(a.checked_div(*b), a, b)?
                 }
             }
             _ => unreachable!(),
@@ -426,23 +443,42 @@ pub(crate) fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
 
 /// SQL `LIKE` matching: `%` matches any run (including empty), `_` matches
 /// exactly one character. Case-sensitive, like Postgres.
+///
+/// Iterative two-pointer wildcard matching with single-level `%`
+/// backtracking: on a mismatch, resume one byte past the last `%`'s
+/// anchor instead of recursing per `%`. Worst case O(|s| · |pattern|) —
+/// the recursive matcher this replaces was exponential on multi-`%`
+/// patterns like `%a%a%a%…b`.
 pub fn like_match(s: &str, pattern: &str) -> bool {
-    fn rec(s: &[u8], p: &[u8]) -> bool {
-        match p.first() {
-            None => s.is_empty(),
-            Some(b'%') => {
-                // Collapse consecutive %.
-                let p = &p[1..];
-                if p.is_empty() {
-                    return true;
-                }
-                (0..=s.len()).any(|i| rec(&s[i..], p))
-            }
-            Some(b'_') => !s.is_empty() && rec(&s[1..], &p[1..]),
-            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+    let s = s.as_bytes();
+    let p = pattern.as_bytes();
+    let (mut si, mut pi) = (0usize, 0usize);
+    // Position of the most recent `%` and the input offset its run
+    // currently spans to; extending the run by one byte is the only
+    // backtrack ever needed.
+    let mut star: Option<usize> = None;
+    let mut anchor = 0usize;
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == b'_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == b'%' {
+            star = Some(pi);
+            anchor = si;
+            pi += 1;
+        } else if let Some(sp) = star {
+            pi = sp + 1;
+            anchor += 1;
+            si = anchor;
+        } else {
+            return false;
         }
     }
-    rec(s.as_bytes(), pattern.as_bytes())
+    // Trailing `%`s match the empty run.
+    while pi < p.len() && p[pi] == b'%' {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 #[cfg(test)]
@@ -460,6 +496,27 @@ mod tests {
         assert!(!like_match("", "_"));
         assert!(like_match("abc", "%%c"));
         assert!(!like_match("ABC", "abc"), "case-sensitive");
+    }
+
+    /// Pathological multi-`%` patterns: the recursive matcher this
+    /// replaced was exponential here, so these inputs hung the engine
+    /// (while the reference's iterative matcher returned instantly).
+    /// With the two-pointer matcher they complete in microseconds.
+    #[test]
+    fn like_pathological_backtracking_terminates() {
+        let s = "a".repeat(64);
+        let almost = format!("{}b", "a".repeat(63));
+        let killer = format!("{}b", "%a".repeat(20)); // %a%a%…a b
+        assert!(!like_match(&s, &killer));
+        assert!(like_match(&almost, &killer));
+        let stars = "%".repeat(100);
+        assert!(like_match(&s, &stars));
+        assert!(like_match(&s, &format!("{stars}a")));
+        assert!(!like_match(&s, &format!("{stars}b")));
+        // `_` interleaved with `%` still backtracks correctly.
+        assert!(like_match("abcabc", "%_bc"));
+        assert!(like_match("abcabc", "a%_c"));
+        assert!(!like_match("abcabc", "%_d%"));
     }
 
     #[test]

@@ -78,6 +78,12 @@ pub struct ExecOptions {
     /// Lower expressions to compiled programs once per statement instead
     /// of interpreting the AST per row.
     pub compiled: bool,
+    /// Plan each `SELECT` through `sb-opt` — cost-based join reordering
+    /// (under [`JoinStrategy::Auto`]), estimate-driven build sides, and
+    /// projection pushdown. Off, the executor runs joins in source
+    /// order with its runtime build-side heuristic, as before the
+    /// optimizer existed.
+    pub optimize: bool,
 }
 
 impl Default for ExecOptions {
@@ -87,6 +93,7 @@ impl Default for ExecOptions {
             join: JoinStrategy::Auto,
             copy_scans: false,
             compiled: true,
+            optimize: true,
         }
     }
 }
@@ -101,6 +108,18 @@ impl ExecOptions {
             join: JoinStrategy::NestedLoop,
             copy_scans: true,
             compiled: false,
+            optimize: false,
+        }
+    }
+
+    /// The `sb-opt` rule switches implied by these options.
+    pub(crate) fn opt_options(&self) -> sb_opt::OptOptions {
+        sb_opt::OptOptions {
+            pushdown: self.predicate_pushdown,
+            reorder: matches!(self.join, JoinStrategy::Auto),
+            choose_build: matches!(self.join, JoinStrategy::Auto),
+            hash_joins: !matches!(self.join, JoinStrategy::NestedLoop),
+            prune: true,
         }
     }
 }
@@ -213,18 +232,18 @@ fn execute_set_expr(db: &Database, body: &SetExpr, opts: ExecOptions) -> Result<
 }
 
 /// One relation of the FROM clause, resolved but not yet scanned.
-enum RelSource<'a> {
+pub(crate) enum RelSource<'a> {
     Base(&'a crate::database::Table),
     Derived(ResultSet),
 }
 
-struct Relation<'a> {
-    binding: String,
-    columns: Vec<String>,
-    source: RelSource<'a>,
+pub(crate) struct Relation<'a> {
+    pub(crate) binding: String,
+    pub(crate) columns: Vec<String>,
+    pub(crate) source: RelSource<'a>,
 }
 
-fn resolve_relation<'a>(
+pub(crate) fn resolve_relation<'a>(
     db: &'a Database,
     tr: &TableRef,
     opts: ExecOptions,
@@ -256,81 +275,6 @@ fn resolve_relation<'a>(
     }
 }
 
-/// Flatten a predicate into its top-level AND conjuncts, left to right.
-fn split_conjuncts<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
-    if let Expr::Binary {
-        left,
-        op: BinaryOp::And,
-        right,
-    } = expr
-    {
-        split_conjuncts(left, out);
-        split_conjuncts(right, out);
-    } else {
-        out.push(expr);
-    }
-}
-
-/// Whether an expression contains any subquery. Subquery conjuncts are
-/// never pushed down: keeping them in the residual filter preserves the
-/// statement-level memoization order and keeps the pushdown rule easy to
-/// reason about.
-fn has_subquery(expr: &Expr) -> bool {
-    match expr {
-        Expr::Subquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. } => true,
-        Expr::Column(_) | Expr::Literal(_) => false,
-        Expr::Unary { expr, .. } => has_subquery(expr),
-        Expr::Binary { left, right, .. } => has_subquery(left) || has_subquery(right),
-        Expr::Agg { arg, .. } => match arg {
-            AggArg::Star => false,
-            AggArg::Expr(e) => has_subquery(e),
-        },
-        Expr::Between {
-            expr, low, high, ..
-        } => has_subquery(expr) || has_subquery(low) || has_subquery(high),
-        Expr::InList { expr, list, .. } => has_subquery(expr) || list.iter().any(has_subquery),
-        Expr::Like { expr, pattern, .. } => has_subquery(expr) || has_subquery(pattern),
-        Expr::IsNull { expr, .. } => has_subquery(expr),
-    }
-}
-
-/// Collect every column reference in an expression.
-fn collect_columns<'e>(expr: &'e Expr, out: &mut Vec<&'e ColumnRef>) {
-    match expr {
-        Expr::Column(c) => out.push(c),
-        Expr::Literal(_) | Expr::Subquery(_) | Expr::Exists { .. } => {}
-        Expr::Unary { expr, .. } => collect_columns(expr, out),
-        Expr::Binary { left, right, .. } => {
-            collect_columns(left, out);
-            collect_columns(right, out);
-        }
-        Expr::Agg { arg, .. } => {
-            if let AggArg::Expr(e) = arg {
-                collect_columns(e, out);
-            }
-        }
-        Expr::Between {
-            expr, low, high, ..
-        } => {
-            collect_columns(expr, out);
-            collect_columns(low, out);
-            collect_columns(high, out);
-        }
-        Expr::InList { expr, list, .. } => {
-            collect_columns(expr, out);
-            for e in list {
-                collect_columns(e, out);
-            }
-        }
-        Expr::InSubquery { expr, .. } => collect_columns(expr, out),
-        Expr::Like { expr, pattern, .. } => {
-            collect_columns(expr, out);
-            collect_columns(pattern, out);
-        }
-        Expr::IsNull { expr, .. } => collect_columns(expr, out),
-    }
-}
-
 /// Which relation (index into `scope.bindings`) a concatenated-row column
 /// index belongs to.
 fn relation_of(scope: &Scope, col_idx: usize) -> usize {
@@ -341,67 +285,58 @@ fn relation_of(scope: &Scope, col_idx: usize) -> usize {
         .expect("column index within scope width")
 }
 
-/// Assign WHERE conjuncts to scans. A conjunct is pushed to relation `i`
-/// when it has no subquery and every column it references resolves (in
-/// the *full* scope, so ambiguity and unknown-column behavior are
-/// unchanged) inside relation `i` alone — and the relation is not on the
-/// nullable side of a LEFT JOIN, where the conjunct must see the padded
-/// NULLs instead of the scan rows.
-fn assign_conjuncts<'e>(
-    selection: Option<&'e Expr>,
-    scope: &Scope,
-    joins: &[Join],
-    opts: ExecOptions,
-) -> (Vec<Vec<&'e Expr>>, Vec<&'e Expr>) {
-    let n_rel = scope.bindings.len();
-    let mut pushed: Vec<Vec<&'e Expr>> = (0..n_rel).map(|_| Vec::new()).collect();
-    let mut residual: Vec<&'e Expr> = Vec::new();
-    let Some(pred) = selection else {
-        return (pushed, residual);
-    };
-    let mut conjuncts = Vec::new();
-    split_conjuncts(pred, &mut conjuncts);
-    if !opts.predicate_pushdown {
-        return (pushed, conjuncts);
-    }
-    'next: for conj in conjuncts {
-        if has_subquery(conj) {
-            residual.push(conj);
-            continue;
-        }
-        let mut cols = Vec::new();
-        collect_columns(conj, &mut cols);
-        if cols.is_empty() {
-            residual.push(conj);
-            continue;
-        }
-        let mut target: Option<usize> = None;
-        for col in cols {
-            let Ok(idx) = scope.resolve(col) else {
-                // Unknown or ambiguous: leave it to the residual filter,
-                // which reports the error exactly as before.
-                residual.push(conj);
-                continue 'next;
-            };
-            let rel = relation_of(scope, idx);
-            match target {
-                None => target = Some(rel),
-                Some(t) if t == rel => {}
-                Some(_) => {
-                    residual.push(conj);
-                    continue 'next;
+/// The planner's name-resolution callback, backed by the executor's
+/// [`Scope`] so `sb-opt` inherits resolution semantics (case folding,
+/// ambiguity, unknown-name errors) from exactly the code that will
+/// evaluate the expressions later.
+pub(crate) struct ScopeResolver<'a>(pub(crate) &'a Scope);
+
+impl sb_opt::Resolver for ScopeResolver<'_> {
+    fn resolve(&self, c: &ColumnRef) -> sb_opt::Resolution {
+        match self.0.resolve(c) {
+            Ok(idx) => {
+                let rel = relation_of(self.0, idx);
+                sb_opt::Resolution::Col {
+                    rel,
+                    col: idx - self.0.bindings[rel].offset,
                 }
             }
-        }
-        let t = target.expect("at least one column");
-        let nullable_side = t > 0 && joins[t - 1].left;
-        if nullable_side {
-            residual.push(conj);
-        } else {
-            pushed[t].push(conj);
+            Err(EngineError::AmbiguousColumn(_)) => sb_opt::Resolution::Ambiguous,
+            Err(_) => sb_opt::Resolution::Unknown,
         }
     }
-    (pushed, residual)
+}
+
+/// Planner-visible metadata for the resolved FROM relations: live row
+/// counts (derived tables are already materialized) and base-table
+/// primary-key uniqueness for the cost model's distinct estimates.
+pub(crate) fn rel_metas(relations: &[Relation<'_>]) -> Vec<sb_opt::RelMeta> {
+    relations
+        .iter()
+        .map(|r| {
+            let (table, rows, unique_of): (Option<String>, usize, Option<&crate::database::Table>) =
+                match &r.source {
+                    RelSource::Base(t) => (Some(t.def.name.clone()), t.rows.len(), Some(t)),
+                    RelSource::Derived(rs) => (None, rs.rows.len(), None),
+                };
+            sb_opt::RelMeta {
+                binding: r.binding.clone(),
+                table,
+                columns: r
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .map(|(i, name)| sb_opt::ColMeta {
+                        name: name.clone(),
+                        unique: unique_of
+                            .map(|t| t.def.columns[i].primary_key)
+                            .unwrap_or(false),
+                    })
+                    .collect(),
+                rows,
+            }
+        })
+        .collect()
 }
 
 // Out-of-line counter sinks for the hot operators. Keeping the
@@ -589,28 +524,29 @@ fn equi_join_keys(
 
 /// Join key under *SQL equality* (`sql_eq`), not canonical-key rounding:
 /// the hash path must match exactly the row pairs the nested-loop
-/// predicate `a = b` accepts. Numbers key by the bits of their `f64`
-/// view (`-0.0` normalized to `0.0`, so `-0.0 = 0.0` matches); `None`
-/// means the value can never satisfy an equality (NULL, or NaN which is
-/// not `sql_eq`-equal even to itself).
+/// predicate `a = b` accepts. `sql_eq` compares int/float exactly, so a
+/// float equal to some i64 normalizes to that integer (`-0.0` lands on
+/// `Int(0)`, so `-0.0 = 0.0` matches); any other float can equal no int
+/// and keys by its own bits. `None` means the value can never satisfy an
+/// equality (NULL, or NaN which is not `sql_eq`-equal even to itself).
 #[derive(PartialEq, Eq, Hash)]
 enum JoinKey<'a> {
-    Num(u64),
+    Int(i64),
+    Float(u64),
     Text(&'a str),
     Bool(bool),
 }
 
 fn join_key(v: &Value) -> Option<JoinKey<'_>> {
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0; // 2^63, exact as f64
     match v {
         Value::Null => None,
-        Value::Int(_) | Value::Float(_) => {
-            let f = v.as_f64().expect("numeric");
-            if f.is_nan() {
-                None
-            } else {
-                Some(JoinKey::Num((f + 0.0).to_bits()))
-            }
+        Value::Int(i) => Some(JoinKey::Int(*i)),
+        Value::Float(f) if f.is_nan() => None,
+        Value::Float(f) if f.fract() == 0.0 && (-TWO_63..TWO_63).contains(f) => {
+            Some(JoinKey::Int(*f as i64))
         }
+        Value::Float(f) => Some(JoinKey::Float(f.to_bits())),
         Value::Text(s) => Some(JoinKey::Text(s)),
         Value::Bool(b) => Some(JoinKey::Bool(*b)),
     }
@@ -710,20 +646,23 @@ fn concat_row(left: &[Value], right: &[Value]) -> Vec<Value> {
 }
 
 /// Build the joined rows for `FROM ... JOIN ...` from pre-scanned
-/// relations.
+/// relations, in source order. `build_sides` carries the planner's
+/// estimate-chosen hash build side per join; `None` (planning disabled)
+/// falls back to the runtime row-count heuristic.
 fn join_relations(
     mut scanned: Vec<Vec<ExecRow>>,
     relations: &[(String, Vec<String>)],
     joins: &[Join],
     ctx: &EvalContext,
     opts: ExecOptions,
+    build_sides: Option<&[bool]>,
 ) -> Result<(Scope, Vec<ExecRow>)> {
     let mut scanned = scanned.drain(..);
     let mut rows = scanned.next().expect("at least the FROM relation");
     let mut scope = Scope::default();
     scope.push(&relations[0].0, relations[0].1.clone());
 
-    for (join, rel) in joins.iter().zip(&relations[1..]) {
+    for (ji, (join, rel)) in joins.iter().zip(&relations[1..]).enumerate() {
         let jrows = scanned.next().expect("one scan per relation");
         let right_width = rel.1.len();
 
@@ -752,7 +691,10 @@ fn join_relations(
         match hash_keys {
             Some((li, ri)) => {
                 let build_left = match opts.join {
-                    JoinStrategy::Auto => rows.len() < jrows.len(),
+                    JoinStrategy::Auto => match build_sides {
+                        Some(sides) => sides[ji],
+                        None => rows.len() < jrows.len(),
+                    },
                     _ => false,
                 };
                 if sb_obs::enabled() {
@@ -811,6 +753,124 @@ fn join_relations(
     Ok((scope, rows))
 }
 
+/// Execute a planner-reordered all-inner equi-join chain, then restore
+/// the exact output the source-order pipeline would have produced.
+///
+/// Every intermediate row carries a tag: the scan position of each
+/// participating relation's row, in execution order. The source-order
+/// nested-loop (and hash-join) pipeline emits rows in lexicographic
+/// order of scan positions taken in *source* order, so sorting the
+/// reordered output by its tags — permuted back to source order — and
+/// permuting each row's columns back to the source layout reproduces
+/// that output byte for byte. Reordering is therefore invisible to
+/// ORDER BY tie-breaking, strict row-order tests and goldens; only the
+/// sizes of the intermediate results change.
+///
+/// Preconditions (checked by the planner, see `sb_opt::plan_select`):
+/// all joins inner with qualified two-column equi-constraints forming a
+/// spanning tree over distinct bindings — which also guarantees no
+/// resolution error can surface mid-join.
+fn join_relations_reordered(
+    scanned: Vec<Vec<ExecRow>>,
+    relations: &[(String, Vec<String>)],
+    planned: &sb_opt::PlannedSelect<'_>,
+) -> (Scope, Vec<ExecRow>) {
+    let n = relations.len();
+    let widths: Vec<usize> = relations.iter().map(|r| r.1.len()).collect();
+    // Offsets of each relation's columns in execution layout...
+    let mut exec_off = vec![0usize; n];
+    let mut off = 0;
+    for &r in &planned.order {
+        exec_off[r] = off;
+        off += widths[r];
+    }
+    // ...and in the source layout the caller expects back.
+    let mut src_off = vec![0usize; n];
+    let mut off = 0;
+    for (r, w) in widths.iter().enumerate() {
+        src_off[r] = off;
+        off += w;
+    }
+    let total_width = off;
+
+    let mut scanned: Vec<Option<Vec<ExecRow>>> = scanned.into_iter().map(Some).collect();
+    let first = planned.order[0];
+    let mut rows: Vec<ExecRow> = scanned[first].take().expect("scan per relation");
+    // tags[i][k] = scan position of relation `order[k]`'s row in joined
+    // row i.
+    let mut tags: Vec<Vec<u32>> = (0..rows.len() as u32).map(|i| vec![i]).collect();
+
+    for step in &planned.steps {
+        let jrows = scanned[step.rel].take().expect("each relation joins once");
+        let key = step.key.expect("reordered steps always carry a key");
+        let li = exec_off[key.left_rel]
+            + sb_opt::plan::pruned_index(&planned.keep[key.left_rel], key.left_col);
+        let ri = sb_opt::plan::pruned_index(&planned.keep[step.rel], key.right_col);
+        if sb_obs::enabled() {
+            let (build, probe) = if step.build_left {
+                (rows.len(), jrows.len())
+            } else {
+                (jrows.len(), rows.len())
+            };
+            note_hash_join(build, probe);
+        }
+        let matches = hash_join_matches(&rows, &jrows, li, ri, step.build_left);
+        let mut out = Vec::new();
+        let mut out_tags = Vec::new();
+        for ((l, ltag), js) in rows.iter().zip(&tags).zip(&matches) {
+            for &j in js {
+                out.push(ExecRow::Owned(concat_row(l, &jrows[j as usize])));
+                let mut t = Vec::with_capacity(ltag.len() + 1);
+                t.extend_from_slice(ltag);
+                t.push(j);
+                out_tags.push(t);
+            }
+        }
+        rows = out;
+        tags = out_tags;
+    }
+
+    // Sort by scan positions in source-relation order. Each surviving
+    // combination of input rows is unique, so the keys are distinct and
+    // an unstable sort is exact.
+    let mut order_pos = vec![0usize; n];
+    for (k, &r) in planned.order.iter().enumerate() {
+        order_pos[r] = k;
+    }
+    let sort_keys: Vec<Vec<u32>> = tags
+        .iter()
+        .map(|t| (0..n).map(|r| t[order_pos[r]]).collect())
+        .collect();
+    let mut idx: Vec<usize> = (0..rows.len()).collect();
+    idx.sort_unstable_by(|&a, &b| sort_keys[a].cmp(&sort_keys[b]));
+
+    // Permute columns from execution layout back to source layout.
+    let mut col_perm = Vec::with_capacity(total_width);
+    for (r, w) in widths.iter().enumerate() {
+        for c in 0..*w {
+            col_perm.push(exec_off[r] + c);
+        }
+    }
+    let mut slots: Vec<Option<ExecRow>> = rows.into_iter().map(Some).collect();
+    let rows: Vec<ExecRow> = idx
+        .into_iter()
+        .map(|i| {
+            let mut v = slots[i].take().expect("indices are distinct").into_vec();
+            let mut out = Vec::with_capacity(total_width);
+            for &s in &col_perm {
+                out.push(std::mem::replace(&mut v[s], Value::Null));
+            }
+            ExecRow::Owned(out)
+        })
+        .collect();
+
+    let mut scope = Scope::default();
+    for rel in relations {
+        scope.push(&rel.0, rel.1.clone());
+    }
+    (scope, rows)
+}
+
 /// Whether the select needs grouped (aggregate) evaluation.
 fn is_aggregate_query(select: &Select, order_by: &[OrderItem]) -> bool {
     if !select.group_by.is_empty() || select.having.is_some() {
@@ -857,19 +917,77 @@ fn execute_select(
         full_scope.push(&rel.binding, rel.columns.clone());
     }
 
-    let (pushed, residual) =
-        assign_conjuncts(select.selection.as_ref(), &full_scope, &select.joins, opts);
+    // Plan the statement (or, with optimization off, just split the
+    // WHERE clause the way the legacy path always has). Name resolution
+    // inside the planner delegates back to this scope, so pushdown and
+    // reorder decisions see exactly what the residual filter would.
+    let resolver = ScopeResolver(&full_scope);
+    let rels_meta;
+    let planned = if opts.optimize {
+        rels_meta = rel_metas(&relations);
+        let input = sb_opt::PlanInput {
+            select,
+            order_by,
+            limit,
+            rels: &rels_meta,
+            opts: opts.opt_options(),
+        };
+        Some(sb_opt::plan_select(&input, &resolver))
+    } else {
+        None
+    };
+    let (pushed, residual) = match &planned {
+        Some(p) => (p.pushed.clone(), p.residual.clone()),
+        None => {
+            let nullable: Vec<bool> = std::iter::once(false)
+                .chain(select.joins.iter().map(|j| j.left))
+                .collect();
+            sb_opt::assign_pushdown(
+                select.selection.as_ref(),
+                &resolver,
+                relations.len(),
+                &nullable,
+                opts.predicate_pushdown,
+            )
+        }
+    };
 
-    let rel_names: Vec<(String, Vec<String>)> = relations
+    let mut rel_names: Vec<(String, Vec<String>)> = relations
         .iter()
         .map(|r| (r.binding.clone(), r.columns.clone()))
         .collect();
-    let mut scanned = Vec::with_capacity(relations.len());
+    let mut scanned = Vec::with_capacity(rel_names.len());
     for (rel, pushed) in relations.into_iter().zip(&pushed) {
         scanned.push(scan_relation(rel, pushed, &ctx, opts)?);
     }
 
-    let (scope, mut rows) = join_relations(scanned, &rel_names, &select.joins, &ctx, opts)?;
+    // Projection pushdown: narrow each scan to the columns the planner
+    // proved are referenced (by name, so ambiguity errors and ORDER BY
+    // alias resolution behave identically on the narrowed scope).
+    if let Some(p) = &planned {
+        for (i, keep) in p.keep.iter().enumerate() {
+            let Some(kept) = keep else { continue };
+            let names: Vec<String> = kept.iter().map(|&c| rel_names[i].1[c].clone()).collect();
+            rel_names[i].1 = names;
+            for row in &mut scanned[i] {
+                let narrowed: Vec<Value> = kept.iter().map(|&c| row[c].clone()).collect();
+                *row = ExecRow::Owned(narrowed);
+            }
+        }
+    }
+
+    let (scope, mut rows) = match &planned {
+        Some(p) if p.reordered => join_relations_reordered(scanned, &rel_names, p),
+        Some(p) => join_relations(
+            scanned,
+            &rel_names,
+            &select.joins,
+            &ctx,
+            opts,
+            Some(&p.build_sides),
+        )?,
+        None => join_relations(scanned, &rel_names, &select.joins, &ctx, opts, None)?,
+    };
 
     if !residual.is_empty() {
         let progs: Option<Vec<CExpr>> = opts
@@ -1394,10 +1512,14 @@ pub(crate) fn finish_aggregate(func: AggFunc, values: Vec<Value>) -> Result<Valu
             }
             let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
             if all_int {
+                // Checked: an overflowing SUM is a defined `Overflow`
+                // error, byte-identical to the reference interpreter's.
                 let mut sum = 0i64;
                 for v in &values {
                     if let Value::Int(i) = v {
-                        sum = sum.wrapping_add(*i);
+                        sum = sum
+                            .checked_add(*i)
+                            .ok_or_else(|| EngineError::Overflow("SUM exceeds i64".to_string()))?;
                     }
                 }
                 Ok(Value::Int(sum))
@@ -1975,10 +2097,10 @@ mod tests {
             panic!("select expected")
         };
         let mut conj = Vec::new();
-        split_conjuncts(select.selection.as_ref().unwrap(), &mut conj);
+        sb_opt::split_conjuncts(select.selection.as_ref().unwrap(), &mut conj);
         assert_eq!(conj.len(), 3);
-        assert!(!has_subquery(conj[0]));
-        assert!(!has_subquery(conj[1]));
-        assert!(has_subquery(conj[2]));
+        assert!(!sb_opt::has_subquery(conj[0]));
+        assert!(!sb_opt::has_subquery(conj[1]));
+        assert!(sb_opt::has_subquery(conj[2]));
     }
 }

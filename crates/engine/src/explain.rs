@@ -1,0 +1,105 @@
+//! EXPLAIN: render the planner's decisions for a statement as an
+//! operator tree, without executing the outer query.
+//!
+//! The tree is built from the exact [`sb_opt::PlannedSelect`] the
+//! executor would consume under the same [`ExecOptions`], so the text
+//! is a faithful record of pushdown, pruning, join order and build-side
+//! choices. Derived tables are materialized (they must be, for the
+//! planner's row counts to mean anything) and their subplans nest under
+//! the `DerivedScan` operator that consumes them.
+
+use crate::database::Database;
+use crate::error::Result;
+use crate::eval::Scope;
+use crate::exec::{rel_metas, resolve_relation, ExecOptions, ScopeResolver};
+use sb_opt::PlanNode;
+use sb_sql::{OrderItem, Query, Select, SetExpr, SetOp, TableFactor};
+
+/// Render the execution plan for `query` under `opts` as indented text.
+pub fn explain(db: &Database, query: &Query, opts: ExecOptions) -> Result<String> {
+    let node = plan_set_expr(db, &query.body, &query.order_by, query.limit, opts)?;
+    Ok(sb_opt::render(&node))
+}
+
+fn plan_set_expr(
+    db: &Database,
+    body: &SetExpr,
+    order_by: &[OrderItem],
+    limit: Option<u64>,
+    opts: ExecOptions,
+) -> Result<PlanNode> {
+    match body {
+        SetExpr::Select(select) => plan_select_node(db, select, order_by, limit, opts),
+        SetExpr::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
+            let l = plan_set_expr(db, left, &[], None, opts)?;
+            let r = plan_set_expr(db, right, &[], None, opts)?;
+            let name = match op {
+                SetOp::Union => "Union",
+                SetOp::Intersect => "Intersect",
+                SetOp::Except => "Except",
+            };
+            let mut node = PlanNode {
+                label: format!("{name}{}", if *all { " ALL" } else { "" }),
+                children: vec![l, r],
+            };
+            // Set operations sort and truncate after combining; no
+            // top-K fusion on this path (matching the executor).
+            if !order_by.is_empty() {
+                let keys: Vec<String> = order_by
+                    .iter()
+                    .map(|o| format!("{}{}", o.expr, if o.desc { " DESC" } else { " ASC" }))
+                    .collect();
+                node = PlanNode::unary(format!("Sort keys=[{}]", keys.join(", ")), node);
+            }
+            if let Some(k) = limit {
+                node = PlanNode::unary(format!("Limit k={k}"), node);
+            }
+            Ok(node)
+        }
+    }
+}
+
+fn plan_select_node(
+    db: &Database,
+    select: &Select,
+    order_by: &[OrderItem],
+    limit: Option<u64>,
+    opts: ExecOptions,
+) -> Result<PlanNode> {
+    let mut relations = vec![resolve_relation(db, &select.from, opts)?];
+    for join in &select.joins {
+        relations.push(resolve_relation(db, &join.table, opts)?);
+    }
+
+    // Subplans for derived tables, aligned with the relations.
+    let mut derived = Vec::with_capacity(relations.len());
+    for tr in std::iter::once(&select.from).chain(select.joins.iter().map(|j| &j.table)) {
+        derived.push(match &tr.factor {
+            TableFactor::Derived(q) => {
+                Some(plan_set_expr(db, &q.body, &q.order_by, q.limit, opts)?)
+            }
+            TableFactor::Table(_) => None,
+        });
+    }
+
+    let mut full_scope = Scope::default();
+    for rel in &relations {
+        full_scope.push(&rel.binding, rel.columns.clone());
+    }
+    let resolver = ScopeResolver(&full_scope);
+    let rels = rel_metas(&relations);
+    let input = sb_opt::PlanInput {
+        select,
+        order_by,
+        limit,
+        rels: &rels,
+        opts: opts.opt_options(),
+    };
+    let planned = sb_opt::plan_select(&input, &resolver);
+    Ok(sb_opt::build_plan(&input, &planned, &derived))
+}

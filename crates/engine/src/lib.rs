@@ -24,6 +24,7 @@ pub mod database;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod explain;
 pub mod key;
 pub mod profile;
 pub mod reference;
@@ -33,6 +34,7 @@ pub mod value;
 pub use database::{Database, Row, Table};
 pub use error::{EngineError, Result};
 pub use exec::{execute, execute_with, ExecOptions, JoinStrategy};
+pub use explain::explain;
 pub use profile::{profile_database, sql_literal};
 pub use reference::execute_reference;
 pub use result::ResultSet;

@@ -508,7 +508,9 @@ fn eval_aggregate(
                 let mut sum = 0i64;
                 for v in &values {
                     if let Value::Int(i) = v {
-                        sum = sum.wrapping_add(*i);
+                        sum = sum
+                            .checked_add(*i)
+                            .ok_or_else(|| EngineError::Overflow("SUM exceeds i64".to_string()))?;
                     }
                 }
                 Ok(Value::Int(sum))
@@ -876,7 +878,10 @@ fn apply_unary(op: UnaryOp, v: Value) -> Result<Value> {
     match op {
         UnaryOp::Neg => match v {
             Value::Null => Ok(Value::Null),
-            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Int(i) => i
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or_else(|| EngineError::Overflow(format!("negating {i} exceeds i64"))),
             Value::Float(f) => Ok(Value::Float(-f)),
             other => Err(EngineError::TypeMismatch(format!("cannot negate {other}"))),
         },
@@ -946,19 +951,26 @@ fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
         return Ok(Value::Null);
     }
     match (l, r) {
-        (Value::Int(a), Value::Int(b)) => Ok(match op {
-            BinaryOp::Add => Value::Int(a.wrapping_add(*b)),
-            BinaryOp::Sub => Value::Int(a.wrapping_sub(*b)),
-            BinaryOp::Mul => Value::Int(a.wrapping_mul(*b)),
-            BinaryOp::Div => {
-                if *b == 0 {
-                    Value::Null
-                } else {
-                    Value::Int(a / b)
+        (Value::Int(a), Value::Int(b)) => {
+            // Checked arithmetic with the exact error the executor's
+            // `eval::arith` raises: overflow is a defined outcome the two
+            // implementations must agree on, not a wrap or a panic.
+            let overflow =
+                || EngineError::Overflow(format!("integer arithmetic on {a} and {b} exceeds i64"));
+            Ok(match op {
+                BinaryOp::Add => Value::Int(a.checked_add(*b).ok_or_else(overflow)?),
+                BinaryOp::Sub => Value::Int(a.checked_sub(*b).ok_or_else(overflow)?),
+                BinaryOp::Mul => Value::Int(a.checked_mul(*b).ok_or_else(overflow)?),
+                BinaryOp::Div => {
+                    if *b == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(a.checked_div(*b).ok_or_else(overflow)?)
+                    }
                 }
-            }
-            _ => unreachable!(),
-        }),
+                _ => unreachable!(),
+            })
+        }
         _ => {
             let a = l
                 .as_f64()
@@ -983,8 +995,11 @@ fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     }
 }
 
-/// `LIKE` via the classic iterative two-pointer wildcard matcher (the
-/// executor recurses): `%` matches any byte run, `_` exactly one byte.
+/// `LIKE` via the classic iterative two-pointer wildcard matcher: `%`
+/// matches any byte run, `_` exactly one byte. The executor's
+/// `eval::like_match` now uses the same algorithm (its old recursive
+/// matcher was exponential on multi-`%` patterns) but the copies stay
+/// independent — the reference shares no evaluation machinery.
 fn like_iterative(s: &str, pattern: &str) -> bool {
     let s = s.as_bytes();
     let p = pattern.as_bytes();
@@ -1095,7 +1110,7 @@ mod tests {
     }
 
     #[test]
-    fn like_matcher_agrees_with_recursive_engine_matcher() {
+    fn like_matcher_agrees_with_engine_matcher() {
         let cases = [
             ("starburst", "star%"),
             ("starburst", "%burst"),

@@ -27,6 +27,47 @@ pub fn canon_num(v: f64) -> f64 {
     scaled.round() / 1e6
 }
 
+/// Whether an i64 survives a round trip through f64 unchanged. Every
+/// integer with |v| ≤ 2^53 does; beyond that only multiples of the local
+/// ulp do. The i128 comparison sidesteps the saturating f64→i64 cast,
+/// which would falsely report `i64::MAX` (not representable — it rounds
+/// up to 2^63) as exact.
+#[inline]
+fn int_fits_f64(v: i64) -> bool {
+    (v as f64) as i128 == v as i128
+}
+
+/// Exact ordering of an i64 against a non-NaN f64 — no i64→f64 cast, so
+/// integers beyond 2^53 do not collapse onto their float neighbours.
+///
+/// Any float with |b| ≥ 2^53 is an integer, so after the range clamp the
+/// truncation `b as i64` and the fraction `b - t` are both exact.
+#[inline]
+fn cmp_int_f64(a: i64, b: f64) -> Ordering {
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0; // 2^63, exact as f64
+    if b >= TWO_63 {
+        return Ordering::Less;
+    }
+    if b < -TWO_63 {
+        return Ordering::Greater;
+    }
+    let t = b as i64; // |b| < 2^63: truncation toward zero, exact
+    match a.cmp(&t) {
+        Ordering::Equal => {
+            // a == trunc(b): decided by b's fractional part.
+            let frac = b - t as f64;
+            if frac > 0.0 {
+                Ordering::Less
+            } else if frac < 0.0 {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+        ord => ord,
+    }
+}
+
 /// A runtime SQL value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -70,18 +111,25 @@ impl Value {
         }
     }
 
-    /// SQL comparison. Returns `None` when either side is NULL or the types
-    /// are incomparable; numeric types compare cross-type via f64.
+    /// SQL comparison. Returns `None` when either side is NULL, the types
+    /// are incomparable, or a float side is NaN. Numeric comparison is
+    /// **exact**: int/int compares as i64, int/float splits the float into
+    /// integer and fraction ([`cmp_int_f64`]) instead of casting the i64
+    /// to f64, so integers beyond 2^53 never compare equal to nearby
+    /// floats (or to each other).
     #[inline]
     pub fn compare(&self, other: &Value) -> Option<Ordering> {
         match (self, other) {
             (Value::Null, _) | (_, Value::Null) => None,
             (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
-            (a, b) => {
-                let (x, y) = (a.as_f64()?, b.as_f64()?);
-                x.partial_cmp(&y)
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (!b.is_nan()).then(|| cmp_int_f64(*a, *b)),
+            (Value::Float(a), Value::Int(b)) => {
+                (!a.is_nan()).then(|| cmp_int_f64(*b, *a).reverse())
             }
+            _ => None,
         }
     }
 
@@ -107,10 +155,32 @@ impl Value {
             (Value::Null, Value::Null) => Ordering::Equal,
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Text(a), Value::Text(b)) => a.cmp(b),
-            (a, b) if rank(a) == 2 && rank(b) == 2 => {
-                let x = a.as_f64().expect("numeric");
-                let y = b.as_f64().expect("numeric");
-                x.total_cmp(&y)
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            // Mixed int/float: exact comparison. NaN keeps its
+            // `f64::total_cmp` placement (after +inf), and a mathematical
+            // tie falls back to `f64::total_cmp` as well (exact, since a
+            // tie means the int is representable) so that `-0.0 < 0 = 0.0`
+            // stays transitive against the float/float arm.
+            (Value::Int(a), Value::Float(b)) => {
+                if b.is_nan() {
+                    (*a as f64).total_cmp(b)
+                } else {
+                    match cmp_int_f64(*a, *b) {
+                        Ordering::Equal => (*a as f64).total_cmp(b),
+                        ord => ord,
+                    }
+                }
+            }
+            (Value::Float(a), Value::Int(b)) => {
+                if a.is_nan() {
+                    a.total_cmp(&(*b as f64))
+                } else {
+                    match cmp_int_f64(*b, *a).reverse() {
+                        Ordering::Equal => a.total_cmp(&(*b as f64)),
+                        ord => ord,
+                    }
+                }
             }
             (a, b) => rank(a).cmp(&rank(b)),
         }
@@ -126,10 +196,16 @@ impl Value {
     /// [`Value::hash_key`] feeds identical bytes — the executor's
     /// allocation-free grouping relies on that equivalence, so the three
     /// must only change together.
+    /// Integers too large for f64 keep their exact decimal digits under a
+    /// distinct `i:` prefix: collapsing them through f64 (the pre-fix
+    /// behaviour) merged distinct 19-digit identifiers — SDSS `objid`s —
+    /// into one key class. The prefix cannot collide with a float's `n:`
+    /// key by construction.
     pub fn canonical_key(&self) -> String {
         match self {
             Value::Null => "∅".to_string(),
-            Value::Int(v) => format!("n:{}", canon_num(*v as f64)),
+            Value::Int(v) if int_fits_f64(*v) => format!("n:{}", canon_num(*v as f64)),
+            Value::Int(v) => format!("i:{v}"),
             Value::Float(v) => format!("n:{}", canon_num(*v)),
             Value::Text(s) => format!("t:{s}"),
             Value::Bool(b) => format!("b:{b}"),
@@ -144,9 +220,14 @@ impl Value {
     pub fn hash_key<H: Hasher>(&self, state: &mut H) {
         match self {
             Value::Null => state.write_u8(0),
-            Value::Int(v) => {
+            Value::Int(v) if int_fits_f64(*v) => {
                 state.write_u8(1);
                 state.write_u64(canon_num(*v as f64).to_bits());
+            }
+            Value::Int(v) => {
+                // `i:` key class: exact integer identity.
+                state.write_u8(4);
+                state.write_i64(*v);
             }
             Value::Float(v) => {
                 state.write_u8(1);
@@ -174,10 +255,14 @@ impl Value {
             (Value::Null, Value::Null) => true,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Text(a), Value::Text(b)) => a == b,
-            (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_)) => {
-                let a = self.as_f64().expect("numeric");
-                let b = other.as_f64().expect("numeric");
-                canon_num(a).to_bits() == canon_num(b).to_bits()
+            // Ints compare exactly (f64-representable ints map injectively
+            // into the `n:` class, the rest carry their own `i:` class).
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                int_fits_f64(*a) && canon_num(*a as f64).to_bits() == canon_num(*b).to_bits()
+            }
+            (Value::Float(a), Value::Float(b)) => {
+                canon_num(*a).to_bits() == canon_num(*b).to_bits()
             }
             _ => false,
         }
@@ -310,6 +395,13 @@ mod tests {
             Value::Float(f64::NEG_INFINITY),
             Value::Float(9.3e18),
             Value::Float(9.300000000000001e18),
+            Value::Int(9_007_199_254_740_992),     // 2^53: fits f64
+            Value::Int(9_007_199_254_740_993),     // 2^53 + 1: does not
+            Value::Int(9_007_199_254_740_994),     // 2^53 + 2: fits again
+            Value::Float(9_007_199_254_740_992.0), // 2^53 as a float
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Float(9.223372036854776e18), // 2^63: i64::MAX rounds here
             Value::Text("3".into()),
             Value::Text("".into()),
             Value::Bool(true),
@@ -331,5 +423,91 @@ mod tests {
         // Rounding unifies near-equal floats the way the string keys do.
         assert!(Value::Float(3.0000001).key_eq(&Value::Float(3.0)));
         assert!(!Value::Float(3.1).key_eq(&Value::Float(3.0)));
+    }
+
+    /// Regression (cross-type precision): i64 values beyond 2^53 used to
+    /// compare through f64, so adjacent 19-digit identifiers — and ints
+    /// one ulp away from a float — reported `Equal`.
+    #[test]
+    fn compare_is_exact_beyond_2_53() {
+        const BIG: i64 = 9_007_199_254_740_993; // 2^53 + 1, not an f64
+        let as_float = Value::Float(9_007_199_254_740_992.0); // nearest f64
+        assert_eq!(
+            Value::Int(BIG).compare(&as_float),
+            Some(Ordering::Greater),
+            "2^53+1 must compare greater than the float 2^53"
+        );
+        assert_eq!(as_float.compare(&Value::Int(BIG)), Some(Ordering::Less));
+        assert_eq!(Value::Int(BIG).sql_eq(&as_float), Some(false));
+        // Adjacent big ints are distinct even though they share an f64.
+        assert_eq!(
+            Value::Int(BIG).compare(&Value::Int(BIG + 1)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(BIG).total_cmp(&Value::Int(BIG + 1)),
+            Ordering::Less
+        );
+        // i64::MAX rounds *up* to 2^63 as a float; exact comparison must
+        // still place the int below it.
+        let two_63 = Value::Float(9.223372036854776e18);
+        assert_eq!(Value::Int(i64::MAX).compare(&two_63), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(i64::MIN).compare(&Value::Float(-9.223372036854776e18)),
+            Some(Ordering::Equal),
+            "-2^63 is exactly representable"
+        );
+        // Representable cross-type equality still holds exactly.
+        assert_eq!(
+            Value::Int(9_007_199_254_740_992).sql_eq(&as_float),
+            Some(true)
+        );
+        // Fractions decide ties against the truncated integer part.
+        assert_eq!(
+            Value::Int(3).compare(&Value::Float(3.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(-3).compare(&Value::Float(-3.5)),
+            Some(Ordering::Greater)
+        );
+        // Infinities and NaN.
+        assert_eq!(
+            Value::Int(i64::MAX).compare(&Value::Float(f64::INFINITY)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(i64::MIN).compare(&Value::Float(f64::NEG_INFINITY)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::Int(0).compare(&Value::Float(f64::NAN)), None);
+    }
+
+    /// The total order must keep its historical `-0.0 < 0.0` refinement
+    /// without breaking transitivity against exact int/float ties.
+    #[test]
+    fn total_cmp_zero_classes_stay_transitive() {
+        let neg0 = Value::Float(-0.0);
+        let pos0 = Value::Float(0.0);
+        let int0 = Value::Int(0);
+        assert_eq!(neg0.total_cmp(&pos0), Ordering::Less);
+        assert_eq!(int0.total_cmp(&neg0), Ordering::Greater);
+        assert_eq!(int0.total_cmp(&pos0), Ordering::Equal);
+        assert_eq!(int0.compare(&neg0), Some(Ordering::Equal), "SQL: -0.0 = 0");
+    }
+
+    /// Big integers get their own key class: grouping must not merge
+    /// distinct identifiers, while representable ints still unify with
+    /// their float doubles.
+    #[test]
+    fn key_class_of_big_ints_is_exact() {
+        const BIG: i64 = 9_007_199_254_740_993;
+        assert!(!Value::Int(BIG).key_eq(&Value::Int(BIG + 1)));
+        assert_ne!(
+            Value::Int(BIG).canonical_key(),
+            Value::Int(BIG + 1).canonical_key()
+        );
+        assert!(!Value::Int(BIG).key_eq(&Value::Float(9_007_199_254_740_992.0)));
+        assert!(Value::Int(9_007_199_254_740_992).key_eq(&Value::Float(9_007_199_254_740_992.0)));
     }
 }

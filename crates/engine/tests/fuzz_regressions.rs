@@ -65,12 +65,15 @@ fn matrix() -> Vec<ExecOptions> {
         for predicate_pushdown in [false, true] {
             for copy_scans in [false, true] {
                 for compiled in [false, true] {
-                    out.push(ExecOptions {
-                        predicate_pushdown,
-                        join,
-                        copy_scans,
-                        compiled,
-                    });
+                    for optimize in [false, true] {
+                        out.push(ExecOptions {
+                            predicate_pushdown,
+                            join,
+                            copy_scans,
+                            compiled,
+                            optimize,
+                        });
+                    }
                 }
             }
         }
@@ -228,4 +231,136 @@ fn left_join_null_extension_agrees_between_hash_and_nested_loop() {
     // And the reference interpreter sees the same table.
     let q = sb_sql::parse(sql).unwrap();
     assert_eq!(execute_reference(&db, &q).unwrap().rows, baseline.rows);
+}
+
+// ---------------------------------------------------------------------
+// Exact cross-type numeric comparison: i64 values beyond 2^53 must not
+// collapse under f64 rounding in filters, ORDER BY, joins or grouping.
+// ---------------------------------------------------------------------
+
+/// Fixture around the 2^53 precision cliff: `big.v` holds 2^53 and
+/// 2^53 + 1 (indistinguishable once rounded through f64), `keys.f`
+/// holds the float 2^53.
+fn bigint_db() -> Database {
+    const P53: i64 = 1 << 53;
+    let schema = Schema::new("bigint")
+        .with_table(TableDef::new(
+            "big",
+            vec![
+                Column::pk("id", ColumnType::Int),
+                Column::new("v", ColumnType::Int),
+            ],
+        ))
+        .with_table(TableDef::new(
+            "keys",
+            vec![Column::new("f", ColumnType::Float)],
+        ));
+    let mut db = Database::new(schema);
+    db.table_mut("big").unwrap().push_rows(vec![
+        vec![1.into(), Value::Int(P53 + 1)],
+        vec![2.into(), Value::Int(P53)],
+        vec![3.into(), Value::Int(-5)],
+    ]);
+    db.table_mut("keys")
+        .unwrap()
+        .push_rows(vec![vec![Value::Float(P53 as f64)]]);
+    db
+}
+
+/// Found while auditing `Value::compare`: `2^53 + 1 > 2^53` compared as
+/// equal after both sides rounded to the same f64. The comparison is
+/// exact now, under every configuration and the reference.
+#[test]
+fn int_comparisons_beyond_2_pow_53_stay_exact() {
+    let db = bigint_db();
+    let sql = "SELECT id FROM big WHERE v > 9007199254740992 ORDER BY id";
+    let baseline = db.run_with(sql, ExecOptions::legacy()).unwrap();
+    assert_eq!(baseline.rows, vec![vec![Value::Int(1)]]);
+    for opts in matrix() {
+        assert_eq!(
+            db.run_with(sql, opts).unwrap().rows,
+            baseline.rows,
+            "{opts:?}"
+        );
+    }
+    let q = sb_sql::parse(sql).unwrap();
+    assert_eq!(execute_reference(&db, &q).unwrap().rows, baseline.rows);
+
+    // ORDER BY must rank 2^53 + 1 strictly above 2^53.
+    let sql = "SELECT v FROM big ORDER BY v DESC";
+    for opts in matrix() {
+        let r = db.run_with(sql, opts).unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int((1 << 53) + 1)],
+                vec![Value::Int(1 << 53)],
+                vec![Value::Int(-5)],
+            ],
+            "{opts:?}"
+        );
+    }
+}
+
+/// GROUP BY on huge ints must keep 2^53 and 2^53 + 1 in separate
+/// groups, and a float 2^53 join key must match the int 2^53 row only.
+#[test]
+fn grouping_and_joins_distinguish_adjacent_huge_ints() {
+    let db = bigint_db();
+    let sql = "SELECT v, COUNT(*) FROM big GROUP BY v";
+    for opts in matrix() {
+        assert_eq!(db.run_with(sql, opts).unwrap().rows.len(), 3, "{opts:?}");
+    }
+    let q = sb_sql::parse(sql).unwrap();
+    assert_eq!(execute_reference(&db, &q).unwrap().rows.len(), 3);
+
+    let sql = "SELECT T1.id FROM big AS T1 JOIN keys AS T2 ON T1.v = T2.f";
+    let baseline = db.run_with(sql, ExecOptions::legacy()).unwrap();
+    assert_eq!(
+        baseline.rows,
+        vec![vec![Value::Int(2)]],
+        "float 2^53 = int 2^53 only"
+    );
+    for opts in matrix() {
+        assert_eq!(
+            db.run_with(sql, opts).unwrap().rows,
+            baseline.rows,
+            "{opts:?}"
+        );
+    }
+    let q = sb_sql::parse(sql).unwrap();
+    assert_eq!(execute_reference(&db, &q).unwrap().rows, baseline.rows);
+}
+
+// ---------------------------------------------------------------------
+// Checked i64 arithmetic: overflow is a defined `Overflow` error in
+// every configuration and the reference — never a silent wrap or panic.
+// ---------------------------------------------------------------------
+
+#[test]
+fn integer_overflow_is_a_defined_error_everywhere() {
+    let db = bigint_db();
+    for sql in [
+        // v = 2^53 + 1; multiplying by itself overflows i64.
+        "SELECT v * v FROM big",
+        "SELECT v + 9223372036854775807 FROM big WHERE id = 1",
+        "SELECT -(-9223372036854775807 - 1) FROM big WHERE id = 1",
+        // SUM of 2^53 and 2^53+1 fits; force overflow via repeated MAX.
+        "SELECT SUM(v * 1024 * 1024) FROM big WHERE v > 0",
+    ] {
+        for opts in matrix() {
+            assert!(
+                matches!(db.run_with(sql, opts), Err(EngineError::Overflow(_))),
+                "{opts:?} did not overflow: {sql}"
+            );
+        }
+        let q = sb_sql::parse(sql).unwrap();
+        assert!(
+            matches!(execute_reference(&db, &q), Err(EngineError::Overflow(_))),
+            "reference did not overflow: {sql}"
+        );
+    }
+    // Non-overflowing neighbours still succeed exactly.
+    let r = db.run("SELECT v + 1 FROM big WHERE id = 2").unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int((1 << 53) + 1)]]);
 }

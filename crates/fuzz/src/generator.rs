@@ -600,10 +600,25 @@ impl<'a> QueryGenerator<'a> {
                 .map(|(j, c)| if j == i { '_' } else { *c })
                 .collect();
         }
-        match self.rng.gen_range(0..3u8) {
+        match self.rng.gen_range(0..5u8) {
             0 => format!("%{frag}"),
             1 => format!("{frag}%"),
-            _ => format!("%{frag}%"),
+            2 => format!("%{frag}%"),
+            // Multi-`%` patterns: split the fragment and interleave
+            // wildcards, exercising the matcher's backtracking across
+            // several unanchored segments.
+            _ => {
+                let frag_chars: Vec<char> = frag.chars().collect();
+                let cut = self.rng.gen_range(0..=frag_chars.len());
+                let (a, b) = frag_chars.split_at(cut);
+                let a: String = a.iter().collect();
+                let b: String = b.iter().collect();
+                if self.rng.gen_bool(0.5) {
+                    format!("%{a}%{b}%")
+                } else {
+                    format!("{a}%{b}")
+                }
+            }
         }
     }
 

@@ -1,0 +1,261 @@
+//! EXPLAIN rendering: a [`PlannedSelect`] as an operator tree.
+//!
+//! The output is plain indented text in the style of planner-test
+//! snapshot suites: one operator per line, children connected with
+//! `└──`/`├──` rails, estimated cardinalities as `rows~N`. The
+//! plan-snapshot goldens under `tests/goldens/plans/` pin this text per
+//! hardness bucket, so any change to a rewrite rule or to the cost
+//! model shows up as a reviewable diff.
+//!
+//! Labels are derived from the same [`PlannedSelect`] the executor
+//! consumes — there is no second planning pass that could drift. The
+//! one approximation: a join is labelled `HashJoin` when the planner
+//! recognized a qualified equi-key for it; the executor additionally
+//! hash-joins some bare-name equalities, which EXPLAIN conservatively
+//! shows as `NestedLoopJoin`.
+
+use crate::plan::{PlanInput, PlannedSelect};
+use sb_sql::{Select, SelectItem};
+
+/// One rendered operator: a label plus child operators. Deliberately
+/// schemaless — derived-table subplans nest as ordinary children.
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    /// Operator description, e.g. `HashJoin on s.bestobjid = p.objid`.
+    pub label: String,
+    /// Input operators, outermost first.
+    pub children: Vec<PlanNode>,
+}
+
+impl PlanNode {
+    /// A leaf operator.
+    pub fn leaf(label: impl Into<String>) -> Self {
+        PlanNode {
+            label: label.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// An operator with one input.
+    pub fn unary(label: impl Into<String>, child: PlanNode) -> Self {
+        PlanNode {
+            label: label.into(),
+            children: vec![child],
+        }
+    }
+}
+
+/// Render a plan tree as indented text with box-drawing rails.
+pub fn render(root: &PlanNode) -> String {
+    let mut out = String::new();
+    out.push_str(&root.label);
+    out.push('\n');
+    render_children(&root.children, "", &mut out);
+    out
+}
+
+fn render_children(children: &[PlanNode], prefix: &str, out: &mut String) {
+    for (i, child) in children.iter().enumerate() {
+        let last = i + 1 == children.len();
+        out.push_str(prefix);
+        out.push_str(if last { "└── " } else { "├── " });
+        out.push_str(&child.label);
+        out.push('\n');
+        let next = format!("{prefix}{}", if last { "    " } else { "│   " });
+        render_children(&child.children, &next, out);
+    }
+}
+
+/// Build the operator tree for one planned `SELECT`.
+///
+/// `derived` supplies a pre-built subplan per relation (for derived
+/// tables), in original relation order; `None` entries are base tables.
+pub fn build_plan(
+    input: &PlanInput<'_>,
+    planned: &PlannedSelect<'_>,
+    derived: &[Option<PlanNode>],
+) -> PlanNode {
+    let select = input.select;
+    let rels = input.rels;
+
+    // Scan leaves, in original coordinates.
+    let scan_node = |i: usize| -> PlanNode {
+        let rel = &rels[i];
+        let mut label = match &rel.table {
+            Some(t) if t.eq_ignore_ascii_case(&rel.binding) => format!("Scan {t}"),
+            Some(t) => format!("Scan {t} AS {}", rel.binding),
+            None => format!("DerivedScan {}", rel.binding),
+        };
+        if let Some(kept) = &planned.keep[i] {
+            let names: Vec<&str> = kept.iter().map(|&c| rel.columns[c].name.as_str()).collect();
+            label.push_str(&format!(" cols=[{}]", names.join(", ")));
+        }
+        if !planned.pushed[i].is_empty() {
+            let preds: Vec<String> = planned.pushed[i].iter().map(|e| e.to_string()).collect();
+            label.push_str(&format!(" filter=[{}]", preds.join(" AND ")));
+        }
+        label.push_str(&format!(" rows~{}", round_est(planned.scan_est[i])));
+        match &derived[i] {
+            Some(child) => PlanNode::unary(label, child.clone()),
+            None => PlanNode::leaf(label),
+        }
+    };
+
+    // Left-deep join tree in execution order.
+    let mut node = scan_node(planned.order[0]);
+    for step in &planned.steps {
+        let right = scan_node(step.rel);
+        // The source join that introduced this relation. A reordered
+        // plan can join the FROM relation (`step.rel == 0`) late — all
+        // its joins are inner equi-joins by precondition, so the
+        // missing source join only ever means "not a left outer".
+        let source_join = step.rel.checked_sub(1).map(|j| &select.joins[j]);
+        let outer = source_join.is_some_and(|j| j.left);
+        let label = match &step.key {
+            Some(k) if input.opts.hash_joins => {
+                let l = &rels[k.left_rel];
+                let r = &rels[step.rel];
+                format!(
+                    "HashJoin{} on {}.{} = {}.{} build={} rows~{}",
+                    if outer { " (left outer)" } else { "" },
+                    l.binding,
+                    l.columns[k.left_col].name,
+                    r.binding,
+                    r.columns[k.right_col].name,
+                    if step.build_left { "left" } else { "right" },
+                    round_est(step.est_rows),
+                )
+            }
+            _ => match source_join.and_then(|j| j.constraint.as_ref()) {
+                Some(c) => format!(
+                    "NestedLoopJoin{} pred=[{c}] rows~{}",
+                    if outer { " (left outer)" } else { "" },
+                    round_est(step.est_rows),
+                ),
+                None => format!("CrossJoin rows~{}", round_est(step.est_rows)),
+            },
+        };
+        node = PlanNode {
+            label,
+            children: vec![node, right],
+        };
+    }
+    if planned.reordered {
+        node = PlanNode::unary(
+            format!(
+                "RestoreOrder [{}]",
+                planned
+                    .order
+                    .iter()
+                    .map(|&r| rels[r].binding.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            node,
+        );
+    }
+
+    if !planned.residual.is_empty() {
+        let preds: Vec<String> = planned.residual.iter().map(|e| e.to_string()).collect();
+        node = PlanNode::unary(format!("Filter [{}]", preds.join(" AND ")), node);
+    }
+
+    if is_aggregate(select, input) {
+        let mut label = "Aggregate".to_string();
+        if !select.group_by.is_empty() {
+            let keys: Vec<String> = select.group_by.iter().map(|e| e.to_string()).collect();
+            label.push_str(&format!(" group_by=[{}]", keys.join(", ")));
+        }
+        if let Some(h) = &select.having {
+            label.push_str(&format!(" having=[{h}]"));
+        }
+        node = PlanNode::unary(label, node);
+    }
+
+    let items: Vec<String> = select
+        .projections
+        .iter()
+        .map(|p| match p {
+            SelectItem::Wildcard => "*".to_string(),
+            SelectItem::Expr { expr, alias } => match alias {
+                Some(a) => format!("{expr} AS {a}"),
+                None => expr.to_string(),
+            },
+        })
+        .collect();
+    node = PlanNode::unary(format!("Project [{}]", items.join(", ")), node);
+
+    if select.distinct {
+        node = PlanNode::unary("Distinct", node);
+    }
+
+    // ORDER BY + LIMIT fuse into a bounded top-K operator.
+    let keys: Vec<String> = input
+        .order_by
+        .iter()
+        .map(|o| format!("{}{}", o.expr, if o.desc { " DESC" } else { " ASC" }))
+        .collect();
+    match (input.order_by.is_empty(), input.limit) {
+        (false, Some(k)) => {
+            node = PlanNode::unary(format!("TopK k={k} keys=[{}]", keys.join(", ")), node);
+        }
+        (false, None) => {
+            node = PlanNode::unary(format!("Sort keys=[{}]", keys.join(", ")), node);
+        }
+        (true, Some(k)) => {
+            node = PlanNode::unary(format!("Limit k={k}"), node);
+        }
+        (true, None) => {}
+    }
+    node
+}
+
+/// Mirror of the executor's aggregate-query test, structured on the
+/// plan input (group by / having / any aggregate in projections or
+/// order keys).
+fn is_aggregate(select: &Select, input: &PlanInput<'_>) -> bool {
+    if !select.group_by.is_empty() || select.having.is_some() {
+        return true;
+    }
+    let proj_agg = select.projections.iter().any(|p| match p {
+        SelectItem::Wildcard => false,
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+    });
+    proj_agg || input.order_by.iter().any(|o| o.expr.contains_aggregate())
+}
+
+/// Estimates print as integers: stable, readable, and immune to float
+/// formatting churn.
+fn round_est(est: f64) -> u64 {
+    if est.is_finite() && est >= 0.0 {
+        est.round().min(u64::MAX as f64) as u64
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rails_and_indentation() {
+        let tree = PlanNode {
+            label: "Project [a]".into(),
+            children: vec![PlanNode {
+                label: "HashJoin".into(),
+                children: vec![PlanNode::leaf("Scan t"), PlanNode::leaf("Scan u")],
+            }],
+        };
+        let text = render(&tree);
+        let expected = [
+            "Project [a]",
+            "└── HashJoin",
+            "    ├── Scan t",
+            "    └── Scan u",
+            "",
+        ]
+        .join("\n");
+        assert_eq!(text, expected);
+    }
+}

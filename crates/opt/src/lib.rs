@@ -1,0 +1,129 @@
+//! # sb-opt — logical plans and cost-based rewrites
+//!
+//! A small query optimizer sitting between the `sb-sql` AST and the
+//! `sb-engine` executor. One `SELECT` is lowered into a logical plan
+//! (scans, joins, filter, aggregate, sort/top-K, limit), a sequence of
+//! rule-based rewrites runs over it, and the surviving decisions are
+//! handed back to the executor as a [`PlannedSelect`]:
+//!
+//! - **Predicate pushdown** ([`assign_pushdown`]): WHERE conjuncts that
+//!   reference a single relation move into that relation's scan. The
+//!   rule reproduces the executor's historical `assign_conjuncts`
+//!   semantics exactly — subquery conjuncts, unresolvable or ambiguous
+//!   references, and predicates over the nullable side of a LEFT JOIN
+//!   all stay in the residual filter, so error behavior and LEFT JOIN
+//!   padding are unchanged.
+//! - **Projection pushdown** ([`PlannedSelect::keep`]): columns never
+//!   referenced by any expression of the statement are dropped at scan
+//!   time, shrinking every row the join pipeline copies.
+//! - **Join reordering** ([`PlannedSelect::order`]): for inner
+//!   equi-join chains, a greedy bottom-up search over the join graph
+//!   picks the cheapest execution order under the cost model; the
+//!   executor restores source row order afterwards, so reordering is
+//!   observationally invisible.
+//! - **Build-side selection** ([`PlannedJoin::build_left`]): each hash
+//!   join builds its table on the side the cost model estimates
+//!   smaller.
+//! - **Top-K fusion**: `ORDER BY` + `LIMIT` is planned as a single
+//!   bounded top-K operator rather than a full sort followed by a
+//!   truncation.
+//!
+//! The crate depends only on `sb-sql`. Everything it must know about
+//! the physical world arrives through [`RelMeta`] (per-relation
+//! cardinalities and uniqueness, supplied by the engine from schema
+//! primary keys and live row counts) and a name-resolution callback
+//! ([`Resolver`], implemented by the engine's `Scope`) — so resolution
+//! semantics, including ambiguity errors, have exactly one home.
+//!
+//! [`explain::render`] turns a plan into the indented EXPLAIN text that
+//! the plan-snapshot goldens under `tests/goldens/plans/` pin.
+
+pub mod cost;
+pub mod explain;
+pub mod plan;
+pub mod pushdown;
+
+pub use explain::{build_plan, render, PlanNode};
+pub use plan::{plan_select, EdgeKey, PlanInput, PlannedJoin, PlannedSelect};
+pub use pushdown::{assign_pushdown, collect_columns, has_subquery, split_conjuncts};
+
+use sb_sql::ColumnRef;
+
+/// What the planner knows about one column of a FROM relation.
+#[derive(Debug, Clone)]
+pub struct ColMeta {
+    /// Column name as it appears in the relation.
+    pub name: String,
+    /// Whether values are unique across the relation (base-table primary
+    /// keys). Drives distinct-count estimates in the cost model.
+    pub unique: bool,
+}
+
+/// What the planner knows about one FROM relation: enough to estimate
+/// cardinalities, never any row data.
+#[derive(Debug, Clone)]
+pub struct RelMeta {
+    /// Binding name (alias or table name).
+    pub binding: String,
+    /// Base table name, `None` for derived tables.
+    pub table: Option<String>,
+    /// Columns in relation order.
+    pub columns: Vec<ColMeta>,
+    /// Actual row count: base-table size, or the materialized size of a
+    /// derived table (which the executor has already run).
+    pub rows: usize,
+}
+
+/// Which rewrites are enabled. The engine derives this from its
+/// `ExecOptions`, so every fuzz configuration exercises a different
+/// slice of the rule set.
+#[derive(Debug, Clone, Copy)]
+pub struct OptOptions {
+    /// Push single-relation WHERE conjuncts into scans.
+    pub pushdown: bool,
+    /// Reorder inner equi-join chains by estimated cost.
+    pub reorder: bool,
+    /// Choose hash-join build sides from cardinality estimates.
+    pub choose_build: bool,
+    /// Whether the executor will run equi-joins as hash joins at all
+    /// (false under a forced nested-loop strategy); gates reordering
+    /// and EXPLAIN's operator labels.
+    pub hash_joins: bool,
+    /// Drop never-referenced columns at scan time.
+    pub prune: bool,
+}
+
+impl Default for OptOptions {
+    fn default() -> Self {
+        OptOptions {
+            pushdown: true,
+            reorder: true,
+            choose_build: true,
+            hash_joins: true,
+            prune: true,
+        }
+    }
+}
+
+/// Result of resolving one column reference against the statement's
+/// full scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Resolved to column `col` of relation `rel` (both zero-based,
+    /// relation in FROM/JOIN order, column in relation order).
+    Col { rel: usize, col: usize },
+    /// The bare name matched columns in more than one relation — an
+    /// `AmbiguousColumn` error at evaluation time.
+    Ambiguous,
+    /// Unknown table or column — an error at evaluation time.
+    Unknown,
+}
+
+/// Name resolution callback. Implemented by the engine on top of its
+/// `Scope`, so the planner inherits the executor's resolution semantics
+/// (case folding, first-binding wins, ambiguity detection) verbatim
+/// instead of re-implementing them.
+pub trait Resolver {
+    /// Resolve a (possibly qualified) column reference.
+    fn resolve(&self, col: &ColumnRef) -> Resolution;
+}

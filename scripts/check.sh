@@ -4,13 +4,22 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo build --release =="
-cargo build --release
+# --workspace: the root Cargo.toml is both a workspace and a package, so
+# a bare `cargo build` would skip member-only binaries like profile_run.
+cargo build --release --workspace
 
 echo "== fuzz smoke: differential oracle, bounded (500 queries/domain) =="
 SB_FUZZ_COUNT=500 cargo test -q -p sb-fuzz
 
 echo "== cargo test -q (workspace) =="
 cargo test -q --workspace
+
+echo "== plan snapshots: regenerate and diff committed goldens =="
+SB_UPDATE_PLANS=1 cargo test -q --test plan_snapshots
+git diff --exit-code -- tests/goldens/plans || {
+    echo "EXPLAIN plan goldens drifted; commit the regenerated files if intentional" >&2
+    exit 1
+}
 
 echo "== obs smoke: SB_OBS=summary profile_run on one domain =="
 report="$(mktemp)"
