@@ -34,21 +34,115 @@ fn bench_parser(c: &mut Criterion) {
 }
 
 fn bench_engine(c: &mut Criterion) {
+    use sb_engine::ExecOptions;
     let d = Domain::Sdss.build(SizeClass::Small);
     let mut g = c.benchmark_group("engine_execution");
     g.sample_size(20);
-    for (label, sql) in ["q1_easy", "q2_medium", "q3_extra"].iter().zip(PARSE_CASES) {
+    // The headline names run with default options (columnar batch engine
+    // on); the `_row` twins force the row-at-a-time path, so the pair
+    // isolates the vectorization win on the exact historical workload.
+    let row_opts = ExecOptions {
+        columnar: false,
+        ..ExecOptions::default()
+    };
+    let agg = "SELECT s.class, COUNT(*), AVG(s.z) FROM specobj AS s GROUP BY s.class";
+    let cases = ["q1_easy", "q2_medium", "q3_extra", "grouped_aggregation"]
+        .iter()
+        .zip([PARSE_CASES[0], PARSE_CASES[1], PARSE_CASES[2], agg]);
+    for (label, sql) in cases {
         let q = sb_sql::parse(sql).unwrap();
         g.bench_function(label, |b| {
             b.iter(|| d.db.run_query(std::hint::black_box(&q)))
         });
+        g.bench_function(&format!("{label}_row"), |b| {
+            b.iter(|| d.db.run_query_with(std::hint::black_box(&q), row_opts))
+        });
     }
-    let agg =
-        sb_sql::parse("SELECT s.class, COUNT(*), AVG(s.z) FROM specobj AS s GROUP BY s.class")
-            .unwrap();
-    g.bench_function("grouped_aggregation", |b| {
-        b.iter(|| d.db.run_query(std::hint::black_box(&agg)))
-    });
+    g.finish();
+}
+
+/// A synthetic database sized for kernel benches: a fact table `t`
+/// (dictionary-friendly 16-value `grp`, numeric `val`, small-domain
+/// `flag`, foreign key `fk`) and a 1,024-row dimension `dim` every
+/// `t.fk` hits exactly once.
+fn synth_db(n: usize) -> sb_engine::Database {
+    use sb_engine::{Database, Value};
+    use sb_schema::{Column, ColumnType, Schema, TableDef};
+    let schema = Schema::new("synth")
+        .with_table(TableDef::new(
+            "t",
+            vec![
+                Column::pk("id", ColumnType::Int),
+                Column::new("grp", ColumnType::Text),
+                Column::new("val", ColumnType::Float),
+                Column::new("flag", ColumnType::Int),
+                Column::new("fk", ColumnType::Int),
+            ],
+        ))
+        .with_table(TableDef::new(
+            "dim",
+            vec![
+                Column::pk("id", ColumnType::Int),
+                Column::new("name", ColumnType::Text),
+            ],
+        ));
+    let mut db = Database::new(schema);
+    let groups: Vec<String> = (0..16).map(|i| format!("g{i:02}")).collect();
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Text(groups[i % 16].clone()),
+                Value::Float((i % 1000) as f64 * 0.001),
+                Value::Int((i % 7) as i64),
+                Value::Int((i % 1024) as i64),
+            ]
+        })
+        .collect();
+    db.table_mut("t").unwrap().push_rows(rows);
+    let dim_rows: Vec<Vec<Value>> = (0..1024)
+        .map(|i| vec![Value::Int(i as i64), Value::Text(format!("d{i:04}"))])
+        .collect();
+    db.table_mut("dim").unwrap().push_rows(dim_rows);
+    db
+}
+
+fn bench_columnar_operators(c: &mut Criterion) {
+    use sb_engine::ExecOptions;
+    // One query per vectorized kernel, each at three scales, each with a
+    // `_row` twin on the row-at-a-time engine. `filter` isolates the
+    // predicate kernels (numeric compare + dictionary LUT equality over
+    // a selection vector), `hash_probe` the batch hash join (every fk
+    // matches exactly one dim row), `aggregate` the grouped kernels
+    // (16 dictionary-keyed groups, COUNT/SUM/AVG accumulators).
+    let kernels = [
+        ("filter", "SELECT id FROM t WHERE val > 0.5 AND flag = 3"),
+        ("hash_probe", "SELECT t.id FROM t JOIN dim ON t.fk = dim.id"),
+        (
+            "aggregate",
+            "SELECT grp, COUNT(*), SUM(val), AVG(val) FROM t GROUP BY grp",
+        ),
+    ];
+    let row_opts = ExecOptions {
+        columnar: false,
+        ..ExecOptions::default()
+    };
+    let mut g = c.benchmark_group("columnar_operators");
+    g.sample_size(10);
+    for (scale, n) in [("10k", 10_000usize), ("100k", 100_000), ("1m", 1_000_000)] {
+        let db = synth_db(n);
+        for (kernel, sql) in kernels {
+            let q = sb_sql::parse(sql).unwrap();
+            // Pay the lazy column-vector build once, outside the timer.
+            db.run_query(&q).unwrap();
+            g.bench_function(&format!("{kernel}_{scale}"), |b| {
+                b.iter(|| db.run_query(std::hint::black_box(&q)))
+            });
+            g.bench_function(&format!("{kernel}_{scale}_row"), |b| {
+                b.iter(|| db.run_query_with(std::hint::black_box(&q), row_opts))
+            });
+        }
+    }
     g.finish();
 }
 
@@ -309,6 +403,7 @@ criterion_group!(
     benches,
     bench_parser,
     bench_engine,
+    bench_columnar_operators,
     bench_engine_compiled,
     bench_exec_acc_cached,
     bench_join_strategies,

@@ -1,0 +1,2360 @@
+//! Vectorized batch execution over columnar storage.
+//!
+//! [`try_select`] runs one planned `SELECT` batch-at-a-time against the
+//! lazily built [`crate::column::ColumnarTable`] images: predicate
+//! kernels produce selection vectors over typed column vectors, hash
+//! joins probe column slices directly, and aggregation runs as
+//! per-group accumulators — `Value`s are materialized only at result
+//! boundaries.
+//!
+//! ## The one correctness rule
+//!
+//! The batch path may give up at **any** point — at compile time (a
+//! shape or column kind outside the kernel set) or mid-execution (an
+//! arithmetic overflow, a NaN reaching an ordered comparison, anything
+//! the row engine would report as an error) — by returning `None`. The
+//! caller then silently re-runs the statement on the row path, which is
+//! the sole authority on errors. The batch path therefore never
+//! *returns* an error; it either produces output byte-identical to the
+//! row path's success, or it bails. Bailing is always safe; the only
+//! hazard would be succeeding with different bytes, which the kernels
+//! below avoid by mirroring row-path semantics exactly:
+//!
+//! - Three-valued logic is carried as `i8` tristates (`1`/`0`/`-1` for
+//!   TRUE/FALSE/NULL); `AND`/`OR` combine via the same
+//!   [`combine_logical`] the row engine uses. Both operands of a
+//!   logical or arithmetic node are evaluated eagerly — where the row
+//!   path would have short-circuited past an error, the batch path
+//!   bails and lets the row path decide.
+//! - Conjuncts are applied progressively: conjunct *k* is evaluated
+//!   only over rows that survived conjuncts *1..k-1*, matching the
+//!   row-at-a-time early exit, so a data-dependent error fires for
+//!   exactly the same evaluation set.
+//! - Join keys reproduce the row path's `sql_eq` hash keys (ints and
+//!   integral floats unify; NULL and NaN never match), and reordered
+//!   plans restore source row order the same way the row executor does.
+//! - Grouping keys use the canonical-key relation ([`canon_num`]
+//!   rounding, NaN collapsing) so float keys land in the same groups.
+//!
+//! Counters (under `SB_OBS=1`): the batch path emits the same
+//! `engine.scan.rows` / `engine.scan.rows_pruned_pushdown` totals the
+//! row scans would, plus `engine.columnar.*` operator counters — batch
+//! counts, selection-vector density, dictionary LUT sizes — surfaced in
+//! `profile_run` reports.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sb_sql::{
+    AggArg, AggFunc, BinaryOp, ColumnRef, Expr, Literal, OrderItem, Select, SelectItem, UnaryOp,
+};
+
+use crate::column::{Column, ColumnData, ColumnarTable, DictColumn, NullMask};
+use crate::database::Table;
+use crate::error::EngineError;
+use crate::eval::{
+    apply_cmp, apply_unary, arith, combine_logical, like_match, literal_value, truth_ref, Scope,
+};
+use crate::exec::{is_aggregate_query, Projected, Relation};
+use crate::key::{self, FxBuild, KeyIndex};
+use crate::value::{canon_num, cmp_int_f64, Value};
+use std::cmp::Ordering;
+
+/// Everything the batch executor needs from the planned statement.
+pub(crate) struct BatchInput<'a, 'q> {
+    pub(crate) select: &'q Select,
+    pub(crate) order_by: &'q [OrderItem],
+    /// Full statement scope (all relations, original columns).
+    pub(crate) scope: &'a Scope,
+    pub(crate) relations: &'a [Relation<'a>],
+    /// Pushed-down conjuncts per relation, planner order.
+    pub(crate) pushed: &'a [Vec<&'q Expr>],
+    /// Residual filter conjuncts over the joined row.
+    pub(crate) residual: &'a [&'q Expr],
+    pub(crate) planned: Option<&'a sb_opt::PlannedSelect<'q>>,
+    /// Whether the executor is forced to nested-loop joins (the batch
+    /// path only implements hash joins, and must not silently hash-join
+    /// a query whose row path would error inside a nested-loop
+    /// predicate).
+    pub(crate) nested_loop: bool,
+}
+
+/// Attempt batch execution. `None` means "fall back to the row path" —
+/// never an error.
+pub(crate) fn try_select(input: &BatchInput<'_, '_>) -> Option<Projected> {
+    let out = run(input);
+    if sb_obs::enabled() {
+        note_outcome(out.is_some());
+    }
+    out
+}
+
+fn run(input: &BatchInput<'_, '_>) -> Option<Projected> {
+    if input.nested_loop && !input.select.joins.is_empty() {
+        return None;
+    }
+    // Base tables with clean columnar images only.
+    let tables: Vec<Arc<ColumnarTable>> = input
+        .relations
+        .iter()
+        .map(|r| match &r.source {
+            crate::exec::RelSource::Base(t) => Table::columnar(t),
+            crate::exec::RelSource::Derived(_) => None,
+        })
+        .collect::<Option<_>>()?;
+    let cx = Cx {
+        scope: input.scope,
+        tables: &tables,
+    };
+
+    // Compile pushed and residual conjuncts up front: any resolution or
+    // typing problem bails before touching data, leaving error behavior
+    // (including "zero rows swallow residual errors") to the row path.
+    let pushed: Vec<Vec<BoolK>> = input
+        .pushed
+        .iter()
+        .map(|conjs| conjs.iter().map(|c| cx.compile_bool(c)).collect())
+        .collect::<Option<_>>()?;
+    let residual: Vec<BoolK> = input
+        .residual
+        .iter()
+        .map(|c| cx.compile_bool(c))
+        .collect::<Option<_>>()?;
+
+    // Per-relation scans: progressive selection vectors, conjunct k
+    // evaluated only over survivors of conjuncts 1..k-1.
+    let mut sels: Vec<Vec<u32>> = Vec::with_capacity(tables.len());
+    for (rel, conjs) in pushed.iter().enumerate() {
+        let scanned = tables[rel].len;
+        let mut sel: Vec<u32> = (0..scanned as u32).collect();
+        for conj in conjs {
+            let view = View::single(&tables, input.relations.len(), rel, &sel);
+            let tri = conj.eval(&view)?;
+            let before = sel.len();
+            // Branch-free compaction: always write, advance the cursor
+            // only on a keep — no data-dependent branch to mispredict.
+            let mut kept = vec![0u32; before];
+            let mut k = 0usize;
+            for (i, &r) in sel.iter().enumerate() {
+                kept[k] = r;
+                k += (tri[i] == 1) as usize;
+            }
+            kept.truncate(k);
+            if sb_obs::enabled() {
+                note_filter(before, kept.len());
+            }
+            sel = kept;
+        }
+        if sb_obs::enabled() {
+            note_scan(scanned, sel.len());
+        }
+        sels.push(sel);
+    }
+
+    // Joins: hash only, source or planner order.
+    let mut rowids = join_all(&cx, input, sels)?;
+
+    // Residual filter over the joined view.
+    for conj in &residual {
+        let view = View::all(&tables, &rowids);
+        let tri = conj.eval(&view)?;
+        let before = view.len;
+        let mut keep_idx = vec![0usize; before];
+        let mut k = 0usize;
+        for (i, &t) in tri.iter().enumerate() {
+            keep_idx[k] = i;
+            k += (t == 1) as usize;
+        }
+        keep_idx.truncate(k);
+        if sb_obs::enabled() {
+            note_filter(before, keep_idx.len());
+        }
+        for col in &mut rowids {
+            *col = keep_idx.iter().map(|&i| col[i]).collect();
+        }
+    }
+
+    let view = View::all(&tables, &rowids);
+    if is_aggregate_query(input.select, input.order_by) {
+        grouped(&cx, input, &view)
+    } else {
+        plain(&cx, input, &view)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Views: which rows of which relations a kernel evaluates over.
+// ---------------------------------------------------------------------
+
+/// A batch of joined rows: per relation, a selection vector of row ids
+/// (`None` for relations not in scope of the current phase, e.g. other
+/// relations during a pushed-down scan filter).
+struct View<'a> {
+    tables: &'a [Arc<ColumnarTable>],
+    rows: Vec<Option<&'a [u32]>>,
+    len: usize,
+    /// Whether every in-scope selection is ascending and unique (true
+    /// for scan-phase selections; false after a join, whose rowid
+    /// columns may repeat rows). Only when this holds does full length
+    /// imply the identity selection, unlocking memcpy-style gathers.
+    ascending: bool,
+}
+
+impl<'a> View<'a> {
+    fn single(tables: &'a [Arc<ColumnarTable>], n: usize, rel: usize, sel: &'a [u32]) -> Self {
+        let mut rows = vec![None; n];
+        rows[rel] = Some(sel);
+        View {
+            tables,
+            rows,
+            len: sel.len(),
+            ascending: true,
+        }
+    }
+
+    fn all(tables: &'a [Arc<ColumnarTable>], rowids: &'a [Vec<u32>]) -> Self {
+        let len = rowids.first().map_or(0, Vec::len);
+        View {
+            tables,
+            rows: rowids.iter().map(|c| Some(c.as_slice())).collect(),
+            len,
+            // A join can emit a base row any number of times; only the
+            // single-relation passthrough keeps the scan's ordering.
+            ascending: rowids.len() == 1,
+        }
+    }
+
+    #[inline]
+    fn col(&self, id: ColId) -> &'a Column {
+        &self.tables[id.rel].columns[id.col]
+    }
+
+    /// Row id (into the base table) of batch row `i` for `id`'s relation.
+    #[inline]
+    fn rid(&self, id: ColId, i: usize) -> usize {
+        self.rows[id.rel].expect("kernel touched an out-of-scope relation")[i] as usize
+    }
+
+    /// The whole selection vector for `id`'s relation (hot gathers hoist
+    /// this out of their per-row loops).
+    #[inline]
+    fn sel(&self, id: ColId) -> &'a [u32] {
+        self.rows[id.rel].expect("kernel touched an out-of-scope relation")
+    }
+
+    /// Whether `sel` is the identity selection over a table of
+    /// `table_len` rows: ascending + unique + full length. Gathers may
+    /// then read slots directly (or memcpy) instead of indirecting.
+    #[inline]
+    fn identity(&self, sel: &[u32], table_len: usize) -> bool {
+        self.ascending && sel.len() == table_len
+    }
+}
+
+/// Per-selection null flags; an all-valid column memsets instead of
+/// probing the bitmap row by row, and an identity selection (row i =
+/// slot i) expands the bitmap word at a time. `identity` must be
+/// established by the caller via [`View::identity`].
+fn gather_nulls(mask: &NullMask, sel: &[u32], identity: bool) -> Vec<bool> {
+    if !mask.any() {
+        vec![false; sel.len()]
+    } else if identity {
+        let mut out = vec![false; sel.len()];
+        mask.or_into(&mut out);
+        out
+    } else {
+        sel.iter().map(|&r| mask.is_null(r as usize)).collect()
+    }
+}
+
+/// A resolved column: relation index (FROM/JOIN order) and column index
+/// in the relation's original (unpruned) layout.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct ColId {
+    rel: usize,
+    col: usize,
+}
+
+/// Kernel compiler context: resolution against the statement scope plus
+/// the columnar images that decide each column's runtime class.
+struct Cx<'a> {
+    scope: &'a Scope,
+    tables: &'a [Arc<ColumnarTable>],
+}
+
+impl Cx<'_> {
+    fn resolve(&self, c: &ColumnRef) -> Option<ColId> {
+        let flat = self.scope.resolve(c).ok()?;
+        let rel = self.scope.bindings.iter().rposition(|b| b.offset <= flat)?;
+        Some(ColId {
+            rel,
+            col: flat - self.scope.bindings[rel].offset,
+        })
+    }
+
+    fn data(&self, id: ColId) -> &ColumnData {
+        &self.tables[id.rel].columns[id.col].data
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernels. Every `eval` returns `Option`: `None` = bail to the row path.
+// ---------------------------------------------------------------------
+
+/// Numeric expression kernel.
+enum NumK {
+    IntCol(ColId),
+    FloatCol(ColId),
+    IntLit(i64),
+    FloatLit(f64),
+    NullLit,
+    Neg(Box<NumK>),
+    Arith {
+        l: Box<NumK>,
+        op: BinaryOp,
+        r: Box<NumK>,
+    },
+}
+
+/// Static class of a numeric kernel's output.
+#[derive(Clone, Copy, PartialEq)]
+enum NumTy {
+    Int,
+    Float,
+    Null,
+}
+
+/// A numeric batch: typed data plus per-row null flags.
+enum NumOut {
+    Int(Vec<i64>, Vec<bool>),
+    Float(Vec<f64>, Vec<bool>),
+    AllNull,
+}
+
+impl NumK {
+    /// The constant cell of a literal kernel, letting comparisons skip
+    /// broadcasting the literal side into a full batch.
+    #[inline]
+    fn as_lit(&self) -> Option<NumCell> {
+        match self {
+            NumK::IntLit(k) => Some(NumCell::I(*k)),
+            NumK::FloatLit(f) => Some(NumCell::F(*f)),
+            _ => None,
+        }
+    }
+
+    fn ty(&self) -> NumTy {
+        match self {
+            NumK::IntCol(_) | NumK::IntLit(_) => NumTy::Int,
+            NumK::FloatCol(_) | NumK::FloatLit(_) => NumTy::Float,
+            NumK::NullLit => NumTy::Null,
+            NumK::Neg(e) => e.ty(),
+            NumK::Arith { l, r, .. } => match (l.ty(), r.ty()) {
+                (NumTy::Null, _) | (_, NumTy::Null) => NumTy::Null,
+                (NumTy::Int, NumTy::Int) => NumTy::Int,
+                _ => NumTy::Float,
+            },
+        }
+    }
+
+    fn eval(&self, v: &View) -> Option<NumOut> {
+        let n = v.len;
+        Some(match self {
+            NumK::IntCol(id) => {
+                let col = v.col(*id);
+                let ColumnData::Int(data) = &col.data else {
+                    return None;
+                };
+                let sel = v.sel(*id);
+                let ident = v.identity(sel, data.len());
+                let out = if ident {
+                    data.clone()
+                } else {
+                    sel.iter().map(|&r| data[r as usize]).collect()
+                };
+                NumOut::Int(out, gather_nulls(&col.nulls, sel, ident))
+            }
+            NumK::FloatCol(id) => {
+                let col = v.col(*id);
+                let ColumnData::Float(data) = &col.data else {
+                    return None;
+                };
+                let sel = v.sel(*id);
+                let ident = v.identity(sel, data.len());
+                let out = if ident {
+                    data.clone()
+                } else {
+                    sel.iter().map(|&r| data[r as usize]).collect()
+                };
+                NumOut::Float(out, gather_nulls(&col.nulls, sel, ident))
+            }
+            NumK::IntLit(k) => NumOut::Int(vec![*k; n], vec![false; n]),
+            NumK::FloatLit(f) => NumOut::Float(vec![*f; n], vec![false; n]),
+            NumK::NullLit => NumOut::AllNull,
+            NumK::Neg(e) => match e.eval(v)? {
+                NumOut::AllNull => NumOut::AllNull,
+                NumOut::Int(mut data, nulls) => {
+                    for (d, &null) in data.iter_mut().zip(&nulls) {
+                        if !null {
+                            *d = d.checked_neg()?;
+                        }
+                    }
+                    NumOut::Int(data, nulls)
+                }
+                NumOut::Float(mut data, nulls) => {
+                    for d in &mut data {
+                        *d = -*d;
+                    }
+                    NumOut::Float(data, nulls)
+                }
+            },
+            NumK::Arith { l, op, r } => {
+                // The hot filter shape `float_col ⊕ float_col` (q3's
+                // color cut `u - r`) fuses gather and arithmetic into
+                // one pass: no intermediate operand batches. Float
+                // Add/Sub/Mul cannot error, so computing through null
+                // slots (finite placeholders) is mask-safe.
+                if let (NumK::FloatCol(ia), NumK::FloatCol(ib)) = (&**l, &**r) {
+                    if matches!(op, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul) {
+                        let (ca, cb) = (v.col(*ia), v.col(*ib));
+                        if let (ColumnData::Float(da), ColumnData::Float(db)) = (&ca.data, &cb.data)
+                        {
+                            let (sa, sb) = (v.sel(*ia), v.sel(*ib));
+                            // Identity selections drop the index
+                            // indirection so the loop vectorizes.
+                            let identity = v.identity(sa, da.len()) && v.identity(sb, db.len());
+                            let nulls = if !ca.nulls.any() && !cb.nulls.any() {
+                                vec![false; n]
+                            } else if identity {
+                                let mut out = vec![false; n];
+                                ca.nulls.or_into(&mut out);
+                                cb.nulls.or_into(&mut out);
+                                out
+                            } else {
+                                (0..n)
+                                    .map(|i| {
+                                        ca.nulls.is_null(sa[i] as usize)
+                                            | cb.nulls.is_null(sb[i] as usize)
+                                    })
+                                    .collect()
+                            };
+                            let zip = || da.iter().zip(db.iter());
+                            let gat = |i: usize| -> (f64, f64) {
+                                (da[sa[i] as usize], db[sb[i] as usize])
+                            };
+                            let data: Vec<f64> = match (op, identity) {
+                                (BinaryOp::Add, true) => zip().map(|(&a, &b)| a + b).collect(),
+                                (BinaryOp::Sub, true) => zip().map(|(&a, &b)| a - b).collect(),
+                                (_, true) => zip().map(|(&a, &b)| a * b).collect(),
+                                (BinaryOp::Add, false) => (0..n)
+                                    .map(|i| {
+                                        let (a, b) = gat(i);
+                                        a + b
+                                    })
+                                    .collect(),
+                                (BinaryOp::Sub, false) => (0..n)
+                                    .map(|i| {
+                                        let (a, b) = gat(i);
+                                        a - b
+                                    })
+                                    .collect(),
+                                (_, false) => (0..n)
+                                    .map(|i| {
+                                        let (a, b) = gat(i);
+                                        a * b
+                                    })
+                                    .collect(),
+                            };
+                            return Some(NumOut::Float(data, nulls));
+                        }
+                    }
+                }
+                // Both operands are evaluated even when one is statically
+                // NULL: the row path evaluates both before its null
+                // check, so an error hiding in either side must force a
+                // bail, not be skipped.
+                let a = l.eval(v)?;
+                let b = r.eval(v)?;
+                match (a, b) {
+                    (NumOut::AllNull, _) | (_, NumOut::AllNull) => NumOut::AllNull,
+                    (NumOut::Int(x, xn), NumOut::Int(y, yn)) => {
+                        let mut out = Vec::with_capacity(n);
+                        let mut nulls = Vec::with_capacity(n);
+                        for i in 0..n {
+                            if xn[i] || yn[i] {
+                                out.push(0);
+                                nulls.push(true);
+                                continue;
+                            }
+                            let (a, b) = (x[i], y[i]);
+                            let r = match op {
+                                BinaryOp::Add => a.checked_add(b)?,
+                                BinaryOp::Sub => a.checked_sub(b)?,
+                                BinaryOp::Mul => a.checked_mul(b)?,
+                                BinaryOp::Div => {
+                                    if b == 0 {
+                                        // Division by zero is NULL, not
+                                        // an error.
+                                        out.push(0);
+                                        nulls.push(true);
+                                        continue;
+                                    }
+                                    a.checked_div(b)?
+                                }
+                                _ => return None,
+                            };
+                            out.push(r);
+                            nulls.push(false);
+                        }
+                        NumOut::Int(out, nulls)
+                    }
+                    (a, b) => {
+                        // Mixed or float: both sides as f64, like the row
+                        // path's `as_f64` promotion. Add/Sub/Mul compute
+                        // straight through null slots (placeholders are
+                        // finite 0.0s, and masked results are never
+                        // read), so the loops stay branch-free.
+                        let (x, xn) = a.into_f64();
+                        let (y, yn) = b.into_f64();
+                        let zip = || x.iter().zip(&y);
+                        let mut nulls: Vec<bool> =
+                            xn.iter().zip(&yn).map(|(&p, &q)| p | q).collect();
+                        let out: Vec<f64> = match op {
+                            BinaryOp::Add => zip().map(|(&a, &b)| a + b).collect(),
+                            BinaryOp::Sub => zip().map(|(&a, &b)| a - b).collect(),
+                            BinaryOp::Mul => zip().map(|(&a, &b)| a * b).collect(),
+                            BinaryOp::Div => {
+                                // Division by zero is NULL, not an error.
+                                let mut out = Vec::with_capacity(n);
+                                for i in 0..n {
+                                    if nulls[i] || y[i] == 0.0 {
+                                        nulls[i] = true;
+                                        out.push(0.0);
+                                    } else {
+                                        out.push(x[i] / y[i]);
+                                    }
+                                }
+                                out
+                            }
+                            _ => return None,
+                        };
+                        NumOut::Float(out, nulls)
+                    }
+                }
+            }
+        })
+    }
+}
+
+/// One non-null cell of a numeric batch.
+#[derive(Clone, Copy)]
+enum NumCell {
+    I(i64),
+    F(f64),
+}
+
+impl NumOut {
+    #[inline]
+    fn cell(&self, i: usize) -> Option<NumCell> {
+        match self {
+            NumOut::Int(d, n) => (!n[i]).then(|| NumCell::I(d[i])),
+            NumOut::Float(d, n) => (!n[i]).then(|| NumCell::F(d[i])),
+            NumOut::AllNull => None,
+        }
+    }
+
+    fn into_f64(self) -> (Vec<f64>, Vec<bool>) {
+        match self {
+            NumOut::Int(d, n) => (d.into_iter().map(|v| v as f64).collect(), n),
+            NumOut::Float(d, n) => (d, n),
+            NumOut::AllNull => unreachable!("AllNull handled before promotion"),
+        }
+    }
+}
+
+/// Ordering of two non-null numeric cells under `Value::compare`:
+/// `None` exactly when a NaN is involved (the caller decides whether
+/// that is a NULL, as in BETWEEN, or a row-path error, as in `<`).
+#[inline]
+fn cmp_cells(a: NumCell, b: NumCell) -> Option<Ordering> {
+    match (a, b) {
+        (NumCell::I(x), NumCell::I(y)) => Some(x.cmp(&y)),
+        (NumCell::I(x), NumCell::F(y)) => (!y.is_nan()).then(|| cmp_int_f64(x, y)),
+        (NumCell::F(x), NumCell::I(y)) => (!x.is_nan()).then(|| cmp_int_f64(y, x).reverse()),
+        (NumCell::F(x), NumCell::F(y)) => x.partial_cmp(&y),
+    }
+}
+
+/// `lit op x` rewritten as `x op' lit` so the swapped-literal lane can
+/// share the unswapped loops.
+fn mirror(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+/// Branch-free tristate compare of one float batch against per-row
+/// right-hand values produced by `rhs(i)`. Callers have already ruled
+/// out NaN, so `total_cmp`-free primitive compares are exact.
+macro_rules! cmp_lane {
+    ($d:expr, $nulls:expr, $op:expr, $rhs:expr) => {{
+        let (d, nulls) = ($d, $nulls);
+        let tri = |b: bool, nl: bool| if nl { -1 } else { b as i8 };
+        match $op {
+            BinaryOp::Eq => (0..d.len())
+                .map(|i| tri(d[i] == $rhs(i), nulls[i]))
+                .collect(),
+            BinaryOp::NotEq => (0..d.len())
+                .map(|i| tri(d[i] != $rhs(i), nulls[i]))
+                .collect(),
+            BinaryOp::Lt => (0..d.len())
+                .map(|i| tri(d[i] < $rhs(i), nulls[i]))
+                .collect(),
+            BinaryOp::LtEq => (0..d.len())
+                .map(|i| tri(d[i] <= $rhs(i), nulls[i]))
+                .collect(),
+            BinaryOp::Gt => (0..d.len())
+                .map(|i| tri(d[i] > $rhs(i), nulls[i]))
+                .collect(),
+            BinaryOp::GtEq => (0..d.len())
+                .map(|i| tri(d[i] >= $rhs(i), nulls[i]))
+                .collect(),
+            _ => unreachable!("comparison kernels only carry comparison ops"),
+        }
+    }};
+}
+
+/// Batch vs. one literal cell. `swapped` means the literal was the left
+/// operand. Same bail rule as [`cmp_cells`]: a NaN reaching an ordered
+/// comparison is a row-path decision — the NaN pre-scan may over-bail
+/// on a NaN hiding in a null slot, which is safe (the row path decides).
+fn cmp_num_lit(a: &NumOut, op: BinaryOp, lit: NumCell, swapped: bool, n: usize) -> Option<Vec<i8>> {
+    let op = if swapped { mirror(op) } else { op };
+    Some(match (a, lit) {
+        (NumOut::AllNull, _) => vec![-1; n],
+        // Homogeneous fast lanes: NaN handling hoisted out of the loop,
+        // per-row work is a primitive compare and a null select.
+        (NumOut::Int(d, nulls), NumCell::I(y)) => cmp_lane!(d, nulls, op, |_i| y),
+        (NumOut::Float(d, nulls), NumCell::F(y)) => {
+            if y.is_nan() || d.iter().any(|v| v.is_nan()) {
+                return None;
+            }
+            cmp_lane!(d, nulls, op, |_i| y)
+        }
+        // Mixed classes: per-row exact compare; `op` is already
+        // mirrored, so x-vs-lit ordering is correct for both operand
+        // orders.
+        _ => {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(match a.cell(i) {
+                    Some(x) => tri_of(cmp_cells(x, lit)?, op),
+                    None => -1,
+                });
+            }
+            out
+        }
+    })
+}
+
+/// Batch vs. batch comparison with typed fast lanes for the homogeneous
+/// cases and the generic cell loop for mixed ones.
+fn cmp_num_outs(a: &NumOut, op: BinaryOp, b: &NumOut, n: usize) -> Option<Vec<i8>> {
+    Some(match (a, b) {
+        (NumOut::AllNull, _) | (_, NumOut::AllNull) => vec![-1; n],
+        (NumOut::Int(x, xn), NumOut::Int(y, yn)) => {
+            let nulls: Vec<bool> = xn.iter().zip(yn).map(|(&p, &q)| p | q).collect();
+            cmp_lane!(x, &nulls, op, |i: usize| y[i])
+        }
+        (NumOut::Float(x, xn), NumOut::Float(y, yn)) => {
+            if x.iter().any(|v| v.is_nan()) || y.iter().any(|v| v.is_nan()) {
+                return None;
+            }
+            let nulls: Vec<bool> = xn.iter().zip(yn).map(|(&p, &q)| p | q).collect();
+            cmp_lane!(x, &nulls, op, |i: usize| y[i])
+        }
+        _ => {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(match (a.cell(i), b.cell(i)) {
+                    (Some(x), Some(y)) => tri_of(cmp_cells(x, y)?, op),
+                    _ => -1,
+                });
+            }
+            out
+        }
+    })
+}
+
+#[inline]
+fn tri_of(ord: Ordering, op: BinaryOp) -> i8 {
+    let b = match op {
+        BinaryOp::Eq => ord.is_eq(),
+        BinaryOp::NotEq => !ord.is_eq(),
+        BinaryOp::Lt => ord.is_lt(),
+        BinaryOp::LtEq => ord.is_le(),
+        BinaryOp::Gt => ord.is_gt(),
+        BinaryOp::GtEq => ord.is_ge(),
+        _ => unreachable!("comparison kernels only carry comparison ops"),
+    };
+    b as i8
+}
+
+/// Text expression kernel: a dictionary-encoded column, a literal, or
+/// a statically-NULL value.
+enum TextK {
+    Col(ColId),
+    Lit(String),
+    Null,
+}
+
+impl TextK {
+    fn dict<'a>(&self, v: &View<'a>, id: ColId) -> Option<(&'a DictColumn, &'a Column)> {
+        let col = v.col(id);
+        match &col.data {
+            ColumnData::Text(d) => Some((d, col)),
+            _ => None,
+        }
+    }
+}
+
+/// Boolean (tristate) expression kernel.
+enum BoolK {
+    Const(i8),
+    Col(ColId),
+    CmpNum {
+        l: NumK,
+        op: BinaryOp,
+        r: NumK,
+    },
+    CmpText {
+        l: TextK,
+        op: BinaryOp,
+        r: TextK,
+    },
+    CmpBool {
+        l: Box<BoolK>,
+        op: BinaryOp,
+        r: Box<BoolK>,
+    },
+    BetweenNum {
+        v: NumK,
+        lo: NumK,
+        hi: NumK,
+        negated: bool,
+    },
+    BetweenText {
+        v: TextK,
+        lo: TextK,
+        hi: TextK,
+        negated: bool,
+    },
+    InList {
+        v: Box<ValK>,
+        items: Vec<Value>,
+        negated: bool,
+    },
+    LikeDict {
+        col: ColId,
+        pattern: String,
+        negated: bool,
+    },
+    IsNull {
+        v: Box<AnyK>,
+        negated: bool,
+    },
+    Not(Box<BoolK>),
+    Logic {
+        l: Box<BoolK>,
+        op: BinaryOp,
+        r: Box<BoolK>,
+    },
+}
+
+impl BoolK {
+    fn eval(&self, v: &View) -> Option<Vec<i8>> {
+        let n = v.len;
+        Some(match self {
+            BoolK::Const(t) => vec![*t; n],
+            BoolK::Col(id) => {
+                let col = v.col(*id);
+                let ColumnData::Bool(data) = &col.data else {
+                    return None;
+                };
+                (0..n)
+                    .map(|i| {
+                        let r = v.rid(*id, i);
+                        if col.nulls.is_null(r) {
+                            -1
+                        } else {
+                            data[r] as i8
+                        }
+                    })
+                    .collect()
+            }
+            BoolK::CmpNum { l, op, r } => match (l.as_lit(), r.as_lit()) {
+                (None, Some(lit)) => cmp_num_lit(&l.eval(v)?, *op, lit, false, n)?,
+                (Some(lit), None) => cmp_num_lit(&r.eval(v)?, *op, lit, true, n)?,
+                _ => cmp_num_outs(&l.eval(v)?, *op, &r.eval(v)?, n)?,
+            },
+            BoolK::CmpText { l, op, r } => self.eval_cmp_text(v, l, *op, r)?,
+            BoolK::CmpBool { l, op, r } => {
+                let a = l.eval(v)?;
+                let b = r.eval(v)?;
+                a.iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| {
+                        if x < 0 || y < 0 {
+                            -1
+                        } else {
+                            tri_of((x == 1).cmp(&(y == 1)), *op)
+                        }
+                    })
+                    .collect()
+            }
+            BoolK::BetweenNum {
+                v: e,
+                lo,
+                hi,
+                negated,
+            } => {
+                let a = e.eval(v)?;
+                let l = lo.eval(v)?;
+                let h = hi.eval(v)?;
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    // `compare` semantics: NULL or NaN → unknown bound.
+                    let ge = match (a.cell(i), l.cell(i)) {
+                        (Some(x), Some(y)) => cmp_cells(x, y).map(Ordering::is_ge),
+                        _ => None,
+                    };
+                    let le = match (a.cell(i), h.cell(i)) {
+                        (Some(x), Some(y)) => cmp_cells(x, y).map(Ordering::is_le),
+                        _ => None,
+                    };
+                    out.push(between_tri(ge, le, *negated));
+                }
+                out
+            }
+            BoolK::BetweenText {
+                v: e,
+                lo,
+                hi,
+                negated,
+            } => {
+                let a = TextBatch::gather(e, v)?;
+                let l = TextBatch::gather(lo, v)?;
+                let h = TextBatch::gather(hi, v)?;
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    let ge = match (a.get(v, i), l.get(v, i)) {
+                        (Some(x), Some(y)) => Some(x.cmp(y).is_ge()),
+                        _ => None,
+                    };
+                    let le = match (a.get(v, i), h.get(v, i)) {
+                        (Some(x), Some(y)) => Some(x.cmp(y).is_le()),
+                        _ => None,
+                    };
+                    out.push(between_tri(ge, le, *negated));
+                }
+                out
+            }
+            BoolK::InList {
+                v: e,
+                items,
+                negated,
+            } => {
+                let vals = e.materialize(v, &[])?;
+                vals.iter()
+                    .map(|val| {
+                        // Mirror of the row path's IN loop: `sql_eq` per
+                        // item in order, first match wins, any unknown
+                        // comparison remembered as NULL.
+                        let mut saw_null = val.is_null();
+                        let mut found = false;
+                        for item in items {
+                            match val.sql_eq(item) {
+                                Some(true) => {
+                                    found = true;
+                                    break;
+                                }
+                                Some(false) => {}
+                                None => saw_null = true,
+                            }
+                        }
+                        if found {
+                            !*negated as i8
+                        } else if saw_null {
+                            -1
+                        } else {
+                            *negated as i8
+                        }
+                    })
+                    .collect()
+            }
+            BoolK::LikeDict {
+                col,
+                pattern,
+                negated,
+            } => {
+                let c = v.col(*col);
+                let ColumnData::Text(d) = &c.data else {
+                    return None;
+                };
+                // One match per distinct string, not per row.
+                let lut: Vec<i8> = d
+                    .values
+                    .iter()
+                    .map(|s| (like_match(s, pattern) != *negated) as i8)
+                    .collect();
+                if sb_obs::enabled() {
+                    note_dict_lut(lut.len(), n);
+                }
+                (0..n)
+                    .map(|i| {
+                        let r = v.rid(*col, i);
+                        if c.nulls.is_null(r) {
+                            -1
+                        } else {
+                            lut[d.codes[r] as usize]
+                        }
+                    })
+                    .collect()
+            }
+            BoolK::IsNull { v: e, negated } => {
+                let nulls = e.nulls(v)?;
+                nulls
+                    .into_iter()
+                    .map(|is_null| (is_null != *negated) as i8)
+                    .collect()
+            }
+            BoolK::Not(e) => e
+                .eval(v)?
+                .into_iter()
+                .map(|t| if t < 0 { -1 } else { 1 - t })
+                .collect(),
+            BoolK::Logic { l, op, r } => {
+                // Eager on both sides: if either side would have errored
+                // past a row-path short circuit, the kernel bails and the
+                // row path re-decides (including whether to error).
+                let a = l.eval(v)?;
+                let b = r.eval(v)?;
+                a.iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| opt_tri(combine_logical(*op, tri_opt(x), tri_opt(y))))
+                    .collect()
+            }
+        })
+    }
+
+    fn eval_cmp_text(&self, v: &View, l: &TextK, op: BinaryOp, r: &TextK) -> Option<Vec<i8>> {
+        let n = v.len;
+        Some(match (l, r) {
+            (TextK::Null, _) | (_, TextK::Null) => vec![-1; n],
+            (TextK::Lit(a), TextK::Lit(b)) => vec![tri_of(a.as_str().cmp(b.as_str()), op); n],
+            (TextK::Col(id), TextK::Lit(s)) => {
+                let (d, c) = l.dict(v, *id)?;
+                let lut: Vec<i8> = d
+                    .values
+                    .iter()
+                    .map(|val| tri_of(val.as_str().cmp(s.as_str()), op))
+                    .collect();
+                if sb_obs::enabled() {
+                    note_dict_lut(lut.len(), n);
+                }
+                (0..n)
+                    .map(|i| {
+                        let r = v.rid(*id, i);
+                        if c.nulls.is_null(r) {
+                            -1
+                        } else {
+                            lut[d.codes[r] as usize]
+                        }
+                    })
+                    .collect()
+            }
+            (TextK::Lit(s), TextK::Col(id)) => {
+                let (d, c) = r.dict(v, *id)?;
+                let lut: Vec<i8> = d
+                    .values
+                    .iter()
+                    .map(|val| tri_of(s.as_str().cmp(val.as_str()), op))
+                    .collect();
+                if sb_obs::enabled() {
+                    note_dict_lut(lut.len(), n);
+                }
+                (0..n)
+                    .map(|i| {
+                        let r = v.rid(*id, i);
+                        if c.nulls.is_null(r) {
+                            -1
+                        } else {
+                            lut[d.codes[r] as usize]
+                        }
+                    })
+                    .collect()
+            }
+            (TextK::Col(a), TextK::Col(b)) => {
+                let (da, ca) = l.dict(v, *a)?;
+                let (db, cb) = r.dict(v, *b)?;
+                (0..n)
+                    .map(|i| {
+                        let (ra, rb) = (v.rid(*a, i), v.rid(*b, i));
+                        if ca.nulls.is_null(ra) || cb.nulls.is_null(rb) {
+                            -1
+                        } else {
+                            let x = &da.values[da.codes[ra] as usize];
+                            let y = &db.values[db.codes[rb] as usize];
+                            tri_of(x.as_str().cmp(y.as_str()), op)
+                        }
+                    })
+                    .collect()
+            }
+        })
+    }
+}
+
+/// Mirror of the row path's BETWEEN combination: a definite "out of
+/// range" on either bound decides FALSE even when the other bound is
+/// unknown.
+#[inline]
+fn between_tri(ge: Option<bool>, le: Option<bool>, negated: bool) -> i8 {
+    let within = match (ge, le) {
+        (Some(a), Some(b)) => Some(a && b),
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        _ => None,
+    };
+    match within {
+        Some(w) => (w != negated) as i8,
+        None => -1,
+    }
+}
+
+#[inline]
+fn tri_opt(t: i8) -> Option<bool> {
+    match t {
+        1 => Some(true),
+        0 => Some(false),
+        _ => None,
+    }
+}
+
+#[inline]
+fn opt_tri(o: Option<bool>) -> i8 {
+    match o {
+        Some(true) => 1,
+        Some(false) => 0,
+        None => -1,
+    }
+}
+
+/// A gathered text batch side for ordered text kernels.
+enum TextBatch<'k> {
+    Col(ColId),
+    Lit(&'k str),
+    Null,
+}
+
+impl<'k> TextBatch<'k> {
+    fn gather(k: &'k TextK, v: &View) -> Option<Self> {
+        Some(match k {
+            TextK::Col(id) => {
+                match v.col(*id).data {
+                    ColumnData::Text(_) => {}
+                    _ => return None,
+                }
+                TextBatch::Col(*id)
+            }
+            TextK::Lit(s) => TextBatch::Lit(s),
+            TextK::Null => TextBatch::Null,
+        })
+    }
+
+    fn get<'a>(&'a self, v: &View<'a>, i: usize) -> Option<&'a str> {
+        match self {
+            TextBatch::Col(id) => {
+                let col = v.col(*id);
+                let r = v.rid(*id, i);
+                if col.nulls.is_null(r) {
+                    return None;
+                }
+                let ColumnData::Text(d) = &col.data else {
+                    unreachable!("checked at gather");
+                };
+                Some(&d.values[d.codes[r] as usize])
+            }
+            TextBatch::Lit(s) => Some(s),
+            TextBatch::Null => None,
+        }
+    }
+}
+
+/// Any-class kernel used where only null-ness matters (`IS NULL`).
+/// Evaluation still runs the full kernel so data-dependent errors the
+/// row path would surface (e.g. an overflow inside the tested
+/// expression) force a bail.
+enum AnyK {
+    Num(NumK),
+    Text(TextK),
+    Tri(BoolK),
+}
+
+impl AnyK {
+    fn nulls(&self, v: &View) -> Option<Vec<bool>> {
+        let n = v.len;
+        Some(match self {
+            AnyK::Num(k) => match k.eval(v)? {
+                NumOut::Int(_, nulls) | NumOut::Float(_, nulls) => nulls,
+                NumOut::AllNull => vec![true; n],
+            },
+            AnyK::Text(TextK::Col(id)) => {
+                let col = v.col(*id);
+                (0..n).map(|i| col.nulls.is_null(v.rid(*id, i))).collect()
+            }
+            AnyK::Text(TextK::Lit(_)) => vec![false; n],
+            AnyK::Text(TextK::Null) => vec![true; n],
+            AnyK::Tri(b) => b.eval(v)?.into_iter().map(|t| t < 0).collect(),
+        })
+    }
+}
+
+/// Value-producing kernel: projections, IN subjects, aggregate
+/// arguments, ORDER BY keys. `OutCol(i)` reads already-projected output
+/// column `i` (the ORDER BY alias fallback).
+enum ValK {
+    Num(NumK),
+    Text(TextK),
+    Tri(BoolK),
+    OutCol(usize),
+}
+
+impl ValK {
+    /// Materialize one `Value` per batch row. `projected` carries the
+    /// projected output columns (column-major) for `OutCol`.
+    fn materialize(&self, v: &View, projected: &[Vec<Value>]) -> Option<Vec<Value>> {
+        let n = v.len;
+        Some(match self {
+            ValK::Num(k) => match k.eval(v)? {
+                NumOut::Int(d, nulls) => d
+                    .into_iter()
+                    .zip(nulls)
+                    .map(|(x, null)| if null { Value::Null } else { Value::Int(x) })
+                    .collect(),
+                NumOut::Float(d, nulls) => d
+                    .into_iter()
+                    .zip(nulls)
+                    .map(|(x, null)| if null { Value::Null } else { Value::Float(x) })
+                    .collect(),
+                NumOut::AllNull => vec![Value::Null; n],
+            },
+            ValK::Text(TextK::Col(id)) => {
+                let col = v.col(*id);
+                let ColumnData::Text(d) = &col.data else {
+                    return None;
+                };
+                (0..n)
+                    .map(|i| {
+                        let r = v.rid(*id, i);
+                        if col.nulls.is_null(r) {
+                            Value::Null
+                        } else {
+                            Value::Text(d.values[d.codes[r] as usize].clone())
+                        }
+                    })
+                    .collect()
+            }
+            ValK::Text(TextK::Lit(s)) => vec![Value::Text(s.clone()); n],
+            ValK::Text(TextK::Null) => vec![Value::Null; n],
+            ValK::Tri(b) => b
+                .eval(v)?
+                .into_iter()
+                .map(|t| match t {
+                    1 => Value::Bool(true),
+                    0 => Value::Bool(false),
+                    _ => Value::Null,
+                })
+                .collect(),
+            ValK::OutCol(i) => {
+                let col = projected.get(*i)?;
+                col.clone()
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel compilation.
+// ---------------------------------------------------------------------
+
+impl Cx<'_> {
+    fn compile_num(&self, e: &Expr) -> Option<NumK> {
+        Some(match e {
+            Expr::Column(c) => {
+                let id = self.resolve(c)?;
+                match self.data(id) {
+                    ColumnData::Int(_) => NumK::IntCol(id),
+                    ColumnData::Float(_) => NumK::FloatCol(id),
+                    ColumnData::AllNull => NumK::NullLit,
+                    _ => return None,
+                }
+            }
+            Expr::Literal(Literal::Int(i)) => NumK::IntLit(*i),
+            Expr::Literal(Literal::Float(f)) => NumK::FloatLit(*f),
+            Expr::Literal(Literal::Null) => NumK::NullLit,
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => NumK::Neg(Box::new(self.compile_num(expr)?)),
+            Expr::Binary { left, op, right } if op.is_arithmetic() => NumK::Arith {
+                l: Box::new(self.compile_num(left)?),
+                op: *op,
+                r: Box::new(self.compile_num(right)?),
+            },
+            _ => return None,
+        })
+    }
+
+    fn compile_text(&self, e: &Expr) -> Option<TextK> {
+        Some(match e {
+            Expr::Column(c) => {
+                let id = self.resolve(c)?;
+                match self.data(id) {
+                    ColumnData::Text(_) => TextK::Col(id),
+                    ColumnData::AllNull => TextK::Null,
+                    _ => return None,
+                }
+            }
+            Expr::Literal(Literal::Str(s)) => TextK::Lit(s.clone()),
+            Expr::Literal(Literal::Null) => TextK::Null,
+            _ => return None,
+        })
+    }
+
+    fn compile_bool(&self, e: &Expr) -> Option<BoolK> {
+        Some(match e {
+            Expr::Column(c) => {
+                let id = self.resolve(c)?;
+                match self.data(id) {
+                    ColumnData::Bool(_) => BoolK::Col(id),
+                    ColumnData::AllNull => BoolK::Const(-1),
+                    _ => return None,
+                }
+            }
+            Expr::Literal(Literal::Bool(b)) => BoolK::Const(*b as i8),
+            Expr::Literal(Literal::Null) => BoolK::Const(-1),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => BoolK::Not(Box::new(self.compile_bool(expr)?)),
+            Expr::Binary { left, op, right } => match op {
+                BinaryOp::And | BinaryOp::Or => BoolK::Logic {
+                    l: Box::new(self.compile_bool(left)?),
+                    op: *op,
+                    r: Box::new(self.compile_bool(right)?),
+                },
+                op if op.is_comparison() => self.compile_cmp(left, *op, right)?,
+                _ => return None,
+            },
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => {
+                // Same-class triples only: a cross-class BETWEEN can
+                // still decide FALSE through the other bound in the row
+                // path, which a typed kernel cannot reproduce — bail.
+                if let (Some(v), Some(lo), Some(hi)) = (
+                    self.compile_num(expr),
+                    self.compile_num(low),
+                    self.compile_num(high),
+                ) {
+                    BoolK::BetweenNum {
+                        v,
+                        lo,
+                        hi,
+                        negated: *negated,
+                    }
+                } else if let (Some(v), Some(lo), Some(hi)) = (
+                    self.compile_text(expr),
+                    self.compile_text(low),
+                    self.compile_text(high),
+                ) {
+                    BoolK::BetweenText {
+                        v,
+                        lo,
+                        hi,
+                        negated: *negated,
+                    }
+                } else {
+                    return None;
+                }
+            }
+            Expr::InList {
+                expr,
+                negated,
+                list,
+            } => {
+                let items: Vec<Value> = list
+                    .iter()
+                    .map(|item| match item {
+                        Expr::Literal(l) => Some(literal_value(l)),
+                        _ => None,
+                    })
+                    .collect::<Option<_>>()?;
+                BoolK::InList {
+                    v: Box::new(self.compile_val(expr)?),
+                    items,
+                    negated: *negated,
+                }
+            }
+            Expr::Like {
+                expr,
+                negated,
+                pattern,
+            } => {
+                let t = self.compile_text(expr)?;
+                match pattern.as_ref() {
+                    Expr::Literal(Literal::Str(p)) => match t {
+                        TextK::Col(id) => BoolK::LikeDict {
+                            col: id,
+                            pattern: p.clone(),
+                            negated: *negated,
+                        },
+                        TextK::Lit(s) => BoolK::Const((like_match(&s, p) != *negated) as i8),
+                        TextK::Null => BoolK::Const(-1),
+                    },
+                    // NULL pattern: NULL for every row (the subject is a
+                    // text column or literal, which cannot error first).
+                    Expr::Literal(Literal::Null) => BoolK::Const(-1),
+                    // Non-text pattern errors in the row path unless the
+                    // subject is NULL.
+                    Expr::Literal(_) => match t {
+                        TextK::Null => BoolK::Const(-1),
+                        _ => return None,
+                    },
+                    _ => return None,
+                }
+            }
+            Expr::IsNull { expr, negated } => BoolK::IsNull {
+                v: Box::new(self.compile_any(expr)?),
+                negated: *negated,
+            },
+            _ => return None,
+        })
+    }
+
+    fn compile_cmp(&self, l: &Expr, op: BinaryOp, r: &Expr) -> Option<BoolK> {
+        if let (Some(a), Some(b)) = (self.compile_num(l), self.compile_num(r)) {
+            return Some(BoolK::CmpNum { l: a, op, r: b });
+        }
+        if let (Some(a), Some(b)) = (self.compile_text(l), self.compile_text(r)) {
+            return Some(BoolK::CmpText { l: a, op, r: b });
+        }
+        if let (Some(a), Some(b)) = (self.compile_bool(l), self.compile_bool(r)) {
+            return Some(BoolK::CmpBool {
+                l: Box::new(a),
+                op,
+                r: Box::new(b),
+            });
+        }
+        None
+    }
+
+    fn compile_val(&self, e: &Expr) -> Option<ValK> {
+        if let Some(k) = self.compile_num(e) {
+            return Some(ValK::Num(k));
+        }
+        if let Some(k) = self.compile_text(e) {
+            return Some(ValK::Text(k));
+        }
+        self.compile_bool(e).map(ValK::Tri)
+    }
+
+    fn compile_any(&self, e: &Expr) -> Option<AnyK> {
+        if let Some(k) = self.compile_num(e) {
+            return Some(AnyK::Num(k));
+        }
+        if let Some(k) = self.compile_text(e) {
+            return Some(AnyK::Text(k));
+        }
+        self.compile_bool(e).map(AnyK::Tri)
+    }
+
+    /// ORDER BY key compiler, mirroring the row path's alias fallback:
+    /// only a *bare* column that fails resolution with `UnknownColumn`
+    /// may fall back to a projection alias; the matching item's **flat
+    /// output column** at the item's index is used, exactly like
+    /// `OrderProg::Projected`.
+    fn compile_order_key(&self, e: &Expr, select: &Select) -> Option<ValK> {
+        if let Expr::Column(c) = e {
+            if c.table.is_none() {
+                match self.scope.resolve(c) {
+                    Err(EngineError::UnknownColumn(_)) => {
+                        for (i, item) in select.projections.iter().enumerate() {
+                            if let SelectItem::Expr { alias: Some(a), .. } = item {
+                                if a.eq_ignore_ascii_case(&c.column) {
+                                    return Some(ValK::OutCol(i));
+                                }
+                            }
+                        }
+                        return None; // row path errors
+                    }
+                    Err(_) => return None,
+                    Ok(_) => {}
+                }
+            }
+        }
+        self.compile_val(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Joins.
+// ---------------------------------------------------------------------
+
+/// Join hash key under SQL equality — the column-vector mirror of the
+/// row executor's `join_key`: NULL and NaN never match, integral floats
+/// unify with ints.
+#[derive(PartialEq, Eq, Hash)]
+enum JKey<'a> {
+    Int(i64),
+    Float(u64),
+    Text(&'a str),
+    Bool(bool),
+}
+
+fn col_join_key<'a>(col: &'a Column, rid: usize) -> Option<JKey<'a>> {
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0; // 2^63, exact as f64
+    if col.nulls.is_null(rid) {
+        return None;
+    }
+    match &col.data {
+        ColumnData::Int(d) => Some(JKey::Int(d[rid])),
+        ColumnData::Float(d) => {
+            let f = d[rid];
+            if f.is_nan() {
+                None
+            } else if f.fract() == 0.0 && (-TWO_63..TWO_63).contains(&f) {
+                Some(JKey::Int(f as i64))
+            } else {
+                Some(JKey::Float(f.to_bits()))
+            }
+        }
+        ColumnData::Bool(d) => Some(JKey::Bool(d[rid])),
+        ColumnData::Text(d) => Some(JKey::Text(&d.values[d.codes[rid] as usize])),
+        ColumnData::AllNull | ColumnData::Mixed => None,
+    }
+}
+
+/// One hash-join step: probe column already in the accumulated output,
+/// build column on the incoming relation.
+struct JoinStep {
+    new_rel: usize,
+    probe: ColId,
+    build_col: usize,
+}
+
+/// Execute all joins, returning one row-id column per relation (in
+/// original FROM/JOIN order), rows in exactly the order the row-path
+/// pipeline would emit.
+fn join_all(cx: &Cx<'_>, input: &BatchInput<'_, '_>, sels: Vec<Vec<u32>>) -> Option<Vec<Vec<u32>>> {
+    let n = sels.len();
+    if n == 1 {
+        return Some(sels);
+    }
+
+    let reordered = input.planned.is_some_and(|p| p.reordered);
+    let (order, steps) = if reordered {
+        let p = input.planned.expect("reordered implies planned");
+        let mut steps = Vec::with_capacity(p.steps.len());
+        for step in &p.steps {
+            let key = step.key?;
+            steps.push(JoinStep {
+                new_rel: step.rel,
+                probe: ColId {
+                    rel: key.left_rel,
+                    col: key.left_col,
+                },
+                build_col: key.right_col,
+            });
+        }
+        (p.order.clone(), steps)
+    } else {
+        // Source order: extract each join's equi-key, requiring one side
+        // in the accumulated scope and the other on the new relation —
+        // anything else is a nested-loop join in the row path, whose
+        // per-pair predicate evaluation can error.
+        let mut steps = Vec::with_capacity(input.select.joins.len());
+        for (j, join) in input.select.joins.iter().enumerate() {
+            let new_rel = j + 1;
+            let Some(Expr::Binary {
+                left,
+                op: BinaryOp::Eq,
+                right,
+            }) = &join.constraint
+            else {
+                return None;
+            };
+            let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) else {
+                return None;
+            };
+            let (a, b) = (cx.resolve(a)?, cx.resolve(b)?);
+            let (probe, build) = if a.rel < new_rel && b.rel == new_rel {
+                (a, b)
+            } else if b.rel < new_rel && a.rel == new_rel {
+                (b, a)
+            } else {
+                return None;
+            };
+            steps.push(JoinStep {
+                new_rel,
+                probe,
+                build_col: build.col,
+            });
+        }
+        ((0..n).collect(), steps)
+    };
+
+    // Accumulated output: one row-id column per joined relation.
+    let mut acc_rels: Vec<usize> = vec![order[0]];
+    let mut acc: Vec<Vec<u32>> = vec![sels[order[0]].clone()];
+    for step in &steps {
+        let build_tbl = &cx.tables[step.new_rel];
+        let build_col = build_tbl.columns.get(step.build_col)?;
+        let probe_col = cx.tables[step.probe.rel].columns.get(step.probe.col)?;
+        if matches!(build_col.data, ColumnData::Mixed)
+            || matches!(probe_col.data, ColumnData::Mixed)
+        {
+            return None;
+        }
+        // The probe relation must already be joined.
+        let probe_pos = acc_rels.iter().position(|&r| r == step.probe.rel)?;
+
+        // Build on the incoming relation's filtered rows, then probe
+        // the accumulated output in order; matches append in build-scan
+        // order — exactly the row pipeline's emission order.
+        let build_sel = &sels[step.new_rel];
+        let acc_len = acc[0].len();
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); acc.len() + 1];
+        if let (ColumnData::Int(bd), ColumnData::Int(pd)) = (&build_col.data, &probe_col.data) {
+            // Typed fast path: Int×Int keys hash the raw i64 with no
+            // per-row JKey construction. Int columns never unify with
+            // float keys, so equality semantics are unchanged.
+            let mut index: HashMap<i64, Vec<u32>, FxBuild> =
+                HashMap::with_capacity_and_hasher(build_sel.len(), FxBuild::default());
+            let bn = build_col.nulls.any();
+            for &rid in build_sel {
+                if bn && build_col.nulls.is_null(rid as usize) {
+                    continue;
+                }
+                index.entry(bd[rid as usize]).or_default().push(rid);
+            }
+            let pn = probe_col.nulls.any();
+            for i in 0..acc_len {
+                let prid = acc[probe_pos][i] as usize;
+                if pn && probe_col.nulls.is_null(prid) {
+                    continue;
+                }
+                let Some(matches) = index.get(&pd[prid]) else {
+                    continue;
+                };
+                for &rid in matches {
+                    for (c, col) in acc.iter().enumerate() {
+                        out[c].push(col[i]);
+                    }
+                    out[acc.len()].push(rid);
+                }
+            }
+        } else {
+            let mut index: HashMap<JKey, Vec<u32>, FxBuild> =
+                HashMap::with_capacity_and_hasher(build_sel.len(), FxBuild::default());
+            for &rid in build_sel {
+                if let Some(k) = col_join_key(build_col, rid as usize) {
+                    index.entry(k).or_default().push(rid);
+                }
+            }
+            for i in 0..acc_len {
+                let Some(k) = col_join_key(probe_col, acc[probe_pos][i] as usize) else {
+                    continue;
+                };
+                let Some(matches) = index.get(&k) else {
+                    continue;
+                };
+                for &rid in matches {
+                    for (c, col) in acc.iter().enumerate() {
+                        out[c].push(col[i]);
+                    }
+                    out[acc.len()].push(rid);
+                }
+            }
+        }
+        if sb_obs::enabled() {
+            note_join(build_sel.len(), acc_len, out[0].len());
+        }
+        acc = out;
+        acc_rels.push(step.new_rel);
+    }
+
+    // Back to original relation order.
+    let mut by_rel: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (pos, &rel) in acc_rels.iter().enumerate() {
+        by_rel[rel] = std::mem::take(&mut acc[pos]);
+    }
+
+    if reordered {
+        // Restore source-order emission: selection vectors are ascending,
+        // so sorting by the row-id tuple in source-relation order equals
+        // the row path's sort by scan-position tags. Surviving tuples are
+        // unique, so an unstable sort is exact.
+        let len = by_rel[0].len();
+        let mut idx: Vec<usize> = (0..len).collect();
+        idx.sort_unstable_by(|&x, &y| {
+            for col in &by_rel {
+                match col[x].cmp(&col[y]) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            Ordering::Equal
+        });
+        for col in &mut by_rel {
+            *col = idx.iter().map(|&i| col[i]).collect();
+        }
+    }
+    Some(by_rel)
+}
+
+// ---------------------------------------------------------------------
+// Plain (non-aggregate) output.
+// ---------------------------------------------------------------------
+
+fn plain(cx: &Cx<'_>, input: &BatchInput<'_, '_>, view: &View<'_>) -> Option<Projected> {
+    let select = input.select;
+    let mut columns = Vec::new();
+    for item in &select.projections {
+        match item {
+            SelectItem::Wildcard => columns.extend(cx.scope.all_columns()),
+            other => columns.push(crate::exec::projection_name(other)),
+        }
+    }
+
+    // Projections, column-major.
+    let mut proj_cols: Vec<Vec<Value>> = Vec::with_capacity(columns.len());
+    for item in &select.projections {
+        match item {
+            SelectItem::Wildcard => {
+                for (rel, binding) in cx.scope.bindings.iter().enumerate() {
+                    for col in 0..binding.columns.len() {
+                        let id = ColId { rel, col };
+                        if matches!(cx.data(id), ColumnData::Mixed) {
+                            return None;
+                        }
+                        let gathered = (0..view.len)
+                            .map(|i| view.col(id).value_at(view.rid(id, i)))
+                            .collect();
+                        proj_cols.push(gathered);
+                    }
+                }
+            }
+            SelectItem::Expr { expr, .. } => {
+                let k = cx.compile_val(expr)?;
+                proj_cols.push(k.materialize(view, &[])?);
+            }
+        }
+    }
+
+    // ORDER BY keys (may read projected output columns via the alias
+    // fallback).
+    let mut key_cols: Vec<Vec<Value>> = Vec::with_capacity(input.order_by.len());
+    for item in input.order_by {
+        let k = cx.compile_order_key(&item.expr, select)?;
+        key_cols.push(k.materialize(view, &proj_cols)?);
+    }
+
+    Some(transpose(columns, proj_cols, key_cols, view.len))
+}
+
+/// Column-major kernel output to the executor's row-major `Projected`.
+fn transpose(
+    columns: Vec<String>,
+    proj_cols: Vec<Vec<Value>>,
+    key_cols: Vec<Vec<Value>>,
+    len: usize,
+) -> Projected {
+    let mut out_rows: Vec<Vec<Value>> = (0..len)
+        .map(|_| Vec::with_capacity(proj_cols.len()))
+        .collect();
+    for col in proj_cols {
+        for (row, v) in out_rows.iter_mut().zip(col) {
+            row.push(v);
+        }
+    }
+    let mut keys: Vec<Vec<Value>> = (0..len)
+        .map(|_| Vec::with_capacity(key_cols.len()))
+        .collect();
+    for col in key_cols {
+        for (row, v) in keys.iter_mut().zip(col) {
+            row.push(v);
+        }
+    }
+    (columns, out_rows, keys)
+}
+
+// ---------------------------------------------------------------------
+// Grouped (aggregate) output.
+// ---------------------------------------------------------------------
+
+/// An aggregate call lowered onto the batch: fast typed accumulators
+/// where the argument class is statically known, the generic
+/// materialize-and-reduce otherwise.
+enum AggK {
+    CountStar,
+    CountAny(AnyK),
+    SumInt(NumK),
+    SumFloat(NumK),
+    AvgNum(NumK),
+    MinMaxInt(NumK, bool),
+    MinMaxFloat(NumK, bool),
+    Generic {
+        arg: ValK,
+        func: AggFunc,
+        distinct: bool,
+    },
+}
+
+/// A group-context expression: aggregates by registry index, scalars
+/// evaluated on each group's first row, combinations at `Value` level
+/// exactly like the row path's grouped evaluator.
+enum GK {
+    Agg(usize),
+    Scalar(ValK),
+    Binary {
+        l: Box<GK>,
+        op: BinaryOp,
+        r: Box<GK>,
+    },
+    Unary {
+        op: UnaryOp,
+        e: Box<GK>,
+    },
+}
+
+impl Cx<'_> {
+    fn compile_gk(&self, e: &Expr, aggs: &mut Vec<AggK>) -> Option<GK> {
+        Some(match e {
+            Expr::Agg {
+                func,
+                distinct,
+                arg,
+            } => {
+                let k = self.compile_agg(*func, *distinct, arg)?;
+                aggs.push(k);
+                GK::Agg(aggs.len() - 1)
+            }
+            Expr::Binary { left, op, right } => GK::Binary {
+                l: Box::new(self.compile_gk(left, aggs)?),
+                op: *op,
+                r: Box::new(self.compile_gk(right, aggs)?),
+            },
+            Expr::Unary { op, expr } => GK::Unary {
+                op: *op,
+                e: Box::new(self.compile_gk(expr, aggs)?),
+            },
+            other => GK::Scalar(self.compile_val(other)?),
+        })
+    }
+
+    fn compile_agg(&self, func: AggFunc, distinct: bool, arg: &AggArg) -> Option<AggK> {
+        // COUNT(*) counts rows regardless of DISTINCT, like the row path.
+        if matches!((func, arg), (AggFunc::Count, AggArg::Star)) {
+            return Some(AggK::CountStar);
+        }
+        let AggArg::Expr(e) = arg else {
+            return None; // row path: `f(*)` is only valid for COUNT
+        };
+        if distinct {
+            return Some(AggK::Generic {
+                arg: self.compile_val(e)?,
+                func,
+                distinct: true,
+            });
+        }
+        if func == AggFunc::Count {
+            return Some(AggK::CountAny(self.compile_any(e)?));
+        }
+        if let Some(k) = self.compile_num(e) {
+            return Some(match (func, k.ty()) {
+                (_, NumTy::Null) => AggK::Generic {
+                    arg: ValK::Num(k),
+                    func,
+                    distinct: false,
+                },
+                (AggFunc::Sum, NumTy::Int) => AggK::SumInt(k),
+                (AggFunc::Sum, NumTy::Float) => AggK::SumFloat(k),
+                (AggFunc::Avg, _) => AggK::AvgNum(k),
+                (AggFunc::Min, NumTy::Int) => AggK::MinMaxInt(k, false),
+                (AggFunc::Max, NumTy::Int) => AggK::MinMaxInt(k, true),
+                (AggFunc::Min, NumTy::Float) => AggK::MinMaxFloat(k, false),
+                (AggFunc::Max, NumTy::Float) => AggK::MinMaxFloat(k, true),
+                (AggFunc::Count, _) => unreachable!("handled above"),
+            });
+        }
+        Some(AggK::Generic {
+            arg: self.compile_val(e)?,
+            func,
+            distinct: false,
+        })
+    }
+}
+
+/// Group assignment: gid per batch row (first-occurrence order) plus the
+/// first batch-row index of each group.
+fn group_ids(cx: &Cx<'_>, view: &View<'_>, keys: &[ColId]) -> Option<(Vec<u32>, Vec<u32>)> {
+    let n = view.len;
+    let mut gids = Vec::with_capacity(n);
+    let mut reps: Vec<u32> = Vec::new();
+    if let [id] = keys {
+        let col = view.col(*id);
+        match &col.data {
+            ColumnData::Text(d) => {
+                // Dictionary fast path: one slot per code, plus NULL.
+                let mut lut = vec![u32::MAX; d.values.len()];
+                let mut null_gid = u32::MAX;
+                for i in 0..n {
+                    let r = view.rid(*id, i);
+                    let slot = if col.nulls.is_null(r) {
+                        &mut null_gid
+                    } else {
+                        &mut lut[d.codes[r] as usize]
+                    };
+                    if *slot == u32::MAX {
+                        *slot = reps.len() as u32;
+                        reps.push(i as u32);
+                    }
+                    gids.push(*slot);
+                }
+                if sb_obs::enabled() {
+                    note_dict_lut(lut.len(), n);
+                }
+            }
+            ColumnData::Int(d) => {
+                let mut map: HashMap<i64, u32, FxBuild> = HashMap::default();
+                let mut null_gid = u32::MAX;
+                for i in 0..n {
+                    let r = view.rid(*id, i);
+                    let gid = if col.nulls.is_null(r) {
+                        if null_gid == u32::MAX {
+                            null_gid = reps.len() as u32;
+                            reps.push(i as u32);
+                        }
+                        null_gid
+                    } else {
+                        *map.entry(d[r]).or_insert_with(|| {
+                            reps.push(i as u32);
+                            (reps.len() - 1) as u32
+                        })
+                    };
+                    gids.push(gid);
+                }
+            }
+            ColumnData::Float(d) => {
+                // Canonical-key relation: micro-rounded bits, NaN
+                // collapsed — identical partitions to the row path's
+                // hashed `Vec<Value>` keys.
+                let mut map: HashMap<u64, u32, FxBuild> = HashMap::default();
+                let mut null_gid = u32::MAX;
+                for i in 0..n {
+                    let r = view.rid(*id, i);
+                    let gid = if col.nulls.is_null(r) {
+                        if null_gid == u32::MAX {
+                            null_gid = reps.len() as u32;
+                            reps.push(i as u32);
+                        }
+                        null_gid
+                    } else {
+                        *map.entry(canon_num(d[r]).to_bits()).or_insert_with(|| {
+                            reps.push(i as u32);
+                            (reps.len() - 1) as u32
+                        })
+                    };
+                    gids.push(gid);
+                }
+            }
+            ColumnData::Bool(d) => {
+                let mut lut = [u32::MAX; 3];
+                for i in 0..n {
+                    let r = view.rid(*id, i);
+                    let slot = if col.nulls.is_null(r) {
+                        2
+                    } else {
+                        d[r] as usize
+                    };
+                    if lut[slot] == u32::MAX {
+                        lut[slot] = reps.len() as u32;
+                        reps.push(i as u32);
+                    }
+                    gids.push(lut[slot]);
+                }
+            }
+            ColumnData::AllNull => {
+                for i in 0..n {
+                    if reps.is_empty() {
+                        reps.push(i as u32);
+                    }
+                    gids.push(0);
+                }
+            }
+            ColumnData::Mixed => return None,
+        }
+        let _ = cx;
+        return Some((gids, reps));
+    }
+
+    // Multi-column keys: hashed `Vec<Value>` keys under the canonical
+    // relation, same as the row path.
+    let key_cols: Vec<Vec<Value>> = keys
+        .iter()
+        .map(|id| {
+            if matches!(cx.data(*id), ColumnData::Mixed) {
+                return None;
+            }
+            Some(
+                (0..n)
+                    .map(|i| view.col(*id).value_at(view.rid(*id, i)))
+                    .collect(),
+            )
+        })
+        .collect::<Option<_>>()?;
+    let mut index = KeyIndex::default();
+    let mut group_keys: Vec<Vec<Value>> = Vec::new();
+    for i in 0..n {
+        let buf: Vec<Value> = key_cols.iter().map(|c| c[i].clone()).collect();
+        let h = key::hash_values(&buf);
+        let gid = match index.insert(h, group_keys.len() as u32, |t| {
+            key::values_key_eq(&group_keys[t as usize], &buf)
+        }) {
+            Some(existing) => existing,
+            None => {
+                group_keys.push(buf);
+                reps.push(i as u32);
+                (group_keys.len() - 1) as u32
+            }
+        };
+        gids.push(gid);
+    }
+    Some((gids, reps))
+}
+
+/// Run every registered aggregate over the grouped batch.
+fn accumulate(
+    aggs: &[AggK],
+    view: &View<'_>,
+    gids: &[u32],
+    n_groups: usize,
+) -> Option<Vec<Vec<Value>>> {
+    let mut results = Vec::with_capacity(aggs.len());
+    for agg in aggs {
+        results.push(match agg {
+            AggK::CountStar => {
+                let mut counts = vec![0i64; n_groups];
+                for &g in gids {
+                    counts[g as usize] += 1;
+                }
+                counts.into_iter().map(Value::Int).collect()
+            }
+            AggK::CountAny(k) => {
+                let nulls = k.nulls(view)?;
+                let mut counts = vec![0i64; n_groups];
+                for (&g, null) in gids.iter().zip(nulls) {
+                    if !null {
+                        counts[g as usize] += 1;
+                    }
+                }
+                counts.into_iter().map(Value::Int).collect()
+            }
+            AggK::SumInt(k) => {
+                let NumOut::Int(data, nulls) = k.eval(view)? else {
+                    return None;
+                };
+                let mut acc = vec![0i64; n_groups];
+                let mut has = vec![false; n_groups];
+                for i in 0..data.len() {
+                    if nulls[i] {
+                        continue;
+                    }
+                    let g = gids[i] as usize;
+                    // Same running checked sum, in the same row order,
+                    // as `finish_aggregate` — an overflow bails where
+                    // the row path errors.
+                    acc[g] = acc[g].checked_add(data[i])?;
+                    has[g] = true;
+                }
+                finish_nullable(acc, has, Value::Int)
+            }
+            AggK::SumFloat(k) => {
+                let NumOut::Float(data, nulls) = k.eval(view)? else {
+                    return None;
+                };
+                let mut acc = vec![0.0f64; n_groups];
+                let mut has = vec![false; n_groups];
+                for i in 0..data.len() {
+                    if nulls[i] {
+                        continue;
+                    }
+                    let g = gids[i] as usize;
+                    acc[g] += data[i];
+                    has[g] = true;
+                }
+                finish_nullable(acc, has, Value::Float)
+            }
+            AggK::AvgNum(k) => {
+                let (data, nulls) = match k.eval(view)? {
+                    NumOut::AllNull => return None, // statically Generic
+                    other => other.into_f64(),
+                };
+                let mut acc = vec![0.0f64; n_groups];
+                let mut cnt = vec![0usize; n_groups];
+                for i in 0..data.len() {
+                    if nulls[i] {
+                        continue;
+                    }
+                    let g = gids[i] as usize;
+                    acc[g] += data[i];
+                    cnt[g] += 1;
+                }
+                acc.into_iter()
+                    .zip(cnt)
+                    .map(|(s, c)| {
+                        if c == 0 {
+                            Value::Null
+                        } else {
+                            Value::Float(s / c as f64)
+                        }
+                    })
+                    .collect()
+            }
+            AggK::MinMaxInt(k, max) => {
+                let NumOut::Int(data, nulls) = k.eval(view)? else {
+                    return None;
+                };
+                let mut best: Vec<Option<i64>> = vec![None; n_groups];
+                for i in 0..data.len() {
+                    if nulls[i] {
+                        continue;
+                    }
+                    let slot = &mut best[gids[i] as usize];
+                    let take = match *slot {
+                        None => true,
+                        Some(b) => {
+                            if *max {
+                                data[i] > b
+                            } else {
+                                data[i] < b
+                            }
+                        }
+                    };
+                    if take {
+                        *slot = Some(data[i]);
+                    }
+                }
+                best.into_iter()
+                    .map(|b| b.map_or(Value::Null, Value::Int))
+                    .collect()
+            }
+            AggK::MinMaxFloat(k, max) => {
+                let NumOut::Float(data, nulls) = k.eval(view)? else {
+                    return None;
+                };
+                let mut best: Vec<Option<f64>> = vec![None; n_groups];
+                for i in 0..data.len() {
+                    if nulls[i] {
+                        continue;
+                    }
+                    let slot = &mut best[gids[i] as usize];
+                    let take = match *slot {
+                        None => true,
+                        // NaN cannot be ordered: the row path errors
+                        // ("MIN/MAX over mixed types"), so bail.
+                        Some(b) => match data[i].partial_cmp(&b)? {
+                            Ordering::Less => !*max,
+                            Ordering::Greater => *max,
+                            Ordering::Equal => false,
+                        },
+                    };
+                    if take {
+                        *slot = Some(data[i]);
+                    }
+                }
+                best.into_iter()
+                    .map(|b| b.map_or(Value::Null, Value::Float))
+                    .collect()
+            }
+            AggK::Generic {
+                arg,
+                func,
+                distinct,
+            } => {
+                let vals = arg.materialize(view, &[])?;
+                let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); n_groups];
+                for (v, &g) in vals.into_iter().zip(gids) {
+                    if !v.is_null() {
+                        buckets[g as usize].push(v);
+                    }
+                }
+                let mut out = Vec::with_capacity(n_groups);
+                for mut bucket in buckets {
+                    if *distinct {
+                        key::dedup_values(&mut bucket);
+                    }
+                    out.push(crate::exec::finish_aggregate(*func, bucket).ok()?);
+                }
+                out
+            }
+        });
+    }
+    Some(results)
+}
+
+fn finish_nullable<T>(acc: Vec<T>, has: Vec<bool>, wrap: impl Fn(T) -> Value) -> Vec<Value> {
+    acc.into_iter()
+        .zip(has)
+        .map(|(v, h)| if h { wrap(v) } else { Value::Null })
+        .collect()
+}
+
+/// Evaluate a group-context expression to one value per group,
+/// combining at the `Value` level exactly like the row path's grouped
+/// evaluator (including its AND/OR truth short-circuit over already
+/// computed operands).
+fn eval_gk(
+    gk: &GK,
+    agg_results: &[Vec<Value>],
+    scalars: &ScalarGroups<'_, '_>,
+    n_groups: usize,
+) -> Option<Vec<Value>> {
+    Some(match gk {
+        GK::Agg(i) => agg_results[*i].clone(),
+        GK::Scalar(k) => scalars.eval(k)?,
+        GK::Binary { l, op, r } => {
+            let lv = eval_gk(l, agg_results, scalars, n_groups)?;
+            let rv = eval_gk(r, agg_results, scalars, n_groups)?;
+            let mut out = Vec::with_capacity(n_groups);
+            for (a, b) in lv.into_iter().zip(rv) {
+                out.push(match op {
+                    BinaryOp::And | BinaryOp::Or => {
+                        let lt = truth_ref(&a).ok()?;
+                        match (op, lt) {
+                            (BinaryOp::And, Some(false)) => Value::Bool(false),
+                            (BinaryOp::Or, Some(true)) => Value::Bool(true),
+                            _ => {
+                                let rt = truth_ref(&b).ok()?;
+                                match combine_logical(*op, lt, rt) {
+                                    Some(v) => Value::Bool(v),
+                                    None => Value::Null,
+                                }
+                            }
+                        }
+                    }
+                    op if op.is_arithmetic() => arith(*op, &a, &b).ok()?,
+                    op => apply_cmp(*op, &a, &b).ok()?,
+                });
+            }
+            out
+        }
+        GK::Unary { op, e } => {
+            let v = eval_gk(e, agg_results, scalars, n_groups)?;
+            let mut out = Vec::with_capacity(n_groups);
+            for val in v {
+                out.push(apply_unary(*op, val).ok()?);
+            }
+            out
+        }
+    })
+}
+
+/// Scalar evaluation over group representatives (each group's first
+/// row). For the empty implicit group there is no representative and
+/// every scalar is NULL.
+struct ScalarGroups<'a, 'v> {
+    view: &'a View<'v>,
+    reps_rowids: Vec<Vec<u32>>,
+    empty_implicit: bool,
+}
+
+impl ScalarGroups<'_, '_> {
+    fn eval(&self, k: &ValK) -> Option<Vec<Value>> {
+        if self.empty_implicit {
+            return Some(vec![Value::Null]);
+        }
+        let reps_view = View::all(self.view.tables, &self.reps_rowids);
+        k.materialize(&reps_view, &[])
+    }
+}
+
+fn grouped(cx: &Cx<'_>, input: &BatchInput<'_, '_>, view: &View<'_>) -> Option<Projected> {
+    let select = input.select;
+
+    // Output columns; a wildcard is an error the row path must report.
+    let mut columns = Vec::new();
+    for item in &select.projections {
+        match item {
+            SelectItem::Wildcard => return None,
+            other => columns.push(crate::exec::projection_name(other)),
+        }
+    }
+
+    // Group assignment.
+    let (gids, reps, empty_implicit) = if select.group_by.is_empty() {
+        // Single implicit group, even over zero rows.
+        let reps: Vec<u32> = if view.len == 0 { Vec::new() } else { vec![0] };
+        (vec![0u32; view.len], reps, view.len == 0)
+    } else {
+        let keys: Vec<ColId> = select
+            .group_by
+            .iter()
+            .map(|g| match g {
+                Expr::Column(c) => cx.resolve(c),
+                _ => None,
+            })
+            .collect::<Option<_>>()?;
+        let (gids, reps) = group_ids(cx, view, &keys)?;
+        (gids, reps, false)
+    };
+    let n_groups = if select.group_by.is_empty() {
+        1
+    } else {
+        reps.len()
+    };
+    if sb_obs::enabled() {
+        note_groups(n_groups);
+    }
+
+    // Compile HAVING / projections / ORDER BY keys, registering
+    // aggregate calls.
+    let mut aggs: Vec<AggK> = Vec::new();
+    let having = match &select.having {
+        Some(h) => Some(cx.compile_gk(h, &mut aggs)?),
+        None => None,
+    };
+    let projs: Vec<GK> = select
+        .projections
+        .iter()
+        .map(|item| match item {
+            SelectItem::Expr { expr, .. } => cx.compile_gk(expr, &mut aggs),
+            SelectItem::Wildcard => None,
+        })
+        .collect::<Option<_>>()?;
+    // Grouped ORDER BY keys have no alias fallback in the row path.
+    let order_ks: Vec<GK> = input
+        .order_by
+        .iter()
+        .map(|o| cx.compile_gk(&o.expr, &mut aggs))
+        .collect::<Option<_>>()?;
+
+    let agg_results = accumulate(&aggs, view, &gids, n_groups)?;
+    let scalars = ScalarGroups {
+        view,
+        reps_rowids: view
+            .rows
+            .iter()
+            .map(|rows| {
+                let rows = rows.expect("joined view has every relation");
+                reps.iter().map(|&i| rows[i as usize]).collect()
+            })
+            .collect(),
+        empty_implicit,
+    };
+
+    // HAVING: the row path evaluates it for every group (and only
+    // evaluates projections for survivors — a subset of what we compute,
+    // so extra evaluation can only cause a bail, never new output).
+    let keep: Vec<bool> = match &having {
+        Some(h) => eval_gk(h, &agg_results, &scalars, n_groups)?
+            .into_iter()
+            .map(|v| truth_ref(&v).map(|t| t.unwrap_or(false)))
+            .collect::<Result<_, _>>()
+            .ok()?,
+        None => vec![true; n_groups],
+    };
+
+    let proj_groups: Vec<Vec<Value>> = projs
+        .iter()
+        .map(|gk| eval_gk(gk, &agg_results, &scalars, n_groups))
+        .collect::<Option<_>>()?;
+    let key_groups: Vec<Vec<Value>> = order_ks
+        .iter()
+        .map(|gk| eval_gk(gk, &agg_results, &scalars, n_groups))
+        .collect::<Option<_>>()?;
+
+    let mut out_rows = Vec::new();
+    let mut keys = Vec::new();
+    for g in 0..n_groups {
+        if !keep[g] {
+            continue;
+        }
+        out_rows.push(proj_groups.iter().map(|col| col[g].clone()).collect());
+        keys.push(key_groups.iter().map(|col| col[g].clone()).collect());
+    }
+    Some((columns, out_rows, keys))
+}
+
+// ---------------------------------------------------------------------
+// Observability sinks (cold, called only under SB_OBS=1).
+// ---------------------------------------------------------------------
+
+#[cold]
+#[inline(never)]
+fn note_outcome(ok: bool) {
+    sb_obs::count(
+        if ok {
+            "engine.columnar.selects"
+        } else {
+            "engine.columnar.fallbacks"
+        },
+        1,
+    );
+}
+
+#[cold]
+#[inline(never)]
+fn note_scan(scanned: usize, kept: usize) {
+    // Same totals the row-path scans would report, so scan counters stay
+    // comparable across engines.
+    sb_obs::count("engine.scan.rows", scanned as u64);
+    sb_obs::count("engine.scan.rows_pruned_pushdown", (scanned - kept) as u64);
+}
+
+#[cold]
+#[inline(never)]
+fn note_filter(rows_in: usize, rows_out: usize) {
+    sb_obs::count("engine.columnar.filter.batches", 1);
+    sb_obs::count("engine.columnar.filter.rows_in", rows_in as u64);
+    sb_obs::count("engine.columnar.filter.rows_out", rows_out as u64);
+}
+
+#[cold]
+#[inline(never)]
+fn note_join(build: usize, probe: usize, output: usize) {
+    sb_obs::count("engine.columnar.join.hash", 1);
+    sb_obs::count("engine.columnar.join.build_rows", build as u64);
+    sb_obs::count("engine.columnar.join.probe_rows", probe as u64);
+    sb_obs::count("engine.columnar.join.output_rows", output as u64);
+}
+
+#[cold]
+#[inline(never)]
+fn note_groups(created: usize) {
+    sb_obs::count("engine.columnar.agg.groups", created as u64);
+}
+
+#[cold]
+#[inline(never)]
+fn note_dict_lut(entries: usize, probes: usize) {
+    sb_obs::count("engine.columnar.dict.lut_entries", entries as u64);
+    sb_obs::count("engine.columnar.dict.lut_probes", probes as u64);
+}

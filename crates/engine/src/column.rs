@@ -1,0 +1,335 @@
+//! Columnar table layout: per-column typed vectors with null bitmaps.
+//!
+//! [`ColumnarTable`] is a read-only, lazily built companion to the
+//! row-major [`crate::database::Table`]: one typed vector per column
+//! (`i64` / `f64` / `bool` arrays, dictionary-encoded strings) plus a
+//! null bitmap. The batch executor ([`crate::batch`]) runs its
+//! vectorized kernels over these vectors and materializes `Value`s only
+//! at result boundaries; the row storage remains the source of truth
+//! and the fallback path.
+//!
+//! Layout conventions (documented in DESIGN.md §12):
+//!
+//! - **Null bitmap**: bit `i` set ⇔ row `i` is NULL. Data slots under
+//!   null bits hold an arbitrary placeholder (`0` / `0.0` / `false` /
+//!   dict code `0`) that kernels must never interpret.
+//! - **Dictionary encoding**: text columns store a `u32` code per row
+//!   into a value table ordered by first occurrence. Codes are
+//!   bijective with distinct strings, so equality on codes is equality
+//!   on strings (ordering is *not* preserved — ordered kernels compare
+//!   the looked-up strings or precompute per-code lookup tables).
+//! - **Typed vectors are exact**: a column is `Int` only if every
+//!   non-NULL stored value is `Value::Int` — no silent widening, since
+//!   the row engine distinguishes `Int(2)` from `Float(2.0)` in
+//!   results. A column mixing the two (legal: `push_row` admits ints
+//!   into float columns) is [`ColumnData::Mixed`] and the batch
+//!   executor falls back to the row path for queries touching it.
+use crate::database::Table;
+use crate::key::FxBuild;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Validity bitmap: bit set ⇔ NULL.
+#[derive(Debug, Clone, Default)]
+pub struct NullMask {
+    words: Vec<u64>,
+    any: bool,
+}
+
+impl NullMask {
+    fn new(len: usize) -> Self {
+        NullMask {
+            words: vec![0; len.div_ceil(64)],
+            any: false,
+        }
+    }
+
+    fn set(&mut self, i: usize) {
+        self.words[i >> 6] |= 1u64 << (i & 63);
+        self.any = true;
+    }
+
+    /// Whether row `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        (self.words[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// Whether any row is NULL (lets kernels skip per-row checks).
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.any
+    }
+
+    /// OR the mask into per-row flags, word at a time: an all-valid
+    /// word (the common case for sparse nulls) costs one compare per
+    /// 64 rows instead of 64 bit probes.
+    pub fn or_into(&self, out: &mut [bool]) {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            let base = wi << 6;
+            let end = out.len().min(base + 64);
+            for (b, slot) in out[base..end].iter_mut().enumerate() {
+                *slot |= (w >> b) & 1 == 1;
+            }
+        }
+    }
+}
+
+/// Dictionary-encoded text column: `codes[i]` indexes `values`, which is
+/// ordered by first occurrence. Codes are bijective with the distinct
+/// strings of the column.
+#[derive(Debug, Clone)]
+pub struct DictColumn {
+    /// Per-row code (placeholder `0` under null bits).
+    pub codes: Vec<u32>,
+    /// Distinct values, first-occurrence order.
+    pub values: Vec<String>,
+}
+
+/// Typed backing storage of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Every non-NULL value is `Value::Int`.
+    Int(Vec<i64>),
+    /// Every non-NULL value is `Value::Float`.
+    Float(Vec<f64>),
+    /// Every non-NULL value is `Value::Bool`.
+    Bool(Vec<bool>),
+    /// Every non-NULL value is `Value::Text`, dictionary-encoded.
+    Text(DictColumn),
+    /// Every value is NULL.
+    AllNull,
+    /// Heterogeneous value types (e.g. ints stored in a float column):
+    /// not vectorizable, queries touching it take the row path.
+    Mixed,
+}
+
+/// One column: typed data plus its null bitmap.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Typed vector.
+    pub data: ColumnData,
+    /// Null bitmap (bit set ⇔ NULL).
+    pub nulls: NullMask,
+}
+
+impl Column {
+    /// Materialize row `i` back into a [`Value`] (result boundaries
+    /// only — kernels stay on the typed vectors).
+    #[inline]
+    pub fn value_at(&self, i: usize) -> Value {
+        if self.nulls.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Text(d) => Value::Text(d.values[d.codes[i] as usize].clone()),
+            ColumnData::AllNull => Value::Null,
+            ColumnData::Mixed => unreachable!("Mixed columns never reach kernels"),
+        }
+    }
+}
+
+/// Columnar image of one table: one [`Column`] per schema column.
+#[derive(Debug, Clone)]
+pub struct ColumnarTable {
+    /// Columns in schema order.
+    pub columns: Vec<Column>,
+    /// Row count at build time (must match the row storage to be used).
+    pub len: usize,
+}
+
+impl ColumnarTable {
+    /// Build the columnar image of a table by scanning its row storage
+    /// once per column. The first non-NULL value fixes the expected
+    /// variant; any later disagreement demotes the column to
+    /// [`ColumnData::Mixed`].
+    pub fn build(table: &Table) -> Self {
+        let len = table.rows.len();
+        let width = table.def.columns.len();
+        let columns = (0..width).map(|j| build_column(table, j, len)).collect();
+        ColumnarTable { columns, len }
+    }
+}
+
+fn build_column(table: &Table, j: usize, len: usize) -> Column {
+    // Pass 1: classify. `tag` is the variant of the first non-NULL value.
+    #[derive(PartialEq, Clone, Copy)]
+    enum Tag {
+        Int,
+        Float,
+        Bool,
+        Text,
+    }
+    let mut tag: Option<Tag> = None;
+    let mut mixed = false;
+    for row in &table.rows {
+        let t = match &row[j] {
+            Value::Null => continue,
+            Value::Int(_) => Tag::Int,
+            Value::Float(_) => Tag::Float,
+            Value::Bool(_) => Tag::Bool,
+            Value::Text(_) => Tag::Text,
+        };
+        match tag {
+            None => tag = Some(t),
+            Some(seen) if seen == t => {}
+            Some(_) => {
+                mixed = true;
+                break;
+            }
+        }
+    }
+    if mixed {
+        return Column {
+            data: ColumnData::Mixed,
+            nulls: NullMask::new(len),
+        };
+    }
+    let mut nulls = NullMask::new(len);
+    let data = match tag {
+        None => {
+            for i in 0..len {
+                nulls.set(i);
+            }
+            ColumnData::AllNull
+        }
+        Some(Tag::Int) => {
+            let mut out = Vec::with_capacity(len);
+            for (i, row) in table.rows.iter().enumerate() {
+                match &row[j] {
+                    Value::Int(v) => out.push(*v),
+                    _ => {
+                        nulls.set(i);
+                        out.push(0);
+                    }
+                }
+            }
+            ColumnData::Int(out)
+        }
+        Some(Tag::Float) => {
+            let mut out = Vec::with_capacity(len);
+            for (i, row) in table.rows.iter().enumerate() {
+                match &row[j] {
+                    Value::Float(v) => out.push(*v),
+                    _ => {
+                        nulls.set(i);
+                        out.push(0.0);
+                    }
+                }
+            }
+            ColumnData::Float(out)
+        }
+        Some(Tag::Bool) => {
+            let mut out = Vec::with_capacity(len);
+            for (i, row) in table.rows.iter().enumerate() {
+                match &row[j] {
+                    Value::Bool(v) => out.push(*v),
+                    _ => {
+                        nulls.set(i);
+                        out.push(false);
+                    }
+                }
+            }
+            ColumnData::Bool(out)
+        }
+        Some(Tag::Text) => {
+            let mut codes = Vec::with_capacity(len);
+            let mut values: Vec<String> = Vec::new();
+            let mut dict: HashMap<&str, u32, FxBuild> = HashMap::default();
+            for (i, row) in table.rows.iter().enumerate() {
+                match &row[j] {
+                    Value::Text(s) => {
+                        let code = *dict.entry(s.as_str()).or_insert_with(|| {
+                            values.push(s.clone());
+                            (values.len() - 1) as u32
+                        });
+                        codes.push(code);
+                    }
+                    _ => {
+                        nulls.set(i);
+                        codes.push(0);
+                    }
+                }
+            }
+            ColumnData::Text(DictColumn { codes, values })
+        }
+    };
+    Column { data, nulls }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use sb_schema::{Column as SColumn, ColumnType, Schema, TableDef};
+
+    fn table() -> Database {
+        let schema = Schema::new("t").with_table(TableDef::new(
+            "x",
+            vec![
+                SColumn::pk("id", ColumnType::Int),
+                SColumn::new("f", ColumnType::Float),
+                SColumn::new("s", ColumnType::Text),
+                SColumn::new("b", ColumnType::Bool),
+            ],
+        ));
+        Database::new(schema)
+    }
+
+    #[test]
+    fn builds_typed_vectors_with_nulls() {
+        let mut db = table();
+        db.table_mut("x").unwrap().push_rows(vec![
+            vec![1.into(), 0.5.into(), "a".into(), true.into()],
+            vec![2.into(), Value::Null, "b".into(), Value::Null],
+            vec![3.into(), 1.5.into(), "a".into(), false.into()],
+        ]);
+        let t = db.table("x").unwrap();
+        let ct = ColumnarTable::build(t);
+        assert_eq!(ct.len, 3);
+        assert!(matches!(&ct.columns[0].data, ColumnData::Int(v) if v == &[1, 2, 3]));
+        assert!(!ct.columns[0].nulls.any());
+        assert!(ct.columns[1].nulls.is_null(1));
+        let ColumnData::Text(d) = &ct.columns[2].data else {
+            panic!("text column expected");
+        };
+        assert_eq!(d.values, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(d.codes, vec![0, 1, 0]);
+        // Round trip.
+        for (i, row) in t.rows.iter().enumerate() {
+            for (j, col) in ct.columns.iter().enumerate() {
+                assert_eq!(&col.value_at(i), &row[j], "cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn int_in_float_column_is_mixed() {
+        let mut db = table();
+        db.table_mut("x").unwrap().push_rows(vec![
+            vec![1.into(), 0.5.into(), "a".into(), true.into()],
+            vec![2.into(), Value::Int(2), "b".into(), true.into()],
+        ]);
+        let ct = ColumnarTable::build(db.table("x").unwrap());
+        assert!(matches!(ct.columns[1].data, ColumnData::Mixed));
+    }
+
+    #[test]
+    fn all_null_and_empty_columns() {
+        let mut db = table();
+        {
+            let t = db.table_mut("x").unwrap();
+            t.push_rows(vec![vec![1.into(), Value::Null, Value::Null, Value::Null]]);
+        }
+        let ct = ColumnarTable::build(db.table("x").unwrap());
+        assert!(matches!(ct.columns[1].data, ColumnData::AllNull));
+        assert!(ct.columns[1].nulls.is_null(0));
+        assert_eq!(ct.columns[1].value_at(0), Value::Null);
+    }
+}

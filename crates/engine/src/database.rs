@@ -1,11 +1,12 @@
 //! In-memory tables and databases.
 
+use crate::column::ColumnarTable;
 use crate::error::{EngineError, Result};
 use crate::exec::ExecOptions;
 use crate::result::ResultSet;
 use crate::value::Value;
 use sb_schema::{ColumnType, Schema, TableDef};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// One stored row. Rows are reference-counted so scans hand out handles
 /// instead of deep-copying cell data; cloning a `Row` is a pointer bump.
@@ -14,16 +15,18 @@ pub type Row = Arc<[Value]>;
 
 /// A row-oriented in-memory table.
 ///
-/// Row-major storage keeps the executor simple; the engine's workloads
-/// (tens of thousands of rows per table at the benchmark's scale factor)
-/// do not need columnar layouts, and the benchmark harness measures the
-/// same relative behaviour either way.
+/// Row storage is the source of truth and what row-at-a-time execution
+/// scans. A columnar image ([`ColumnarTable`]) is built lazily on first
+/// use by the batch executor and cached until the next mutation; the
+/// two views always describe the same rows.
 #[derive(Debug, Clone)]
 pub struct Table {
     /// The table's definition (name + typed columns).
     pub def: TableDef,
     /// Row data; every row has exactly `def.columns.len()` values.
     pub rows: Vec<Row>,
+    /// Lazily built columnar image, invalidated by [`Table::push_row`].
+    columnar: OnceLock<Arc<ColumnarTable>>,
 }
 
 impl Table {
@@ -32,7 +35,20 @@ impl Table {
         Table {
             def,
             rows: Vec::new(),
+            columnar: OnceLock::new(),
         }
+    }
+
+    /// The columnar image of this table, built on first call and shared
+    /// afterwards. Returns `None` when the cached image has drifted from
+    /// the row storage (possible only through direct `rows` mutation,
+    /// which bypasses [`Table::push_row`]'s invalidation) — callers fall
+    /// back to the row path.
+    pub fn columnar(&self) -> Option<Arc<ColumnarTable>> {
+        let ct = self
+            .columnar
+            .get_or_init(|| Arc::new(ColumnarTable::build(self)));
+        (ct.len == self.rows.len()).then(|| Arc::clone(ct))
     }
 
     /// Append one row, validating arity and (loosely) types: NULL fits any
@@ -60,6 +76,8 @@ impl Table {
             }
         }
         self.rows.push(row.into());
+        // The cached columnar image (if any) no longer matches.
+        self.columnar = OnceLock::new();
         Ok(())
     }
 

@@ -84,6 +84,13 @@ pub struct ExecOptions {
     /// order with its runtime build-side heuristic, as before the
     /// optimizer existed.
     pub optimize: bool,
+    /// Attempt vectorized batch execution over columnar storage for
+    /// structurally eligible statements (see
+    /// [`sb_opt::columnar_eligible`]). The batch path falls back to the
+    /// row executor — silently, and byte-identically — whenever a shape
+    /// or data condition is outside its kernel set; errors always come
+    /// from the row path.
+    pub columnar: bool,
 }
 
 impl Default for ExecOptions {
@@ -94,6 +101,7 @@ impl Default for ExecOptions {
             copy_scans: false,
             compiled: true,
             optimize: true,
+            columnar: true,
         }
     }
 }
@@ -109,6 +117,7 @@ impl ExecOptions {
             copy_scans: true,
             compiled: false,
             optimize: false,
+            columnar: false,
         }
     }
 
@@ -120,6 +129,7 @@ impl ExecOptions {
             choose_build: matches!(self.join, JoinStrategy::Auto),
             hash_joins: !matches!(self.join, JoinStrategy::NestedLoop),
             prune: true,
+            columnar: self.columnar,
         }
     }
 }
@@ -872,7 +882,7 @@ fn join_relations_reordered(
 }
 
 /// Whether the select needs grouped (aggregate) evaluation.
-fn is_aggregate_query(select: &Select, order_by: &[OrderItem]) -> bool {
+pub(crate) fn is_aggregate_query(select: &Select, order_by: &[OrderItem]) -> bool {
     if !select.group_by.is_empty() || select.having.is_some() {
         return true;
     }
@@ -884,7 +894,7 @@ fn is_aggregate_query(select: &Select, order_by: &[OrderItem]) -> bool {
 }
 
 /// Output column name for a projection item.
-fn projection_name(item: &SelectItem) -> String {
+pub(crate) fn projection_name(item: &SelectItem) -> String {
     match item {
         SelectItem::Wildcard => "*".to_string(),
         SelectItem::Expr { expr, alias } => match alias {
@@ -952,6 +962,27 @@ fn execute_select(
         }
     };
 
+    // Attempt vectorized batch execution before any rows are scanned:
+    // the batch path works directly on the tables' columnar images. A
+    // `None` from `try_select` means some shape or data condition fell
+    // outside the kernel set — fall through to the row pipeline, which
+    // is also the only place errors are raised.
+    if opts.columnar && sb_opt::columnar_eligible(select, order_by) {
+        let input = crate::batch::BatchInput {
+            select,
+            order_by,
+            scope: &full_scope,
+            relations: &relations,
+            pushed: &pushed,
+            residual: &residual,
+            planned: planned.as_ref(),
+            nested_loop: matches!(opts.join, JoinStrategy::NestedLoop),
+        };
+        if let Some(projected) = crate::batch::try_select(&input) {
+            return Ok(finish_select(select, order_by, limit, projected));
+        }
+    }
+
     let mut rel_names: Vec<(String, Vec<String>)> = relations
         .iter()
         .map(|r| (r.binding.clone(), r.columns.clone()))
@@ -1016,11 +1047,24 @@ fn execute_select(
         rows = kept;
     }
 
-    let (columns, mut out_rows, mut keys) = if is_aggregate_query(select, order_by) {
+    let projected = if is_aggregate_query(select, order_by) {
         execute_grouped(select, order_by, &scope, rows, &ctx, opts)?
     } else {
         execute_plain(select, order_by, &scope, rows, &ctx, opts)?
     };
+    Ok(finish_select(select, order_by, limit, projected))
+}
+
+/// The shared result tail of the row and batch pipelines: DISTINCT
+/// dedup (keeping sort keys aligned), ORDER BY (bounded top-K under
+/// LIMIT), LIMIT truncation.
+pub(crate) fn finish_select(
+    select: &Select,
+    order_by: &[OrderItem],
+    limit: Option<u64>,
+    projected: Projected,
+) -> ResultSet {
+    let (columns, mut out_rows, mut keys) = projected;
 
     if select.distinct {
         // Dedup rows, keeping sort keys aligned.
@@ -1074,11 +1118,11 @@ fn execute_select(
         out_rows.truncate(n as usize);
     }
 
-    Ok(ResultSet {
+    ResultSet {
         columns,
         rows: out_rows,
         ordered: !order_by.is_empty(),
-    })
+    }
 }
 
 /// Reorder `rows` to `order` (a set of distinct indices) without cloning
@@ -1143,7 +1187,9 @@ fn top_k_indices(len: usize, k: usize, cmp: impl Fn(&usize, &usize) -> Ordering)
     heap
 }
 
-type Projected = (Vec<String>, Vec<Vec<Value>>, Vec<Vec<Value>>);
+/// Output columns, projected rows, and per-row ORDER BY keys — what a
+/// projection pipeline (row or batch) hands to [`finish_select`].
+pub(crate) type Projected = (Vec<String>, Vec<Vec<Value>>, Vec<Vec<Value>>);
 
 /// A compiled projection item.
 enum ProjProg<'q> {
@@ -1997,6 +2043,27 @@ mod tests {
             },
             ExecOptions {
                 compiled: true,
+                ..ExecOptions::legacy()
+            },
+            // The columnar batch engine must be invisible: same rows in
+            // the same order whether it runs, falls back, or is off.
+            ExecOptions {
+                columnar: false,
+                ..Default::default()
+            },
+            ExecOptions {
+                columnar: false,
+                predicate_pushdown: false,
+                ..Default::default()
+            },
+            ExecOptions {
+                columnar: false,
+                compiled: false,
+                join: JoinStrategy::BuildRight,
+                ..Default::default()
+            },
+            ExecOptions {
+                columnar: true,
                 ..ExecOptions::legacy()
             },
         ];

@@ -19,6 +19,8 @@
 //! logic collapsed to "NULL is not TRUE" in filters, aggregates skip NULLs,
 //! `COUNT(*)` counts rows, integer division truncates.
 
+pub(crate) mod batch;
+pub mod column;
 pub(crate) mod compile;
 pub mod database;
 pub mod error;
@@ -31,6 +33,7 @@ pub mod reference;
 pub mod result;
 pub mod value;
 
+pub use column::{Column, ColumnData, ColumnarTable, DictColumn, NullMask};
 pub use database::{Database, Row, Table};
 pub use error::{EngineError, Result};
 pub use exec::{execute, execute_with, ExecOptions, JoinStrategy};

@@ -42,8 +42,10 @@ fn int_fits_f64(v: i64) -> bool {
 ///
 /// Any float with |b| ≥ 2^53 is an integer, so after the range clamp the
 /// truncation `b as i64` and the fraction `b - t` are both exact.
+/// `pub(crate)` so the vectorized comparison kernels share the exact
+/// semantics without materializing `Value`s.
 #[inline]
-fn cmp_int_f64(a: i64, b: f64) -> Ordering {
+pub(crate) fn cmp_int_f64(a: i64, b: f64) -> Ordering {
     const TWO_63: f64 = 9_223_372_036_854_775_808.0; // 2^63, exact as f64
     if b >= TWO_63 {
         return Ordering::Less;

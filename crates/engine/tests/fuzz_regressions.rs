@@ -66,13 +66,16 @@ fn matrix() -> Vec<ExecOptions> {
             for copy_scans in [false, true] {
                 for compiled in [false, true] {
                     for optimize in [false, true] {
-                        out.push(ExecOptions {
-                            predicate_pushdown,
-                            join,
-                            copy_scans,
-                            compiled,
-                            optimize,
-                        });
+                        for columnar in [false, true] {
+                            out.push(ExecOptions {
+                                predicate_pushdown,
+                                join,
+                                copy_scans,
+                                compiled,
+                                optimize,
+                                columnar,
+                            });
+                        }
                     }
                 }
             }

@@ -8,8 +8,9 @@
 //!    outcome, and
 //! 3. runs the optimized executor under the full [`ExecOptions`] matrix
 //!    (join strategy × predicate pushdown × scan copying × compiled vs
-//!    interpreted expressions × cost-based planner on/off) and demands
-//!    that every configuration agrees with the reference.
+//!    interpreted expressions × cost-based planner on/off × columnar
+//!    batch engine on/off) and demands that every configuration agrees
+//!    with the reference.
 //!
 //! Agreement is Spider execution-match (`ResultSet::same_result`:
 //! multiset of rows, ordered-list comparison when both sides carry an
@@ -78,11 +79,13 @@ impl std::fmt::Display for Disagreement {
 
 /// The full executor configuration matrix: every join strategy crossed
 /// with pushdown on/off, copying vs zero-copy scans, compiled vs
-/// interpreted expression evaluation, and the cost-based planner on/off
-/// — 48 configurations. The `optimize` axis is what differentially
-/// verifies every planner rewrite (join reordering, projection pruning,
-/// planned build sides) against the plan-free legacy path and the
-/// reference interpreter.
+/// interpreted expression evaluation, the cost-based planner on/off,
+/// and the columnar batch engine on/off — 96 configurations. The
+/// `optimize` axis is what differentially verifies every planner
+/// rewrite (join reordering, projection pruning, planned build sides)
+/// against the plan-free legacy path and the reference interpreter; the
+/// `columnar` axis does the same for every vectorized kernel and its
+/// row-path fallback boundary.
 pub fn exec_matrix() -> Vec<(String, ExecOptions)> {
     let mut out = Vec::new();
     for join in [
@@ -94,23 +97,27 @@ pub fn exec_matrix() -> Vec<(String, ExecOptions)> {
             for copy in [false, true] {
                 for compiled in [false, true] {
                     for optimize in [false, true] {
-                        let name = format!(
-                            "{join:?}{}{}{}{}",
-                            if pushdown { "+pushdown" } else { "" },
-                            if copy { "+copy" } else { "" },
-                            if compiled { "+compiled" } else { "" },
-                            if optimize { "+opt" } else { "" }
-                        );
-                        out.push((
-                            name,
-                            ExecOptions {
-                                predicate_pushdown: pushdown,
-                                join,
-                                copy_scans: copy,
-                                compiled,
-                                optimize,
-                            },
-                        ));
+                        for columnar in [false, true] {
+                            let name = format!(
+                                "{join:?}{}{}{}{}{}",
+                                if pushdown { "+pushdown" } else { "" },
+                                if copy { "+copy" } else { "" },
+                                if compiled { "+compiled" } else { "" },
+                                if optimize { "+opt" } else { "" },
+                                if columnar { "+columnar" } else { "" }
+                            );
+                            out.push((
+                                name,
+                                ExecOptions {
+                                    predicate_pushdown: pushdown,
+                                    join,
+                                    copy_scans: copy,
+                                    compiled,
+                                    optimize,
+                                    columnar,
+                                },
+                            ));
+                        }
                     }
                 }
             }

@@ -1,0 +1,204 @@
+//! Structural eligibility for the columnar batch engine.
+//!
+//! [`columnar_eligible`] is a purely syntactic test over one `SELECT`:
+//! it answers whether the statement's *shape* is within the vectorized
+//! executor's operator set. The engine consults it before attempting
+//! batch execution, and EXPLAIN consults the same function to label the
+//! chosen path — one predicate, two consumers, no drift.
+//!
+//! Deliberately structural: no name resolution, no data inspection.
+//! The engine's kernel compiler still performs data-dependent checks
+//! (e.g. a column whose stored values mix ints and floats cannot be
+//! vectorized) and falls back to the row path at runtime; EXPLAIN may
+//! therefore label a query `columnar` that a particular database
+//! demotes to the row engine. The reverse never happens.
+//!
+//! Supported shape:
+//! - base tables only (derived tables take the row path),
+//! - inner joins with `a.x = b.y` constraints over qualified columns,
+//! - scalar expressions from the kernel set: columns, literals,
+//!   arithmetic, comparisons, `AND`/`OR`/`NOT`, `BETWEEN`,
+//!   `IN (literals)`, `LIKE 'literal'`, `IS NULL`,
+//! - aggregates (`COUNT`/`SUM`/`AVG`/`MIN`/`MAX`, incl. `DISTINCT`)
+//!   over scalar-set arguments, grouped by plain columns,
+//! - no subqueries anywhere, no `SELECT *` under grouping.
+
+use sb_sql::{AggArg, Expr, OrderItem, Select, SelectItem, TableFactor};
+
+/// Whether one `SELECT` (with its statement-level ORDER BY keys) is
+/// structurally executable by the columnar batch engine.
+pub fn columnar_eligible(select: &Select, order_by: &[OrderItem]) -> bool {
+    // Base tables only.
+    if !matches!(select.from.factor, TableFactor::Table(_)) {
+        return false;
+    }
+    for join in &select.joins {
+        if !matches!(join.table.factor, TableFactor::Table(_)) {
+            return false;
+        }
+        // Inner equi-joins over qualified columns only.
+        if join.left {
+            return false;
+        }
+        let Some(Expr::Binary {
+            left,
+            op: sb_sql::BinaryOp::Eq,
+            right,
+        }) = &join.constraint
+        else {
+            return false;
+        };
+        let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) else {
+            return false;
+        };
+        if a.table.is_none() || b.table.is_none() {
+            return false;
+        }
+    }
+
+    if let Some(sel) = &select.selection {
+        if !scalar_ok(sel) {
+            return false;
+        }
+    }
+
+    let grouped = is_aggregate(select, order_by);
+    if grouped {
+        // The row engine rejects `SELECT *` under grouping; grouped keys
+        // must be plain columns for the batch grouping kernels.
+        if !select.group_by.iter().all(|g| matches!(g, Expr::Column(_))) {
+            return false;
+        }
+        for item in &select.projections {
+            match item {
+                SelectItem::Wildcard => return false,
+                SelectItem::Expr { expr, .. } => {
+                    if !grouped_ok(expr) {
+                        return false;
+                    }
+                }
+            }
+        }
+        if let Some(h) = &select.having {
+            if !grouped_ok(h) {
+                return false;
+            }
+        }
+        order_by.iter().all(|o| grouped_ok(&o.expr))
+    } else {
+        for item in &select.projections {
+            if let SelectItem::Expr { expr, .. } = item {
+                if !scalar_ok(expr) {
+                    return false;
+                }
+            }
+        }
+        order_by.iter().all(|o| scalar_ok(&o.expr))
+    }
+}
+
+/// Whether a scalar (per-row) expression is within the kernel set.
+fn scalar_ok(e: &Expr) -> bool {
+    match e {
+        Expr::Column(_) | Expr::Literal(_) => true,
+        Expr::Unary { expr, .. } => scalar_ok(expr),
+        Expr::Binary { left, right, .. } => scalar_ok(left) && scalar_ok(right),
+        Expr::Between {
+            expr, low, high, ..
+        } => scalar_ok(expr) && scalar_ok(low) && scalar_ok(high),
+        Expr::InList { expr, list, .. } => {
+            scalar_ok(expr) && list.iter().all(|i| matches!(i, Expr::Literal(_)))
+        }
+        Expr::Like { expr, pattern, .. } => {
+            scalar_ok(expr) && matches!(pattern.as_ref(), Expr::Literal(_))
+        }
+        Expr::IsNull { expr, .. } => scalar_ok(expr),
+        Expr::Agg { .. } | Expr::Subquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. } => {
+            false
+        }
+    }
+}
+
+/// Whether a group-context expression (projection / HAVING / ORDER BY
+/// of an aggregate query) is within the kernel set: aggregates combined
+/// with arithmetic/comparison/logic, scalar-set leaves evaluated on the
+/// group's first row.
+fn grouped_ok(e: &Expr) -> bool {
+    match e {
+        Expr::Agg { arg, .. } => match arg {
+            AggArg::Star => true,
+            AggArg::Expr(a) => scalar_ok(a),
+        },
+        Expr::Binary { left, right, .. } => grouped_ok(left) && grouped_ok(right),
+        Expr::Unary { expr, .. } => grouped_ok(expr),
+        other => scalar_ok(other),
+    }
+}
+
+/// Mirror of the executor's aggregate-query test.
+fn is_aggregate(select: &Select, order_by: &[OrderItem]) -> bool {
+    if !select.group_by.is_empty() || select.having.is_some() {
+        return true;
+    }
+    let proj_agg = select.projections.iter().any(|p| match p {
+        SelectItem::Wildcard => false,
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+    });
+    proj_agg || order_by.iter().any(|o| o.expr.contains_aggregate())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eligible(sql: &str) -> bool {
+        let q = sb_sql::parse(sql).unwrap();
+        let sb_sql::SetExpr::Select(select) = &q.body else {
+            panic!("single select expected");
+        };
+        columnar_eligible(select, &q.order_by)
+    }
+
+    #[test]
+    fn supported_shapes() {
+        assert!(eligible("SELECT a FROM t WHERE b > 1 AND c = 'x'"));
+        assert!(eligible("SELECT * FROM t"));
+        assert!(eligible(
+            "SELECT t.a FROM t JOIN u ON t.id = u.tid WHERE u.v < 3 ORDER BY t.a LIMIT 5"
+        ));
+        assert!(eligible(
+            "SELECT a, COUNT(*), SUM(b) FROM t GROUP BY a HAVING COUNT(*) > 2"
+        ));
+        assert!(eligible("SELECT COUNT(DISTINCT a) FROM t"));
+        assert!(eligible("SELECT a FROM t WHERE b IN (1, 2, 3)"));
+        assert!(eligible("SELECT a FROM t WHERE b LIKE '%x%'"));
+        assert!(eligible("SELECT DISTINCT a FROM t ORDER BY a"));
+    }
+
+    #[test]
+    fn unsupported_shapes_fall_back() {
+        // Derived table.
+        assert!(!eligible("SELECT d.a FROM (SELECT a FROM t) AS d"));
+        // Left join.
+        assert!(!eligible("SELECT t.a FROM t LEFT JOIN u ON t.id = u.tid"));
+        // Non-equi join.
+        assert!(!eligible("SELECT t.a FROM t JOIN u ON t.id < u.tid"));
+        // Bare join columns.
+        assert!(!eligible("SELECT t.a FROM t JOIN u ON id = tid"));
+        // Cross join.
+        assert!(!eligible("SELECT t.a FROM t JOIN u ON true"));
+        // Subqueries.
+        assert!(!eligible("SELECT a FROM t WHERE b IN (SELECT c FROM u)"));
+        assert!(!eligible("SELECT a FROM t WHERE EXISTS (SELECT * FROM u)"));
+        assert!(!eligible(
+            "SELECT a FROM t WHERE b > (SELECT AVG(c) FROM u)"
+        ));
+        // Wildcard under grouping (row engine errors; same path both ways).
+        assert!(!eligible("SELECT * FROM t GROUP BY a"));
+        // Expression group keys.
+        assert!(!eligible("SELECT a + 1 FROM t GROUP BY a + 1"));
+        // Non-literal IN list / LIKE pattern.
+        assert!(!eligible("SELECT a FROM t WHERE b IN (c, 2)"));
+        assert!(!eligible("SELECT a FROM t WHERE b LIKE c"));
+    }
+}

@@ -207,7 +207,16 @@ pub fn build_plan(
         }
         (true, None) => {}
     }
-    node
+
+    // Root label: which executor the engine selects for this statement.
+    // Structural only — data-dependent fallbacks (e.g. mixed-typed
+    // columns) still demote to the row engine at runtime.
+    let engine = if input.opts.columnar && crate::columnar_eligible(select, input.order_by) {
+        "columnar"
+    } else {
+        "row"
+    };
+    PlanNode::unary(format!("Execute engine={engine}"), node)
 }
 
 /// Mirror of the executor's aggregate-query test, structured on the

@@ -38,11 +38,13 @@
 //! [`explain::render`] turns a plan into the indented EXPLAIN text that
 //! the plan-snapshot goldens under `tests/goldens/plans/` pin.
 
+pub mod columnar;
 pub mod cost;
 pub mod explain;
 pub mod plan;
 pub mod pushdown;
 
+pub use columnar::columnar_eligible;
 pub use explain::{build_plan, render, PlanNode};
 pub use plan::{plan_select, EdgeKey, PlanInput, PlannedJoin, PlannedSelect};
 pub use pushdown::{assign_pushdown, collect_columns, has_subquery, split_conjuncts};
@@ -91,6 +93,10 @@ pub struct OptOptions {
     pub hash_joins: bool,
     /// Drop never-referenced columns at scan time.
     pub prune: bool,
+    /// Whether the executor will attempt vectorized columnar execution
+    /// for eligible statements (see [`columnar_eligible`]); gates
+    /// EXPLAIN's `Execute engine=` label.
+    pub columnar: bool,
 }
 
 impl Default for OptOptions {
@@ -101,6 +107,7 @@ impl Default for OptOptions {
             choose_build: true,
             hash_joins: true,
             prune: true,
+            columnar: true,
         }
     }
 }

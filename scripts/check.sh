@@ -35,6 +35,17 @@ grep -q '"pipeline.pairs_emitted"' "$report" || {
     exit 1
 }
 
+echo "== columnar smoke: batch engine live under default options =="
+# ExecOptions::default() has columnar on; the report must carry batch
+# counters, proving the vectorized path executed rather than silently
+# falling back to the row engine everywhere. (The fuzz smoke above
+# already differentially checks the +columnar half of the 96-config
+# matrix against the reference interpreter.)
+grep -q '"engine.columnar.selects"' "$report" || {
+    echo "profile_run report is missing columnar batch counters (batch engine never ran)" >&2
+    exit 1
+}
+
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 

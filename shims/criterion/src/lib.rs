@@ -102,6 +102,16 @@ fn run_one(
         return None;
     }
 
+    // Warm up once before calibrating, as upstream criterion does: the
+    // first run pays one-time lazy costs (allocator growth, caches,
+    // columnar images) that would otherwise inflate the first
+    // calibration sample and lock iterations at 1 per sample.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+
     // Calibrate: double iterations until one sample takes >= 5 ms.
     let target = Duration::from_millis(5);
     let mut iters = 1u64;

@@ -12,8 +12,9 @@ use sciencebenchmark::engine::{Database, EngineError, ExecOptions, JoinStrategy}
 use sciencebenchmark::schema::{Column, ColumnType, Schema, TableDef};
 
 /// Every execution configuration that must agree: the default (pushdown +
-/// auto hash join + compiled expressions), each forced join strategy with
-/// and without pushdown, each of those both compiled and interpreted, and
+/// auto hash join + compiled expressions + columnar batch engine), each
+/// forced join strategy with and without pushdown, each of those both
+/// compiled and interpreted and with the columnar engine on and off, and
 /// the pre-rework cloning path.
 fn all_options() -> Vec<ExecOptions> {
     let mut out = vec![ExecOptions::default(), ExecOptions::legacy()];
@@ -24,12 +25,15 @@ fn all_options() -> Vec<ExecOptions> {
     ] {
         for predicate_pushdown in [false, true] {
             for compiled in [false, true] {
-                out.push(ExecOptions {
-                    join,
-                    predicate_pushdown,
-                    compiled,
-                    ..ExecOptions::default()
-                });
+                for columnar in [false, true] {
+                    out.push(ExecOptions {
+                        join,
+                        predicate_pushdown,
+                        compiled,
+                        columnar,
+                        ..ExecOptions::default()
+                    });
+                }
             }
         }
     }
@@ -237,6 +241,11 @@ fn obs_on_and_off_produce_identical_result_sets() {
     );
     assert!(report.counter("engine.dispatch.compiled") > 0);
     assert!(report.counter("engine.dispatch.interpreted") > 0);
+    // The columnar batch engine ran (half the matrix enables it, the
+    // workload is batch-eligible) and its kernels are instrumented.
+    assert!(report.counter("engine.columnar.selects") > 0);
+    assert!(report.counter("engine.columnar.join.hash") > 0);
+    assert!(report.counter("engine.columnar.filter.batches") > 0);
 }
 
 // ---------------------------------------------------------------------
