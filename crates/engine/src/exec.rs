@@ -167,6 +167,89 @@ pub fn execute(db: &Database, query: &Query) -> Result<ResultSet> {
     execute_with(db, query, ExecOptions::default())
 }
 
+/// Execute a parsed query, reusing a previously captured top-level plan
+/// (see [`plan_top_select`]) instead of re-planning. The cached plan
+/// must have been captured from the *same* statement text against the
+/// *same* database snapshot; a structurally mismatched plan is detected
+/// and falls back to fresh planning, so the result is always identical
+/// to [`execute_with`] — errors included. Set operations and statements
+/// planned with `optimize` off ignore the plan entirely.
+pub fn execute_with_plan(
+    db: &Database,
+    query: &Query,
+    opts: ExecOptions,
+    plan: Option<&sb_opt::OwnedPlan>,
+) -> Result<ResultSet> {
+    match &query.body {
+        SetExpr::Select(select) => {
+            execute_select_impl(db, select, &query.order_by, query.limit, opts, plan)
+        }
+        SetExpr::SetOp { .. } => execute_with(db, query, opts),
+    }
+}
+
+/// Plan the top-level `SELECT` of a query in cacheable (owned) form:
+/// the prepared-statement path of `sb-serve` calls this once per
+/// normalized statement and hands the result back to
+/// [`execute_with_plan`] on every subsequent request.
+///
+/// Returns `None` whenever caching would not be sound or useful: the
+/// planner is disabled (`opts.optimize` off), the query is a set
+/// operation, a FROM factor is a derived table (planning one means
+/// executing its subquery — that work belongs to the request, not the
+/// prepare step), or a table doesn't resolve (execution will surface
+/// the binding error itself). The plan derives only from the immutable
+/// snapshot's schema and row counts, so it reproduces exactly what
+/// fresh planning inside [`execute_with`] would decide.
+pub fn plan_top_select(
+    db: &Database,
+    query: &Query,
+    opts: ExecOptions,
+) -> Option<sb_opt::OwnedPlan> {
+    if !opts.optimize {
+        return None;
+    }
+    let SetExpr::Select(select) = &query.body else {
+        return None;
+    };
+    let mut metas = Vec::new();
+    let mut scope = Scope::default();
+    let factors = std::iter::once(&select.from).chain(select.joins.iter().map(|j| &j.table));
+    for tr in factors {
+        let TableFactor::Table(name) = &tr.factor else {
+            return None;
+        };
+        let table = db.table(name)?;
+        let binding = tr.binding().expect("named table always binds").to_string();
+        let columns: Vec<String> = table.def.columns.iter().map(|c| c.name.clone()).collect();
+        metas.push(sb_opt::RelMeta {
+            binding: binding.clone(),
+            table: Some(table.def.name.clone()),
+            columns: table
+                .def
+                .columns
+                .iter()
+                .map(|c| sb_opt::ColMeta {
+                    name: c.name.clone(),
+                    unique: c.primary_key,
+                })
+                .collect(),
+            rows: table.rows.len(),
+        });
+        scope.push(&binding, columns);
+    }
+    let resolver = ScopeResolver(&scope);
+    let input = sb_opt::PlanInput {
+        select,
+        order_by: &query.order_by,
+        limit: query.limit,
+        rels: &metas,
+        opts: opts.opt_options(),
+    };
+    let planned = sb_opt::plan_select(&input, &resolver);
+    sb_opt::OwnedPlan::capture(&planned, select)
+}
+
 /// Execute a parsed query with explicit executor options.
 pub fn execute_with(db: &Database, query: &Query, opts: ExecOptions) -> Result<ResultSet> {
     match &query.body {
@@ -911,6 +994,17 @@ fn execute_select(
     limit: Option<u64>,
     opts: ExecOptions,
 ) -> Result<ResultSet> {
+    execute_select_impl(db, select, order_by, limit, opts, None)
+}
+
+fn execute_select_impl(
+    db: &Database,
+    select: &Select,
+    order_by: &[OrderItem],
+    limit: Option<u64>,
+    opts: ExecOptions,
+    cached: Option<&sb_opt::OwnedPlan>,
+) -> Result<ResultSet> {
     if sb_obs::enabled() {
         note_dispatch(opts.compiled);
     }
@@ -934,15 +1028,24 @@ fn execute_select(
     let resolver = ScopeResolver(&full_scope);
     let rels_meta;
     let planned = if opts.optimize {
-        rels_meta = rel_metas(&relations);
-        let input = sb_opt::PlanInput {
-            select,
-            order_by,
-            limit,
-            rels: &rels_meta,
-            opts: opts.opt_options(),
-        };
-        Some(sb_opt::plan_select(&input, &resolver))
+        // A cached plan (the serve-layer prepared path) skips the whole
+        // rewrite pipeline; `reify` rebuilds the exact borrowing plan the
+        // planner produced at prepare time. A mismatch — possible only if
+        // a caller pairs a plan with the wrong statement — re-plans.
+        Some(match cached.and_then(|c| c.reify(select)) {
+            Some(p) => p,
+            None => {
+                rels_meta = rel_metas(&relations);
+                let input = sb_opt::PlanInput {
+                    select,
+                    order_by,
+                    limit,
+                    rels: &rels_meta,
+                    opts: opts.opt_options(),
+                };
+                sb_opt::plan_select(&input, &resolver)
+            }
+        })
     } else {
         None
     };

@@ -36,7 +36,9 @@ pub mod value;
 pub use column::{Column, ColumnData, ColumnarTable, DictColumn, NullMask};
 pub use database::{Database, Row, Table};
 pub use error::{EngineError, Result};
-pub use exec::{execute, execute_with, ExecOptions, JoinStrategy};
+pub use exec::{
+    execute, execute_with, execute_with_plan, plan_top_select, ExecOptions, JoinStrategy,
+};
 pub use explain::explain;
 pub use profile::{profile_database, sql_literal};
 pub use reference::execute_reference;

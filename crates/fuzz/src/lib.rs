@@ -80,6 +80,18 @@ pub fn fuzz_database(domain: Domain) -> Database {
     db
 }
 
+/// One serving-workload query, generated from a deterministic
+/// *per-index* RNG stream: request `index` is a function of
+/// `(database, base_seed, index)` only, never of which client issues
+/// it or how many clients exist. This is what lets the `sb-serve` load
+/// generator replay a byte-identical total workload at any client
+/// count (the same per-index seeding discipline as the rayon-parallel
+/// generation pipeline).
+pub fn workload_query(db: &Database, base_seed: u64, index: u64) -> sb_sql::Query {
+    let mut gen = QueryGenerator::new(db, base_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    gen.query()
+}
+
 /// Run a bounded fuzz campaign: `count` queries generated from
 /// `base_seed` against `domain`, each checked by the differential
 /// oracle. Returns every failure, shrunk.

@@ -38,12 +38,14 @@
 //! [`explain::render`] turns a plan into the indented EXPLAIN text that
 //! the plan-snapshot goldens under `tests/goldens/plans/` pin.
 
+pub mod cache;
 pub mod columnar;
 pub mod cost;
 pub mod explain;
 pub mod plan;
 pub mod pushdown;
 
+pub use cache::OwnedPlan;
 pub use columnar::columnar_eligible;
 pub use explain::{build_plan, render, PlanNode};
 pub use plan::{plan_select, EdgeKey, PlanInput, PlannedJoin, PlannedSelect};

@@ -1,0 +1,119 @@
+//! Admission control: a bounded in-flight gate with explicit overload
+//! rejection.
+//!
+//! The service never queues: a request either gets a [`Permit`]
+//! immediately or is answered `overloaded` right away. Closed-loop
+//! clients retry on their own schedule, which keeps worst-case memory
+//! proportional to `max_in_flight` result sets instead of an unbounded
+//! backlog — the classic load-shedding posture for an in-process
+//! service.
+//!
+//! Lock-free: one `AtomicUsize` compare-exchange to admit, one
+//! `fetch_sub` on RAII release. `max_in_flight = 0` rejects everything,
+//! which the envelope tests use to pin the overload response
+//! deterministically.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bounded admission gate. Cheap to share behind the service.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    max: usize,
+    in_flight: AtomicUsize,
+}
+
+/// RAII admission slot: dropping it releases the slot.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `max_in_flight` concurrent requests.
+    pub fn new(max_in_flight: usize) -> AdmissionGate {
+        AdmissionGate {
+            max: max_in_flight,
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Try to admit one request. `None` means overloaded — reject now,
+    /// never wait.
+    pub fn try_acquire(&self) -> Option<Permit<'_>> {
+        let mut cur = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max {
+                return None;
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Permit { gate: self }),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Requests currently holding permits.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.max
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_bounds_in_flight_and_releases_on_drop() {
+        let gate = AdmissionGate::new(2);
+        let a = gate.try_acquire().expect("slot 1");
+        let b = gate.try_acquire().expect("slot 2");
+        assert!(gate.try_acquire().is_none(), "third admit must be rejected");
+        assert_eq!(gate.in_flight(), 2);
+        drop(a);
+        let c = gate.try_acquire().expect("slot freed by drop");
+        assert_eq!(gate.in_flight(), 2);
+        drop(b);
+        drop(c);
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let gate = AdmissionGate::new(0);
+        assert!(gate.try_acquire().is_none());
+    }
+
+    #[test]
+    fn gate_is_consistent_under_contention() {
+        let gate = AdmissionGate::new(3);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..2000 {
+                        if let Some(p) = gate.try_acquire() {
+                            assert!(gate.in_flight() <= 3);
+                            drop(p);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(gate.in_flight(), 0);
+    }
+}

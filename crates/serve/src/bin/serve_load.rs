@@ -1,0 +1,161 @@
+//! `serve_load` — closed-loop load benchmark for the query service.
+//!
+//! Replays the deterministic fuzzer workload from N simulated clients
+//! against an in-process [`sb_serve::QueryService`] per domain and
+//! emits the `BENCH_serve.json` document (p50/p95/p99 latency, qps,
+//! plan-cache effectiveness) on stdout or to `--out`:
+//!
+//! ```sh
+//! cargo run --release -p sb-serve --bin serve_load -- --quick
+//! cargo run --release -p sb-serve --bin serve_load -- --clients 16 --requests 5000 --out BENCH_serve.json
+//! cargo run --release -p sb-serve --bin serve_load -- --validate BENCH_serve.json
+//! ```
+//!
+//! Flags:
+//!
+//! - `--quick`           small request count, seconds-scale (check.sh uses this)
+//! - `--clients N`       simulated closed-loop clients (default 8)
+//! - `--requests N`      requests per domain (default 2000)
+//! - `--seed N`          workload seed (default 0xC0FFEE)
+//! - `--domain NAME`     one of cordis / sdss / oncomx (default: all three)
+//! - `--out FILE`        write the document to FILE instead of stdout
+//! - `--validate FILE`   validate FILE's shape and exit
+
+use sb_data::Domain;
+use sb_serve::{render_bench_json, run_domain_load, validate_bench_json, LoadConfig};
+
+fn parse_domain(name: &str) -> Option<Domain> {
+    Domain::ALL
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+    value
+        .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        .parse()
+        .unwrap_or_else(|_| usage(&format!("{flag} needs a number")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut load = LoadConfig::default();
+    let mut domains: Vec<Domain> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                load.clients = 4;
+                load.requests = 200;
+            }
+            "--clients" => {
+                i += 1;
+                load.clients = parse_num("--clients", args.get(i));
+            }
+            "--requests" => {
+                i += 1;
+                load.requests = parse_num("--requests", args.get(i));
+            }
+            "--seed" => {
+                i += 1;
+                load.seed = parse_num("--seed", args.get(i));
+            }
+            "--domain" => {
+                i += 1;
+                let name = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--domain needs a value"));
+                match parse_domain(name) {
+                    Some(d) => domains.push(d),
+                    None => usage(&format!("unknown domain `{name}`")),
+                }
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--out needs a file path"))
+                        .clone(),
+                );
+            }
+            "--validate" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--validate needs a file path"));
+                validate_file(path);
+                return;
+            }
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    if domains.is_empty() {
+        domains.extend(Domain::ALL);
+    }
+
+    let mut reports = Vec::new();
+    for &domain in &domains {
+        sb_obs::progress("serve_load", &format!("loading {}", domain.name()));
+        let report = run_domain_load(domain, &load);
+        eprintln!(
+            "serve_load: {} {} reqs, {} clients: {:.0} qps, p50 {:.0}us p95 {:.0}us p99 {:.0}us, \
+             {} ok / {} errors, cache {}/{} hit",
+            report.domain,
+            report.requests,
+            report.clients,
+            report.qps,
+            report.p50_us,
+            report.p95_us,
+            report.p99_us,
+            report.ok,
+            report.errors,
+            report.cache_hits,
+            report.cache_hits + report.cache_misses,
+        );
+        reports.push(report);
+    }
+
+    let doc = render_bench_json(&load, &reports);
+    // Self-check before emitting: a malformed document must fail loudly.
+    if let Err(e) = validate_bench_json(&doc) {
+        eprintln!("serve_load: internal error, emitted invalid document: {e}");
+        std::process::exit(2);
+    }
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &doc) {
+                eprintln!("serve_load: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("serve_load: wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+}
+
+fn validate_file(path: &str) {
+    match std::fs::read_to_string(path) {
+        Ok(content) => match validate_bench_json(&content) {
+            Ok(()) => println!("{path}: valid BENCH_serve document"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("serve_load: {msg}");
+    eprintln!(
+        "usage: serve_load [--quick] [--clients N] [--requests N] [--seed N] \
+         [--domain cordis|sdss|oncomx]... [--out FILE] | --validate FILE"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,312 @@
+//! # sb-serve — concurrent query service over immutable snapshots
+//!
+//! The serving layer of the reproduction: a long-running, thread-safe
+//! query service that answers the `sb-sql` dialect against shared
+//! [`Arc<Database>`] snapshots. This is the substrate the benchmark's
+//! interactive consumers (NL-to-SQL demos, execution-accuracy scoring
+//! farms, data-profiling dashboards) would sit on in production, where
+//! one process serves many concurrent clients from one in-memory copy
+//! of each domain database.
+//!
+//! The pieces, each its own module:
+//!
+//! - [`envelope`] — structured [`QueryRequest`] / [`QueryResponse`]
+//!   envelopes, a stable [`ErrorCode`] taxonomy, per-request row caps,
+//!   and the read-only guardrail that rejects anything but a single
+//!   `SELECT` before it reaches the parser.
+//! - [`cache`] — the prepared-plan cache: normalize → parse → plan
+//!   once, execute the cached [`sb_opt::OwnedPlan`] on every repeat.
+//! - [`admission`] — bounded in-flight admission with explicit
+//!   `overloaded` rejection; the service never queues.
+//! - [`loadgen`] — a closed-loop load generator replaying the fuzzer
+//!   workload from N simulated clients, reporting p50/p95/p99 latency
+//!   and throughput through `sb-obs` histograms (the `serve_load`
+//!   binary emits `BENCH_serve.json`).
+//!
+//! ## Concurrency model
+//!
+//! Snapshots are immutable and shared (`Arc<Database>`); a request
+//! borrows one for its lifetime and never copies it. All mutable
+//! service state is the plan cache (read-mostly `RwLock`) and two
+//! atomics (admission gate, cache counters). There are no locks held
+//! across execution, so request handling scales with cores — and
+//! because execution on an immutable snapshot is deterministic, N
+//! threads hammering one service produce byte-identical responses to a
+//! single-threaded replay (pinned by `tests/concurrency.rs`).
+//!
+//! ## Timeout semantics
+//!
+//! Timeouts are **cooperative and coarse**: the deadline is checked at
+//! admission and at completion, never mid-operator, so a response is
+//! either a complete result or a clean `timeout` — never a torn one.
+//! `timeout_ms = 0` expires at admission deterministically, which is
+//! how the envelope goldens pin the timeout response without a race.
+
+pub mod admission;
+pub mod cache;
+pub mod envelope;
+pub mod loadgen;
+
+pub use admission::{AdmissionGate, Permit};
+pub use cache::{PlanCache, Prepared};
+pub use envelope::{validate_read_only_sql, ErrorCode, QueryRequest, QueryResponse};
+pub use loadgen::{render_bench_json, run_domain_load, validate_bench_json, LoadConfig};
+
+use sb_engine::{Database, ExecOptions};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Service-wide configuration. Per-request envelope fields can lower
+/// (but not raise) the row cap and timeout.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Admission bound: concurrent requests beyond this are rejected
+    /// with [`ErrorCode::Overloaded`]. `0` rejects everything (used to
+    /// pin the overload golden).
+    pub max_in_flight: usize,
+    /// Default cap on returned rows when the request does not set one.
+    pub default_row_cap: usize,
+    /// Default per-request deadline when the request does not set one.
+    pub default_timeout_ms: u64,
+    /// Executor configuration every request runs under.
+    pub exec: ExecOptions,
+    /// Whether to prepare statements through the [`PlanCache`]. Off,
+    /// every request parses and plans from scratch — the equivalence
+    /// suites run both ways and demand identical responses.
+    pub plan_cache: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_in_flight: 64,
+            default_row_cap: 10_000,
+            default_timeout_ms: 5_000,
+            exec: ExecOptions::default(),
+            plan_cache: true,
+        }
+    }
+}
+
+/// A running query service: named immutable snapshots plus the shared
+/// plan cache and admission gate. Cheap to share by reference across
+/// client threads (`QueryService: Sync`).
+#[derive(Debug)]
+pub struct QueryService {
+    cfg: ServeConfig,
+    /// Registration order is kept for deterministic introspection.
+    snapshots: Vec<(String, Arc<Database>)>,
+    cache: PlanCache,
+    gate: AdmissionGate,
+}
+
+impl QueryService {
+    /// A service with no snapshots yet.
+    pub fn new(cfg: ServeConfig) -> QueryService {
+        QueryService {
+            cfg,
+            snapshots: Vec::new(),
+            cache: PlanCache::new(),
+            gate: AdmissionGate::new(cfg.max_in_flight),
+        }
+    }
+
+    /// Register (or replace) a named snapshot. Builder-style so test
+    /// setup reads as one expression.
+    pub fn with_snapshot(mut self, name: &str, db: Arc<Database>) -> QueryService {
+        match self
+            .snapshots
+            .iter_mut()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        {
+            Some(slot) => slot.1 = db,
+            None => self.snapshots.push((name.to_string(), db)),
+        }
+        self
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Registered snapshot names, in registration order.
+    pub fn snapshot_names(&self) -> Vec<&str> {
+        self.snapshots.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Plan-cache counters: `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
+    }
+
+    fn snapshot(&self, name: &str) -> Option<&Arc<Database>> {
+        self.snapshots
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, db)| db)
+    }
+
+    /// Handle one request end to end: admission → deadline → guardrail
+    /// → prepare (cached or fresh) → execute → row cap. Every exit path
+    /// produces a well-formed [`QueryResponse`] with a stable
+    /// [`ErrorCode`]; this function never panics on user input.
+    pub fn handle(&self, req: &QueryRequest) -> QueryResponse {
+        let _span = sb_obs::span("serve.request");
+        let Some(_permit) = self.gate.try_acquire() else {
+            sb_obs::count("serve.rejected.overload", 1);
+            return QueryResponse::error(
+                req.id,
+                ErrorCode::Overloaded,
+                format!("too many requests in flight (max {})", self.gate.capacity()),
+            );
+        };
+
+        let timeout_ms = req.timeout_ms.unwrap_or(self.cfg.default_timeout_ms);
+        let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+        let timed_out = |stage: &str| {
+            sb_obs::count("serve.rejected.timeout", 1);
+            QueryResponse::error(
+                req.id,
+                ErrorCode::Timeout,
+                format!("deadline exceeded {stage} (timeout_ms={timeout_ms})"),
+            )
+        };
+        // Cooperative deadline check #1: at admission. A zero timeout
+        // expires here, deterministically.
+        if timeout_ms == 0 {
+            return timed_out("at admission");
+        }
+
+        let Some(db) = self.snapshot(&req.db) else {
+            return QueryResponse::error(
+                req.id,
+                ErrorCode::InvalidRequest,
+                format!("unknown snapshot `{}`", req.db),
+            );
+        };
+        if let Err((code, detail)) = validate_read_only_sql(&req.sql) {
+            sb_obs::count("serve.rejected.guardrail", 1);
+            return QueryResponse::error(req.id, code, detail);
+        }
+
+        // Prepare: through the cache, or parse-and-plan per request
+        // when the cache is disabled. Both paths produce the same
+        // statement and (deterministic) plan, so responses match.
+        let (prepared, cache_hit) = if self.cfg.plan_cache {
+            match self.cache.prepare(&req.db, db, &req.sql, self.cfg.exec) {
+                (Ok(p), hit) => (p, hit),
+                (Err(e), _) => return QueryResponse::error(req.id, ErrorCode::ParseError, e),
+            }
+        } else {
+            match sb_sql::parse(&req.sql) {
+                Ok(query) => {
+                    let plan = sb_engine::plan_top_select(db, &query, self.cfg.exec);
+                    let normalized = query.to_string();
+                    (
+                        Arc::new(Prepared {
+                            normalized,
+                            query: Arc::new(query),
+                            plan,
+                        }),
+                        false,
+                    )
+                }
+                Err(e) => {
+                    return QueryResponse::error(req.id, ErrorCode::ParseError, e.to_string())
+                }
+            }
+        };
+
+        let result = sb_engine::execute_with_plan(
+            db,
+            &prepared.query,
+            self.cfg.exec,
+            prepared.plan.as_ref(),
+        );
+        // Cooperative deadline check #2: at completion. The result of
+        // an overdue request is discarded whole — never truncated to
+        // whatever was done by the deadline.
+        if Instant::now() > deadline {
+            return timed_out("during execution");
+        }
+
+        match result {
+            Ok(rs) => {
+                let row_cap = req.row_cap.unwrap_or(self.cfg.default_row_cap);
+                let total_rows = rs.rows.len();
+                let mut rows = rs.rows;
+                let truncated = total_rows > row_cap;
+                if truncated {
+                    rows.truncate(row_cap);
+                    sb_obs::count("serve.truncated", 1);
+                }
+                sb_obs::count("serve.ok", 1);
+                QueryResponse {
+                    id: req.id,
+                    code: ErrorCode::Ok,
+                    error: None,
+                    columns: rs.columns,
+                    rows,
+                    total_rows,
+                    truncated,
+                    cache_hit,
+                }
+            }
+            Err(e) => {
+                sb_obs::count("serve.exec_error", 1);
+                let mut resp =
+                    QueryResponse::error(req.id, ErrorCode::from_engine(&e), e.to_string());
+                resp.cache_hit = cache_hit;
+                resp
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_data::{Domain, SizeClass};
+
+    fn sdss_service(cfg: ServeConfig) -> QueryService {
+        let db = Arc::new(Domain::Sdss.build(SizeClass::Tiny).db);
+        QueryService::new(cfg).with_snapshot("sdss", db)
+    }
+
+    #[test]
+    fn handle_answers_a_select_and_reports_cache_hits() {
+        let svc = sdss_service(ServeConfig::default());
+        let req = QueryRequest::new(1, "sdss", "SELECT s.class FROM specobj AS s LIMIT 3");
+        let cold = svc.handle(&req);
+        assert_eq!(cold.code, ErrorCode::Ok);
+        assert!(!cold.cache_hit);
+        assert_eq!(cold.rows.len(), 3);
+        let warm = svc.handle(&req);
+        assert!(warm.cache_hit);
+        assert_eq!(cold.to_json(), warm.to_json());
+        assert_eq!(svc.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn unknown_snapshot_is_invalid_request() {
+        let svc = sdss_service(ServeConfig::default());
+        let resp = svc.handle(&QueryRequest::new(7, "nope", "SELECT 1"));
+        assert_eq!(resp.code, ErrorCode::InvalidRequest);
+    }
+
+    #[test]
+    fn snapshot_names_are_case_insensitive_and_replaceable() {
+        let db = Arc::new(Domain::Sdss.build(SizeClass::Tiny).db);
+        let svc = QueryService::new(ServeConfig::default())
+            .with_snapshot("SDSS", Arc::clone(&db))
+            .with_snapshot("sdss", db);
+        assert_eq!(svc.snapshot_names(), vec!["SDSS"]);
+        let resp = svc.handle(&QueryRequest::new(
+            1,
+            "Sdss",
+            "SELECT s.class FROM specobj AS s LIMIT 1",
+        ));
+        assert_eq!(resp.code, ErrorCode::Ok);
+    }
+}

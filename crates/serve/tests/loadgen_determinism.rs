@@ -1,0 +1,100 @@
+//! Load-generator determinism: the workload is a pure function of
+//! `(snapshot, seed, index)`, so replaying it at any client count
+//! produces the identical request stream — and a real mini load run
+//! emits a `BENCH_serve.json` document that validates.
+
+use sb_data::Domain;
+use sb_serve::loadgen::workload_sql;
+use sb_serve::{render_bench_json, run_domain_load, validate_bench_json, LoadConfig};
+
+/// The request stream exactly as `run_domain_load`'s clients generate
+/// it: client `c` of `n` walks indices `c, c + n, c + 2n, ...`. Streams
+/// are reassembled by index so the comparison covers both the statement
+/// bytes and the index → client assignment.
+fn workload_at(clients: usize, requests: usize, load: &LoadConfig) -> Vec<String> {
+    let db = sb_fuzz::fuzz_database(Domain::Sdss);
+    let mut by_index = vec![String::new(); requests];
+    for client in 0..clients {
+        let mut index = client as u64;
+        while (index as usize) < requests {
+            by_index[index as usize] = workload_sql(&db, load, index);
+            index += clients as u64;
+        }
+    }
+    assert!(
+        by_index.iter().all(|s| !s.is_empty()),
+        "round-robin partitioning must cover every index exactly once"
+    );
+    by_index
+}
+
+#[test]
+fn workload_bytes_are_identical_at_1_4_and_16_clients() {
+    let load = LoadConfig::default();
+    let requests = 256;
+    let single = workload_at(1, requests, &load);
+    assert_eq!(
+        single,
+        workload_at(4, requests, &load),
+        "4-client workload diverged from single-client"
+    );
+    assert_eq!(
+        single,
+        workload_at(16, requests, &load),
+        "16-client workload diverged from single-client"
+    );
+    // The hot-set mix must actually mix: repeats for the cache AND a
+    // cold tail of distinct statements.
+    let distinct: std::collections::HashSet<&String> = single.iter().collect();
+    assert!(distinct.len() < requests, "hot set must repeat statements");
+    assert!(
+        distinct.len() > load.hot_set,
+        "cold tail must add fresh statements"
+    );
+}
+
+#[test]
+fn mini_load_run_emits_a_validating_bench_document() {
+    let load = LoadConfig {
+        clients: 4,
+        requests: 120,
+        ..LoadConfig::default()
+    };
+    let reports: Vec<_> = Domain::ALL
+        .into_iter()
+        .map(|d| run_domain_load(d, &load))
+        .collect();
+    for r in &reports {
+        assert_eq!(
+            r.ok + r.errors,
+            r.requests,
+            "{}: every request answered",
+            r.domain
+        );
+        // The fuzzer deliberately generates a slice of erroring
+        // statements (the differential oracle checks error parity), so
+        // a healthy run answers mostly-ok, not all-ok.
+        assert!(
+            r.errors < r.requests / 5,
+            "{}: error responses dominate the workload ({}/{})",
+            r.domain,
+            r.errors,
+            r.requests
+        );
+        assert!(
+            r.cache_hits > 0,
+            "{}: hot set must hit the plan cache",
+            r.domain
+        );
+        assert!(r.qps > 0.0 && r.p50_us <= r.p95_us && r.p95_us <= r.p99_us);
+    }
+    let doc = render_bench_json(&load, &reports);
+    validate_bench_json(&doc).expect("load run must emit a valid BENCH_serve document");
+    for domain in Domain::ALL {
+        assert!(
+            doc.contains(&format!("\"domain\": \"{}\"", domain.name())),
+            "document must carry a section for {}",
+            domain.name()
+        );
+    }
+}

@@ -23,7 +23,8 @@ git diff --exit-code -- tests/goldens/plans || {
 
 echo "== obs smoke: SB_OBS=summary profile_run on one domain =="
 report="$(mktemp)"
-trap 'rm -f "$report"' EXIT
+serve_report="$(mktemp)"
+trap 'rm -f "$report" "$serve_report"' EXIT
 SB_OBS=summary ./target/release/profile_run --quick --domain sdss > "$report"
 ./target/release/profile_run --validate "$report"
 grep -q '"engine.scan.rows"' "$report" || {
@@ -45,6 +46,25 @@ grep -q '"engine.columnar.selects"' "$report" || {
     echo "profile_run report is missing columnar batch counters (batch engine never ran)" >&2
     exit 1
 }
+
+echo "== serve smoke: in-process load run across all three domains =="
+# Closed-loop mini load test against the concurrent query service (plan
+# cache on, 4 clients), then shape-check the emitted BENCH document:
+# well-formed JSON with per-domain qps and latency quantiles.
+./target/release/serve_load --quick --out "$serve_report"
+./target/release/serve_load --validate "$serve_report"
+for key in '"qps"' '"p99"' '"cache"'; do
+    grep -q "$key" "$serve_report" || {
+        echo "BENCH_serve report is missing $key" >&2
+        exit 1
+    }
+done
+for domain in cordis sdss oncomx; do
+    grep -q "\"domain\": \"$domain\"" "$serve_report" || {
+        echo "BENCH_serve report is missing domain $domain" >&2
+        exit 1
+    }
+done
 
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
