@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use sb_core::{Pipeline, PipelineConfig};
-use sb_data::{Domain, SizeClass};
+use sb_data::{synth_db, Domain, SizeClass, SynthScale};
 use sb_embed::{embed, select_top_k};
 use sb_gen::Generator;
 use sb_nl::{LlmProfile, Realizer, Style};
@@ -61,85 +61,92 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
-/// A synthetic database sized for kernel benches: a fact table `t`
-/// (dictionary-friendly 16-value `grp`, numeric `val`, small-domain
-/// `flag`, foreign key `fk`) and a 1,024-row dimension `dim` every
-/// `t.fk` hits exactly once.
-fn synth_db(n: usize) -> sb_engine::Database {
-    use sb_engine::{Database, Value};
-    use sb_schema::{Column, ColumnType, Schema, TableDef};
-    let schema = Schema::new("synth")
-        .with_table(TableDef::new(
-            "t",
-            vec![
-                Column::pk("id", ColumnType::Int),
-                Column::new("grp", ColumnType::Text),
-                Column::new("val", ColumnType::Float),
-                Column::new("flag", ColumnType::Int),
-                Column::new("fk", ColumnType::Int),
-            ],
-        ))
-        .with_table(TableDef::new(
-            "dim",
-            vec![
-                Column::pk("id", ColumnType::Int),
-                Column::new("name", ColumnType::Text),
-            ],
-        ));
-    let mut db = Database::new(schema);
-    let groups: Vec<String> = (0..16).map(|i| format!("g{i:02}")).collect();
-    let rows: Vec<Vec<Value>> = (0..n)
-        .map(|i| {
-            vec![
-                Value::Int(i as i64),
-                Value::Text(groups[i % 16].clone()),
-                Value::Float((i % 1000) as f64 * 0.001),
-                Value::Int((i % 7) as i64),
-                Value::Int((i % 1024) as i64),
-            ]
-        })
-        .collect();
-    db.table_mut("t").unwrap().push_rows(rows);
-    let dim_rows: Vec<Vec<Value>> = (0..1024)
-        .map(|i| vec![Value::Int(i as i64), Value::Text(format!("d{i:04}"))])
-        .collect();
-    db.table_mut("dim").unwrap().push_rows(dim_rows);
-    db
+/// One query per vectorized kernel over the `sb_data::synth` workload:
+/// `filter` isolates the predicate kernels (numeric compare +
+/// dictionary LUT equality over a selection vector), `hash_probe` the
+/// batch hash join (every fk matches exactly one dim row), `aggregate`
+/// the grouped kernels (16 dictionary-keyed groups, COUNT/SUM/AVG
+/// accumulators).
+const SYNTH_KERNELS: [(&str, &str); 3] = [
+    ("filter", "SELECT id FROM t WHERE val > 0.5 AND flag = 3"),
+    ("hash_probe", "SELECT t.id FROM t JOIN dim ON t.fk = dim.id"),
+    (
+        "aggregate",
+        "SELECT grp, COUNT(*), SUM(val), AVG(val) FROM t GROUP BY grp",
+    ),
+];
+
+/// The synthetic scales to bench: all three by default, or the one
+/// selected with `cargo bench -p sb-bench -- --scale 10k|100k|1m`.
+fn selected_scales() -> Vec<SynthScale> {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--scale") {
+        None => SynthScale::ALL.to_vec(),
+        Some(i) => {
+            let value = args.get(i + 1).map(String::as_str).unwrap_or("");
+            match SynthScale::parse(value) {
+                Some(s) => vec![s],
+                None => {
+                    eprintln!("microbench: --scale wants 10k, 100k or 1m (got `{value}`)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
 }
 
 fn bench_columnar_operators(c: &mut Criterion) {
     use sb_engine::ExecOptions;
-    // One query per vectorized kernel, each at three scales, each with a
-    // `_row` twin on the row-at-a-time engine. `filter` isolates the
-    // predicate kernels (numeric compare + dictionary LUT equality over
-    // a selection vector), `hash_probe` the batch hash join (every fk
-    // matches exactly one dim row), `aggregate` the grouped kernels
-    // (16 dictionary-keyed groups, COUNT/SUM/AVG accumulators).
-    let kernels = [
-        ("filter", "SELECT id FROM t WHERE val > 0.5 AND flag = 3"),
-        ("hash_probe", "SELECT t.id FROM t JOIN dim ON t.fk = dim.id"),
-        (
-            "aggregate",
-            "SELECT grp, COUNT(*), SUM(val), AVG(val) FROM t GROUP BY grp",
-        ),
-    ];
+    // Each kernel at each selected scale, with a `_row` twin on the
+    // row-at-a-time engine — the pair isolates the vectorization win.
     let row_opts = ExecOptions {
         columnar: false,
         ..ExecOptions::default()
     };
     let mut g = c.benchmark_group("columnar_operators");
     g.sample_size(10);
-    for (scale, n) in [("10k", 10_000usize), ("100k", 100_000), ("1m", 1_000_000)] {
-        let db = synth_db(n);
-        for (kernel, sql) in kernels {
+    for scale in selected_scales() {
+        let db = synth_db(scale.rows());
+        for (kernel, sql) in SYNTH_KERNELS {
             let q = sb_sql::parse(sql).unwrap();
             // Pay the lazy column-vector build once, outside the timer.
             db.run_query(&q).unwrap();
-            g.bench_function(&format!("{kernel}_{scale}"), |b| {
+            g.bench_function(&format!("{kernel}_{}", scale.label()), |b| {
                 b.iter(|| db.run_query(std::hint::black_box(&q)))
             });
-            g.bench_function(&format!("{kernel}_{scale}_row"), |b| {
+            g.bench_function(&format!("{kernel}_{}_row", scale.label()), |b| {
                 b.iter(|| db.run_query_with(std::hint::black_box(&q), row_opts))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_scaling_curve(c: &mut Criterion) {
+    use sb_engine::ExecOptions;
+    // Rows vs throughput per operator, serial vs morsel-parallel. The
+    // serial leg pins `parallel: false`; the parallel leg runs the
+    // default options, so `RAYON_NUM_THREADS` governs the fan-out the
+    // way it does in deployment. Both compute byte-identical results —
+    // the curve measures scheduling, never semantics.
+    let serial = ExecOptions {
+        parallel: false,
+        ..ExecOptions::default()
+    };
+    let parallel = ExecOptions::default();
+    let mut g = c.benchmark_group("scaling_curve");
+    g.sample_size(10);
+    for scale in selected_scales() {
+        let db = synth_db(scale.rows());
+        for (kernel, sql) in SYNTH_KERNELS {
+            let q = sb_sql::parse(sql).unwrap();
+            // Pay the lazy column-vector build once, outside the timer.
+            db.run_query(&q).unwrap();
+            g.bench_function(&format!("{kernel}_{}_serial", scale.label()), |b| {
+                b.iter(|| db.run_query_with(std::hint::black_box(&q), serial))
+            });
+            g.bench_function(&format!("{kernel}_{}_parallel", scale.label()), |b| {
+                b.iter(|| db.run_query_with(std::hint::black_box(&q), parallel))
             });
         }
     }
@@ -404,6 +411,7 @@ criterion_group!(
     bench_parser,
     bench_engine,
     bench_columnar_operators,
+    bench_scaling_curve,
     bench_engine_compiled,
     bench_exec_acc_cached,
     bench_join_strategies,

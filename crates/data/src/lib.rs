@@ -25,9 +25,11 @@ pub mod cordis;
 pub mod oncomx;
 pub mod sdss;
 pub mod spiderlike;
+pub mod synth;
 pub mod util;
 
 pub use spiderlike::SpiderCorpus;
+pub use synth::{synth_db, SynthScale};
 
 use sb_engine::Database;
 use sb_schema::EnhancedSchema;

@@ -60,6 +60,48 @@ use crate::key::{self, FxBuild, KeyIndex};
 use crate::value::{canon_num, cmp_int_f64, Value};
 use std::cmp::Ordering;
 
+/// Resolved parallel-execution configuration for one batch run: the
+/// effective worker fan-out and morsel size (see
+/// [`crate::exec::ExecOptions::parallel`]). `workers <= 1` means every
+/// operator takes its serial code path untouched.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ParConfig {
+    pub(crate) workers: usize,
+    pub(crate) morsel_rows: usize,
+}
+
+impl ParConfig {
+    pub(crate) fn from_options(opts: &crate::exec::ExecOptions) -> ParConfig {
+        let (workers, morsel_rows) = opts.par_config();
+        ParConfig {
+            workers,
+            morsel_rows,
+        }
+    }
+
+    /// Whether an operator over `rows` rows should dispatch morsels:
+    /// more than one worker and more than one morsel of work. A single
+    /// morsel (or a single worker) always runs the serial code.
+    #[inline]
+    fn active(&self, rows: usize) -> bool {
+        self.workers > 1 && rows > self.morsel_rows
+    }
+
+    /// Number of morsels covering `rows` — a pure function of the row
+    /// count and morsel size, never of the worker count.
+    #[inline]
+    fn morsels(&self, rows: usize) -> usize {
+        rows.div_ceil(self.morsel_rows)
+    }
+
+    /// Row bounds of morsel `m` over `rows` rows.
+    #[inline]
+    fn bounds(&self, m: usize, rows: usize) -> (usize, usize) {
+        let lo = m * self.morsel_rows;
+        (lo, (lo + self.morsel_rows).min(rows))
+    }
+}
+
 /// Everything the batch executor needs from the planned statement.
 pub(crate) struct BatchInput<'a, 'q> {
     pub(crate) select: &'q Select,
@@ -77,6 +119,8 @@ pub(crate) struct BatchInput<'a, 'q> {
     /// a query whose row path would error inside a nested-loop
     /// predicate).
     pub(crate) nested_loop: bool,
+    /// Morsel-parallel execution knobs (workers, morsel size).
+    pub(crate) par: ParConfig,
 }
 
 /// Attempt batch execution. `None` means "fall back to the row path" —
@@ -120,37 +164,85 @@ fn run(input: &BatchInput<'_, '_>) -> Option<Projected> {
         .iter()
         .map(|c| cx.compile_bool(c))
         .collect::<Option<_>>()?;
-
     // Per-relation scans: progressive selection vectors, conjunct k
     // evaluated only over survivors of conjuncts 1..k-1.
     let mut sels: Vec<Vec<u32>> = Vec::with_capacity(tables.len());
     for (rel, conjs) in pushed.iter().enumerate() {
         let scanned = tables[rel].len;
-        let mut sel: Vec<u32> = (0..scanned as u32).collect();
-        for conj in conjs {
-            let view = View::single(&tables, input.relations.len(), rel, &sel);
-            let tri = conj.eval(&view)?;
-            let before = sel.len();
-            // Branch-free compaction: always write, advance the cursor
-            // only on a keep — no data-dependent branch to mispredict.
-            let mut kept = vec![0u32; before];
-            let mut k = 0usize;
-            for (i, &r) in sel.iter().enumerate() {
-                kept[k] = r;
-                k += (tri[i] == 1) as usize;
+        if !conjs.is_empty() && input.par.active(scanned) {
+            sels.push(filter_morsels(input, &tables, rel, conjs, scanned)?);
+            continue;
+        }
+        // `identity` defers materializing the 0..scanned index vector:
+        // fused conjuncts iterate the range directly, so a scan whose
+        // whole conjunct chain stays in the fused lanes never builds it.
+        let mut sel: Vec<u32> = Vec::new();
+        let mut identity = true;
+        let mut ci = 0;
+        while ci < conjs.len() {
+            let conj = &conjs[ci];
+            let selref = if identity {
+                SelRef::Identity(scanned)
+            } else {
+                SelRef::Rows(&sel)
+            };
+            let before = selref.len();
+            // Range fusion: consecutive bounds on one expression
+            // evaluate in a single pass. Skipped under observability,
+            // which wants the per-conjunct selectivity counters.
+            if !sb_obs::enabled() && ci + 1 < conjs.len() {
+                if let Some(fused) = filter_fused_pair(&tables, &selref, conj, &conjs[ci + 1]) {
+                    match fused {
+                        Fused::Kept(kept) => {
+                            sel = kept;
+                            identity = false;
+                        }
+                        _ => return None,
+                    }
+                    ci += 2;
+                    continue;
+                }
             }
-            kept.truncate(k);
+            let fr = filter_fused(&tables, &selref, conj);
+            match fr {
+                Fused::Kept(kept) => {
+                    sel = kept;
+                    identity = false;
+                }
+                Fused::Bail => return None,
+                Fused::Unhandled => {
+                    if identity {
+                        sel = (0..scanned as u32).collect();
+                        identity = false;
+                    }
+                    let view = View::single(&tables, input.relations.len(), rel, &sel);
+                    let tri = conj.eval(&view)?;
+                    // Branch-free compaction: always write, advance the
+                    // cursor only on a keep — no data-dependent branch
+                    // to mispredict.
+                    let mut kept = vec![0u32; before];
+                    let mut k = 0usize;
+                    for (i, &r) in sel.iter().enumerate() {
+                        kept[k] = r;
+                        k += (tri[i] == 1) as usize;
+                    }
+                    kept.truncate(k);
+                    sel = kept;
+                }
+            }
             if sb_obs::enabled() {
-                note_filter(before, kept.len());
+                note_filter(before, sel.len());
             }
-            sel = kept;
+            ci += 1;
+        }
+        if identity {
+            sel = (0..scanned as u32).collect();
         }
         if sb_obs::enabled() {
             note_scan(scanned, sel.len());
         }
         sels.push(sel);
     }
-
     // Joins: hash only, source or planner order.
     let mut rowids = join_all(&cx, input, sels)?;
 
@@ -173,12 +265,585 @@ fn run(input: &BatchInput<'_, '_>) -> Option<Projected> {
             *col = keep_idx.iter().map(|&i| col[i]).collect();
         }
     }
-
     let view = View::all(&tables, &rowids);
     if is_aggregate_query(input.select, input.order_by) {
         grouped(&cx, input, &view)
     } else {
         plain(&cx, input, &view)
+    }
+}
+
+/// Morsel-parallel pushed-filter scan for one relation: each morsel
+/// applies the conjunct chain progressively over its own contiguous row
+/// range, and the surviving per-morsel selections concatenate in morsel
+/// order — which is exactly the serial scan's ascending selection.
+///
+/// A bail in any morsel bails the whole statement: every mid-execution
+/// bail condition is a property of some evaluated row (a NaN reaching
+/// an ordered comparison, an arithmetic error), and the per-conjunct
+/// evaluation sets partition across morsels, so the serial scan over
+/// their union would have bailed too. The reverse also holds — the
+/// parallel path can never succeed where the serial path bails — which
+/// is what keeps output byte-identical at any thread count.
+fn filter_morsels(
+    input: &BatchInput<'_, '_>,
+    tables: &[Arc<ColumnarTable>],
+    rel: usize,
+    conjs: &[BoolK],
+    scanned: usize,
+) -> Option<Vec<u32>> {
+    /// One morsel's surviving selection plus its per-conjunct
+    /// `(rows_in, rows_out)` counts.
+    type MorselPart = (Vec<u32>, Vec<(usize, usize)>);
+    let par = input.par;
+    let n_rel = input.relations.len();
+    let (parts, stats) = rayon::morsel_map(par.morsels(scanned), par.workers, |m| {
+        let (lo, hi) = par.bounds(m, scanned);
+        let mut sel: Vec<u32> = (lo as u32..hi as u32).collect();
+        // (rows_in, rows_out) per conjunct: summed across morsels after
+        // the dispatch so filter counters match the serial totals.
+        let mut counts = Vec::with_capacity(conjs.len());
+        for conj in conjs {
+            let before = sel.len();
+            let kept = match filter_fused(tables, &SelRef::Rows(&sel), conj) {
+                Fused::Kept(kept) => kept,
+                Fused::Bail => return None,
+                Fused::Unhandled => {
+                    let view = View::single(tables, n_rel, rel, &sel);
+                    let tri = conj.eval(&view)?;
+                    let mut kept = vec![0u32; before];
+                    let mut k = 0usize;
+                    for (i, &r) in sel.iter().enumerate() {
+                        kept[k] = r;
+                        k += (tri[i] == 1) as usize;
+                    }
+                    kept.truncate(k);
+                    kept
+                }
+            };
+            counts.push((before, kept.len()));
+            sel = kept;
+        }
+        Some((sel, counts))
+    });
+    let parts: Vec<MorselPart> = parts.into_iter().collect::<Option<_>>()?;
+    let kept: usize = parts.iter().map(|(sel, _)| sel.len()).sum();
+    let mut sel = Vec::with_capacity(kept);
+    for (part, _) in &parts {
+        sel.extend_from_slice(part);
+    }
+    if sb_obs::enabled() {
+        for c in 0..conjs.len() {
+            let rows_in: usize = parts.iter().map(|(_, counts)| counts[c].0).sum();
+            let rows_out: usize = parts.iter().map(|(_, counts)| counts[c].1).sum();
+            note_filter(rows_in, rows_out);
+        }
+        note_scan(scanned, sel.len());
+        note_parallel(stats, parts.len());
+    }
+    Some(sel)
+}
+
+/// Result of [`filter_fused`]: either the conjunct's shape is outside
+/// the fused lanes (fall back to the general kernel), or it evaluated
+/// in one pass to a surviving selection / a bail.
+enum Fused {
+    Unhandled,
+    Bail,
+    Kept(Vec<u32>),
+}
+
+/// Single-pass fused filter for the hot pushed-predicate shapes:
+/// `float_col ⊕ float_col  cmp  lit`, `float_col cmp lit` and
+/// `int_col cmp lit` — either literal side, and either literal class
+/// (an integer literal against a float expression compares exactly via
+/// `cmp_int_f64`, never by lossy promotion). The general path
+/// materializes the arithmetic batch, a null batch and a tristate
+/// batch, then compacts; this computes value → compare → keep per row
+/// with zero intermediate allocations.
+///
+/// Bail semantics are the general lane's exactly, per lane: the
+/// homogeneous float lane bails on a NaN literal or a NaN anywhere in
+/// the evaluated batch — including null slots, whose stored
+/// placeholders the general lane's pre-scan also reads — while the
+/// mixed lanes bail only on a NaN read from a *non-null* cell, because
+/// that is when the generic cell loop's `cmp_cells(..)?` fires. Finite
+/// placeholders stay finite (or overflow to ±inf) under Add/Sub/Mul,
+/// so the fused arithmetic lane sees the same NaN set the materialized
+/// batch would.
+fn filter_fused(tables: &[Arc<ColumnarTable>], sel: &SelRef<'_>, conj: &BoolK) -> Fused {
+    let Some((e, op, lit)) = cmp_lit_parts(conj) else {
+        return Fused::Unhandled;
+    };
+
+    // Dispatch the comparison op OUTSIDE the row loop: each arm calls
+    // the generic loop with a concrete keep-predicate closure, so the
+    // per-row body monomorphizes to a branchless compare the compiler
+    // can vectorize — an op match inside the loop costs ~3× here.
+    macro_rules! by_op {
+        ($loop:ident, $nulls:expr, $val:expr, $y:expr) => {{
+            let y = $y;
+            let val = $val;
+            match op {
+                BinaryOp::Eq => $loop(sel, $nulls, &val, &|x| x == y),
+                BinaryOp::NotEq => $loop(sel, $nulls, &val, &|x| x != y),
+                BinaryOp::Lt => $loop(sel, $nulls, &val, &|x| x < y),
+                BinaryOp::LtEq => $loop(sel, $nulls, &val, &|x| x <= y),
+                BinaryOp::Gt => $loop(sel, $nulls, &val, &|x| x > y),
+                BinaryOp::GtEq => $loop(sel, $nulls, &val, &|x| x >= y),
+                _ => unreachable!("comparison kernels only carry comparison ops"),
+            }
+        }};
+    }
+
+    // Like `by_op!` but the predicate is phrased as an ordering of the
+    // row value against the literal — the mixed-class lanes, where the
+    // exact compare is `cmp_int_f64`, not a primitive `<`.
+    macro_rules! by_ord {
+        ($loop:ident, $nulls:expr, $val:expr, $ord:expr) => {{
+            let ord = $ord;
+            let val = $val;
+            match op {
+                BinaryOp::Eq => $loop(sel, $nulls, &val, &|x| ord(x).is_eq()),
+                BinaryOp::NotEq => $loop(sel, $nulls, &val, &|x| !ord(x).is_eq()),
+                BinaryOp::Lt => $loop(sel, $nulls, &val, &|x| ord(x).is_lt()),
+                BinaryOp::LtEq => $loop(sel, $nulls, &val, &|x| ord(x).is_le()),
+                BinaryOp::Gt => $loop(sel, $nulls, &val, &|x| ord(x).is_gt()),
+                BinaryOp::GtEq => $loop(sel, $nulls, &val, &|x| ord(x).is_ge()),
+                _ => unreachable!("comparison kernels only carry comparison ops"),
+            }
+        }};
+    }
+
+    // Float-valued expression against either literal class. A float
+    // literal follows the homogeneous lane's bail rule (NaN pre-scan
+    // over every evaluated slot, nulls included); an integer literal
+    // follows the mixed lane's (cells are read only when non-null, so
+    // the null drop precedes the NaN bail). A literal within ±2^53 is
+    // exactly representable as f64, so one up-front promotion turns the
+    // mixed compare into the primitive float compare; beyond that the
+    // per-row exact `cmp_int_f64` decides.
+    macro_rules! float_lane {
+        ($nulls:expr, $val:expr) => {{
+            match lit {
+                NumCell::F(y) => {
+                    if y.is_nan() {
+                        return Fused::Bail;
+                    }
+                    by_op!(float_loop, $nulls, $val, y)
+                }
+                NumCell::I(y) if y.unsigned_abs() <= (1u64 << 53) => {
+                    by_op!(mixed_loop, $nulls, $val, y as f64)
+                }
+                NumCell::I(y) => {
+                    by_ord!(mixed_loop, $nulls, $val, move |x: f64| cmp_int_f64(y, x)
+                        .reverse())
+                }
+            }
+        }};
+    }
+
+    // Integer column against either literal class. Int-vs-int cannot
+    // bail; int-vs-float bails only when the literal is NaN *and* a
+    // non-null row actually reads it (an all-null selection stays on
+    // the fused path, exactly like the generic cell loop).
+    macro_rules! int_lane {
+        ($nulls:expr, $val:expr) => {{
+            match lit {
+                NumCell::I(y) => by_op!(int_loop, $nulls, $val, y),
+                NumCell::F(y) if y.is_nan() => bail_if_any_valid(sel, $nulls),
+                NumCell::F(y) => {
+                    by_ord!(int_loop, $nulls, $val, move |x: i64| cmp_int_f64(x, y))
+                }
+            }
+        }};
+    }
+
+    match e {
+        NumK::FloatCol(id) => {
+            let col = &tables[id.rel].columns[id.col];
+            let ColumnData::Float(d) = &col.data else {
+                return Fused::Unhandled;
+            };
+            float_lane!(&col.nulls, |i: usize| d[i])
+        }
+        NumK::IntCol(id) => {
+            let col = &tables[id.rel].columns[id.col];
+            let ColumnData::Int(d) = &col.data else {
+                return Fused::Unhandled;
+            };
+            int_lane!(&col.nulls, |i: usize| d[i])
+        }
+        NumK::Arith { l, op: aop, r } => {
+            let (NumK::FloatCol(ia), NumK::FloatCol(ib)) = (&**l, &**r) else {
+                return Fused::Unhandled;
+            };
+            let (ca, cb) = (
+                &tables[ia.rel].columns[ia.col],
+                &tables[ib.rel].columns[ib.col],
+            );
+            let (ColumnData::Float(da), ColumnData::Float(db)) = (&ca.data, &cb.data) else {
+                return Fused::Unhandled;
+            };
+            // The general lane's null batch is the OR of both masks.
+            let nulls = NullPair(&ca.nulls, &cb.nulls);
+            match aop {
+                BinaryOp::Add => float_lane!(&nulls, |i: usize| da[i] + db[i]),
+                BinaryOp::Sub => float_lane!(&nulls, |i: usize| da[i] - db[i]),
+                BinaryOp::Mul => float_lane!(&nulls, |i: usize| da[i] * db[i]),
+                _ => Fused::Unhandled,
+            }
+        }
+        _ => Fused::Unhandled,
+    }
+}
+
+/// An expression-vs-literal comparison conjunct, normalized so the
+/// literal is on the right (`mirror` flips the op when it was left).
+fn cmp_lit_parts(conj: &BoolK) -> Option<(&NumK, BinaryOp, NumCell)> {
+    let BoolK::CmpNum { l, op, r } = conj else {
+        return None;
+    };
+    match (l.as_lit(), r.as_lit()) {
+        (None, Some(lit)) => Some((l, *op, lit)),
+        (Some(lit), None) => Some((r, mirror(*op), lit)),
+        _ => None,
+    }
+}
+
+/// Structural equality of two float-valued expression kernels, for
+/// range fusion: the same column, or the same `col ⊕ col` arithmetic.
+fn same_float_expr(a: &NumK, b: &NumK) -> bool {
+    match (a, b) {
+        (NumK::FloatCol(x), NumK::FloatCol(y)) => x == y,
+        (
+            NumK::Arith {
+                l: la,
+                op: oa,
+                r: ra,
+            },
+            NumK::Arith {
+                l: lb,
+                op: ob,
+                r: rb,
+            },
+        ) => {
+            oa == ob
+                && matches!((&**la, &**lb), (NumK::FloatCol(x), NumK::FloatCol(y)) if x == y)
+                && matches!((&**ra, &**rb), (NumK::FloatCol(x), NumK::FloatCol(y)) if x == y)
+        }
+        _ => false,
+    }
+}
+
+/// Two consecutive conjuncts over the *same* float-valued expression
+/// (`u - r < 2.22 AND u - r > 1`, `z > 0.5 AND z < 1`) fused into one
+/// pass: the interval intersection of both bounds, with the expression
+/// read once per row instead of once per conjunct. Only taken with
+/// observability off — a fused pass cannot report the intermediate
+/// per-conjunct selectivity the filter counters record, so obs runs
+/// keep the two-pass chain (the kept set is identical either way).
+///
+/// `None` means "not this shape" and the single-conjunct lanes decide;
+/// `Some` is always `Kept` or `Bail`. Exactness: the serial chain
+/// keeps the non-null rows passing both compares, and bails under
+/// conjunct 1's lane ordering — conjunct 2 re-reads only non-null,
+/// non-NaN survivors, so beyond a NaN literal (which bails whichever
+/// pass sees it) it adds no bail of its own.
+fn filter_fused_pair(
+    tables: &[Arc<ColumnarTable>],
+    sel: &SelRef<'_>,
+    c1: &BoolK,
+    c2: &BoolK,
+) -> Option<Fused> {
+    let (e1, op1, l1) = cmp_lit_parts(c1)?;
+    let (e2, op2, l2) = cmp_lit_parts(c2)?;
+    if !same_float_expr(e1, e2) {
+        return None;
+    }
+    // Literal → exact f64 bound; an integer beyond ±2^53 could round.
+    let as_bound = |l: NumCell| -> Option<f64> {
+        match l {
+            NumCell::F(y) => Some(y),
+            NumCell::I(y) if y.unsigned_abs() <= (1u64 << 53) => Some(y as f64),
+            NumCell::I(_) => None,
+        }
+    };
+    let (y1, y2) = (as_bound(l1)?, as_bound(l2)?);
+    // Each op as a closed/open interval end pair; NotEq is no interval.
+    let ends = |op: BinaryOp, y: f64| -> Option<(f64, bool, f64, bool)> {
+        Some(match op {
+            BinaryOp::Lt => (f64::NEG_INFINITY, false, y, true),
+            BinaryOp::LtEq => (f64::NEG_INFINITY, false, y, false),
+            BinaryOp::Gt => (y, true, f64::INFINITY, false),
+            BinaryOp::GtEq => (y, false, f64::INFINITY, false),
+            BinaryOp::Eq => (y, false, y, false),
+            _ => return None,
+        })
+    };
+    let (lo1, ls1, hi1, hs1) = ends(op1, y1)?;
+    let (lo2, ls2, hi2, hs2) = ends(op2, y2)?;
+    // Intersection: the tighter bound wins, strictness wins ties. NaN
+    // bounds are resolved to a bail before this is consulted.
+    let (lo, lo_s) = if lo1 > lo2 {
+        (lo1, ls1)
+    } else if lo2 > lo1 {
+        (lo2, ls2)
+    } else {
+        (lo1, ls1 || ls2)
+    };
+    let (hi, hi_s) = if hi1 < hi2 {
+        (hi1, hs1)
+    } else if hi2 < hi1 {
+        (hi2, hs2)
+    } else {
+        (hi1, hs1 || hs2)
+    };
+
+    macro_rules! by_bounds {
+        ($loop:ident, $nulls:expr, $val:expr) => {{
+            let val = $val;
+            match (lo_s, hi_s) {
+                (false, false) => $loop(sel, $nulls, &val, &|x| x >= lo && x <= hi),
+                (false, true) => $loop(sel, $nulls, &val, &|x| x >= lo && x < hi),
+                (true, false) => $loop(sel, $nulls, &val, &|x| x > lo && x <= hi),
+                (true, true) => $loop(sel, $nulls, &val, &|x| x > lo && x < hi),
+            }
+        }};
+    }
+
+    // Conjunct 1's literal class picks the null/NaN scan ordering, as
+    // in the single-conjunct lanes: a float literal pre-scans every
+    // evaluated slot, an integer literal reads only non-null cells.
+    let nan_first = matches!(l1, NumCell::F(_));
+    Some(match e1 {
+        NumK::FloatCol(id) => {
+            let col = &tables[id.rel].columns[id.col];
+            let ColumnData::Float(d) = &col.data else {
+                return None;
+            };
+            if y1.is_nan() || y2.is_nan() {
+                return Some(Fused::Bail);
+            }
+            if nan_first {
+                by_bounds!(float_loop, &col.nulls, |i: usize| d[i])
+            } else {
+                by_bounds!(mixed_loop, &col.nulls, |i: usize| d[i])
+            }
+        }
+        NumK::Arith { l, op: aop, r } => {
+            let (NumK::FloatCol(ia), NumK::FloatCol(ib)) = (&**l, &**r) else {
+                return None;
+            };
+            let (ca, cb) = (
+                &tables[ia.rel].columns[ia.col],
+                &tables[ib.rel].columns[ib.col],
+            );
+            let (ColumnData::Float(da), ColumnData::Float(db)) = (&ca.data, &cb.data) else {
+                return None;
+            };
+            if y1.is_nan() || y2.is_nan() {
+                return Some(Fused::Bail);
+            }
+            let nulls = NullPair(&ca.nulls, &cb.nulls);
+            match (aop, nan_first) {
+                (BinaryOp::Add, true) => by_bounds!(float_loop, &nulls, |i: usize| da[i] + db[i]),
+                (BinaryOp::Sub, true) => by_bounds!(float_loop, &nulls, |i: usize| da[i] - db[i]),
+                (BinaryOp::Mul, true) => by_bounds!(float_loop, &nulls, |i: usize| da[i] * db[i]),
+                (BinaryOp::Add, false) => by_bounds!(mixed_loop, &nulls, |i: usize| da[i] + db[i]),
+                (BinaryOp::Sub, false) => by_bounds!(mixed_loop, &nulls, |i: usize| da[i] - db[i]),
+                (BinaryOp::Mul, false) => by_bounds!(mixed_loop, &nulls, |i: usize| da[i] * db[i]),
+                _ => return None,
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// The NaN-literal-vs-int-column case: the generic lane bails via
+/// `cmp_cells(..)?` only at a non-null cell, so an entirely-NULL
+/// selection keeps (an empty) fused result instead of bailing.
+fn bail_if_any_valid(sel: &SelRef<'_>, nulls: &impl NullTest) -> Fused {
+    if !nulls.any() {
+        return if sel.len() == 0 {
+            Fused::Kept(Vec::new())
+        } else {
+            Fused::Bail
+        };
+    }
+    let any_valid = match sel {
+        SelRef::Identity(n) => (0..*n).any(|i| !nulls.is_null(i)),
+        SelRef::Rows(rows) => rows.iter().any(|&r| !nulls.is_null(r as usize)),
+    };
+    if any_valid {
+        Fused::Bail
+    } else {
+        Fused::Kept(Vec::new())
+    }
+}
+
+/// Null test over one or two masks, with the any-null check hoisted so
+/// the all-valid fast path costs nothing per row.
+trait NullTest {
+    fn any(&self) -> bool;
+    fn is_null(&self, i: usize) -> bool;
+}
+impl NullTest for NullMask {
+    fn any(&self) -> bool {
+        NullMask::any(self)
+    }
+    fn is_null(&self, i: usize) -> bool {
+        NullMask::is_null(self, i)
+    }
+}
+struct NullPair<'a>(&'a NullMask, &'a NullMask);
+impl NullTest for NullPair<'_> {
+    fn any(&self) -> bool {
+        self.0.any() || self.1.any()
+    }
+    fn is_null(&self, i: usize) -> bool {
+        self.0.is_null(i) | self.1.is_null(i)
+    }
+}
+
+/// The fused float filter loop: value → NaN bail → null drop → compare,
+/// writing survivors branch-free. Monomorphized per (value, keep) pair
+/// by `filter_fused`'s op dispatch.
+#[inline(always)]
+fn float_loop(
+    sel: &SelRef<'_>,
+    nulls: &impl NullTest,
+    value: &impl Fn(usize) -> f64,
+    keep: &impl Fn(f64) -> bool,
+) -> Fused {
+    let n = sel.len();
+    let mut kept = vec![0u32; n];
+    let mut k = 0usize;
+    let any_null = nulls.any();
+    match sel {
+        SelRef::Identity(_) => {
+            for i in 0..n {
+                let x = value(i);
+                if x.is_nan() {
+                    return Fused::Bail;
+                }
+                kept[k] = i as u32;
+                k += ((!any_null || !nulls.is_null(i)) && keep(x)) as usize;
+            }
+        }
+        SelRef::Rows(rows) => {
+            for &r in *rows {
+                let i = r as usize;
+                let x = value(i);
+                if x.is_nan() {
+                    return Fused::Bail;
+                }
+                kept[k] = r;
+                k += ((!any_null || !nulls.is_null(i)) && keep(x)) as usize;
+            }
+        }
+    }
+    kept.truncate(k);
+    Fused::Kept(kept)
+}
+
+/// Mixed-class twin of [`float_loop`] for float values against an
+/// integer literal. The generic lane reads a cell only when it is
+/// non-null, so here the null drop precedes the NaN bail: a NaN parked
+/// in a null slot must *not* bail, even though the homogeneous float
+/// lane's pre-scan would.
+#[inline(always)]
+fn mixed_loop(
+    sel: &SelRef<'_>,
+    nulls: &impl NullTest,
+    value: &impl Fn(usize) -> f64,
+    keep: &impl Fn(f64) -> bool,
+) -> Fused {
+    let n = sel.len();
+    let mut kept = vec![0u32; n];
+    let mut k = 0usize;
+    let any_null = nulls.any();
+    match sel {
+        SelRef::Identity(_) => {
+            for i in 0..n {
+                if any_null && nulls.is_null(i) {
+                    continue;
+                }
+                let x = value(i);
+                if x.is_nan() {
+                    return Fused::Bail;
+                }
+                kept[k] = i as u32;
+                k += keep(x) as usize;
+            }
+        }
+        SelRef::Rows(rows) => {
+            for &r in *rows {
+                let i = r as usize;
+                if any_null && nulls.is_null(i) {
+                    continue;
+                }
+                let x = value(i);
+                if x.is_nan() {
+                    return Fused::Bail;
+                }
+                kept[k] = r;
+                k += keep(x) as usize;
+            }
+        }
+    }
+    kept.truncate(k);
+    Fused::Kept(kept)
+}
+
+/// Integer twin of [`float_loop`]; integer compares cannot bail, and
+/// mixed int-vs-float-literal lanes reuse it (a non-NaN literal cannot
+/// bail either, and null rows' discarded compares are harmless).
+#[inline(always)]
+fn int_loop(
+    sel: &SelRef<'_>,
+    nulls: &impl NullTest,
+    value: &impl Fn(usize) -> i64,
+    keep: &impl Fn(i64) -> bool,
+) -> Fused {
+    let n = sel.len();
+    let mut kept = vec![0u32; n];
+    let mut k = 0usize;
+    let any_null = nulls.any();
+    match sel {
+        SelRef::Identity(_) => {
+            for i in 0..n {
+                kept[k] = i as u32;
+                k += ((!any_null || !nulls.is_null(i)) && keep(value(i))) as usize;
+            }
+        }
+        SelRef::Rows(rows) => {
+            for &r in *rows {
+                let i = r as usize;
+                kept[k] = r;
+                k += ((!any_null || !nulls.is_null(i)) && keep(value(i))) as usize;
+            }
+        }
+    }
+    kept.truncate(k);
+    Fused::Kept(kept)
+}
+
+/// A selection that may still be the implicit identity (`0..n`),
+/// letting the first fused conjunct of a scan skip materializing —
+/// and then re-reading — the full index vector.
+enum SelRef<'a> {
+    Identity(usize),
+    Rows(&'a [u32]),
+}
+
+impl SelRef<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            SelRef::Identity(n) => *n,
+            SelRef::Rows(rows) => rows.len(),
+        }
     }
 }
 
@@ -248,6 +913,20 @@ impl<'a> View<'a> {
     #[inline]
     fn identity(&self, sel: &[u32], table_len: usize) -> bool {
         self.ascending && sel.len() == table_len
+    }
+
+    /// The sub-view over batch rows `lo..hi` (a morsel): same relations,
+    /// each in-scope selection sliced to the range. Ascending carries
+    /// over (a sub-slice of an ascending unique selection stays so);
+    /// identity never holds for a proper sub-range, so gathers take the
+    /// indirect path and read the same values the full view would.
+    fn slice(&self, lo: usize, hi: usize) -> View<'a> {
+        View {
+            tables: self.tables,
+            rows: self.rows.iter().map(|r| r.map(|s| &s[lo..hi])).collect(),
+            len: hi - lo,
+            ascending: self.ascending,
+        }
     }
 }
 
@@ -1459,9 +2138,183 @@ struct JoinStep {
     build_col: usize,
 }
 
+/// Morsel-parallel Int×Int hash-join build: per-morsel hash tables over
+/// contiguous slices of the (ascending) build selection, merged in
+/// morsel order. Each key's row-id list becomes the concatenation of
+/// its ascending per-morsel runs, morsel by morsel — exactly the serial
+/// build-scan order — so probe emission order is unchanged. Local map
+/// iteration order during the merge is irrelevant: a key's rows arrive
+/// from one local map at a time, in morsel order.
+fn build_int_index_morsels(
+    par: ParConfig,
+    build_sel: &[u32],
+    bd: &[i64],
+    nulls: &NullMask,
+) -> HashMap<i64, Vec<u32>, FxBuild> {
+    let n = build_sel.len();
+    let bn = nulls.any();
+    let (parts, stats) = rayon::morsel_map(par.morsels(n), par.workers, |m| {
+        let (lo, hi) = par.bounds(m, n);
+        let mut local: HashMap<i64, Vec<u32>, FxBuild> =
+            HashMap::with_capacity_and_hasher(hi - lo, FxBuild::default());
+        for &rid in &build_sel[lo..hi] {
+            if bn && nulls.is_null(rid as usize) {
+                continue;
+            }
+            local.entry(bd[rid as usize]).or_default().push(rid);
+        }
+        local
+    });
+    let merges: usize = parts.iter().map(HashMap::len).sum();
+    let mut index: HashMap<i64, Vec<u32>, FxBuild> =
+        HashMap::with_capacity_and_hasher(n, FxBuild::default());
+    for local in parts {
+        for (k, mut v) in local {
+            match index.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().append(&mut v),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            }
+        }
+    }
+    if sb_obs::enabled() {
+        note_parallel(stats, merges);
+    }
+    index
+}
+
+/// Morsel-parallel hash-join probe: each morsel probes a contiguous
+/// range of the accumulated output rows and collects its matches
+/// locally; concatenating per-morsel outputs in morsel order reproduces
+/// the serial probe's emission order.
+fn probe_int_morsels(
+    par: ParConfig,
+    index: &HashMap<i64, Vec<u32>, FxBuild>,
+    acc: &[Vec<u32>],
+    probe_pos: usize,
+    pd: &[i64],
+    nulls: &NullMask,
+) -> Vec<Vec<u32>> {
+    let acc_len = acc[0].len();
+    let pn = nulls.any();
+    let (parts, stats) = rayon::morsel_map(par.morsels(acc_len), par.workers, |m| {
+        let (lo, hi) = par.bounds(m, acc_len);
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); acc.len() + 1];
+        for i in lo..hi {
+            let prid = acc[probe_pos][i] as usize;
+            if pn && nulls.is_null(prid) {
+                continue;
+            }
+            let Some(matches) = index.get(&pd[prid]) else {
+                continue;
+            };
+            for &rid in matches {
+                for (c, col) in acc.iter().enumerate() {
+                    out[c].push(col[i]);
+                }
+                out[acc.len()].push(rid);
+            }
+        }
+        out
+    });
+    let merges = parts.len();
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); acc.len() + 1];
+    for mut part in parts {
+        for (c, col) in part.iter_mut().enumerate() {
+            out[c].append(col);
+        }
+    }
+    if sb_obs::enabled() {
+        note_parallel(stats, merges);
+    }
+    out
+}
+
 /// Execute all joins, returning one row-id column per relation (in
 /// original FROM/JOIN order), rows in exactly the order the row-path
 /// pipeline would emit.
+/// A dense CSR join index over a compact integer key range: bucket
+/// `key - min` holds the build-side row ids in build-scan order, so a
+/// probe emits matches in exactly the order the hash index would.
+struct DenseIntIndex {
+    min: i64,
+    /// `starts[b]..starts[b + 1]` bounds bucket `b` in `rids`.
+    starts: Vec<u32>,
+    rids: Vec<u32>,
+}
+
+impl DenseIntIndex {
+    #[inline]
+    fn get(&self, key: i64) -> &[u32] {
+        // A negative or overflowing offset wraps to a huge u64 and
+        // fails the range check — one compare covers all misses.
+        match key.checked_sub(self.min) {
+            Some(off) if (off as u64) < (self.starts.len() - 1) as u64 => {
+                let b = off as usize;
+                &self.rids[self.starts[b] as usize..self.starts[b + 1] as usize]
+            }
+            _ => &[],
+        }
+    }
+}
+
+/// Counting-sort the filtered build keys into [`DenseIntIndex`] CSR
+/// buckets when their range is compact. "Compact" weighs the one cost
+/// dense adds — zeroing `range + 1` bucket bounds — against the
+/// hashing it removes, which scales with build keys *and* probes; a
+/// sparse key space (e.g. random 63-bit ids) returns `None` and keeps
+/// the hash index.
+fn build_dense_int_index(
+    build_sel: &[u32],
+    bd: &[i64],
+    nulls: &NullMask,
+    probes: usize,
+) -> Option<DenseIntIndex> {
+    let bn = nulls.any();
+    let mut min = i64::MAX;
+    let mut max = i64::MIN;
+    let mut keys = 0usize;
+    for &rid in build_sel {
+        if bn && nulls.is_null(rid as usize) {
+            continue;
+        }
+        let v = bd[rid as usize];
+        min = min.min(v);
+        max = max.max(v);
+        keys += 1;
+    }
+    if keys == 0 {
+        return None;
+    }
+    let range = max as i128 - min as i128 + 1;
+    if range > (32 * keys + 16 * probes).clamp(4096, 1 << 22) as i128 {
+        return None;
+    }
+    let range = range as usize;
+    let mut starts = vec![0u32; range + 1];
+    for &rid in build_sel {
+        if bn && nulls.is_null(rid as usize) {
+            continue;
+        }
+        starts[(bd[rid as usize] - min) as usize + 1] += 1;
+    }
+    for b in 0..range {
+        starts[b + 1] += starts[b];
+    }
+    let mut cursor: Vec<u32> = starts[..range].to_vec();
+    let mut rids = vec![0u32; keys];
+    for &rid in build_sel {
+        if bn && nulls.is_null(rid as usize) {
+            continue;
+        }
+        let b = (bd[rid as usize] - min) as usize;
+        rids[cursor[b] as usize] = rid;
+        cursor[b] += 1;
+    }
+    Some(DenseIntIndex { min, starts, rids })
+}
+
 fn join_all(cx: &Cx<'_>, input: &BatchInput<'_, '_>, sels: Vec<Vec<u32>>) -> Option<Vec<Vec<u32>>> {
     let n = sels.len();
     if n == 1 {
@@ -1545,29 +2398,63 @@ fn join_all(cx: &Cx<'_>, input: &BatchInput<'_, '_>, sels: Vec<Vec<u32>>) -> Opt
             // Typed fast path: Int×Int keys hash the raw i64 with no
             // per-row JKey construction. Int columns never unify with
             // float keys, so equality semantics are unchanged.
-            let mut index: HashMap<i64, Vec<u32>, FxBuild> =
-                HashMap::with_capacity_and_hasher(build_sel.len(), FxBuild::default());
-            let bn = build_col.nulls.any();
-            for &rid in build_sel {
-                if bn && build_col.nulls.is_null(rid as usize) {
-                    continue;
-                }
-                index.entry(bd[rid as usize]).or_default().push(rid);
-            }
+            let par = input.par;
             let pn = probe_col.nulls.any();
-            for i in 0..acc_len {
-                let prid = acc[probe_pos][i] as usize;
-                if pn && probe_col.nulls.is_null(prid) {
-                    continue;
-                }
-                let Some(matches) = index.get(&pd[prid]) else {
-                    continue;
-                };
-                for &rid in matches {
-                    for (c, col) in acc.iter().enumerate() {
-                        out[c].push(col[i]);
+            let serial = !par.active(build_sel.len()) && !par.active(acc_len);
+            let dense = if serial {
+                build_dense_int_index(build_sel, bd, &build_col.nulls, acc_len)
+            } else {
+                None
+            };
+            if let Some(dense) = dense {
+                // Dense CSR probe: subtract + two array loads per probe,
+                // no hashing. Buckets hold build row ids in build-scan
+                // order, so emission order matches the hash index's.
+                for i in 0..acc_len {
+                    let prid = acc[probe_pos][i] as usize;
+                    if pn && probe_col.nulls.is_null(prid) {
+                        continue;
                     }
-                    out[acc.len()].push(rid);
+                    for &rid in dense.get(pd[prid]) {
+                        for (c, col) in acc.iter().enumerate() {
+                            out[c].push(col[i]);
+                        }
+                        out[acc.len()].push(rid);
+                    }
+                }
+            } else {
+                let index = if par.active(build_sel.len()) {
+                    build_int_index_morsels(par, build_sel, bd, &build_col.nulls)
+                } else {
+                    let mut index: HashMap<i64, Vec<u32>, FxBuild> =
+                        HashMap::with_capacity_and_hasher(build_sel.len(), FxBuild::default());
+                    let bn = build_col.nulls.any();
+                    for &rid in build_sel {
+                        if bn && build_col.nulls.is_null(rid as usize) {
+                            continue;
+                        }
+                        index.entry(bd[rid as usize]).or_default().push(rid);
+                    }
+                    index
+                };
+                if par.active(acc_len) {
+                    out = probe_int_morsels(par, &index, &acc, probe_pos, pd, &probe_col.nulls);
+                } else {
+                    for i in 0..acc_len {
+                        let prid = acc[probe_pos][i] as usize;
+                        if pn && probe_col.nulls.is_null(prid) {
+                            continue;
+                        }
+                        let Some(matches) = index.get(&pd[prid]) else {
+                            continue;
+                        };
+                        for &rid in matches {
+                            for (c, col) in acc.iter().enumerate() {
+                                out[c].push(col[i]);
+                            }
+                            out[acc.len()].push(rid);
+                        }
+                    }
                 }
             }
         } else {
@@ -1825,9 +2712,11 @@ fn group_ids(cx: &Cx<'_>, view: &View<'_>, keys: &[ColId]) -> Option<(Vec<u32>, 
                 // Dictionary fast path: one slot per code, plus NULL.
                 let mut lut = vec![u32::MAX; d.values.len()];
                 let mut null_gid = u32::MAX;
-                for i in 0..n {
-                    let r = view.rid(*id, i);
-                    let slot = if col.nulls.is_null(r) {
+                let sel = view.sel(*id);
+                let any_null = col.nulls.any();
+                for (i, &r) in sel.iter().enumerate() {
+                    let r = r as usize;
+                    let slot = if any_null && col.nulls.is_null(r) {
                         &mut null_gid
                     } else {
                         &mut lut[d.codes[r] as usize]
@@ -1950,6 +2839,409 @@ fn group_ids(cx: &Cx<'_>, view: &View<'_>, keys: &[ColId]) -> Option<(Vec<u32>, 
     Some((gids, reps))
 }
 
+/// Morsel-parallel single-key group assignment for dictionary-text and
+/// integer keys. Each morsel groups its contiguous row range locally in
+/// first-seen order; the local tables then merge **in morsel order** —
+/// the first morsel to introduce a key wins the global slot, and within
+/// a morsel keys arrive in local first-seen order — so global group ids
+/// and representatives reproduce the serial first-seen row order
+/// exactly. Per-row local ids translate through the merge table and
+/// concatenate in morsel order.
+///
+/// `None` means the key kind has no parallel kernel; the caller falls
+/// back to the serial [`group_ids`], not to the row path.
+fn group_ids_morsels(view: &View<'_>, id: ColId, par: ParConfig) -> Option<(Vec<u32>, Vec<u32>)> {
+    let n = view.len;
+    let col = view.col(id);
+    let rows = view.sel(id);
+    match &col.data {
+        ColumnData::Text(d) => {
+            let nv = d.values.len();
+            // Dictionary codes index a per-morsel LUT directly; slot
+            // `nv` is the NULL group.
+            let (parts, stats) = rayon::morsel_map(par.morsels(n), par.workers, |m| {
+                let (lo, hi) = par.bounds(m, n);
+                let mut lut = vec![u32::MAX; nv + 1];
+                let mut gids = Vec::with_capacity(hi - lo);
+                let mut order: Vec<(u32, u32)> = Vec::new();
+                for (i, &r) in rows[lo..hi].iter().enumerate() {
+                    let r = r as usize;
+                    let slot = if col.nulls.is_null(r) {
+                        nv
+                    } else {
+                        d.codes[r] as usize
+                    };
+                    if lut[slot] == u32::MAX {
+                        lut[slot] = order.len() as u32;
+                        order.push((slot as u32, (lo + i) as u32));
+                    }
+                    gids.push(lut[slot]);
+                }
+                (gids, order)
+            });
+            let mut lut = vec![u32::MAX; nv + 1];
+            let mut reps: Vec<u32> = Vec::new();
+            let mut gids = Vec::with_capacity(n);
+            let merges: usize = parts.iter().map(|(_, order)| order.len()).sum();
+            for (local_gids, order) in &parts {
+                let mut tr = Vec::with_capacity(order.len());
+                for &(slot, first) in order {
+                    let slot = slot as usize;
+                    if lut[slot] == u32::MAX {
+                        lut[slot] = reps.len() as u32;
+                        reps.push(first);
+                    }
+                    tr.push(lut[slot]);
+                }
+                gids.extend(local_gids.iter().map(|&lg| tr[lg as usize]));
+            }
+            if sb_obs::enabled() {
+                note_dict_lut(nv, n);
+                note_parallel(stats, merges);
+            }
+            Some((gids, reps))
+        }
+        ColumnData::Int(d) => {
+            let (parts, stats) = rayon::morsel_map(par.morsels(n), par.workers, |m| {
+                let (lo, hi) = par.bounds(m, n);
+                let mut map: HashMap<i64, u32, FxBuild> = HashMap::default();
+                let mut null_gid = u32::MAX;
+                let mut gids = Vec::with_capacity(hi - lo);
+                let mut order: Vec<(Option<i64>, u32)> = Vec::new();
+                for (i, &r) in rows[lo..hi].iter().enumerate() {
+                    let r = r as usize;
+                    let gid = if col.nulls.is_null(r) {
+                        if null_gid == u32::MAX {
+                            null_gid = order.len() as u32;
+                            order.push((None, (lo + i) as u32));
+                        }
+                        null_gid
+                    } else {
+                        *map.entry(d[r]).or_insert_with(|| {
+                            order.push((Some(d[r]), (lo + i) as u32));
+                            (order.len() - 1) as u32
+                        })
+                    };
+                    gids.push(gid);
+                }
+                (gids, order)
+            });
+            let mut map: HashMap<i64, u32, FxBuild> = HashMap::default();
+            let mut null_gid = u32::MAX;
+            let mut reps: Vec<u32> = Vec::new();
+            let mut gids = Vec::with_capacity(n);
+            let merges: usize = parts.iter().map(|(_, order)| order.len()).sum();
+            for (local_gids, order) in &parts {
+                let mut tr = Vec::with_capacity(order.len());
+                for &(key, first) in order {
+                    let gid = match key {
+                        None => {
+                            if null_gid == u32::MAX {
+                                null_gid = reps.len() as u32;
+                                reps.push(first);
+                            }
+                            null_gid
+                        }
+                        Some(k) => *map.entry(k).or_insert_with(|| {
+                            reps.push(first);
+                            (reps.len() - 1) as u32
+                        }),
+                    };
+                    tr.push(gid);
+                }
+                gids.extend(local_gids.iter().map(|&lg| tr[lg as usize]));
+            }
+            if sb_obs::enabled() {
+                note_parallel(stats, merges);
+            }
+            Some((gids, reps))
+        }
+        _ => None,
+    }
+}
+
+/// Whether an aggregate's thread-local partials merge into exactly the
+/// serial result: counts add, min/max fold associatively (with the same
+/// NaN bail set — a NaN shares a comparison with another value iff its
+/// group holds two or more values, regardless of partitioning), and int
+/// sums carry 128-bit prefix extremes so the merged bail decision
+/// equals the serial running `checked_add` (see [`accumulate_morsels`]).
+/// Float sums and averages are order-sensitive and accumulate serially.
+fn agg_mergeable(agg: &AggK) -> bool {
+    matches!(
+        agg,
+        AggK::CountStar
+            | AggK::CountAny(_)
+            | AggK::SumInt(_)
+            | AggK::MinMaxInt(..)
+            | AggK::MinMaxFloat(..)
+    )
+}
+
+/// One aggregate's thread-local partial state over a morsel.
+enum AggPart {
+    Counts(Vec<i64>),
+    /// Per group: running total plus the maximum and minimum **prefix
+    /// sum** reached inside the morsel (128-bit, overflow-free for any
+    /// feasible row count). Merging morsels `a` then `b` shifts `b`'s
+    /// prefix extremes by `a`'s total, so the merged extremes are those
+    /// of the concatenated row sequence — and the serial path bails iff
+    /// some prefix leaves the i64 range, which is exactly the merged
+    /// condition.
+    SumInt {
+        total: Vec<i128>,
+        maxp: Vec<i128>,
+        minp: Vec<i128>,
+        has: Vec<bool>,
+    },
+    BestInt(Vec<Option<i64>>),
+    BestFloat(Vec<Option<f64>>),
+}
+
+/// Morsel-parallel aggregation: every aggregate accumulates into
+/// thread-local per-group tables over its morsel's sub-view, and the
+/// per-morsel tables merge in morsel order. The caller guarantees every
+/// aggregate satisfies [`agg_mergeable`]; group ids are global (see
+/// [`group_ids_morsels`]), so the merge is a per-group fold with no
+/// key matching.
+fn accumulate_morsels(
+    aggs: &[AggK],
+    view: &View<'_>,
+    gids: &[u32],
+    n_groups: usize,
+    par: ParConfig,
+) -> Option<Vec<Vec<Value>>> {
+    let n = view.len;
+    let (parts, stats) = rayon::morsel_map(par.morsels(n), par.workers, |m| {
+        let (lo, hi) = par.bounds(m, n);
+        let sub = view.slice(lo, hi);
+        let g = &gids[lo..hi];
+        let mut out = Vec::with_capacity(aggs.len());
+        for agg in aggs {
+            out.push(match agg {
+                AggK::CountStar => {
+                    let mut counts = vec![0i64; n_groups];
+                    for &gid in g {
+                        counts[gid as usize] += 1;
+                    }
+                    AggPart::Counts(counts)
+                }
+                AggK::CountAny(k) => {
+                    let nulls = k.nulls(&sub)?;
+                    let mut counts = vec![0i64; n_groups];
+                    for (&gid, null) in g.iter().zip(nulls) {
+                        if !null {
+                            counts[gid as usize] += 1;
+                        }
+                    }
+                    AggPart::Counts(counts)
+                }
+                AggK::SumInt(k) => {
+                    let NumOut::Int(data, nulls) = k.eval(&sub)? else {
+                        return None;
+                    };
+                    let mut total = vec![0i128; n_groups];
+                    let mut maxp = vec![i128::MIN; n_groups];
+                    let mut minp = vec![i128::MAX; n_groups];
+                    let mut has = vec![false; n_groups];
+                    for i in 0..data.len() {
+                        if nulls[i] {
+                            continue;
+                        }
+                        let gi = g[i] as usize;
+                        total[gi] += data[i] as i128;
+                        maxp[gi] = maxp[gi].max(total[gi]);
+                        minp[gi] = minp[gi].min(total[gi]);
+                        has[gi] = true;
+                    }
+                    AggPart::SumInt {
+                        total,
+                        maxp,
+                        minp,
+                        has,
+                    }
+                }
+                AggK::MinMaxInt(k, max) => {
+                    let NumOut::Int(data, nulls) = k.eval(&sub)? else {
+                        return None;
+                    };
+                    let mut best: Vec<Option<i64>> = vec![None; n_groups];
+                    for i in 0..data.len() {
+                        if nulls[i] {
+                            continue;
+                        }
+                        let slot = &mut best[g[i] as usize];
+                        let take = match *slot {
+                            None => true,
+                            Some(b) => {
+                                if *max {
+                                    data[i] > b
+                                } else {
+                                    data[i] < b
+                                }
+                            }
+                        };
+                        if take {
+                            *slot = Some(data[i]);
+                        }
+                    }
+                    AggPart::BestInt(best)
+                }
+                AggK::MinMaxFloat(k, max) => {
+                    let NumOut::Float(data, nulls) = k.eval(&sub)? else {
+                        return None;
+                    };
+                    let mut best: Vec<Option<f64>> = vec![None; n_groups];
+                    for i in 0..data.len() {
+                        if nulls[i] {
+                            continue;
+                        }
+                        let slot = &mut best[g[i] as usize];
+                        let take = match *slot {
+                            None => true,
+                            // Same NaN bail as the serial accumulator;
+                            // a group whose sole value is NaN never
+                            // compares, here or there.
+                            Some(b) => match data[i].partial_cmp(&b)? {
+                                Ordering::Less => !*max,
+                                Ordering::Greater => *max,
+                                Ordering::Equal => false,
+                            },
+                        };
+                        if take {
+                            *slot = Some(data[i]);
+                        }
+                    }
+                    AggPart::BestFloat(best)
+                }
+                // Caller guarantees `agg_mergeable`.
+                AggK::SumFloat(_) | AggK::AvgNum(_) | AggK::Generic { .. } => return None,
+            });
+        }
+        Some(out)
+    });
+    let parts: Vec<Vec<AggPart>> = parts.into_iter().collect::<Option<_>>()?;
+    if sb_obs::enabled() {
+        note_parallel(stats, parts.len() * aggs.len());
+    }
+
+    // Merge per-morsel tables in morsel order, then finish each
+    // aggregate exactly as the serial accumulator would.
+    let mut results = Vec::with_capacity(aggs.len());
+    for (a, agg) in aggs.iter().enumerate() {
+        results.push(match agg {
+            AggK::CountStar | AggK::CountAny(_) => {
+                let mut counts = vec![0i64; n_groups];
+                for part in &parts {
+                    let AggPart::Counts(local) = &part[a] else {
+                        return None;
+                    };
+                    for (c, l) in counts.iter_mut().zip(local) {
+                        *c += l;
+                    }
+                }
+                counts.into_iter().map(Value::Int).collect()
+            }
+            AggK::SumInt(_) => {
+                let mut total = vec![0i128; n_groups];
+                let mut maxp = vec![i128::MIN; n_groups];
+                let mut minp = vec![i128::MAX; n_groups];
+                let mut has = vec![false; n_groups];
+                for part in &parts {
+                    let AggPart::SumInt {
+                        total: lt,
+                        maxp: lmax,
+                        minp: lmin,
+                        has: lhas,
+                    } = &part[a]
+                    else {
+                        return None;
+                    };
+                    for gi in 0..n_groups {
+                        if !lhas[gi] {
+                            continue;
+                        }
+                        if has[gi] {
+                            maxp[gi] = maxp[gi].max(total[gi] + lmax[gi]);
+                            minp[gi] = minp[gi].min(total[gi] + lmin[gi]);
+                            total[gi] += lt[gi];
+                        } else {
+                            total[gi] = lt[gi];
+                            maxp[gi] = lmax[gi];
+                            minp[gi] = lmin[gi];
+                            has[gi] = true;
+                        }
+                    }
+                }
+                // The serial running `checked_add` bails iff some prefix
+                // sum leaves i64; reproduce that bail decision exactly.
+                let mut acc = Vec::with_capacity(n_groups);
+                for gi in 0..n_groups {
+                    if has[gi] && (maxp[gi] > i64::MAX as i128 || minp[gi] < i64::MIN as i128) {
+                        return None;
+                    }
+                    acc.push(total[gi] as i64);
+                }
+                finish_nullable(acc, has, Value::Int)
+            }
+            AggK::MinMaxInt(_, max) => {
+                let mut best: Vec<Option<i64>> = vec![None; n_groups];
+                for part in &parts {
+                    let AggPart::BestInt(local) = &part[a] else {
+                        return None;
+                    };
+                    for (slot, l) in best.iter_mut().zip(local) {
+                        let Some(lv) = *l else { continue };
+                        let take = match *slot {
+                            None => true,
+                            Some(b) => {
+                                if *max {
+                                    lv > b
+                                } else {
+                                    lv < b
+                                }
+                            }
+                        };
+                        if take {
+                            *slot = Some(lv);
+                        }
+                    }
+                }
+                best.into_iter()
+                    .map(|b| b.map_or(Value::Null, Value::Int))
+                    .collect()
+            }
+            AggK::MinMaxFloat(_, max) => {
+                let mut best: Vec<Option<f64>> = vec![None; n_groups];
+                for part in &parts {
+                    let AggPart::BestFloat(local) = &part[a] else {
+                        return None;
+                    };
+                    for (slot, l) in best.iter_mut().zip(local) {
+                        let Some(lv) = *l else { continue };
+                        let take = match *slot {
+                            None => true,
+                            Some(b) => match lv.partial_cmp(&b)? {
+                                Ordering::Less => !*max,
+                                Ordering::Greater => *max,
+                                Ordering::Equal => false,
+                            },
+                        };
+                        if take {
+                            *slot = Some(lv);
+                        }
+                    }
+                }
+                best.into_iter()
+                    .map(|b| b.map_or(Value::Null, Value::Float))
+                    .collect()
+            }
+            AggK::SumFloat(_) | AggK::AvgNum(_) | AggK::Generic { .. } => return None,
+        });
+    }
+    Some(results)
+}
+
 /// Run every registered aggregate over the grouped batch.
 fn accumulate(
     aggs: &[AggK],
@@ -1997,35 +3289,64 @@ fn accumulate(
                 finish_nullable(acc, has, Value::Int)
             }
             AggK::SumFloat(k) => {
-                let NumOut::Float(data, nulls) = k.eval(view)? else {
-                    return None;
-                };
                 let mut acc = vec![0.0f64; n_groups];
                 let mut has = vec![false; n_groups];
-                for i in 0..data.len() {
-                    if nulls[i] {
-                        continue;
+                if let Some((d, sel, nulls)) = float_col_direct(k, view) {
+                    // Bare-column lane: accumulate straight off the
+                    // column data, skipping the NumOut gather (or, on
+                    // an identity selection, whole-column clone).
+                    let any_null = nulls.any();
+                    for (i, &r) in sel.iter().enumerate() {
+                        let r = r as usize;
+                        if any_null && nulls.is_null(r) {
+                            continue;
+                        }
+                        let g = gids[i] as usize;
+                        acc[g] += d[r];
+                        has[g] = true;
                     }
-                    let g = gids[i] as usize;
-                    acc[g] += data[i];
-                    has[g] = true;
+                } else {
+                    let NumOut::Float(data, nulls) = k.eval(view)? else {
+                        return None;
+                    };
+                    for i in 0..data.len() {
+                        if nulls[i] {
+                            continue;
+                        }
+                        let g = gids[i] as usize;
+                        acc[g] += data[i];
+                        has[g] = true;
+                    }
                 }
                 finish_nullable(acc, has, Value::Float)
             }
             AggK::AvgNum(k) => {
-                let (data, nulls) = match k.eval(view)? {
-                    NumOut::AllNull => return None, // statically Generic
-                    other => other.into_f64(),
-                };
                 let mut acc = vec![0.0f64; n_groups];
                 let mut cnt = vec![0usize; n_groups];
-                for i in 0..data.len() {
-                    if nulls[i] {
-                        continue;
+                if let Some((d, sel, nulls)) = float_col_direct(k, view) {
+                    let any_null = nulls.any();
+                    for (i, &r) in sel.iter().enumerate() {
+                        let r = r as usize;
+                        if any_null && nulls.is_null(r) {
+                            continue;
+                        }
+                        let g = gids[i] as usize;
+                        acc[g] += d[r];
+                        cnt[g] += 1;
                     }
-                    let g = gids[i] as usize;
-                    acc[g] += data[i];
-                    cnt[g] += 1;
+                } else {
+                    let (data, nulls) = match k.eval(view)? {
+                        NumOut::AllNull => return None, // statically Generic
+                        other => other.into_f64(),
+                    };
+                    for i in 0..data.len() {
+                        if nulls[i] {
+                            continue;
+                        }
+                        let g = gids[i] as usize;
+                        acc[g] += data[i];
+                        cnt[g] += 1;
+                    }
                 }
                 acc.into_iter()
                     .zip(cnt)
@@ -2118,6 +3439,23 @@ fn accumulate(
         });
     }
     Some(results)
+}
+
+/// The bare-float-column case of a numeric aggregate argument: the
+/// column data, the view's selection for its relation and its null
+/// mask, for accumulate lanes that read rows in place instead of
+/// materializing a gathered `NumOut`. The gathered batch would hold
+/// `d[sel[i]]` with `nulls.is_null(sel[i])` — iterating `sel` directly
+/// visits the same values in the same order.
+fn float_col_direct<'v>(k: &NumK, view: &View<'v>) -> Option<(&'v [f64], &'v [u32], &'v NullMask)> {
+    let NumK::FloatCol(id) = k else {
+        return None;
+    };
+    let col = view.col(*id);
+    let ColumnData::Float(d) = &col.data else {
+        return None;
+    };
+    Some((d, view.sel(*id), &col.nulls))
 }
 
 fn finish_nullable<T>(acc: Vec<T>, has: Vec<bool>, wrap: impl Fn(T) -> Value) -> Vec<Value> {
@@ -2222,7 +3560,17 @@ fn grouped(cx: &Cx<'_>, input: &BatchInput<'_, '_>, view: &View<'_>) -> Option<P
                 _ => None,
             })
             .collect::<Option<_>>()?;
-        let (gids, reps) = group_ids(cx, view, &keys)?;
+        // Morsel-parallel grouping handles single dictionary-text and
+        // integer keys; other key shapes fall back to the serial
+        // `group_ids` (not to the row path) and stay byte-identical by
+        // construction.
+        let (gids, reps) = match keys.as_slice() {
+            [id] if input.par.active(view.len) => match group_ids_morsels(view, *id, input.par) {
+                Some(pair) => pair,
+                None => group_ids(cx, view, &keys)?,
+            },
+            _ => group_ids(cx, view, &keys)?,
+        };
         (gids, reps, false)
     };
     let n_groups = if select.group_by.is_empty() {
@@ -2256,7 +3604,16 @@ fn grouped(cx: &Cx<'_>, input: &BatchInput<'_, '_>, view: &View<'_>) -> Option<P
         .map(|o| cx.compile_gk(&o.expr, &mut aggs))
         .collect::<Option<_>>()?;
 
-    let agg_results = accumulate(&aggs, view, &gids, n_groups)?;
+    // Thread-local accumulator tables merge deterministically only for
+    // order-insensitive aggregates (counts, exact-overflow-tracked int
+    // sums, min/max); float sums and averages are accumulated in row
+    // order — float addition is not associative, and a different
+    // partial-sum tree would change result bytes.
+    let agg_results = if input.par.active(view.len) && aggs.iter().all(agg_mergeable) {
+        accumulate_morsels(&aggs, view, &gids, n_groups, input.par)?
+    } else {
+        accumulate(&aggs, view, &gids, n_groups)?
+    };
     let scalars = ScalarGroups {
         view,
         reps_rowids: view
@@ -2357,4 +3714,17 @@ fn note_groups(created: usize) {
 fn note_dict_lut(entries: usize, probes: usize) {
     sb_obs::count("engine.columnar.dict.lut_entries", entries as u64);
     sb_obs::count("engine.columnar.dict.lut_probes", probes as u64);
+}
+
+/// One morsel-parallel operator dispatch. `morsels` depends only on row
+/// count and morsel size (thread-count-independent); `steals` is a
+/// scheduling observation and varies run to run; `merges` counts the
+/// per-morsel partial states folded into the global result.
+#[cold]
+#[inline(never)]
+fn note_parallel(stats: rayon::MorselStats, merges: usize) {
+    sb_obs::count("engine.parallel.ops", 1);
+    sb_obs::count("engine.parallel.morsels", stats.morsels as u64);
+    sb_obs::count("engine.parallel.steals", stats.steals as u64);
+    sb_obs::count("engine.parallel.merges", merges as u64);
 }

@@ -91,6 +91,25 @@ pub struct ExecOptions {
     /// or data condition is outside its kernel set; errors always come
     /// from the row path.
     pub columnar: bool,
+    /// Morsel-driven intra-query parallelism inside the columnar batch
+    /// engine: filter kernels, the hash-join build and probe, and
+    /// grouped aggregation run over fixed-size row morsels on the rayon
+    /// scoped-thread pool, with per-morsel results merged in morsel
+    /// order so output is byte-identical at any thread count.
+    /// `RAYON_NUM_THREADS=1` (or one core) degenerates to the serial
+    /// columnar code path exactly.
+    pub parallel: bool,
+    /// Worker-thread override for parallel batch execution. `0` asks
+    /// the rayon shim (`RAYON_NUM_THREADS` or available parallelism);
+    /// any other value forces exactly that fan-out — sb-serve uses this
+    /// to cap intra-query workers by in-flight admission permits, and
+    /// the equivalence tests use it to force multi-worker execution on
+    /// single-core machines.
+    pub workers: usize,
+    /// Rows per morsel for parallel batch execution. `0` means the
+    /// default (`SB_MORSEL_ROWS` env override, else 65536); tests
+    /// shrink it so tiny tables still split into multiple morsels.
+    pub morsel_rows: usize,
 }
 
 impl Default for ExecOptions {
@@ -102,6 +121,9 @@ impl Default for ExecOptions {
             compiled: true,
             optimize: true,
             columnar: true,
+            parallel: true,
+            workers: 0,
+            morsel_rows: 0,
         }
     }
 }
@@ -118,7 +140,51 @@ impl ExecOptions {
             compiled: false,
             optimize: false,
             columnar: false,
+            parallel: false,
+            workers: 0,
+            morsel_rows: 0,
         }
+    }
+
+    /// The effective parallel configuration for one batch execution:
+    /// `(workers, morsel_rows)`. Workers come from the explicit
+    /// override, else the rayon shim (`RAYON_NUM_THREADS` / cores);
+    /// morsel size from the explicit override, else `SB_MORSEL_ROWS`,
+    /// else 64K rows. `parallel: false` pins one worker.
+    pub(crate) fn par_config(&self) -> (usize, usize) {
+        let workers = if !self.parallel {
+            1
+        } else if self.workers > 0 {
+            self.workers
+        } else {
+            rayon::current_num_threads()
+        };
+        let morsel_rows = if self.morsel_rows > 0 {
+            self.morsel_rows
+        } else {
+            default_morsel_rows()
+        };
+        (workers.max(1), morsel_rows.max(1))
+    }
+
+    /// Divide this session's worker budget across `in_flight`
+    /// concurrent requests: each query gets about `budget / in_flight`
+    /// workers (at least one), so intra-query fan-out times inter-query
+    /// concurrency never oversubscribes the machine. sb-serve calls
+    /// this with its admission gate's live permit count. Identity when
+    /// parallelism is off — and always result-identical either way,
+    /// since worker count never affects engine output.
+    pub fn capped_workers(mut self, in_flight: usize) -> ExecOptions {
+        if !self.parallel {
+            return self;
+        }
+        let budget = if self.workers > 0 {
+            self.workers
+        } else {
+            rayon::current_num_threads()
+        };
+        self.workers = (budget / in_flight.max(1)).max(1);
+        self
     }
 
     /// The `sb-opt` rule switches implied by these options.
@@ -130,8 +196,25 @@ impl ExecOptions {
             hash_joins: !matches!(self.join, JoinStrategy::NestedLoop),
             prune: true,
             columnar: self.columnar,
+            parallel: self.parallel,
         }
     }
+}
+
+/// The default morsel size: `SB_MORSEL_ROWS` when set and positive,
+/// else 64K rows. Read once per process — the env override exists so
+/// smoke runs over small tables (check.sh, profile_run --quick) can
+/// force real multi-morsel dispatch without touching every call site.
+fn default_morsel_rows() -> usize {
+    use std::sync::OnceLock;
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("SB_MORSEL_ROWS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(65_536)
+    })
 }
 
 /// A row flowing through the executor: either a shared handle into base
@@ -1080,9 +1163,11 @@ fn execute_select_impl(
             residual: &residual,
             planned: planned.as_ref(),
             nested_loop: matches!(opts.join, JoinStrategy::NestedLoop),
+            par: crate::batch::ParConfig::from_options(&opts),
         };
         if let Some(projected) = crate::batch::try_select(&input) {
-            return Ok(finish_select(select, order_by, limit, projected));
+            let r = Ok(finish_select(select, order_by, limit, projected));
+            return r;
         }
     }
 
@@ -1790,6 +1875,27 @@ fn apply_output_order(
 mod tests {
     use super::*;
     use sb_schema::{Column, ColumnType, Schema, TableDef};
+
+    #[test]
+    fn capped_workers_divides_the_budget() {
+        let base = ExecOptions {
+            workers: 8,
+            ..ExecOptions::default()
+        };
+        assert_eq!(base.capped_workers(1).workers, 8);
+        assert_eq!(base.capped_workers(2).workers, 4);
+        // Zero in-flight (caller races the gate) behaves like one.
+        assert_eq!(base.capped_workers(0).workers, 8);
+        // Saturated service: never below one worker.
+        assert_eq!(base.capped_workers(100).workers, 1);
+        // Serial sessions are untouched.
+        let off = ExecOptions {
+            parallel: false,
+            workers: 8,
+            ..ExecOptions::default()
+        };
+        assert_eq!(off.capped_workers(4).workers, 8);
+    }
 
     fn galaxy_db() -> Database {
         let schema = Schema::new("t")

@@ -74,6 +74,7 @@ fn matrix() -> Vec<ExecOptions> {
                                 compiled,
                                 optimize,
                                 columnar,
+                                ..ExecOptions::default()
                             });
                         }
                     }

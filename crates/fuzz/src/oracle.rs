@@ -77,15 +77,31 @@ impl std::fmt::Display for Disagreement {
     }
 }
 
+/// Morsel size used by the matrix's parallel configurations. Fuzz
+/// tables hold [`crate::FUZZ_ROWS_PER_TABLE`] = 24 rows, so a morsel of
+/// 7 rows splits every full-table scan into four morsels — the merge
+/// paths (filter selection concat, join build/probe, group-table and
+/// accumulator folds) all run on every parallel query instead of
+/// degenerating to the single-morsel serial case.
+const PARALLEL_MORSEL_ROWS: usize = 7;
+
 /// The full executor configuration matrix: every join strategy crossed
 /// with pushdown on/off, copying vs zero-copy scans, compiled vs
 /// interpreted expression evaluation, the cost-based planner on/off,
-/// and the columnar batch engine on/off — 96 configurations. The
-/// `optimize` axis is what differentially verifies every planner
-/// rewrite (join reordering, projection pruning, planned build sides)
-/// against the plan-free legacy path and the reference interpreter; the
-/// `columnar` axis does the same for every vectorized kernel and its
-/// row-path fallback boundary.
+/// the columnar batch engine on/off, and morsel-parallel execution
+/// on/off — nominally 192 configurations. The `optimize` axis is what
+/// differentially verifies every planner rewrite (join reordering,
+/// projection pruning, planned build sides) against the plan-free
+/// legacy path and the reference interpreter; the `columnar` axis does
+/// the same for every vectorized kernel and its row-path fallback
+/// boundary; the `parallel` axis does the same for every per-morsel
+/// kernel and its deterministic merge.
+///
+/// The parallel axis is sampled down to keep campaign runtime bounded:
+/// `parallel` without `columnar` is dropped (the row path has no
+/// parallel kernels — those 48 configurations execute byte-for-byte
+/// the same code as their serial twins), leaving 144 configurations
+/// that each cover distinct machine code.
 pub fn exec_matrix() -> Vec<(String, ExecOptions)> {
     let mut out = Vec::new();
     for join in [
@@ -98,25 +114,41 @@ pub fn exec_matrix() -> Vec<(String, ExecOptions)> {
                 for compiled in [false, true] {
                     for optimize in [false, true] {
                         for columnar in [false, true] {
-                            let name = format!(
-                                "{join:?}{}{}{}{}{}",
-                                if pushdown { "+pushdown" } else { "" },
-                                if copy { "+copy" } else { "" },
-                                if compiled { "+compiled" } else { "" },
-                                if optimize { "+opt" } else { "" },
-                                if columnar { "+columnar" } else { "" }
-                            );
-                            out.push((
-                                name,
-                                ExecOptions {
-                                    predicate_pushdown: pushdown,
-                                    join,
-                                    copy_scans: copy,
-                                    compiled,
-                                    optimize,
-                                    columnar,
-                                },
-                            ));
+                            for parallel in [false, true] {
+                                if parallel && !columnar {
+                                    continue;
+                                }
+                                let name = format!(
+                                    "{join:?}{}{}{}{}{}{}",
+                                    if pushdown { "+pushdown" } else { "" },
+                                    if copy { "+copy" } else { "" },
+                                    if compiled { "+compiled" } else { "" },
+                                    if optimize { "+opt" } else { "" },
+                                    if columnar { "+columnar" } else { "" },
+                                    if parallel { "+parallel" } else { "" }
+                                );
+                                out.push((
+                                    name,
+                                    ExecOptions {
+                                        predicate_pushdown: pushdown,
+                                        join,
+                                        copy_scans: copy,
+                                        compiled,
+                                        optimize,
+                                        columnar,
+                                        parallel,
+                                        // Force real fan-out even on a
+                                        // single-core host: three
+                                        // workers over four morsels.
+                                        workers: if parallel { 3 } else { 0 },
+                                        morsel_rows: if parallel {
+                                            PARALLEL_MORSEL_ROWS
+                                        } else {
+                                            0
+                                        },
+                                    },
+                                ));
+                            }
                         }
                     }
                 }

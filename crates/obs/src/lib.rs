@@ -78,10 +78,23 @@ fn mode_from_env() -> u8 {
     }
 }
 
+/// Make every rayon-shim worker thread flush its thread-local collector
+/// before the scope that spawned it unblocks. `std::thread::scope` may
+/// return before worker TLS destructors run, so the Drop-based flush
+/// alone can lose a worker's deltas to a snapshot taken right after the
+/// parallel call; the exit hook runs on the worker, inside the scope,
+/// which closes that window. Installed the first time a mode is
+/// resolved or forced — i.e. before any collection can happen.
+fn install_worker_flush() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| rayon::set_worker_exit_hook(flush));
+}
+
 /// The active mode, resolving `SB_OBS` on first use.
 pub fn mode() -> Mode {
     match MODE.load(Ordering::Relaxed) {
         MODE_UNINIT => {
+            install_worker_flush();
             let m = mode_from_env();
             // Racing initializers compute the same value; last store wins
             // harmlessly.
@@ -101,6 +114,7 @@ pub fn mode() -> Mode {
 /// Force a mode, overriding `SB_OBS`. Tests use this to compare
 /// obs-on/obs-off outputs within one process.
 pub fn set_mode(m: Mode) {
+    install_worker_flush();
     let v = match m {
         Mode::Off => MODE_OFF,
         Mode::Summary => MODE_SUMMARY,
@@ -287,9 +301,13 @@ fn with_global(f: impl FnOnce(&mut Registry)) {
 }
 
 /// Per-thread collector; merges itself into the global registry when the
-/// thread exits (the rayon shim's scoped workers exit before their
-/// parallel call returns, so worker contributions are visible to the
-/// caller immediately afterwards).
+/// thread exits. The TLS destructor alone is a backstop, not a
+/// synchronization point: `std::thread::scope` may unblock before it
+/// runs. Rayon-shim workers therefore [`flush`] through the shim's
+/// worker-exit hook (see `install_worker_flush`) before their scope
+/// returns; threads spawned by any other means must call [`flush`]
+/// before the dispatching thread snapshots, or accept that their deltas
+/// land at thread teardown.
 struct LocalCollector(Registry);
 
 impl Drop for LocalCollector {
@@ -651,13 +669,37 @@ mod tests {
                     for _ in 0..100 {
                         count("merge.n", 1);
                     }
-                    let _sp = span("merge.span");
+                    drop(span("merge.span"));
+                    // Raw scoped threads must flush explicitly: the
+                    // scope can unblock before TLS destructors run, so
+                    // the Drop-based merge is not ordered before the
+                    // snapshot below. (Rayon-shim workers flush through
+                    // the worker-exit hook automatically.)
+                    flush();
                 });
             }
         });
         let r = snapshot();
         assert_eq!(r.counter("merge.n"), 400);
         assert_eq!(r.span("merge.span").unwrap().count, 4);
+        set_mode(Mode::Off);
+        reset();
+    }
+
+    #[test]
+    fn rayon_shim_workers_flush_before_the_dispatch_returns() {
+        let _g = locked();
+        set_mode(Mode::Summary);
+        reset();
+        // No explicit flush anywhere: the shim's worker-exit hook
+        // (installed by set_mode above) must make every worker's deltas
+        // visible by the time morsel_map returns.
+        let (out, _stats) = rayon::morsel_map(8, 3, |m| {
+            count("hook.n", 1);
+            m
+        });
+        assert_eq!(out.len(), 8);
+        assert_eq!(snapshot().counter("hook.n"), 8);
         set_mode(Mode::Off);
         reset();
     }

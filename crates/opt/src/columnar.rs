@@ -97,6 +97,24 @@ pub fn columnar_eligible(select: &Select, order_by: &[OrderItem]) -> bool {
     }
 }
 
+/// Whether one `SELECT` has at least one stage the columnar engine can
+/// execute morsel-parallel: a WHERE filter (per-morsel selection
+/// vectors), a hash join (parallel build and probe), or a mergeable
+/// aggregation (thread-local accumulators). A bare scan-project has no
+/// parallel kernel — emission is inherently serial — so it stays
+/// single-threaded even with parallelism enabled.
+///
+/// Like [`columnar_eligible`] this is purely structural and shared by
+/// the engine and EXPLAIN, and deliberately independent of worker
+/// count, morsel size, and table cardinality: the same statement gets
+/// the same answer (and the same EXPLAIN text) on every machine.
+pub fn parallel_eligible(select: &Select, order_by: &[OrderItem]) -> bool {
+    columnar_eligible(select, order_by)
+        && (select.selection.is_some()
+            || !select.joins.is_empty()
+            || is_aggregate(select, order_by))
+}
+
 /// Whether a scalar (per-row) expression is within the kernel set.
 fn scalar_ok(e: &Expr) -> bool {
     match e {
@@ -200,5 +218,32 @@ mod tests {
         // Non-literal IN list / LIKE pattern.
         assert!(!eligible("SELECT a FROM t WHERE b IN (c, 2)"));
         assert!(!eligible("SELECT a FROM t WHERE b LIKE c"));
+    }
+
+    fn par_eligible(sql: &str) -> bool {
+        let q = sb_sql::parse(sql).unwrap();
+        let sb_sql::SetExpr::Select(select) = &q.body else {
+            panic!("single select expected");
+        };
+        parallel_eligible(select, &q.order_by)
+    }
+
+    #[test]
+    fn parallel_needs_a_parallelizable_stage() {
+        // Filter, join, and aggregate stages all qualify.
+        assert!(par_eligible("SELECT a FROM t WHERE b > 1"));
+        assert!(par_eligible("SELECT t.a FROM t JOIN u ON t.id = u.tid"));
+        assert!(par_eligible("SELECT a, COUNT(*) FROM t GROUP BY a"));
+        assert!(par_eligible("SELECT MAX(a) FROM t"));
+        // A bare scan-project has nothing to fan out.
+        assert!(!par_eligible("SELECT a FROM t"));
+        assert!(!par_eligible("SELECT a FROM t ORDER BY a LIMIT 5"));
+        // Never broader than columnar eligibility itself.
+        assert!(!par_eligible(
+            "SELECT t.a FROM t LEFT JOIN u ON t.id = u.tid"
+        ));
+        assert!(!par_eligible(
+            "SELECT a FROM t WHERE b IN (SELECT c FROM u)"
+        ));
     }
 }

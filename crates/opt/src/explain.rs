@@ -210,13 +210,28 @@ pub fn build_plan(
 
     // Root label: which executor the engine selects for this statement.
     // Structural only — data-dependent fallbacks (e.g. mixed-typed
-    // columns) still demote to the row engine at runtime.
+    // columns) still demote to the row engine at runtime. The parallel
+    // annotation is equally structural: `morsel` when some stage can
+    // fan out, `none` when the shape has no parallel kernel, `off` when
+    // the session disabled parallelism. Worker counts and morsel sizes
+    // never appear here — the same plan text renders on every machine.
     let engine = if input.opts.columnar && crate::columnar_eligible(select, input.order_by) {
         "columnar"
     } else {
         "row"
     };
-    PlanNode::unary(format!("Execute engine={engine}"), node)
+    let mut root = format!("Execute engine={engine}");
+    if engine == "columnar" {
+        let par = if !input.opts.parallel {
+            "off"
+        } else if crate::parallel_eligible(select, input.order_by) {
+            "morsel"
+        } else {
+            "none"
+        };
+        root.push_str(&format!(" parallel={par}"));
+    }
+    PlanNode::unary(root, node)
 }
 
 /// Mirror of the executor's aggregate-query test, structured on the

@@ -46,7 +46,7 @@ pub mod plan;
 pub mod pushdown;
 
 pub use cache::OwnedPlan;
-pub use columnar::columnar_eligible;
+pub use columnar::{columnar_eligible, parallel_eligible};
 pub use explain::{build_plan, render, PlanNode};
 pub use plan::{plan_select, EdgeKey, PlanInput, PlannedJoin, PlannedSelect};
 pub use pushdown::{assign_pushdown, collect_columns, has_subquery, split_conjuncts};
@@ -99,6 +99,12 @@ pub struct OptOptions {
     /// for eligible statements (see [`columnar_eligible`]); gates
     /// EXPLAIN's `Execute engine=` label.
     pub columnar: bool,
+    /// Whether the executor will run eligible columnar stages
+    /// morsel-parallel (see [`parallel_eligible`]); gates EXPLAIN's
+    /// `parallel=` root annotation. Deliberately a bool, never a worker
+    /// count: plans (and their goldens) must not depend on how many
+    /// threads the current machine happens to have.
+    pub parallel: bool,
 }
 
 impl Default for OptOptions {
@@ -110,6 +116,7 @@ impl Default for OptOptions {
             hash_joins: true,
             prune: true,
             columnar: true,
+            parallel: true,
         }
     }
 }

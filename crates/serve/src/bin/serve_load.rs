@@ -18,6 +18,9 @@
 //! - `--requests N`      requests per domain (default 2000)
 //! - `--seed N`          workload seed (default 0xC0FFEE)
 //! - `--domain NAME`     one of cordis / sdss / oncomx (default: all three)
+//! - `--forbid-transient` exit 3 if any domain reports `timeout` or
+//!   `overloaded` errors — a deterministic closed-loop run must not
+//!   shed load, so check.sh pairs this with `--quick`
 //! - `--out FILE`        write the document to FILE instead of stdout
 //! - `--validate FILE`   validate FILE's shape and exit
 
@@ -42,6 +45,7 @@ fn main() {
     let mut load = LoadConfig::default();
     let mut domains: Vec<Domain> = Vec::new();
     let mut out_path: Option<String> = None;
+    let mut forbid_transient = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -71,6 +75,7 @@ fn main() {
                     None => usage(&format!("unknown domain `{name}`")),
                 }
             }
+            "--forbid-transient" => forbid_transient = true,
             "--out" => {
                 i += 1;
                 out_path = Some(
@@ -99,9 +104,22 @@ fn main() {
     for &domain in &domains {
         sb_obs::progress("serve_load", &format!("loading {}", domain.name()));
         let report = run_domain_load(domain, &load);
+        // Only codes that actually fired; the JSON document carries the
+        // full zero-padded breakdown.
+        let codes: Vec<String> = report
+            .errors_by_code
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(code, n)| format!("{code}={n}"))
+            .collect();
+        let codes = if codes.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", codes.join(", "))
+        };
         eprintln!(
             "serve_load: {} {} reqs, {} clients: {:.0} qps, p50 {:.0}us p95 {:.0}us p99 {:.0}us, \
-             {} ok / {} errors, cache {}/{} hit",
+             {} ok / {} errors{}, cache {}/{} hit",
             report.domain,
             report.requests,
             report.clients,
@@ -111,10 +129,25 @@ fn main() {
             report.p99_us,
             report.ok,
             report.errors,
+            codes,
             report.cache_hits,
             report.cache_hits + report.cache_misses,
         );
         reports.push(report);
+    }
+
+    if forbid_transient {
+        for report in &reports {
+            let transient = report.transient_errors();
+            if transient > 0 {
+                eprintln!(
+                    "serve_load: {}: {transient} transient error(s) (timeout/overloaded) in a \
+                     deterministic run: {:?}",
+                    report.domain, report.errors_by_code
+                );
+                std::process::exit(3);
+            }
+        }
     }
 
     let doc = render_bench_json(&load, &reports);
@@ -155,7 +188,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("serve_load: {msg}");
     eprintln!(
         "usage: serve_load [--quick] [--clients N] [--requests N] [--seed N] \
-         [--domain cordis|sdss|oncomx]... [--out FILE] | --validate FILE"
+         [--domain cordis|sdss|oncomx]... [--forbid-transient] [--out FILE] | --validate FILE"
     );
     std::process::exit(2);
 }

@@ -48,6 +48,19 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
+    /// Every code in wire order — the iteration basis for per-code
+    /// counters (the load generator's `errors_by_code` breakdown).
+    pub const ALL: [ErrorCode; 8] = [
+        ErrorCode::Ok,
+        ErrorCode::InvalidRequest,
+        ErrorCode::NotReadOnly,
+        ErrorCode::ParseError,
+        ErrorCode::BindError,
+        ErrorCode::ExecError,
+        ErrorCode::Timeout,
+        ErrorCode::Overloaded,
+    ];
+
     /// The wire string for this code.
     pub fn as_str(&self) -> &'static str {
         match self {

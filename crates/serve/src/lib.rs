@@ -218,12 +218,15 @@ impl QueryService {
             }
         };
 
-        let result = sb_engine::execute_with_plan(
-            db,
-            &prepared.query,
-            self.cfg.exec,
-            prepared.plan.as_ref(),
-        );
+        // Admission-aware fan-out: divide the session's worker budget
+        // by the live in-flight count, so intra-query parallelism and
+        // request concurrency compose instead of multiplying. Planning
+        // above used the uncapped options — worker count never affects
+        // plans or results, only scheduling, so cached plans stay
+        // shareable across load levels.
+        let exec = self.cfg.exec.capped_workers(self.gate.in_flight());
+        let result =
+            sb_engine::execute_with_plan(db, &prepared.query, exec, prepared.plan.as_ref());
         // Cooperative deadline check #2: at completion. The result of
         // an overdue request is discarded whole — never truncated to
         // whatever was done by the deadline.

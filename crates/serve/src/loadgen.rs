@@ -95,6 +95,13 @@ pub struct DomainLoadReport {
     /// generates a small slice of erroring statements (its oracle
     /// checks error parity), so this is nonzero on a healthy run.
     pub errors: usize,
+    /// The same errors split by [`ErrorCode`] wire string, in taxonomy
+    /// order and with zero entries kept — so a report always shows the
+    /// full shape and "which errors?" never requires a re-run. On a
+    /// healthy deterministic run every error is a workload property
+    /// (`parse_error` / `bind_error` / `exec_error`); `timeout` and
+    /// `overloaded` are load artifacts and stay zero.
+    pub errors_by_code: Vec<(&'static str, usize)>,
     /// Plan-cache hits / misses at the end of the run.
     pub cache_hits: u64,
     /// Plan-cache misses at the end of the run.
@@ -111,6 +118,20 @@ pub struct DomainLoadReport {
     pub mean_us: f64,
     /// Maximum latency (µs).
     pub max_us: f64,
+}
+
+impl DomainLoadReport {
+    /// Errors caused by load shedding rather than the workload itself:
+    /// `timeout` + `overloaded`. A deterministic closed-loop run (the
+    /// check.sh quick smoke) must report zero here — anything else
+    /// means admission or deadlines fired nondeterministically.
+    pub fn transient_errors(&self) -> usize {
+        self.errors_by_code
+            .iter()
+            .filter(|(code, _)| *code == "timeout" || *code == "overloaded")
+            .map(|(_, n)| n)
+            .sum()
+    }
 }
 
 /// The per-domain latency histogram name. `sb-obs` metric names are
@@ -151,14 +172,16 @@ pub fn run_domain_load(domain: Domain, load: &LoadConfig) -> DomainLoadReport {
     let metric = latency_metric(domain);
     let clients = load.clients.max(1);
     let ok = AtomicUsize::new(0);
-    let errors = AtomicUsize::new(0);
+    // One counter per taxonomy code, indexed by position in
+    // `ErrorCode::ALL` (slot 0 — Ok — stays unused).
+    let by_code: Vec<AtomicUsize> = ErrorCode::ALL.iter().map(|_| AtomicUsize::new(0)).collect();
     let started = Instant::now();
     std::thread::scope(|s| {
         for client in 0..clients {
             let service = &service;
             let db = &db;
             let ok = &ok;
-            let errors = &errors;
+            let by_code = &by_code;
             s.spawn(move || {
                 let mut index = client as u64;
                 while (index as usize) < load.requests {
@@ -171,7 +194,11 @@ pub fn run_domain_load(domain: Domain, load: &LoadConfig) -> DomainLoadReport {
                     if resp.code == ErrorCode::Ok {
                         ok.fetch_add(1, Ordering::Relaxed);
                     } else {
-                        errors.fetch_add(1, Ordering::Relaxed);
+                        let slot = ErrorCode::ALL
+                            .iter()
+                            .position(|c| *c == resp.code)
+                            .expect("response code outside the taxonomy");
+                        by_code[slot].fetch_add(1, Ordering::Relaxed);
                     }
                     index += clients as u64;
                 }
@@ -191,12 +218,20 @@ pub fn run_domain_load(domain: Domain, load: &LoadConfig) -> DomainLoadReport {
         sb_obs::set_mode(sb_obs::Mode::Off);
     }
     let (cache_hits, cache_misses) = service.cache_stats();
+    let errors_by_code: Vec<(&'static str, usize)> = ErrorCode::ALL
+        .iter()
+        .zip(&by_code)
+        .filter(|(c, _)| **c != ErrorCode::Ok)
+        .map(|(c, n)| (c.as_str(), n.load(Ordering::Relaxed)))
+        .collect();
+    let errors = errors_by_code.iter().map(|(_, n)| n).sum();
     DomainLoadReport {
         domain: domain.name().to_string(),
         clients,
         requests: load.requests,
         ok: ok.into_inner(),
-        errors: errors.into_inner(),
+        errors,
+        errors_by_code,
         cache_hits,
         cache_misses,
         qps: load.requests as f64 / elapsed,
@@ -231,6 +266,12 @@ pub fn render_bench_json(load: &LoadConfig, reports: &[DomainLoadReport]) -> Str
             "      \"requests\": {}, \"ok\": {}, \"errors\": {},",
             r.requests, r.ok, r.errors
         );
+        let codes: Vec<String> = r
+            .errors_by_code
+            .iter()
+            .map(|(code, n)| format!("\"{code}\": {n}"))
+            .collect();
+        let _ = writeln!(out, "      \"errors_by_code\": {{{}}},", codes.join(", "));
         let _ = writeln!(
             out,
             "      \"cache\": {{\"hits\": {}, \"misses\": {}}},",
@@ -268,6 +309,7 @@ pub fn validate_bench_json(content: &str) -> Result<(), String> {
         "\"p95\"",
         "\"p99\"",
         "\"cache\"",
+        "\"errors_by_code\"",
     ];
     for key in REQUIRED {
         if !content.contains(key) {
@@ -294,6 +336,11 @@ mod tests {
             requests: 4,
             ok: 4,
             errors: 0,
+            errors_by_code: ErrorCode::ALL
+                .iter()
+                .filter(|c| **c != ErrorCode::Ok)
+                .map(|c| (c.as_str(), 0))
+                .collect(),
             cache_hits: 3,
             cache_misses: 1,
             qps: 1234.5,
@@ -309,6 +356,33 @@ mod tests {
         assert!(
             validate_bench_json("{\"benchmark\": ").is_err(),
             "malformed JSON must fail"
+        );
+    }
+
+    #[test]
+    fn small_run_splits_errors_by_code_with_no_transients() {
+        let load = LoadConfig {
+            clients: 2,
+            requests: 40,
+            ..LoadConfig::default()
+        };
+        let r = run_domain_load(Domain::Sdss, &load);
+        assert_eq!(r.ok + r.errors, r.requests);
+        assert_eq!(
+            r.errors,
+            r.errors_by_code.iter().map(|(_, n)| n).sum::<usize>(),
+            "per-code counters must account for every error"
+        );
+        assert_eq!(
+            r.errors_by_code.len(),
+            ErrorCode::ALL.len() - 1,
+            "every non-Ok code appears, zeros included"
+        );
+        assert_eq!(
+            r.transient_errors(),
+            0,
+            "deterministic closed-loop run shed load: {:?}",
+            r.errors_by_code
         );
     }
 

@@ -19,6 +19,11 @@ use std::num::NonZeroUsize;
 
 /// Number of worker threads: `RAYON_NUM_THREADS` when set and valid,
 /// otherwise the machine's available parallelism.
+///
+/// The env var is re-read on every call (tests and long-lived services
+/// flip it at runtime), but `available_parallelism` is resolved once:
+/// on Linux it walks cgroup quota files, which is microseconds of
+/// filesystem traffic — far too slow for a per-query code path.
 pub fn current_num_threads() -> usize {
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
@@ -27,9 +32,35 @@ pub fn current_num_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static MACHINE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *MACHINE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+static WORKER_EXIT: std::sync::OnceLock<fn()> = std::sync::OnceLock::new();
+
+/// Install a function every shim worker thread runs after its last work
+/// item, still inside the scope that spawned it. First install wins;
+/// later calls are ignored.
+///
+/// This exists because `std::thread::scope` may unblock before the
+/// worker's TLS destructors have run, so thread-local state flushed
+/// from a `Drop` impl is not guaranteed visible to the caller when the
+/// parallel call returns. `sb-obs` installs its `flush` here so worker
+/// metric deltas are always merged before the dispatching thread can
+/// snapshot them.
+pub fn set_worker_exit_hook(hook: fn()) {
+    let _ = WORKER_EXIT.set(hook);
+}
+
+#[inline]
+fn worker_exit() {
+    if let Some(hook) = WORKER_EXIT.get() {
+        hook();
+    }
 }
 
 /// Run two closures, potentially in parallel; returns both results.
@@ -44,7 +75,11 @@ where
         return (a(), b());
     }
     std::thread::scope(|s| {
-        let hb = s.spawn(b);
+        let hb = s.spawn(move || {
+            let rb = b();
+            worker_exit();
+            rb
+        });
         let ra = a();
         (ra, hb.join().expect("rayon-shim: joined closure panicked"))
     })
@@ -79,7 +114,13 @@ where
     let outputs: Vec<Vec<R>> = std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .map(|c| {
+                s.spawn(move || {
+                    let out = c.into_iter().map(f).collect::<Vec<R>>();
+                    worker_exit();
+                    out
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -87,6 +128,114 @@ where
             .collect()
     });
     outputs.into_iter().flatten().collect()
+}
+
+/// What one [`morsel_map`] dispatch did, for observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MorselStats {
+    /// Morsels dispatched (a pure function of `count` and the caller's
+    /// morsel size — never of the worker count or scheduling).
+    pub morsels: usize,
+    /// Morsels executed by a worker other than their home worker under
+    /// the static assignment `home = morsel * workers / morsels`.
+    /// Scheduling-dependent by nature; only the *presence* of work
+    /// stealing is meaningful, not the exact count.
+    pub steals: usize,
+    /// Workers that participated in the dispatch.
+    pub workers: usize,
+}
+
+/// Morsel-driven parallel map: split `0..morsels` across `workers`
+/// scoped threads with **dynamic claiming** (each worker grabs the next
+/// unclaimed morsel index from a shared atomic), run `f(morsel_index)`
+/// per morsel, and return the results **in morsel order** regardless of
+/// which worker ran what.
+///
+/// Dynamic claiming is what makes skewed morsels load-balance: a worker
+/// stuck on an expensive morsel simply claims fewer of them. Order
+/// preservation is unconditional — each result lands in slot
+/// `morsel_index` — so callers that concatenate per-morsel outputs in
+/// index order observe a schedule-independent result.
+///
+/// `workers <= 1` or `morsels <= 1` degenerates to an in-thread loop
+/// with zero synchronization.
+pub fn morsel_map<R, F>(morsels: usize, workers: usize, f: F) -> (Vec<R>, MorselStats)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    if morsels == 0 {
+        return (
+            Vec::new(),
+            MorselStats {
+                morsels: 0,
+                steals: 0,
+                workers: 0,
+            },
+        );
+    }
+    let workers = workers.max(1).min(morsels);
+    if workers <= 1 || morsels <= 1 {
+        let out: Vec<R> = (0..morsels).map(f).collect();
+        return (
+            out,
+            MorselStats {
+                morsels,
+                steals: 0,
+                workers: 1,
+            },
+        );
+    }
+    let next = AtomicUsize::new(0);
+    let steals = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let steals = &steals;
+    let mut parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut mine: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let m = next.fetch_add(1, Ordering::Relaxed);
+                        if m >= morsels {
+                            break;
+                        }
+                        // Home worker under the static contiguous split;
+                        // running someone else's morsel counts as a steal.
+                        let home = m * workers / morsels;
+                        if home != w {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        mine.push((m, f(m)));
+                    }
+                    worker_exit();
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim: morsel worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..morsels).map(|_| None).collect();
+    for part in parts.drain(..) {
+        for (m, r) in part {
+            slots[m] = Some(r);
+        }
+    }
+    let out: Vec<R> = slots
+        .into_iter()
+        .map(|s| s.expect("rayon-shim: morsel never ran"))
+        .collect();
+    let stats = MorselStats {
+        morsels,
+        steals: steals.load(Ordering::Relaxed),
+        workers,
+    };
+    (out, stats)
 }
 
 /// A parallel iterator: a fully-materialized item list plus a composed
@@ -238,6 +387,36 @@ mod tests {
         let (a, b) = join(|| 1 + 1, || "x".repeat(3));
         assert_eq!(a, 2);
         assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn morsel_map_is_order_preserving_at_any_worker_count() {
+        for workers in [1, 2, 3, 8, 64] {
+            let (out, stats) = morsel_map(37, workers, |m| m * 10);
+            assert_eq!(out, (0..37).map(|m| m * 10).collect::<Vec<_>>());
+            assert_eq!(stats.morsels, 37);
+            assert_eq!(stats.workers, workers.clamp(1, 37));
+        }
+        let (empty, stats) = morsel_map(0, 8, |m| m);
+        assert!(empty.is_empty());
+        assert_eq!(stats.morsels, 0);
+    }
+
+    #[test]
+    fn worker_exit_hook_has_run_when_the_dispatch_returns() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static EXITS: AtomicUsize = AtomicUsize::new(0);
+        set_worker_exit_hook(|| {
+            EXITS.fetch_add(1, Ordering::SeqCst);
+        });
+        // morsel_map returning implies the workers' hooks already ran:
+        // no sleep, no waiting on TLS teardown. Other tests in this
+        // binary spawn workers concurrently, so assert on the delta,
+        // not an absolute count.
+        let before = EXITS.load(Ordering::SeqCst);
+        let (out, stats) = morsel_map(8, 3, |m| m);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert!(EXITS.load(Ordering::SeqCst) - before >= stats.workers);
     }
 
     #[test]
