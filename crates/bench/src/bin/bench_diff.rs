@@ -1,0 +1,236 @@
+//! `bench_diff` — compare two benchmark snapshots and flag regressions.
+//!
+//! The first automated consumer of the repo's perf trajectory: given a
+//! baseline and a candidate snapshot of either benchmark document, it
+//! prints a per-entry delta table and exits non-zero when any entry
+//! regressed by more than the threshold.
+//!
+//! ```sh
+//! cargo run --release -p sb-bench --bin bench_diff -- OLD.json NEW.json
+//! cargo run --release -p sb-bench --bin bench_diff -- --threshold-pct 10 OLD.json NEW.json
+//! ```
+//!
+//! Both document shapes are auto-detected from the JSON root:
+//!
+//! - `BENCH_engine.json` — a JSON **array** of criterion records; the
+//!   compared figure is `ns_per_iter` per `(group, name)` (higher =
+//!   slower).
+//! - `BENCH_serve.json` — a JSON **object** with a `domains` array; the
+//!   compared figures are `qps` (lower = slower) and the `latency_us`
+//!   quantiles (higher = slower) per domain.
+//!
+//! Entries present in only one snapshot are reported but never fail the
+//! gate (benchmarks come and go across PRs). Exit codes: 0 clean, 1
+//! regression over threshold, 2 usage or unreadable/mismatched input.
+//! `check.sh` runs this as an *informational* stage — wall-clock noise
+//! on shared runners is real, so the gate's verdict is advisory there.
+
+use serde_json::Value;
+
+/// A comparison's polarity: is a bigger number better or worse?
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    HigherIsWorse,
+    LowerIsWorse,
+}
+
+/// One comparable figure extracted from a snapshot.
+struct Entry {
+    /// e.g. `engine_execution/q3_extra ns_per_iter` or `sdss qps`.
+    key: String,
+    value: f64,
+    dir: Direction,
+}
+
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn field<'a>(entries: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Flatten either document shape into comparable entries.
+fn extract(doc: &Value, path: &str) -> Result<Vec<Entry>, String> {
+    match doc {
+        Value::Array(records) => {
+            // Engine shape: [{group, name, ns_per_iter, ...}, ...]
+            let mut out = Vec::new();
+            for rec in records {
+                let rec = rec
+                    .as_object()
+                    .ok_or_else(|| format!("{path}: array entry is not an object"))?;
+                let group = field(rec, "group")
+                    .and_then(|v| match v {
+                        Value::Str(s) => Some(s.as_str()),
+                        _ => None,
+                    })
+                    .ok_or_else(|| format!("{path}: record missing string `group`"))?;
+                let name = field(rec, "name")
+                    .and_then(|v| match v {
+                        Value::Str(s) => Some(s.as_str()),
+                        _ => None,
+                    })
+                    .ok_or_else(|| format!("{path}: record missing string `name`"))?;
+                let ns = field(rec, "ns_per_iter")
+                    .and_then(num)
+                    .ok_or_else(|| format!("{path}: {group}/{name} missing `ns_per_iter`"))?;
+                out.push(Entry {
+                    key: format!("{group}/{name} ns_per_iter"),
+                    value: ns,
+                    dir: Direction::HigherIsWorse,
+                });
+            }
+            Ok(out)
+        }
+        Value::Object(top) => {
+            // Serve shape: {domains: [{domain, qps, latency_us: {...}}]}
+            let domains = field(top, "domains")
+                .and_then(|v| match v {
+                    Value::Array(a) => Some(a),
+                    _ => None,
+                })
+                .ok_or_else(|| format!("{path}: object document missing `domains` array"))?;
+            let mut out = Vec::new();
+            for d in domains {
+                let d = d
+                    .as_object()
+                    .ok_or_else(|| format!("{path}: domain entry is not an object"))?;
+                let name = field(d, "domain")
+                    .and_then(|v| match v {
+                        Value::Str(s) => Some(s.as_str()),
+                        _ => None,
+                    })
+                    .ok_or_else(|| format!("{path}: domain entry missing `domain`"))?;
+                let qps = field(d, "qps")
+                    .and_then(num)
+                    .ok_or_else(|| format!("{path}: {name} missing `qps`"))?;
+                out.push(Entry {
+                    key: format!("{name} qps"),
+                    value: qps,
+                    dir: Direction::LowerIsWorse,
+                });
+                let lat = field(d, "latency_us")
+                    .and_then(Value::as_object)
+                    .ok_or_else(|| format!("{path}: {name} missing `latency_us`"))?;
+                for q in ["p50", "p95", "p99"] {
+                    let v = field(lat, q)
+                        .and_then(num)
+                        .ok_or_else(|| format!("{path}: {name} latency missing `{q}`"))?;
+                    out.push(Entry {
+                        key: format!("{name} latency_us.{q}"),
+                        value: v,
+                        dir: Direction::HigherIsWorse,
+                    });
+                }
+            }
+            Ok(out)
+        }
+        _ => Err(format!("{path}: root must be a JSON array or object")),
+    }
+}
+
+fn load(path: &str) -> Result<Vec<Entry>, String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc: Value = serde_json::from_str(&content).map_err(|e| format!("{path}: {e}"))?;
+    extract(&doc, path)
+}
+
+/// Signed "how much worse" percentage: positive = candidate regressed.
+fn regression_pct(e_old: f64, e_new: f64, dir: Direction) -> f64 {
+    if e_old.abs() < f64::EPSILON {
+        return 0.0;
+    }
+    let delta_pct = (e_new - e_old) / e_old * 100.0;
+    match dir {
+        Direction::HigherIsWorse => delta_pct,
+        Direction::LowerIsWorse => -delta_pct,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold_pct = 25.0f64;
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold-pct" => {
+                i += 1;
+                threshold_pct = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threshold-pct needs a number"));
+            }
+            other if other.starts_with("--") => usage(&format!("unknown flag `{other}`")),
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        usage("expected exactly two snapshot paths");
+    };
+
+    let old = load(old_path).unwrap_or_else(|e| fail(&e));
+    let new = load(new_path).unwrap_or_else(|e| fail(&e));
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for e_new in &new {
+        let Some(e_old) = old.iter().find(|e| e.key == e_new.key) else {
+            println!("bench_diff: {:<45} (new entry, no baseline)", e_new.key);
+            continue;
+        };
+        compared += 1;
+        let worse = regression_pct(e_old.value, e_new.value, e_new.dir);
+        let verdict = if worse > threshold_pct {
+            regressions += 1;
+            "  REGRESSION"
+        } else if worse < -threshold_pct {
+            "  improved"
+        } else {
+            ""
+        };
+        println!(
+            "bench_diff: {:<45} {:>14.1} -> {:>14.1}  ({:+.1}% {}){verdict}",
+            e_new.key,
+            e_old.value,
+            e_new.value,
+            worse,
+            if e_new.dir == Direction::HigherIsWorse {
+                "worse if +"
+            } else {
+                "slower if +"
+            },
+        );
+    }
+    for e_old in &old {
+        if !new.iter().any(|e| e.key == e_old.key) {
+            println!("bench_diff: {:<45} (dropped from candidate)", e_old.key);
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "bench_diff: {regressions} of {compared} compared entries regressed \
+             by more than {threshold_pct}%"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("bench_diff: {compared} entries compared, none over the {threshold_pct}% threshold");
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_diff: {msg}");
+    std::process::exit(2);
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("bench_diff: {msg}");
+    eprintln!("usage: bench_diff [--threshold-pct N] OLD.json NEW.json");
+    std::process::exit(2);
+}

@@ -23,11 +23,11 @@
 //! accounting, and the grid cell's gold-cache effectiveness. Without
 //! `--timings` the output contains no wall-clock field at all.
 
-use sb_core::experiments::{build_domain_bundle, evaluate, fresh_systems, ExperimentConfig};
-use sb_core::{SpiderPairs, SpiderSetConfig};
-use sb_data::{Domain, SizeClass};
-use sb_metrics::GoldCache;
-use sb_nl2sql::{DbCatalog, Pair};
+use sb_bench::profiling::{profile_domain, quick_profile_config};
+use sb_core::experiments::ExperimentConfig;
+use sb_core::SpiderPairs;
+use sb_data::Domain;
+use sb_nl2sql::Pair;
 use sb_obs::json::escape;
 use std::fmt::Write as _;
 
@@ -81,17 +81,7 @@ fn main() {
     }
 
     let cfg = if quick {
-        ExperimentConfig {
-            size: SizeClass::Tiny,
-            scale: 0.12,
-            spider: SpiderSetConfig {
-                train_total: 120,
-                dev_total: 40,
-                databases: 3,
-                seed: 5,
-            },
-            seed: 5,
-        }
+        quick_profile_config()
     } else {
         ExperimentConfig::quick()
     };
@@ -109,37 +99,8 @@ fn main() {
     out.push_str("  \"domains\": [");
     for (di, &domain) in domains.iter().enumerate() {
         sb_obs::progress("profile_run", &format!("profiling {}", domain.name()));
-        // Per-domain isolation: each report starts from empty registries.
-        sb_obs::reset();
+        let cell = profile_domain(domain, &cfg, &spider, &spider_train);
 
-        // One pipeline run (inside the bundle build) ...
-        let bundle = build_domain_bundle(domain, &cfg);
-
-        // ... and one grid cell: train the first system on Spider + Seed,
-        // score the dev set through a shared gold cache.
-        let gold_cache = GoldCache::new();
-        let mut training = spider_train.clone();
-        training.extend(
-            bundle
-                .dataset
-                .seed
-                .iter()
-                .map(|p| Pair::new(p.question.clone(), p.sql.clone(), p.db.clone())),
-        );
-        let mut system = fresh_systems().remove(0);
-        let mut catalog_dbs: Vec<&sb_engine::Database> =
-            spider.corpus.databases.iter().map(|d| &d.db).collect();
-        catalog_dbs.push(&bundle.data.db);
-        system.train(&training, &DbCatalog::new(catalog_dbs));
-        let accuracy = evaluate(system.as_ref(), &bundle.dataset.dev, &gold_cache, |name| {
-            if name.eq_ignore_ascii_case(domain.name()) {
-                Some(&bundle.data.db)
-            } else {
-                None
-            }
-        });
-
-        let obs = sb_obs::snapshot();
         if di > 0 {
             out.push(',');
         }
@@ -148,23 +109,21 @@ fn main() {
         let _ = writeln!(
             out,
             "      \"splits\": {{\"seed\": {}, \"dev\": {}, \"synth\": {}}},",
-            bundle.dataset.seed.len(),
-            bundle.dataset.dev.len(),
-            bundle.dataset.synth.len()
+            cell.splits.0, cell.splits.1, cell.splits.2
         );
         let _ = writeln!(
             out,
             "      \"grid_cell\": {{\"system\": \"{}\", \"accuracy\": {}, \"n_dev\": {}, \
              \"gold_cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}}}}},",
-            escape(system.name()),
-            sb_obs::json::number(accuracy),
-            bundle.dataset.dev.len(),
-            gold_cache.len(),
-            gold_cache.hits(),
-            gold_cache.misses()
+            escape(&cell.system),
+            sb_obs::json::number(cell.accuracy),
+            cell.n_dev,
+            cell.gold_cache.0,
+            cell.gold_cache.1,
+            cell.gold_cache.2
         );
         // Indent the embedded obs report to keep the document readable.
-        let obs_json = obs.to_json(timings).replace('\n', "\n      ");
+        let obs_json = cell.obs.to_json(timings).replace('\n', "\n      ");
         let _ = writeln!(out, "      \"obs\": {obs_json}");
         out.push_str("    }");
     }

@@ -21,6 +21,7 @@
 
 use std::fmt::Write as _;
 
+pub mod profiling;
 pub mod reports;
 
 /// A plain-text table printer with fixed-width columns.

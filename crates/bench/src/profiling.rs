@@ -1,0 +1,101 @@
+//! The `profile_run` scenario as a library function, so the binary and
+//! the metric-name registry test (`tests/names_registry.rs`) run the
+//! exact same workload: one generation pipeline plus one Table 5 grid
+//! cell per domain, with `sb-obs` collection on.
+
+use sb_core::experiments::{build_domain_bundle, evaluate, fresh_systems, ExperimentConfig};
+use sb_core::{SpiderPairs, SpiderSetConfig};
+use sb_data::{Domain, SizeClass};
+use sb_metrics::GoldCache;
+use sb_nl2sql::{DbCatalog, Pair};
+
+/// The `--quick` experiment shape `profile_run` and `check.sh` use:
+/// tiny splits, seconds-scale.
+pub fn quick_profile_config() -> ExperimentConfig {
+    ExperimentConfig {
+        size: SizeClass::Tiny,
+        scale: 0.12,
+        spider: SpiderSetConfig {
+            train_total: 120,
+            dev_total: 40,
+            databases: 3,
+            seed: 5,
+        },
+        seed: 5,
+    }
+}
+
+/// Everything one domain's profile run measured, rendered by
+/// `profile_run` into its JSON report.
+pub struct ProfiledCell {
+    /// `(seed, dev, synth)` split sizes of the generated dataset.
+    pub splits: (usize, usize, usize),
+    /// Name of the system the grid cell trained.
+    pub system: String,
+    /// Execution accuracy of that system on the dev split.
+    pub accuracy: f64,
+    /// Dev pairs scored.
+    pub n_dev: usize,
+    /// Gold-cache `(entries, hits, misses)` after scoring.
+    pub gold_cache: (usize, u64, u64),
+    /// The deterministic `sb-obs` snapshot for this domain's run.
+    pub obs: sb_obs::Report,
+}
+
+/// Run one domain's profile cell: reset the `sb-obs` registries, build
+/// the domain bundle (one full generation pipeline), train the first
+/// system on Spider + the domain seed split, score the dev set through
+/// a shared gold cache, and snapshot the collected metrics.
+///
+/// The caller owns collection mode (force `Summary` on when `Off`) and
+/// builds the Spider corpus once — its counters are deliberately *not*
+/// part of any domain's report.
+pub fn profile_domain(
+    domain: Domain,
+    cfg: &ExperimentConfig,
+    spider: &SpiderPairs,
+    spider_train: &[Pair],
+) -> ProfiledCell {
+    // Per-domain isolation: each report starts from empty registries.
+    sb_obs::reset();
+
+    // One pipeline run (inside the bundle build) ...
+    let bundle = build_domain_bundle(domain, cfg);
+
+    // ... and one grid cell: train the first system on Spider + Seed,
+    // score the dev set through a shared gold cache.
+    let gold_cache = GoldCache::new();
+    let mut training = spider_train.to_vec();
+    training.extend(
+        bundle
+            .dataset
+            .seed
+            .iter()
+            .map(|p| Pair::new(p.question.clone(), p.sql.clone(), p.db.clone())),
+    );
+    let mut system = fresh_systems().remove(0);
+    let mut catalog_dbs: Vec<&sb_engine::Database> =
+        spider.corpus.databases.iter().map(|d| &d.db).collect();
+    catalog_dbs.push(&bundle.data.db);
+    system.train(&training, &DbCatalog::new(catalog_dbs));
+    let accuracy = evaluate(system.as_ref(), &bundle.dataset.dev, &gold_cache, |name| {
+        if name.eq_ignore_ascii_case(domain.name()) {
+            Some(&bundle.data.db)
+        } else {
+            None
+        }
+    });
+
+    ProfiledCell {
+        splits: (
+            bundle.dataset.seed.len(),
+            bundle.dataset.dev.len(),
+            bundle.dataset.synth.len(),
+        ),
+        system: system.name().to_string(),
+        accuracy,
+        n_dev: bundle.dataset.dev.len(),
+        gold_cache: (gold_cache.len(), gold_cache.hits(), gold_cache.misses()),
+        obs: sb_obs::snapshot(),
+    }
+}

@@ -58,6 +58,7 @@ use crate::eval::{
 use crate::exec::{is_aggregate_query, Projected, Relation};
 use crate::key::{self, FxBuild, KeyIndex};
 use crate::value::{canon_num, cmp_int_f64, Value};
+use sb_obs::FixedOp;
 use std::cmp::Ordering;
 
 /// Resolved parallel-execution configuration for one batch run: the
@@ -121,6 +122,16 @@ pub(crate) struct BatchInput<'a, 'q> {
     pub(crate) nested_loop: bool,
     /// Morsel-parallel execution knobs (workers, morsel size).
     pub(crate) par: ParConfig,
+    /// Per-statement profile block (EXPLAIN ANALYZE), if requested.
+    pub(crate) bp: Option<crate::exec::BlockProf<'a>>,
+}
+
+/// Record why the batch path bailed (first reason wins) and fall back.
+fn bail(input: &BatchInput<'_, '_>, reason: &'static str) -> Option<Projected> {
+    if let Some(bp) = &input.bp {
+        bp.prof.set_fallback(bp.block, reason);
+    }
+    None
 }
 
 /// Attempt batch execution. `None` means "fall back to the row path" —
@@ -135,17 +146,21 @@ pub(crate) fn try_select(input: &BatchInput<'_, '_>) -> Option<Projected> {
 
 fn run(input: &BatchInput<'_, '_>) -> Option<Projected> {
     if input.nested_loop && !input.select.joins.is_empty() {
-        return None;
+        return bail(input, "nested-loop");
     }
     // Base tables with clean columnar images only.
-    let tables: Vec<Arc<ColumnarTable>> = input
+    let tables: Vec<Arc<ColumnarTable>> = match input
         .relations
         .iter()
         .map(|r| match &r.source {
             crate::exec::RelSource::Base(t) => Table::columnar(t),
             crate::exec::RelSource::Derived(_) => None,
         })
-        .collect::<Option<_>>()?;
+        .collect::<Option<_>>()
+    {
+        Some(t) => t,
+        None => return bail(input, "row-image"),
+    };
     let cx = Cx {
         scope: input.scope,
         tables: &tables,
@@ -154,23 +169,34 @@ fn run(input: &BatchInput<'_, '_>) -> Option<Projected> {
     // Compile pushed and residual conjuncts up front: any resolution or
     // typing problem bails before touching data, leaving error behavior
     // (including "zero rows swallow residual errors") to the row path.
-    let pushed: Vec<Vec<BoolK>> = input
+    let pushed: Vec<Vec<BoolK>> = match input
         .pushed
         .iter()
         .map(|conjs| conjs.iter().map(|c| cx.compile_bool(c)).collect())
-        .collect::<Option<_>>()?;
-    let residual: Vec<BoolK> = input
+        .collect::<Option<_>>()
+    {
+        Some(p) => p,
+        None => return bail(input, "predicate-kernel"),
+    };
+    let residual: Vec<BoolK> = match input
         .residual
         .iter()
         .map(|c| cx.compile_bool(c))
-        .collect::<Option<_>>()?;
+        .collect::<Option<_>>()
+    {
+        Some(r) => r,
+        None => return bail(input, "predicate-kernel"),
+    };
     // Per-relation scans: progressive selection vectors, conjunct k
     // evaluated only over survivors of conjuncts 1..k-1.
     let mut sels: Vec<Vec<u32>> = Vec::with_capacity(tables.len());
     for (rel, conjs) in pushed.iter().enumerate() {
         let scanned = tables[rel].len;
+        let prof_op = input.bp.as_ref().and_then(|b| b.scan(rel));
+        let prof_t0 = crate::exec::prof_clock(&input.bp);
         if !conjs.is_empty() && input.par.active(scanned) {
             sels.push(filter_morsels(input, &tables, rel, conjs, scanned)?);
+            crate::exec::prof_elapsed(prof_t0, prof_op);
             continue;
         }
         // `identity` defers materializing the 0..scanned index vector:
@@ -241,12 +267,23 @@ fn run(input: &BatchInput<'_, '_>) -> Option<Projected> {
         if sb_obs::enabled() {
             note_scan(scanned, sel.len());
         }
+        if let Some(op) = prof_op {
+            op.rows(scanned as u64, sel.len() as u64);
+            op.add_batches(1);
+            crate::exec::prof_elapsed(prof_t0, Some(op));
+        }
         sels.push(sel);
     }
     // Joins: hash only, source or planner order.
-    let mut rowids = join_all(&cx, input, sels)?;
+    let mut rowids = match join_all(&cx, input, sels) {
+        Some(r) => r,
+        None => return bail(input, "join-kernel"),
+    };
 
     // Residual filter over the joined view.
+    let filter_op = input.bp.as_ref().and_then(|b| b.fixed(FixedOp::Filter));
+    let filter_in = rowids.first().map_or(0, |c| c.len());
+    let filter_t0 = crate::exec::prof_clock(&input.bp);
     for conj in &residual {
         let view = View::all(&tables, &rowids);
         let tri = conj.eval(&view)?;
@@ -265,11 +302,21 @@ fn run(input: &BatchInput<'_, '_>) -> Option<Projected> {
             *col = keep_idx.iter().map(|&i| col[i]).collect();
         }
     }
+    if !residual.is_empty() {
+        if let Some(op) = filter_op {
+            op.rows(
+                filter_in as u64,
+                rowids.first().map_or(0, |c| c.len()) as u64,
+            );
+            op.add_batches(residual.len() as u64);
+            crate::exec::prof_elapsed(filter_t0, Some(op));
+        }
+    }
     let view = View::all(&tables, &rowids);
     if is_aggregate_query(input.select, input.order_by) {
-        grouped(&cx, input, &view)
+        grouped(&cx, input, &view).or_else(|| bail(input, "agg-kernel"))
     } else {
-        plain(&cx, input, &view)
+        plain(&cx, input, &view).or_else(|| bail(input, "project-kernel"))
     }
 }
 
@@ -340,6 +387,11 @@ fn filter_morsels(
         }
         note_scan(scanned, sel.len());
         note_parallel(stats, parts.len());
+    }
+    if let Some(op) = input.bp.as_ref().and_then(|b| b.scan(rel)) {
+        op.rows(scanned as u64, sel.len() as u64);
+        op.add_batches(parts.len() as u64);
+        op.parallel(stats.morsels as u64, stats.steals as u64);
     }
     Some(sel)
 }
@@ -2150,6 +2202,7 @@ fn build_int_index_morsels(
     build_sel: &[u32],
     bd: &[i64],
     nulls: &NullMask,
+    prof_op: Option<&sb_obs::OpStats>,
 ) -> HashMap<i64, Vec<u32>, FxBuild> {
     let n = build_sel.len();
     let bn = nulls.any();
@@ -2181,6 +2234,9 @@ fn build_int_index_morsels(
     if sb_obs::enabled() {
         note_parallel(stats, merges);
     }
+    if let Some(op) = prof_op {
+        op.parallel(stats.morsels as u64, stats.steals as u64);
+    }
     index
 }
 
@@ -2195,6 +2251,7 @@ fn probe_int_morsels(
     probe_pos: usize,
     pd: &[i64],
     nulls: &NullMask,
+    prof_op: Option<&sb_obs::OpStats>,
 ) -> Vec<Vec<u32>> {
     let acc_len = acc[0].len();
     let pn = nulls.any();
@@ -2227,6 +2284,9 @@ fn probe_int_morsels(
     }
     if sb_obs::enabled() {
         note_parallel(stats, merges);
+    }
+    if let Some(op) = prof_op {
+        op.parallel(stats.morsels as u64, stats.steals as u64);
     }
     out
 }
@@ -2376,7 +2436,9 @@ fn join_all(cx: &Cx<'_>, input: &BatchInput<'_, '_>, sels: Vec<Vec<u32>>) -> Opt
     // Accumulated output: one row-id column per joined relation.
     let mut acc_rels: Vec<usize> = vec![order[0]];
     let mut acc: Vec<Vec<u32>> = vec![sels[order[0]].clone()];
-    for step in &steps {
+    for (si, step) in steps.iter().enumerate() {
+        let prof_op = input.bp.as_ref().and_then(|b| b.join(si));
+        let prof_t0 = crate::exec::prof_clock(&input.bp);
         let build_tbl = &cx.tables[step.new_rel];
         let build_col = build_tbl.columns.get(step.build_col)?;
         let probe_col = cx.tables[step.probe.rel].columns.get(step.probe.col)?;
@@ -2424,7 +2486,7 @@ fn join_all(cx: &Cx<'_>, input: &BatchInput<'_, '_>, sels: Vec<Vec<u32>>) -> Opt
                 }
             } else {
                 let index = if par.active(build_sel.len()) {
-                    build_int_index_morsels(par, build_sel, bd, &build_col.nulls)
+                    build_int_index_morsels(par, build_sel, bd, &build_col.nulls, prof_op)
                 } else {
                     let mut index: HashMap<i64, Vec<u32>, FxBuild> =
                         HashMap::with_capacity_and_hasher(build_sel.len(), FxBuild::default());
@@ -2438,7 +2500,15 @@ fn join_all(cx: &Cx<'_>, input: &BatchInput<'_, '_>, sels: Vec<Vec<u32>>) -> Opt
                     index
                 };
                 if par.active(acc_len) {
-                    out = probe_int_morsels(par, &index, &acc, probe_pos, pd, &probe_col.nulls);
+                    out = probe_int_morsels(
+                        par,
+                        &index,
+                        &acc,
+                        probe_pos,
+                        pd,
+                        &probe_col.nulls,
+                        prof_op,
+                    );
                 } else {
                     for i in 0..acc_len {
                         let prid = acc[probe_pos][i] as usize;
@@ -2482,6 +2552,12 @@ fn join_all(cx: &Cx<'_>, input: &BatchInput<'_, '_>, sels: Vec<Vec<u32>>) -> Opt
         }
         if sb_obs::enabled() {
             note_join(build_sel.len(), acc_len, out[0].len());
+        }
+        if let Some(op) = prof_op {
+            op.rows((acc_len + build_sel.len()) as u64, out[0].len() as u64);
+            op.build_probe(build_sel.len() as u64, acc_len as u64);
+            op.link((si == 0).then_some(order[0]), step.new_rel);
+            crate::exec::prof_elapsed(prof_t0, Some(op));
         }
         acc = out;
         acc_rels.push(step.new_rel);
@@ -3536,6 +3612,8 @@ impl ScalarGroups<'_, '_> {
 
 fn grouped(cx: &Cx<'_>, input: &BatchInput<'_, '_>, view: &View<'_>) -> Option<Projected> {
     let select = input.select;
+    let prof_op = input.bp.as_ref().and_then(|b| b.fixed(FixedOp::Aggregate));
+    let prof_t0 = crate::exec::prof_clock(&input.bp);
 
     // Output columns; a wildcard is an error the row path must report.
     let mut columns = Vec::new();
@@ -3656,6 +3734,11 @@ fn grouped(cx: &Cx<'_>, input: &BatchInput<'_, '_>, view: &View<'_>) -> Option<P
         }
         out_rows.push(proj_groups.iter().map(|col| col[g].clone()).collect());
         keys.push(key_groups.iter().map(|col| col[g].clone()).collect());
+    }
+    if let Some(op) = prof_op {
+        op.rows(view.len as u64, out_rows.len() as u64);
+        op.groups(n_groups as u64);
+        crate::exec::prof_elapsed(prof_t0, Some(op));
     }
     Some((columns, out_rows, keys))
 }

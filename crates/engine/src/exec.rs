@@ -40,6 +40,7 @@ use crate::eval::{eval, eval_filter, truth, EvalContext, Scope};
 use crate::key::{self, FxBuild, KeyIndex, RowSet};
 use crate::result::ResultSet;
 use crate::value::Value;
+use sb_obs::{FixedOp, OpStats, QueryProfile};
 use sb_sql::{
     AggArg, AggFunc, BinaryOp, ColumnRef, Expr, Join, OrderItem, Query, Select, SelectItem,
     SetExpr, SetOp, TableFactor, TableRef,
@@ -49,6 +50,49 @@ use std::collections::HashMap;
 use std::hash::Hasher;
 use std::ops::Deref;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Optional per-statement profile, threaded through execution by
+/// reference (see `sb_obs::profile`). `None` — the overwhelmingly
+/// common case — keeps every write site behind one `is_some` check, so
+/// profiling off is zero behavior change and near-zero cost.
+pub(crate) type Prof<'p> = Option<&'p QueryProfile>;
+
+/// One SELECT block's profile handle: the arena plus this block's
+/// reserved slot range. `Copy` so operator helpers can take it by value.
+#[derive(Clone, Copy)]
+pub(crate) struct BlockProf<'p> {
+    pub(crate) prof: &'p QueryProfile,
+    pub(crate) block: sb_obs::BlockId,
+}
+
+impl<'p> BlockProf<'p> {
+    pub(crate) fn scan(&self, rel: usize) -> Option<&'p OpStats> {
+        self.prof.scan(self.block, rel)
+    }
+
+    pub(crate) fn join(&self, step: usize) -> Option<&'p OpStats> {
+        self.prof.join(self.block, step)
+    }
+
+    pub(crate) fn fixed(&self, op: FixedOp) -> Option<&'p OpStats> {
+        self.prof.fixed(self.block, op)
+    }
+}
+
+/// Start a wall-clock measurement only when a profile is attached.
+#[inline]
+pub(crate) fn prof_clock(bp: &Option<BlockProf<'_>>) -> Option<Instant> {
+    bp.as_ref().map(|_| Instant::now())
+}
+
+/// Attribute elapsed time since `t0` to `op`.
+#[inline]
+pub(crate) fn prof_elapsed(t0: Option<Instant>, op: Option<&OpStats>) {
+    if let (Some(t0), Some(op)) = (t0, op) {
+        op.elapsed(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+}
 
 /// Join algorithm selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -263,11 +307,55 @@ pub fn execute_with_plan(
     opts: ExecOptions,
     plan: Option<&sb_opt::OwnedPlan>,
 ) -> Result<ResultSet> {
+    execute_query(db, query, opts, plan, None)
+}
+
+/// [`execute_with`] plus a per-statement [`QueryProfile`] the engine's
+/// operators write runtime statistics into — the substrate of
+/// `EXPLAIN ANALYZE` and the serve layer's slow-query log. Results are
+/// byte-identical with and without a profile attached.
+pub fn execute_with_profile(
+    db: &Database,
+    query: &Query,
+    opts: ExecOptions,
+    prof: Option<&QueryProfile>,
+) -> Result<ResultSet> {
+    execute_query(db, query, opts, None, prof)
+}
+
+/// [`execute_with_plan`] plus an optional [`QueryProfile`] (see
+/// [`execute_with_profile`]). The serve layer's profiled requests run
+/// through here so the plan cache and profiling compose.
+pub fn execute_with_plan_profile(
+    db: &Database,
+    query: &Query,
+    opts: ExecOptions,
+    plan: Option<&sb_opt::OwnedPlan>,
+    prof: Option<&QueryProfile>,
+) -> Result<ResultSet> {
+    execute_query(db, query, opts, plan, prof)
+}
+
+fn execute_query(
+    db: &Database,
+    query: &Query,
+    opts: ExecOptions,
+    plan: Option<&sb_opt::OwnedPlan>,
+    prof: Prof<'_>,
+) -> Result<ResultSet> {
     match &query.body {
         SetExpr::Select(select) => {
-            execute_select_impl(db, select, &query.order_by, query.limit, opts, plan)
+            execute_select_impl(db, select, &query.order_by, query.limit, opts, plan, prof)
         }
-        SetExpr::SetOp { .. } => execute_with(db, query, opts),
+        SetExpr::SetOp { .. } => {
+            let mut rs = execute_set_expr(db, &query.body, opts, prof)?;
+            apply_output_order(&mut rs, &query.order_by, query.limit)?;
+            if let Some(n) = query.limit {
+                rs.rows.truncate(n as usize);
+            }
+            rs.ordered = !query.order_by.is_empty();
+            Ok(rs)
+        }
     }
 }
 
@@ -335,31 +423,27 @@ pub fn plan_top_select(
 
 /// Execute a parsed query with explicit executor options.
 pub fn execute_with(db: &Database, query: &Query, opts: ExecOptions) -> Result<ResultSet> {
-    match &query.body {
-        SetExpr::Select(select) => execute_select(db, select, &query.order_by, query.limit, opts),
-        SetExpr::SetOp { .. } => {
-            let mut rs = execute_set_expr(db, &query.body, opts)?;
-            apply_output_order(&mut rs, &query.order_by, query.limit)?;
-            if let Some(n) = query.limit {
-                rs.rows.truncate(n as usize);
-            }
-            rs.ordered = !query.order_by.is_empty();
-            Ok(rs)
-        }
-    }
+    execute_query(db, query, opts, None, None)
 }
 
-fn execute_set_expr(db: &Database, body: &SetExpr, opts: ExecOptions) -> Result<ResultSet> {
+/// Set-operation leaves execute left to right, which is also the block
+/// order a profile records them in (see `sb_obs::profile`).
+fn execute_set_expr(
+    db: &Database,
+    body: &SetExpr,
+    opts: ExecOptions,
+    prof: Prof<'_>,
+) -> Result<ResultSet> {
     match body {
-        SetExpr::Select(s) => execute_select(db, s, &[], None, opts),
+        SetExpr::Select(s) => execute_select_impl(db, s, &[], None, opts, None, prof),
         SetExpr::SetOp {
             op,
             all,
             left,
             right,
         } => {
-            let l = execute_set_expr(db, left, opts)?;
-            let r = execute_set_expr(db, right, opts)?;
+            let l = execute_set_expr(db, left, opts, prof)?;
+            let r = execute_set_expr(db, right, opts, prof)?;
             if l.columns.len() != r.columns.len() {
                 return Err(EngineError::TypeMismatch(format!(
                     "set operands have {} vs {} columns",
@@ -423,6 +507,7 @@ pub(crate) fn resolve_relation<'a>(
     db: &'a Database,
     tr: &TableRef,
     opts: ExecOptions,
+    prof: Prof<'_>,
 ) -> Result<Relation<'a>> {
     match &tr.factor {
         TableFactor::Table(name) => {
@@ -441,7 +526,10 @@ pub(crate) fn resolve_relation<'a>(
             let alias = tr.alias.clone().ok_or_else(|| {
                 EngineError::Unsupported("derived table requires an alias".into())
             })?;
-            let rs = execute_with(db, q, opts)?;
+            // The derived query's SELECT blocks register in the profile
+            // here, i.e. after the enclosing block and in FROM/JOIN
+            // order — exactly the walk `explain_with_profile` replays.
+            let rs = execute_query(db, q, opts, None, prof)?;
             Ok(Relation {
                 binding: alias,
                 columns: rs.columns.clone(),
@@ -575,6 +663,7 @@ fn scan_relation(
     pushed: &[&Expr],
     ctx: &EvalContext,
     opts: ExecOptions,
+    prof_op: Option<&OpStats>,
 ) -> Result<Vec<ExecRow>> {
     let mut local = Scope::default();
     local.push(&rel.binding, rel.columns.clone());
@@ -621,6 +710,9 @@ fn scan_relation(
             if sb_obs::enabled() {
                 note_scan(table.rows.len(), out.len());
             }
+            if let Some(op) = prof_op {
+                op.rows(table.rows.len() as u64, out.len() as u64);
+            }
             out
         }
         RelSource::Derived(rs) => {
@@ -633,6 +725,9 @@ fn scan_relation(
             }
             if sb_obs::enabled() {
                 note_scan(scanned, out.len());
+            }
+            if let Some(op) = prof_op {
+                op.rows(scanned as u64, out.len() as u64);
             }
             out
         }
@@ -832,6 +927,7 @@ fn join_relations(
     ctx: &EvalContext,
     opts: ExecOptions,
     build_sides: Option<&[bool]>,
+    bp: Option<BlockProf<'_>>,
 ) -> Result<(Scope, Vec<ExecRow>)> {
     let mut scanned = scanned.drain(..);
     let mut rows = scanned.next().expect("at least the FROM relation");
@@ -841,6 +937,8 @@ fn join_relations(
     for (ji, (join, rel)) in joins.iter().zip(&relations[1..]).enumerate() {
         let jrows = scanned.next().expect("one scan per relation");
         let right_width = rel.1.len();
+        let t0 = prof_clock(&bp);
+        let rows_in = rows.len() + jrows.len();
 
         // Attempt hash join on a column equality before extending the
         // scope (so "left side" means the scope built so far).
@@ -873,13 +971,16 @@ fn join_relations(
                     },
                     _ => false,
                 };
+                let (build, probe) = if build_left {
+                    (rows.len(), jrows.len())
+                } else {
+                    (jrows.len(), rows.len())
+                };
                 if sb_obs::enabled() {
-                    let (build, probe) = if build_left {
-                        (rows.len(), jrows.len())
-                    } else {
-                        (jrows.len(), rows.len())
-                    };
                     note_hash_join(build, probe);
+                }
+                if let Some(op) = bp.as_ref().and_then(|b| b.join(ji)) {
+                    op.build_probe(build as u64, probe as u64);
                 }
                 let matches = hash_join_matches(&rows, &jrows, li, ri, build_left);
                 for (l, js) in rows.iter().zip(&matches) {
@@ -924,6 +1025,13 @@ fn join_relations(
                 }
             }
         }
+        if let Some(op) = bp.as_ref().and_then(|b| b.join(ji)) {
+            // Source-order execution: step `ji` introduces relation
+            // `ji + 1`; step 0's left input is the FROM relation.
+            op.rows(rows_in as u64, out.len() as u64);
+            op.link((ji == 0).then_some(0), ji + 1);
+            prof_elapsed(t0, Some(op));
+        }
         rows = out;
     }
     Ok((scope, rows))
@@ -950,6 +1058,7 @@ fn join_relations_reordered(
     scanned: Vec<Vec<ExecRow>>,
     relations: &[(String, Vec<String>)],
     planned: &sb_opt::PlannedSelect<'_>,
+    bp: Option<BlockProf<'_>>,
 ) -> (Scope, Vec<ExecRow>) {
     let n = relations.len();
     let widths: Vec<usize> = relations.iter().map(|r| r.1.len()).collect();
@@ -976,18 +1085,19 @@ fn join_relations_reordered(
     // row i.
     let mut tags: Vec<Vec<u32>> = (0..rows.len() as u32).map(|i| vec![i]).collect();
 
-    for step in &planned.steps {
+    for (si, step) in planned.steps.iter().enumerate() {
         let jrows = scanned[step.rel].take().expect("each relation joins once");
         let key = step.key.expect("reordered steps always carry a key");
         let li = exec_off[key.left_rel]
             + sb_opt::plan::pruned_index(&planned.keep[key.left_rel], key.left_col);
         let ri = sb_opt::plan::pruned_index(&planned.keep[step.rel], key.right_col);
+        let t0 = prof_clock(&bp);
+        let (build, probe) = if step.build_left {
+            (rows.len(), jrows.len())
+        } else {
+            (jrows.len(), rows.len())
+        };
         if sb_obs::enabled() {
-            let (build, probe) = if step.build_left {
-                (rows.len(), jrows.len())
-            } else {
-                (jrows.len(), rows.len())
-            };
             note_hash_join(build, probe);
         }
         let matches = hash_join_matches(&rows, &jrows, li, ri, step.build_left);
@@ -1001,6 +1111,15 @@ fn join_relations_reordered(
                 t.push(j);
                 out_tags.push(t);
             }
+        }
+        if let Some(op) = bp.as_ref().and_then(|b| b.join(si)) {
+            // Reordered execution: record which source relation this
+            // step introduced so renderers and the conservation checker
+            // can re-associate steps without re-deriving the plan.
+            op.rows((rows.len() + jrows.len()) as u64, out.len() as u64);
+            op.build_probe(build as u64, probe as u64);
+            op.link((si == 0).then_some(planned.order[0]), step.rel);
+            prof_elapsed(t0, Some(op));
         }
         rows = out;
         tags = out_tags;
@@ -1070,16 +1189,6 @@ pub(crate) fn projection_name(item: &SelectItem) -> String {
     }
 }
 
-fn execute_select(
-    db: &Database,
-    select: &Select,
-    order_by: &[OrderItem],
-    limit: Option<u64>,
-    opts: ExecOptions,
-) -> Result<ResultSet> {
-    execute_select_impl(db, select, order_by, limit, opts, None)
-}
-
 fn execute_select_impl(
     db: &Database,
     select: &Select,
@@ -1087,17 +1196,26 @@ fn execute_select_impl(
     limit: Option<u64>,
     opts: ExecOptions,
     cached: Option<&sb_opt::OwnedPlan>,
+    prof: Prof<'_>,
 ) -> Result<ResultSet> {
     if sb_obs::enabled() {
         note_dispatch(opts.compiled);
     }
     let ctx = EvalContext::new(db);
 
+    // Reserve this SELECT's profile block before resolving relations:
+    // derived tables execute during resolution and must register their
+    // blocks *after* the enclosing one (the order renderers replay).
+    let bp: Option<BlockProf<'_>> = prof.map(|p| BlockProf {
+        prof: p,
+        block: p.begin_block(1 + select.joins.len()),
+    });
+
     // Resolve every relation and build the full scope up front, so
     // pushdown decisions see exactly what the residual filter would.
-    let mut relations = vec![resolve_relation(db, &select.from, opts)?];
+    let mut relations = vec![resolve_relation(db, &select.from, opts, prof)?];
     for join in &select.joins {
-        relations.push(resolve_relation(db, &join.table, opts)?);
+        relations.push(resolve_relation(db, &join.table, opts, prof)?);
     }
     let mut full_scope = Scope::default();
     for rel in &relations {
@@ -1164,10 +1282,22 @@ fn execute_select_impl(
             planned: planned.as_ref(),
             nested_loop: matches!(opts.join, JoinStrategy::NestedLoop),
             par: crate::batch::ParConfig::from_options(&opts),
+            bp,
         };
         if let Some(projected) = crate::batch::try_select(&input) {
-            let r = Ok(finish_select(select, order_by, limit, projected));
+            if let Some(bp) = &bp {
+                bp.prof.set_columnar(bp.block, true);
+            }
+            let r = Ok(finish_select(select, order_by, limit, projected, bp));
             return r;
+        }
+        if let Some(bp) = &bp {
+            // The batch path may have recorded operators before bailing;
+            // zero them so the row-engine retry doesn't double-count.
+            bp.prof.reset_block(bp.block);
+            if !bp.prof.has_fallback(bp.block) {
+                bp.prof.set_fallback(bp.block, "kernel");
+            }
         }
     }
 
@@ -1176,8 +1306,11 @@ fn execute_select_impl(
         .map(|r| (r.binding.clone(), r.columns.clone()))
         .collect();
     let mut scanned = Vec::with_capacity(rel_names.len());
-    for (rel, pushed) in relations.into_iter().zip(&pushed) {
-        scanned.push(scan_relation(rel, pushed, &ctx, opts)?);
+    for (i, (rel, pushed)) in relations.into_iter().zip(&pushed).enumerate() {
+        let prof_op = bp.as_ref().and_then(|b| b.scan(i));
+        let t0 = prof_clock(&bp);
+        scanned.push(scan_relation(rel, pushed, &ctx, opts, prof_op)?);
+        prof_elapsed(t0, prof_op);
     }
 
     // Projection pushdown: narrow each scan to the columns the planner
@@ -1196,7 +1329,7 @@ fn execute_select_impl(
     }
 
     let (scope, mut rows) = match &planned {
-        Some(p) if p.reordered => join_relations_reordered(scanned, &rel_names, p),
+        Some(p) if p.reordered => join_relations_reordered(scanned, &rel_names, p, bp),
         Some(p) => join_relations(
             scanned,
             &rel_names,
@@ -1204,11 +1337,15 @@ fn execute_select_impl(
             &ctx,
             opts,
             Some(&p.build_sides),
+            bp,
         )?,
-        None => join_relations(scanned, &rel_names, &select.joins, &ctx, opts, None)?,
+        None => join_relations(scanned, &rel_names, &select.joins, &ctx, opts, None, bp)?,
     };
 
     if !residual.is_empty() {
+        let filter_op = bp.as_ref().and_then(|b| b.fixed(FixedOp::Filter));
+        let filter_in = rows.len();
+        let t0 = prof_clock(&bp);
         let progs: Option<Vec<CExpr>> = opts
             .compiled
             .then(|| residual.iter().map(|c| compile(c, &scope, &ctx)).collect());
@@ -1233,14 +1370,29 @@ fn execute_select_impl(
             kept.push(row);
         }
         rows = kept;
+        if let Some(op) = filter_op {
+            op.rows(filter_in as u64, rows.len() as u64);
+            op.add_batches(residual.len() as u64);
+            prof_elapsed(t0, Some(op));
+        }
     }
 
-    let projected = if is_aggregate_query(select, order_by) {
-        execute_grouped(select, order_by, &scope, rows, &ctx, opts)?
+    let agg = is_aggregate_query(select, order_by);
+    let agg_op = (agg && bp.is_some())
+        .then(|| bp.as_ref().and_then(|b| b.fixed(FixedOp::Aggregate)))
+        .flatten();
+    let agg_in = rows.len();
+    let t0 = prof_clock(&bp);
+    let projected = if agg {
+        execute_grouped(select, order_by, &scope, rows, &ctx, opts, agg_op)?
     } else {
         execute_plain(select, order_by, &scope, rows, &ctx, opts)?
     };
-    Ok(finish_select(select, order_by, limit, projected))
+    if let Some(op) = agg_op {
+        op.rows(agg_in as u64, projected.1.len() as u64);
+        prof_elapsed(t0, Some(op));
+    }
+    Ok(finish_select(select, order_by, limit, projected, bp))
 }
 
 /// The shared result tail of the row and batch pipelines: DISTINCT
@@ -1251,10 +1403,14 @@ pub(crate) fn finish_select(
     order_by: &[OrderItem],
     limit: Option<u64>,
     projected: Projected,
+    bp: Option<BlockProf<'_>>,
 ) -> ResultSet {
     let (columns, mut out_rows, mut keys) = projected;
 
     if select.distinct {
+        let op = bp.as_ref().and_then(|b| b.fixed(FixedOp::Distinct));
+        let t0 = prof_clock(&bp);
+        let rows_in = out_rows.len();
         // Dedup rows, keeping sort keys aligned.
         let mut index = KeyIndex::with_capacity(out_rows.len());
         let mut rows2: Vec<Vec<Value>> = Vec::with_capacity(out_rows.len());
@@ -1273,7 +1429,17 @@ pub(crate) fn finish_select(
         }
         out_rows = rows2;
         keys = keys2;
+        if let Some(op) = op {
+            op.rows(rows_in as u64, out_rows.len() as u64);
+            prof_elapsed(t0, Some(op));
+        }
     }
+
+    let order_op = (!order_by.is_empty() || limit.is_some())
+        .then(|| bp.as_ref().and_then(|b| b.fixed(FixedOp::Order)))
+        .flatten();
+    let order_in = out_rows.len();
+    let order_t0 = prof_clock(&bp);
 
     if !order_by.is_empty() {
         // Total order: ORDER BY keys, then input position — making the
@@ -1304,6 +1470,10 @@ pub(crate) fn finish_select(
 
     if let Some(n) = limit {
         out_rows.truncate(n as usize);
+    }
+    if let Some(op) = order_op {
+        op.rows(order_in as u64, out_rows.len() as u64);
+        prof_elapsed(order_t0, Some(op));
     }
 
     ResultSet {
@@ -1498,6 +1668,7 @@ fn execute_grouped(
     rows: Vec<ExecRow>,
     ctx: &EvalContext,
     opts: ExecOptions,
+    agg_op: Option<&OpStats>,
 ) -> Result<Projected> {
     // Group rows by evaluated GROUP BY key — hashed `Vec<Value>` keys
     // under the canonical-key relation, no string concatenation.
@@ -1572,6 +1743,9 @@ fn execute_grouped(
 
     if sb_obs::enabled() {
         note_groups(groups.len());
+    }
+    if let Some(op) = agg_op {
+        op.groups(groups.len() as u64);
     }
 
     let mut columns = Vec::new();

@@ -37,9 +37,10 @@ pub use column::{Column, ColumnData, ColumnarTable, DictColumn, NullMask};
 pub use database::{Database, Row, Table};
 pub use error::{EngineError, Result};
 pub use exec::{
-    execute, execute_with, execute_with_plan, plan_top_select, ExecOptions, JoinStrategy,
+    execute, execute_with, execute_with_plan, execute_with_plan_profile, execute_with_profile,
+    plan_top_select, ExecOptions, JoinStrategy,
 };
-pub use explain::explain;
+pub use explain::{explain, explain_analyze, explain_with_profile};
 pub use profile::{profile_database, sql_literal};
 pub use reference::execute_reference;
 pub use result::ResultSet;

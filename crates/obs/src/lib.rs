@@ -44,6 +44,11 @@
 //! number of rows.
 
 pub mod json;
+pub mod profile;
+
+pub use profile::{
+    BlockId, BlockSnapshot, FixedOp, OpSnapshot, OpStats, ProfileSnapshot, QueryProfile,
+};
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -212,7 +217,11 @@ impl Default for HistStat {
 }
 
 impl HistStat {
-    fn observe(&mut self, v: f64) {
+    /// Record one observation. Public so consumers that need *local*
+    /// histograms (e.g. the load generator's per-error-code latency
+    /// breakdown, whose names are dynamic) can reuse the bucketing and
+    /// merge machinery outside the named global registry.
+    pub fn observe(&mut self, v: f64) {
         if self.count == 0 {
             self.min = v;
             self.max = v;
@@ -225,7 +234,10 @@ impl HistStat {
         self.buckets[bucket_of(v)] += 1;
     }
 
-    fn merge(&mut self, other: &HistStat) {
+    /// Fold another shard into this one. Commutative and associative,
+    /// so K-shard merges are order-independent (property-tested in
+    /// `tests/hist_property.rs`).
+    pub fn merge(&mut self, other: &HistStat) {
         if other.count == 0 {
             return;
         }

@@ -1,0 +1,153 @@
+//! Property tests for `HistStat`: K-shard merges are order-independent
+//! and quantile estimates stay within the documented error bound of an
+//! exact sorted oracle, on randomized data.
+//!
+//! Dependency-free randomness: a splitmix64 generator with fixed seeds,
+//! so failures reproduce exactly.
+
+use sb_obs::HistStat;
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in one of several regimes a latency histogram sees:
+    /// zeros, small exact-bucket integers, mid-range, and heavy tail —
+    /// all within the documented 2^40 bucketing range (beyond it the
+    /// last bucket saturates and the error bound intentionally lapses).
+    fn value(&mut self) -> f64 {
+        match self.next() % 10 {
+            0 => 0.0,
+            1..=3 => (self.next() % 8) as f64,
+            4..=7 => (self.next() % 10_000) as f64,
+            8 => (self.next() % 10_000_000) as f64,
+            _ => (self.next() % (1 << 40)) as f64,
+        }
+    }
+}
+
+/// The documented bound: the estimate is the upper edge of the bucket
+/// holding the order statistic, so it never undershoots the exact value
+/// and overshoots by at most one bucket width (≤ 1/8 octave, i.e.
+/// 15% covers it with margin), clamped into `[min, max]`.
+fn assert_quantile_bound(h: &HistStat, sorted: &[f64], q: f64) {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    let exact = sorted[rank - 1];
+    let est = h.quantile(q);
+    assert!(
+        est >= exact,
+        "q={q}: estimate {est} undershoots exact {exact}"
+    );
+    let ceiling = (exact * 1.15).max(exact + 1.0).min(h.max);
+    assert!(
+        est <= ceiling,
+        "q={q}: estimate {est} exceeds bound {ceiling} (exact {exact})"
+    );
+}
+
+#[test]
+fn k_shard_merge_is_order_independent() {
+    for seed in 0..20u64 {
+        let mut rng = SplitMix64(0xD1CE ^ seed);
+        let k = 2 + (rng.next() % 7) as usize;
+        let n = 50 + (rng.next() % 500) as usize;
+        let values: Vec<f64> = (0..n).map(|_| rng.value()).collect();
+
+        // Shard round-robin, then merge in K! / several permuted orders.
+        let mut shards = vec![HistStat::default(); k];
+        for (i, v) in values.iter().enumerate() {
+            shards[i % k].observe(*v);
+        }
+        let merge_in_order = |order: &[usize]| {
+            let mut acc = HistStat::default();
+            for &i in order {
+                acc.merge(&shards[i]);
+            }
+            acc
+        };
+        let forward: Vec<usize> = (0..k).collect();
+        let reverse: Vec<usize> = (0..k).rev().collect();
+        let mut shuffled = forward.clone();
+        for i in (1..k).rev() {
+            shuffled.swap(i, (rng.next() % (i as u64 + 1)) as usize);
+        }
+        let a = merge_in_order(&forward);
+        let b = merge_in_order(&reverse);
+        let c = merge_in_order(&shuffled);
+        assert_eq!(a, b, "seed {seed}: forward != reverse merge");
+        assert_eq!(a, c, "seed {seed}: forward != shuffled merge");
+
+        // Pairwise tree merge agrees with the sequential fold too.
+        let mut tree: Vec<HistStat> = shards.clone();
+        while tree.len() > 1 {
+            let mut nxt = Vec::with_capacity(tree.len().div_ceil(2));
+            for pair in tree.chunks(2) {
+                let mut m = pair[0];
+                if let Some(r) = pair.get(1) {
+                    m.merge(r);
+                }
+                nxt.push(m);
+            }
+            tree = nxt;
+        }
+        assert_eq!(a, tree[0], "seed {seed}: tree merge differs");
+
+        // And the merged shards match observing everything directly.
+        let mut direct = HistStat::default();
+        for v in &values {
+            direct.observe(*v);
+        }
+        assert_eq!(a, direct, "seed {seed}: merge != direct observation");
+    }
+}
+
+#[test]
+fn quantiles_stay_within_documented_bounds_of_exact_oracle() {
+    for seed in 0..20u64 {
+        let mut rng = SplitMix64(0xBEEF ^ seed.wrapping_mul(0x9E3779B97F4A7C15));
+        let n = 100 + (rng.next() % 2000) as usize;
+        let values: Vec<f64> = (0..n).map(|_| rng.value()).collect();
+        let mut h = HistStat::default();
+        for v in &values {
+            h.observe(*v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        assert_eq!(h.quantile(0.0), sorted[0], "seed {seed}: q=0 is min");
+        assert_eq!(h.quantile(1.0), sorted[n - 1], "seed {seed}: q=1 is max");
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999] {
+            assert_quantile_bound(&h, &sorted, q);
+        }
+    }
+}
+
+#[test]
+fn merged_shards_answer_the_same_quantiles_as_one_histogram() {
+    let mut rng = SplitMix64(0x5EED);
+    let values: Vec<f64> = (0..3000).map(|_| rng.value()).collect();
+    let mut whole = HistStat::default();
+    let mut shards = vec![HistStat::default(); 5];
+    for (i, v) in values.iter().enumerate() {
+        whole.observe(*v);
+        shards[i % 5].observe(*v);
+    }
+    let mut merged = HistStat::default();
+    for s in &shards {
+        merged.merge(&s.clone());
+    }
+    for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+        assert_eq!(
+            whole.quantile(q),
+            merged.quantile(q),
+            "q={q}: merged shards disagree with direct histogram"
+        );
+    }
+}

@@ -66,6 +66,33 @@ fn render_children(children: &[PlanNode], prefix: &str, out: &mut String) {
     }
 }
 
+/// Runtime-statistics source for EXPLAIN ANALYZE renderings.
+///
+/// Each callback returns the annotation text for one operator (or
+/// `None` to leave the label bare). The renderer stays ignorant of
+/// where the numbers come from — the engine implements this against
+/// its per-statement `QueryProfile`, keeping `sb-opt` dependency-free.
+/// Join steps are identified by their position in `planned.steps` plus
+/// the relation index the step introduced, matching how the executor
+/// records them.
+pub trait PlanAnnotator {
+    /// Annotation for the scan of relation `rel` (original coordinates).
+    fn scan(&self, rel: usize) -> Option<String>;
+    /// Annotation for join step `step` (introducing relation `rel`).
+    fn join(&self, step: usize, rel: usize) -> Option<String>;
+    /// Annotation for the residual `Filter` operator.
+    fn filter(&self) -> Option<String>;
+    /// Annotation for the `Aggregate` operator.
+    fn aggregate(&self) -> Option<String>;
+    /// Annotation for the `Distinct` operator.
+    fn distinct(&self) -> Option<String>;
+    /// Annotation for the `TopK`/`Sort`/`Limit` operator.
+    fn order(&self) -> Option<String>;
+    /// Annotation for the root `Execute` line (actual engine used,
+    /// columnar-fallback reason, statement wall time).
+    fn root(&self) -> Option<String>;
+}
+
 /// Build the operator tree for one planned `SELECT`.
 ///
 /// `derived` supplies a pre-built subplan per relation (for derived
@@ -74,6 +101,26 @@ pub fn build_plan(
     input: &PlanInput<'_>,
     planned: &PlannedSelect<'_>,
     derived: &[Option<PlanNode>],
+) -> PlanNode {
+    build_plan_inner(input, planned, derived, None)
+}
+
+/// [`build_plan`] with runtime statistics appended to operator labels —
+/// the EXPLAIN ANALYZE tree.
+pub fn build_plan_annotated(
+    input: &PlanInput<'_>,
+    planned: &PlannedSelect<'_>,
+    derived: &[Option<PlanNode>],
+    ann: &dyn PlanAnnotator,
+) -> PlanNode {
+    build_plan_inner(input, planned, derived, Some(ann))
+}
+
+fn build_plan_inner(
+    input: &PlanInput<'_>,
+    planned: &PlannedSelect<'_>,
+    derived: &[Option<PlanNode>],
+    ann: Option<&dyn PlanAnnotator>,
 ) -> PlanNode {
     let select = input.select;
     let rels = input.rels;
@@ -95,6 +142,9 @@ pub fn build_plan(
             label.push_str(&format!(" filter=[{}]", preds.join(" AND ")));
         }
         label.push_str(&format!(" rows~{}", round_est(planned.scan_est[i])));
+        if let Some(a) = ann.and_then(|a| a.scan(i)) {
+            label.push_str(&a);
+        }
         match &derived[i] {
             Some(child) => PlanNode::unary(label, child.clone()),
             None => PlanNode::leaf(label),
@@ -103,7 +153,7 @@ pub fn build_plan(
 
     // Left-deep join tree in execution order.
     let mut node = scan_node(planned.order[0]);
-    for step in &planned.steps {
+    for (si, step) in planned.steps.iter().enumerate() {
         let right = scan_node(step.rel);
         // The source join that introduced this relation. A reordered
         // plan can join the FROM relation (`step.rel == 0`) late — all
@@ -135,6 +185,10 @@ pub fn build_plan(
                 None => format!("CrossJoin rows~{}", round_est(step.est_rows)),
             },
         };
+        let label = match ann.and_then(|a| a.join(si, step.rel)) {
+            Some(a) => format!("{label}{a}"),
+            None => label,
+        };
         node = PlanNode {
             label,
             children: vec![node, right],
@@ -157,7 +211,11 @@ pub fn build_plan(
 
     if !planned.residual.is_empty() {
         let preds: Vec<String> = planned.residual.iter().map(|e| e.to_string()).collect();
-        node = PlanNode::unary(format!("Filter [{}]", preds.join(" AND ")), node);
+        let mut label = format!("Filter [{}]", preds.join(" AND "));
+        if let Some(a) = ann.and_then(|a| a.filter()) {
+            label.push_str(&a);
+        }
+        node = PlanNode::unary(label, node);
     }
 
     if is_aggregate(select, input) {
@@ -168,6 +226,9 @@ pub fn build_plan(
         }
         if let Some(h) = &select.having {
             label.push_str(&format!(" having=[{h}]"));
+        }
+        if let Some(a) = ann.and_then(|a| a.aggregate()) {
+            label.push_str(&a);
         }
         node = PlanNode::unary(label, node);
     }
@@ -186,7 +247,11 @@ pub fn build_plan(
     node = PlanNode::unary(format!("Project [{}]", items.join(", ")), node);
 
     if select.distinct {
-        node = PlanNode::unary("Distinct", node);
+        let mut label = "Distinct".to_string();
+        if let Some(a) = ann.and_then(|a| a.distinct()) {
+            label.push_str(&a);
+        }
+        node = PlanNode::unary(label, node);
     }
 
     // ORDER BY + LIMIT fuse into a bounded top-K operator.
@@ -195,15 +260,18 @@ pub fn build_plan(
         .iter()
         .map(|o| format!("{}{}", o.expr, if o.desc { " DESC" } else { " ASC" }))
         .collect();
+    let order_ann = || ann.and_then(|a| a.order()).unwrap_or_default();
     match (input.order_by.is_empty(), input.limit) {
         (false, Some(k)) => {
-            node = PlanNode::unary(format!("TopK k={k} keys=[{}]", keys.join(", ")), node);
+            let label = format!("TopK k={k} keys=[{}]{}", keys.join(", "), order_ann());
+            node = PlanNode::unary(label, node);
         }
         (false, None) => {
-            node = PlanNode::unary(format!("Sort keys=[{}]", keys.join(", ")), node);
+            let label = format!("Sort keys=[{}]{}", keys.join(", "), order_ann());
+            node = PlanNode::unary(label, node);
         }
         (true, Some(k)) => {
-            node = PlanNode::unary(format!("Limit k={k}"), node);
+            node = PlanNode::unary(format!("Limit k={k}{}", order_ann()), node);
         }
         (true, None) => {}
     }
@@ -230,6 +298,9 @@ pub fn build_plan(
             "none"
         };
         root.push_str(&format!(" parallel={par}"));
+    }
+    if let Some(a) = ann.and_then(|a| a.root()) {
+        root.push_str(&a);
     }
     PlanNode::unary(root, node)
 }

@@ -47,7 +47,7 @@ pub mod pushdown;
 
 pub use cache::OwnedPlan;
 pub use columnar::{columnar_eligible, parallel_eligible};
-pub use explain::{build_plan, render, PlanNode};
+pub use explain::{build_plan, build_plan_annotated, render, PlanAnnotator, PlanNode};
 pub use plan::{plan_select, EdgeKey, PlanInput, PlannedJoin, PlannedSelect};
 pub use pushdown::{assign_pushdown, collect_columns, has_subquery, split_conjuncts};
 

@@ -21,6 +21,14 @@
 //! - `--forbid-transient` exit 3 if any domain reports `timeout` or
 //!   `overloaded` errors — a deterministic closed-loop run must not
 //!   shed load, so check.sh pairs this with `--quick`
+//! - `--profile-sample N` request a per-query profile on every Nth
+//!   request (0 = off; default 0). Response bytes are unchanged —
+//!   profiling is side-band only.
+//! - `--slow-log FILE`   arm the service's slow-query log and write the
+//!   drained JSON lines (trace id, phase breakdown, analyzed plan) to
+//!   FILE after the run
+//! - `--slow-threshold-us N` slow-log threshold in µs (default 0: log
+//!   every executed request; only meaningful with `--slow-log`)
 //! - `--out FILE`        write the document to FILE instead of stdout
 //! - `--validate FILE`   validate FILE's shape and exit
 
@@ -45,6 +53,8 @@ fn main() {
     let mut load = LoadConfig::default();
     let mut domains: Vec<Domain> = Vec::new();
     let mut out_path: Option<String> = None;
+    let mut slow_log_path: Option<String> = None;
+    let mut slow_threshold_us: u64 = 0;
     let mut forbid_transient = false;
     let mut i = 0;
     while i < args.len() {
@@ -76,6 +86,22 @@ fn main() {
                 }
             }
             "--forbid-transient" => forbid_transient = true,
+            "--profile-sample" => {
+                i += 1;
+                load.profile_sample = parse_num("--profile-sample", args.get(i));
+            }
+            "--slow-log" => {
+                i += 1;
+                slow_log_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--slow-log needs a file path"))
+                        .clone(),
+                );
+            }
+            "--slow-threshold-us" => {
+                i += 1;
+                slow_threshold_us = parse_num("--slow-threshold-us", args.get(i));
+            }
             "--out" => {
                 i += 1;
                 out_path = Some(
@@ -99,7 +125,11 @@ fn main() {
     if domains.is_empty() {
         domains.extend(Domain::ALL);
     }
+    if slow_log_path.is_some() {
+        load.slow_log_threshold_us = Some(slow_threshold_us);
+    }
 
+    let mut slow_lines: Vec<String> = Vec::new();
     let mut reports = Vec::new();
     for &domain in &domains {
         sb_obs::progress("serve_load", &format!("loading {}", domain.name()));
@@ -133,7 +163,36 @@ fn main() {
             report.cache_hits,
             report.cache_hits + report.cache_misses,
         );
+        // Per-code latency breakdown: are the errors cheap rejections
+        // or slow failures? Text-only — BENCH_serve.json is unchanged.
+        for (code, h) in &report.latency_by_code {
+            if h.count > 0 && *code != "ok" {
+                eprintln!(
+                    "serve_load:   {code}: n={} p50 {:.0}us p95 {:.0}us max {:.0}us",
+                    h.count,
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.max
+                );
+            }
+        }
+        slow_lines.extend(report.slow_log_lines.iter().cloned());
         reports.push(report);
+    }
+
+    if let Some(path) = &slow_log_path {
+        let mut doc = slow_lines.join("\n");
+        if !doc.is_empty() {
+            doc.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("serve_load: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "serve_load: wrote {} slow-log line(s) to {path}",
+            slow_lines.len()
+        );
     }
 
     if forbid_transient {
@@ -188,7 +247,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("serve_load: {msg}");
     eprintln!(
         "usage: serve_load [--quick] [--clients N] [--requests N] [--seed N] \
-         [--domain cordis|sdss|oncomx]... [--forbid-transient] [--out FILE] | --validate FILE"
+         [--domain cordis|sdss|oncomx]... [--forbid-transient] [--profile-sample N] \
+         [--slow-log FILE] [--slow-threshold-us N] [--out FILE] | --validate FILE"
     );
     std::process::exit(2);
 }

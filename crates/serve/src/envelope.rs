@@ -104,6 +104,11 @@ pub struct QueryRequest {
     /// default. `0` expires immediately (used by tests to pin the
     /// timeout envelope deterministically).
     pub timeout_ms: Option<u64>,
+    /// Opt into request profiling: the response carries a
+    /// [`RequestProfile`] (trace id + phase breakdown) and the engine
+    /// records a per-operator [`sb_obs::QueryProfile`]. Never changes
+    /// result bytes — only attaches observability.
+    pub profile: bool,
 }
 
 impl QueryRequest {
@@ -115,7 +120,68 @@ impl QueryRequest {
             sql: sql.to_string(),
             row_cap: None,
             timeout_ms: None,
+            profile: false,
         }
+    }
+}
+
+/// Seeded-deterministic trace id: FNV-1a over `(seed, id, db, sql)`.
+/// The same request against the same service configuration always maps
+/// to the same id, so traces can be correlated across replays and log
+/// lines can be grepped from a workload description alone.
+pub fn trace_id(seed: u64, req: &QueryRequest) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(&seed.to_le_bytes());
+    eat(&req.id.to_le_bytes());
+    eat(req.db.as_bytes());
+    eat(&[0]);
+    eat(req.sql.as_bytes());
+    format!("{h:016x}")
+}
+
+/// Per-request phase breakdown attached to a [`QueryResponse`] when the
+/// request opted in (or the slow-query log is armed). Wall-clock data:
+/// deliberately excluded from [`QueryResponse::to_json`] so the
+/// byte-identity suites stay meaningful; rendered separately by
+/// [`QueryResponse::to_json_with_profile`].
+#[derive(Debug, Clone, Default)]
+pub struct RequestProfile {
+    /// Seeded-deterministic request trace id (see [`trace_id`]).
+    pub trace_id: String,
+    /// Admission gate, deadline setup and snapshot lookup.
+    pub admission_us: u64,
+    /// Read-only guardrail plus statement parse (fresh path). With the
+    /// plan cache enabled, parse work inside the cache is attributed to
+    /// the plan phase — the cache prepares normalize→parse→plan as one
+    /// step.
+    pub parse_us: u64,
+    /// Statement planning (or cached-plan lookup).
+    pub plan_us: u64,
+    /// Engine execution.
+    pub execute_us: u64,
+    /// Response envelope assembly (row cap + materialization).
+    pub serialize_us: u64,
+}
+
+impl RequestProfile {
+    /// The phase breakdown as a deterministic-key-order JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"trace_id\": \"{}\", \"phases_us\": {{\"admission\": {}, \"parse\": {}, \
+             \"plan\": {}, \"execute\": {}, \"serialize\": {}}}}}",
+            json::escape(&self.trace_id),
+            self.admission_us,
+            self.parse_us,
+            self.plan_us,
+            self.execute_us,
+            self.serialize_us,
+        )
     }
 }
 
@@ -139,6 +205,10 @@ pub struct QueryResponse {
     /// Whether the prepared plan came from the cache. Scheduling-
     /// dependent under concurrency; excluded from [`Self::to_json`].
     pub cache_hit: bool,
+    /// Trace id and phase timings, present when the request opted in
+    /// via [`QueryRequest::profile`] (or the slow-query log was armed).
+    /// Wall-clock-dependent; excluded from [`Self::to_json`].
+    pub profile: Option<RequestProfile>,
 }
 
 impl QueryResponse {
@@ -153,6 +223,7 @@ impl QueryResponse {
             total_rows: 0,
             truncated: false,
             cache_hit: false,
+            profile: None,
         }
     }
 
@@ -201,6 +272,18 @@ impl QueryResponse {
             self.total_rows,
             self.truncated
         );
+        out
+    }
+
+    /// [`Self::to_json`] plus a trailing `profile` object when one is
+    /// attached. Wall-clock data lives only here — the deterministic
+    /// rendering above is byte-identical whether or not profiling ran.
+    pub fn to_json_with_profile(&self) -> String {
+        let mut out = self.to_json();
+        if let Some(p) = &self.profile {
+            out.truncate(out.len() - 1);
+            let _ = write!(out, ", \"profile\": {}}}", p.to_json());
+        }
         out
     }
 }

@@ -49,12 +49,39 @@ pub mod loadgen;
 
 pub use admission::{AdmissionGate, Permit};
 pub use cache::{PlanCache, Prepared};
-pub use envelope::{validate_read_only_sql, ErrorCode, QueryRequest, QueryResponse};
+pub use envelope::{
+    trace_id, validate_read_only_sql, ErrorCode, QueryRequest, QueryResponse, RequestProfile,
+};
 pub use loadgen::{render_bench_json, run_domain_load, validate_bench_json, LoadConfig};
 
 use sb_engine::{Database, ExecOptions};
-use std::sync::Arc;
+use sb_obs::QueryProfile;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Slow-query log configuration. When enabled, every request whose
+/// total wall time reaches `threshold_us` appends one JSON line —
+/// trace id, phase breakdown and the EXPLAIN ANALYZE plan rendered from
+/// the profile the request already recorded — to the service's
+/// in-memory slow log (drained via [`QueryService::drain_slow_log`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SlowLogConfig {
+    /// Arm the slow log (and with it, per-request engine profiling).
+    pub enabled: bool,
+    /// Minimum total request wall time, in microseconds, for a request
+    /// to be logged. `0` logs every request — how tests and the load
+    /// generator exercise the path deterministically.
+    pub threshold_us: u64,
+}
+
+impl Default for SlowLogConfig {
+    fn default() -> Self {
+        SlowLogConfig {
+            enabled: false,
+            threshold_us: 10_000,
+        }
+    }
+}
 
 /// Service-wide configuration. Per-request envelope fields can lower
 /// (but not raise) the row cap and timeout.
@@ -74,6 +101,12 @@ pub struct ServeConfig {
     /// every request parses and plans from scratch — the equivalence
     /// suites run both ways and demand identical responses.
     pub plan_cache: bool,
+    /// Slow-query logging (off by default).
+    pub slow_log: SlowLogConfig,
+    /// Seed folded into every request's deterministic trace id, so
+    /// distinct service instances replaying the same workload emit
+    /// distinguishable (but individually reproducible) traces.
+    pub trace_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +117,8 @@ impl Default for ServeConfig {
             default_timeout_ms: 5_000,
             exec: ExecOptions::default(),
             plan_cache: true,
+            slow_log: SlowLogConfig::default(),
+            trace_seed: 0,
         }
     }
 }
@@ -98,6 +133,10 @@ pub struct QueryService {
     snapshots: Vec<(String, Arc<Database>)>,
     cache: PlanCache,
     gate: AdmissionGate,
+    /// Buffered slow-query log lines (JSON, one request per line).
+    /// In-memory so the service stays filesystem-free; `serve_load`
+    /// drains it to the `--slow-log` path.
+    slow_log: Mutex<Vec<String>>,
 }
 
 impl QueryService {
@@ -108,6 +147,7 @@ impl QueryService {
             snapshots: Vec::new(),
             cache: PlanCache::new(),
             gate: AdmissionGate::new(cfg.max_in_flight),
+            slow_log: Mutex::new(Vec::new()),
         }
     }
 
@@ -147,19 +187,46 @@ impl QueryService {
             .map(|(_, db)| db)
     }
 
+    /// Drain buffered slow-query log lines (oldest first), leaving the
+    /// buffer empty. Each line is one self-contained JSON object.
+    pub fn drain_slow_log(&self) -> Vec<String> {
+        std::mem::take(&mut *self.slow_log.lock().unwrap())
+    }
+
     /// Handle one request end to end: admission → deadline → guardrail
     /// → prepare (cached or fresh) → execute → row cap. Every exit path
     /// produces a well-formed [`QueryResponse`] with a stable
     /// [`ErrorCode`]; this function never panics on user input.
+    ///
+    /// When the request opts into `profile` (or the slow log is armed),
+    /// the engine records a [`QueryProfile`] during execution and the
+    /// response carries a [`RequestProfile`]: the deterministic trace
+    /// id plus the admission / parse / plan / execute / serialize phase
+    /// breakdown. Early-exit errors stamp only the phases they reached.
+    /// Profiling off is the exact pre-profiling code path — the
+    /// equivalence suites pin byte-identical responses either way.
     pub fn handle(&self, req: &QueryRequest) -> QueryResponse {
         let _span = sb_obs::span("serve.request");
+        let profiling = req.profile || self.cfg.slow_log.enabled;
+        let t_start = Instant::now();
+        let mut rp = profiling.then(|| RequestProfile {
+            trace_id: trace_id(self.cfg.trace_seed, req),
+            ..RequestProfile::default()
+        });
+        let us = |since: Instant| since.elapsed().as_micros() as u64;
+
         let Some(_permit) = self.gate.try_acquire() else {
             sb_obs::count("serve.rejected.overload", 1);
-            return QueryResponse::error(
+            let mut resp = QueryResponse::error(
                 req.id,
                 ErrorCode::Overloaded,
                 format!("too many requests in flight (max {})", self.gate.capacity()),
             );
+            if let Some(rp) = rp.as_mut() {
+                rp.admission_us = us(t_start);
+            }
+            resp.profile = rp;
+            return resp;
         };
 
         let timeout_ms = req.timeout_ms.unwrap_or(self.cfg.default_timeout_ms);
@@ -175,32 +242,71 @@ impl QueryService {
         // Cooperative deadline check #1: at admission. A zero timeout
         // expires here, deterministically.
         if timeout_ms == 0 {
-            return timed_out("at admission");
+            let mut resp = timed_out("at admission");
+            if let Some(rp) = rp.as_mut() {
+                rp.admission_us = us(t_start);
+            }
+            resp.profile = rp;
+            return resp;
         }
 
         let Some(db) = self.snapshot(&req.db) else {
-            return QueryResponse::error(
+            let mut resp = QueryResponse::error(
                 req.id,
                 ErrorCode::InvalidRequest,
                 format!("unknown snapshot `{}`", req.db),
             );
+            if let Some(rp) = rp.as_mut() {
+                rp.admission_us = us(t_start);
+            }
+            resp.profile = rp;
+            return resp;
         };
+        let t_parse = Instant::now();
+        if let Some(rp) = rp.as_mut() {
+            rp.admission_us = (t_parse - t_start).as_micros() as u64;
+        }
         if let Err((code, detail)) = validate_read_only_sql(&req.sql) {
             sb_obs::count("serve.rejected.guardrail", 1);
-            return QueryResponse::error(req.id, code, detail);
+            let mut resp = QueryResponse::error(req.id, code, detail);
+            if let Some(rp) = rp.as_mut() {
+                rp.parse_us = us(t_parse);
+            }
+            resp.profile = rp;
+            return resp;
         }
 
         // Prepare: through the cache, or parse-and-plan per request
         // when the cache is disabled. Both paths produce the same
-        // statement and (deterministic) plan, so responses match.
+        // statement and (deterministic) plan, so responses match. The
+        // cache path does normalize+parse+plan as one unit; it is
+        // attributed entirely to the plan phase (the guardrail above is
+        // the parse phase's floor), while the cache-off path splits
+        // parse and plan at the real boundary.
+        let t_plan;
         let (prepared, cache_hit) = if self.cfg.plan_cache {
+            t_plan = Instant::now();
+            if let Some(rp) = rp.as_mut() {
+                rp.parse_us = (t_plan - t_parse).as_micros() as u64;
+            }
             match self.cache.prepare(&req.db, db, &req.sql, self.cfg.exec) {
                 (Ok(p), hit) => (p, hit),
-                (Err(e), _) => return QueryResponse::error(req.id, ErrorCode::ParseError, e),
+                (Err(e), _) => {
+                    let mut resp = QueryResponse::error(req.id, ErrorCode::ParseError, e);
+                    if let Some(rp) = rp.as_mut() {
+                        rp.plan_us = us(t_plan);
+                    }
+                    resp.profile = rp;
+                    return resp;
+                }
             }
         } else {
             match sb_sql::parse(&req.sql) {
                 Ok(query) => {
+                    t_plan = Instant::now();
+                    if let Some(rp) = rp.as_mut() {
+                        rp.parse_us = (t_plan - t_parse).as_micros() as u64;
+                    }
                     let plan = sb_engine::plan_top_select(db, &query, self.cfg.exec);
                     let normalized = query.to_string();
                     (
@@ -213,10 +319,20 @@ impl QueryService {
                     )
                 }
                 Err(e) => {
-                    return QueryResponse::error(req.id, ErrorCode::ParseError, e.to_string())
+                    let mut resp =
+                        QueryResponse::error(req.id, ErrorCode::ParseError, e.to_string());
+                    if let Some(rp) = rp.as_mut() {
+                        rp.parse_us = us(t_parse);
+                    }
+                    resp.profile = rp;
+                    return resp;
                 }
             }
         };
+        let t_exec = Instant::now();
+        if let Some(rp) = rp.as_mut() {
+            rp.plan_us = (t_exec - t_plan).as_micros() as u64;
+        }
 
         // Admission-aware fan-out: divide the session's worker budget
         // by the live in-flight count, so intra-query parallelism and
@@ -225,16 +341,28 @@ impl QueryService {
         // plans or results, only scheduling, so cached plans stay
         // shareable across load levels.
         let exec = self.cfg.exec.capped_workers(self.gate.in_flight());
-        let result =
-            sb_engine::execute_with_plan(db, &prepared.query, exec, prepared.plan.as_ref());
+        let prof = profiling.then(QueryProfile::new);
+        let result = sb_engine::execute_with_plan_profile(
+            db,
+            &prepared.query,
+            exec,
+            prepared.plan.as_ref(),
+            prof.as_ref(),
+        );
+        let t_serialize = Instant::now();
+        if let Some(rp) = rp.as_mut() {
+            rp.execute_us = (t_serialize - t_exec).as_micros() as u64;
+        }
         // Cooperative deadline check #2: at completion. The result of
         // an overdue request is discarded whole — never truncated to
         // whatever was done by the deadline.
         if Instant::now() > deadline {
-            return timed_out("during execution");
+            let mut resp = timed_out("during execution");
+            resp.profile = rp;
+            return resp;
         }
 
-        match result {
+        let mut resp = match result {
             Ok(rs) => {
                 let row_cap = req.row_cap.unwrap_or(self.cfg.default_row_cap);
                 let total_rows = rs.rows.len();
@@ -254,6 +382,7 @@ impl QueryService {
                     total_rows,
                     truncated,
                     cache_hit,
+                    profile: None,
                 }
             }
             Err(e) => {
@@ -263,7 +392,39 @@ impl QueryService {
                 resp.cache_hit = cache_hit;
                 resp
             }
+        };
+        if let Some(rp) = rp.as_mut() {
+            rp.serialize_us = us(t_serialize);
         }
+
+        // Slow log: fires only for requests that reached execution —
+        // the analyzed plan is rendered from the profile the request
+        // already recorded, with timings, never by re-executing.
+        if self.cfg.slow_log.enabled {
+            let elapsed_us = us(t_start);
+            if elapsed_us >= self.cfg.slow_log.threshold_us {
+                if let (Some(rp), Some(prof)) = (rp.as_ref(), prof.as_ref()) {
+                    let plan =
+                        sb_engine::explain_with_profile(db, &prepared.query, exec, prof, true)
+                            .unwrap_or_else(|e| format!("explain failed: {e}"));
+                    let line = format!(
+                        "{{\"id\": {}, \"db\": \"{}\", \"sql\": \"{}\", \"code\": \"{}\", \
+                         \"elapsed_us\": {}, \"profile\": {}, \"plan\": \"{}\"}}",
+                        req.id,
+                        sb_obs::json::escape(&req.db),
+                        sb_obs::json::escape(&req.sql),
+                        resp.code.as_str(),
+                        elapsed_us,
+                        rp.to_json(),
+                        sb_obs::json::escape(&plan),
+                    );
+                    self.slow_log.lock().unwrap().push(line);
+                    sb_obs::count("serve.slow_logged", 1);
+                }
+            }
+        }
+        resp.profile = rp;
+        resp
     }
 }
 
@@ -296,6 +457,80 @@ mod tests {
         let svc = sdss_service(ServeConfig::default());
         let resp = svc.handle(&QueryRequest::new(7, "nope", "SELECT 1"));
         assert_eq!(resp.code, ErrorCode::InvalidRequest);
+    }
+
+    #[test]
+    fn profile_opt_in_attaches_trace_and_leaves_wire_bytes_alone() {
+        let svc = sdss_service(ServeConfig::default());
+        let sql = "SELECT s.class FROM specobj AS s LIMIT 2";
+        let mut req = QueryRequest::new(3, "sdss", sql);
+        req.profile = true;
+        let resp = svc.handle(&req);
+        assert_eq!(resp.code, ErrorCode::Ok);
+        let rp = resp.profile.as_ref().expect("profile requested");
+        assert_eq!(rp.trace_id, trace_id(0, &req));
+        assert_eq!(rp.trace_id.len(), 16);
+        // The plain wire form never mentions the profile; the profiled
+        // form appends exactly one extra field.
+        assert!(!resp.to_json().contains("trace_id"));
+        assert!(resp.to_json_with_profile().contains(&rp.trace_id));
+        assert!(sb_obs::json::validate(&resp.to_json_with_profile()).is_ok());
+
+        // Same request without profiling: byte-identical response.
+        let plain = svc.handle(&QueryRequest::new(3, "sdss", sql));
+        assert!(plain.profile.is_none());
+        assert_eq!(plain.to_json(), resp.to_json());
+        assert_eq!(plain.to_json(), plain.to_json_with_profile());
+    }
+
+    #[test]
+    fn trace_ids_are_seeded_and_deterministic() {
+        let req = QueryRequest::new(5, "sdss", "SELECT 1");
+        assert_eq!(trace_id(0, &req), trace_id(0, &req));
+        assert_ne!(trace_id(0, &req), trace_id(1, &req));
+        assert_ne!(
+            trace_id(0, &req),
+            trace_id(0, &QueryRequest::new(6, "sdss", "SELECT 1"))
+        );
+    }
+
+    #[test]
+    fn slow_log_records_trace_id_and_analyzed_plan() {
+        let cfg = ServeConfig {
+            slow_log: SlowLogConfig {
+                enabled: true,
+                threshold_us: 0,
+            },
+            ..ServeConfig::default()
+        };
+        let svc = sdss_service(cfg);
+        let req = QueryRequest::new(
+            9,
+            "sdss",
+            "SELECT s.class FROM specobj AS s WHERE s.z > 0.5",
+        );
+        assert_eq!(svc.handle(&req).code, ErrorCode::Ok);
+        // Guardrail rejections never reach execution, so never log.
+        assert_ne!(
+            svc.handle(&QueryRequest::new(10, "sdss", "DROP TABLE specobj"))
+                .code,
+            ErrorCode::Ok
+        );
+
+        let lines = svc.drain_slow_log();
+        assert_eq!(lines.len(), 1, "exactly the executed request logs");
+        let line = &lines[0];
+        sb_obs::json::validate(line).unwrap_or_else(|e| panic!("bad slow-log JSON ({e}): {line}"));
+        assert!(
+            line.contains(&trace_id(0, &req)),
+            "trace id missing: {line}"
+        );
+        assert!(line.contains("Scan"), "analyzed plan missing: {line}");
+        assert!(
+            line.contains("time="),
+            "slow-log plans keep timings: {line}"
+        );
+        assert!(svc.drain_slow_log().is_empty(), "drain empties the buffer");
     }
 
     #[test]

@@ -29,13 +29,13 @@
 //! measurements, of course; only the *workload* and the response
 //! bodies are deterministic.
 
-use crate::{ErrorCode, QueryRequest, QueryService, ServeConfig};
+use crate::{ErrorCode, QueryRequest, QueryService, ServeConfig, SlowLogConfig};
 use sb_data::Domain;
 use sb_engine::Database;
-use sb_obs::json;
+use sb_obs::{json, HistStat};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Load-generator knobs. [`Default`] is the full benchmark shape;
@@ -54,6 +54,16 @@ pub struct LoadConfig {
     /// Every `hot_every`-th request is a cold (fresh) statement; the
     /// rest replay the hot set.
     pub hot_every: usize,
+    /// Request every `profile_sample`-th request (by workload index)
+    /// with `profile = true`, exercising the tracing path under load.
+    /// `0` disables sampling. Profiling never changes response bytes
+    /// (pinned by `tests/loadgen_determinism.rs`), only adds the
+    /// side-band [`crate::RequestProfile`].
+    pub profile_sample: usize,
+    /// Arm the service's slow-query log at this threshold (µs); the
+    /// drained lines come back in
+    /// [`DomainLoadReport::slow_log_lines`]. `None` leaves the log off.
+    pub slow_log_threshold_us: Option<u64>,
 }
 
 impl Default for LoadConfig {
@@ -64,6 +74,8 @@ impl Default for LoadConfig {
             seed: 0xC0FFEE,
             hot_set: 16,
             hot_every: 4,
+            profile_sample: 0,
+            slow_log_threshold_us: None,
         }
     }
 }
@@ -118,6 +130,16 @@ pub struct DomainLoadReport {
     pub mean_us: f64,
     /// Maximum latency (µs).
     pub max_us: f64,
+    /// Latency histogram per [`ErrorCode`] wire string, in taxonomy
+    /// order with empty histograms kept — "are errors fast or slow?"
+    /// never requires a re-run. Built from per-client shards merged at
+    /// the end (order-independent), so any client count reports the
+    /// same counts. Surfaced in `serve_load`'s text output; the
+    /// `BENCH_serve.json` document format is unchanged.
+    pub latency_by_code: Vec<(&'static str, HistStat)>,
+    /// Slow-query log lines drained from the service after the run
+    /// (empty unless [`LoadConfig::slow_log_threshold_us`] armed it).
+    pub slow_log_lines: Vec<String>,
 }
 
 impl DomainLoadReport {
@@ -165,6 +187,10 @@ pub fn run_domain_load(domain: Domain, load: &LoadConfig) -> DomainLoadReport {
         // The load generator itself is the concurrency bound; admission
         // is sized so a healthy run never sheds.
         max_in_flight: load.clients.max(1) * 2,
+        slow_log: SlowLogConfig {
+            enabled: load.slow_log_threshold_us.is_some(),
+            threshold_us: load.slow_log_threshold_us.unwrap_or_default(),
+        },
         ..ServeConfig::default()
     })
     .with_snapshot(domain.name(), Arc::clone(&db));
@@ -175,6 +201,11 @@ pub fn run_domain_load(domain: Domain, load: &LoadConfig) -> DomainLoadReport {
     // One counter per taxonomy code, indexed by position in
     // `ErrorCode::ALL` (slot 0 — Ok — stays unused).
     let by_code: Vec<AtomicUsize> = ErrorCode::ALL.iter().map(|_| AtomicUsize::new(0)).collect();
+    // Per-code latency: each client shards into a local array and
+    // merges once at exit — no lock on the hot path, and HistStat
+    // merges are order-independent so the totals don't depend on which
+    // client finishes first.
+    let code_hists: Mutex<[HistStat; 8]> = Mutex::new([HistStat::default(); 8]);
     let started = Instant::now();
     std::thread::scope(|s| {
         for client in 0..clients {
@@ -182,25 +213,34 @@ pub fn run_domain_load(domain: Domain, load: &LoadConfig) -> DomainLoadReport {
             let db = &db;
             let ok = &ok;
             let by_code = &by_code;
+            let code_hists = &code_hists;
             s.spawn(move || {
+                let mut local = [HistStat::default(); 8];
                 let mut index = client as u64;
                 while (index as usize) < load.requests {
                     let sql = workload_sql(db, load, index);
-                    let req = QueryRequest::new(index, domain.name(), &sql);
+                    let mut req = QueryRequest::new(index, domain.name(), &sql);
+                    req.profile =
+                        load.profile_sample > 0 && index.is_multiple_of(load.profile_sample as u64);
                     let t0 = Instant::now();
                     let resp = service.handle(&req);
                     let us = t0.elapsed().as_secs_f64() * 1e6;
                     sb_obs::observe(metric, us);
+                    let slot = ErrorCode::ALL
+                        .iter()
+                        .position(|c| *c == resp.code)
+                        .expect("response code outside the taxonomy");
+                    local[slot].observe(us);
                     if resp.code == ErrorCode::Ok {
                         ok.fetch_add(1, Ordering::Relaxed);
                     } else {
-                        let slot = ErrorCode::ALL
-                            .iter()
-                            .position(|c| *c == resp.code)
-                            .expect("response code outside the taxonomy");
                         by_code[slot].fetch_add(1, Ordering::Relaxed);
                     }
                     index += clients as u64;
+                }
+                let mut merged = code_hists.lock().unwrap();
+                for (m, l) in merged.iter_mut().zip(&local) {
+                    m.merge(l);
                 }
             });
         }
@@ -225,6 +265,12 @@ pub fn run_domain_load(domain: Domain, load: &LoadConfig) -> DomainLoadReport {
         .map(|(c, n)| (c.as_str(), n.load(Ordering::Relaxed)))
         .collect();
     let errors = errors_by_code.iter().map(|(_, n)| n).sum();
+    let latency_by_code: Vec<(&'static str, HistStat)> = ErrorCode::ALL
+        .iter()
+        .zip(code_hists.into_inner().unwrap())
+        .map(|(c, h)| (c.as_str(), h))
+        .collect();
+    let slow_log_lines = service.drain_slow_log();
     DomainLoadReport {
         domain: domain.name().to_string(),
         clients,
@@ -244,6 +290,8 @@ pub fn run_domain_load(domain: Domain, load: &LoadConfig) -> DomainLoadReport {
             0.0
         },
         max_us: hist.max,
+        latency_by_code,
+        slow_log_lines,
     }
 }
 
@@ -349,6 +397,11 @@ mod tests {
             p99_us: 30.0,
             mean_us: 12.0,
             max_us: 31.0,
+            latency_by_code: ErrorCode::ALL
+                .iter()
+                .map(|c| (c.as_str(), HistStat::default()))
+                .collect(),
+            slow_log_lines: Vec::new(),
         };
         let doc = render_bench_json(&load, &[report]);
         validate_bench_json(&doc).expect("rendered document must validate");
@@ -383,6 +436,26 @@ mod tests {
             0,
             "deterministic closed-loop run shed load: {:?}",
             r.errors_by_code
+        );
+        // The per-code latency shards must account for every request...
+        let hist_total: u64 = r.latency_by_code.iter().map(|(_, h)| h.count).sum();
+        assert_eq!(hist_total as usize, r.requests);
+        // ...and agree with the scalar counters, code by code.
+        for (code, h) in &r.latency_by_code {
+            let n = if *code == "ok" {
+                r.ok
+            } else {
+                r.errors_by_code
+                    .iter()
+                    .find(|(c, _)| c == code)
+                    .map(|(_, n)| *n)
+                    .unwrap()
+            };
+            assert_eq!(h.count as usize, n, "{code}: histogram/counter mismatch");
+        }
+        assert!(
+            r.slow_log_lines.is_empty(),
+            "slow log must stay off unless armed"
         );
     }
 

@@ -248,6 +248,40 @@ fn obs_on_and_off_produce_identical_result_sets() {
     assert!(report.counter("engine.columnar.filter.batches") > 0);
 }
 
+/// The per-query profile collector must be equally invisible: attaching
+/// a `QueryProfile` to an execution (what `EXPLAIN ANALYZE` and the
+/// serve-layer slow log do) must leave every `ResultSet` byte-identical
+/// to the unprofiled run, under every executor configuration — and each
+/// profiled run must actually have recorded operator flow.
+#[test]
+fn query_profiles_do_not_change_result_sets() {
+    use sciencebenchmark::engine::execute_with_profile;
+    use sciencebenchmark::obs::QueryProfile;
+    let d = Domain::Cordis.build(SizeClass::Tiny);
+    let schema = &d.db.schema;
+    let mut edges: Vec<(String, String, String, String)> = Vec::new();
+    for t in &schema.tables {
+        for (lcol, other, rcol) in schema.join_edges(&t.name) {
+            edges.push((t.name.clone(), lcol, other, rcol));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(0x0B5_0700);
+    for _ in 0..30 {
+        let sql = random_equi_join(&mut rng, schema, &edges);
+        let query = sciencebenchmark::sql::parser::parse(&sql).unwrap();
+        for opts in all_options() {
+            let plain = execute_with_profile(&d.db, &query, opts, None).unwrap();
+            let prof = QueryProfile::new();
+            let profiled = execute_with_profile(&d.db, &query, opts, Some(&prof)).unwrap();
+            assert_eq!(plain, profiled, "`{sql}` differs when profiled ({opts:?})");
+            let snap = prof.snapshot();
+            assert!(!snap.blocks.is_empty(), "`{sql}` recorded no blocks");
+            snap.check_conservation()
+                .unwrap_or_else(|e| panic!("`{sql}` ({opts:?}): {e}"));
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Error parity: the compiled expression path must surface the same
 // binding errors — same variant, same rendered payload — as the
